@@ -1,0 +1,180 @@
+// Benchmarks regenerating the paper's evaluation, one per table/figure.
+// Each benchmark runs a reduced sweep of the corresponding experiment (the
+// full sweeps live in cmd/modissense-bench); reported ns/op is dominated by
+// the real data-path execution, while the figures' latencies come from the
+// simulated clock and are printed as custom metrics.
+package modissense_test
+
+import (
+	"fmt"
+	"testing"
+
+	"modissense/internal/bench"
+)
+
+// benchDataset is the reduced dataset every cluster benchmark shares.
+func benchDataset() bench.DatasetConfig {
+	ds := bench.DefaultDataset()
+	ds.POIs = 1000
+	ds.Users = 3000
+	return ds
+}
+
+// BenchmarkFig2QueryLatency regenerates Figure 2 (single personalized
+// query latency vs friend count vs cluster size) at reduced scale and
+// reports the simulated latency of the heaviest point as a custom metric.
+func BenchmarkFig2QueryLatency(b *testing.B) {
+	cfg := bench.Fig2Config{
+		Dataset:      benchDataset(),
+		FriendCounts: []int{500, 1500, 2500},
+		Nodes:        []int{4, 16},
+		Repetitions:  1,
+		Seed:         42,
+	}
+	var last []bench.Fig2Point
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		points, err := bench.RunFig2(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = points
+	}
+	b.StopTimer()
+	bench.SortFig2(last)
+	for _, p := range last {
+		b.ReportMetric(p.LatencySeconds*1000, fmt.Sprintf("ms-sim/n%d-f%d", p.Nodes, p.Friends))
+	}
+}
+
+// BenchmarkFig3ConcurrentQueries regenerates Figure 3 (average latency of
+// concurrent queries) at reduced scale.
+func BenchmarkFig3ConcurrentQueries(b *testing.B) {
+	cfg := bench.Fig3Config{
+		Dataset:         benchDataset(),
+		Concurrency:     []int{10, 20},
+		Nodes:           []int{4, 16},
+		FriendsPerQuery: 1000,
+		Seed:            43,
+	}
+	var last []bench.Fig3Point
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		points, err := bench.RunFig3(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = points
+	}
+	b.StopTimer()
+	bench.SortFig3(last)
+	for _, p := range last {
+		b.ReportMetric(p.AvgLatencySeconds, fmt.Sprintf("s-sim/n%d-c%d", p.Nodes, p.Concurrent))
+	}
+}
+
+// BenchmarkFig4ClassifierAccuracy regenerates Figure 4 (accuracy vs
+// training size, baseline vs optimized) at reduced scale.
+func BenchmarkFig4ClassifierAccuracy(b *testing.B) {
+	cfg := bench.DefaultFig4()
+	cfg.TrainSizes = []int{500, 1000, 4000}
+	cfg.TestDocs = 500
+	var last []bench.Fig4Point
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		points, err := bench.RunFig4(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = points
+	}
+	b.StopTimer()
+	for _, p := range last {
+		b.ReportMetric(p.Accuracy*100, fmt.Sprintf("acc%%/%s-%d", p.Pipeline, p.TrainDocs))
+	}
+}
+
+// BenchmarkAccuracyClaim regenerates the in-text "94% accuracy towards
+// unseen data" measurement.
+func BenchmarkAccuracyClaim(b *testing.B) {
+	var acc float64
+	for i := 0; i < b.N; i++ {
+		a, err := bench.AccuracyClaim(46)
+		if err != nil {
+			b.Fatal(err)
+		}
+		acc = a
+	}
+	b.ReportMetric(acc*100, "acc%")
+}
+
+// BenchmarkAblationSchema regenerates the §2.1 design-decision ablation:
+// replicated visit structs vs join-at-query-time.
+func BenchmarkAblationSchema(b *testing.B) {
+	cfg := bench.DefaultSchemaAblation()
+	cfg.Dataset = benchDataset()
+	cfg.Dataset.Users = 1500
+	cfg.Friends = 500
+	var last []bench.SchemaAblationRow
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rows, err := bench.RunSchemaAblation(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = rows
+	}
+	b.StopTimer()
+	for _, r := range last {
+		b.ReportMetric(r.LatencySeconds*1000, "ms-sim/"+r.Schema)
+	}
+}
+
+// BenchmarkAblationRegions regenerates the §2.2 region-parallelism
+// observation: more regions, more intra-query parallelism.
+func BenchmarkAblationRegions(b *testing.B) {
+	cfg := bench.DefaultRegionAblation()
+	cfg.Dataset = benchDataset()
+	cfg.Dataset.Users = 1500
+	cfg.Friends = 500
+	cfg.RegionCounts = []int{4, 8, 32}
+	var last []bench.RegionAblationRow
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rows, err := bench.RunRegionAblation(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = rows
+	}
+	b.StopTimer()
+	for _, r := range last {
+		b.ReportMetric(r.LatencySeconds*1000, fmt.Sprintf("ms-sim/regions%d", r.Regions))
+	}
+}
+
+// BenchmarkMRDBSCAN regenerates the event-detection experiment: MR-DBSCAN
+// agreement with the sequential oracle plus cluster-size speedup.
+func BenchmarkMRDBSCAN(b *testing.B) {
+	cfg := bench.DefaultDBSCAN()
+	cfg.Gatherings = 8
+	cfg.PointsPerGathering = 120
+	cfg.NoisePoints = 800
+	cfg.Nodes = []int{4, 16}
+	var last []bench.DBSCANRow
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rows, err := bench.RunDBSCAN(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = rows
+	}
+	b.StopTimer()
+	for _, r := range last {
+		if !r.AgreesWithSeq {
+			b.Fatalf("nodes=%d: MR-DBSCAN diverged from sequential oracle", r.Nodes)
+		}
+		b.ReportMetric(r.SimulatedSeconds, fmt.Sprintf("s-sim/n%d", r.Nodes))
+	}
+}

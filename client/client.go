@@ -1,0 +1,273 @@
+// Package client is a typed Go client for the MoDisSENSE REST API: the
+// same JSON contract the paper's web and mobile frontends speak, wrapped
+// in Go methods. It lets external applications integrate with a running
+// modissense-server without touching the platform internals.
+package client
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/url"
+	"strconv"
+	"time"
+
+	"modissense/internal/model"
+	"modissense/internal/query"
+)
+
+// Client talks to one MoDisSENSE server. The zero value is not usable;
+// construct with New. Client is safe for concurrent use.
+type Client struct {
+	baseURL string
+	http    *http.Client
+	// token is the access token of the signed-in user ("" before SignIn).
+	token string
+}
+
+// New creates a client for the server at baseURL (e.g.
+// "http://localhost:8080"). A nil httpClient uses a 30-second-timeout
+// default.
+func New(baseURL string, httpClient *http.Client) (*Client, error) {
+	if baseURL == "" {
+		return nil, fmt.Errorf("client: empty base URL")
+	}
+	u, err := url.Parse(baseURL)
+	if err != nil || (u.Scheme != "http" && u.Scheme != "https") {
+		return nil, fmt.Errorf("client: invalid base URL %q", baseURL)
+	}
+	if httpClient == nil {
+		httpClient = &http.Client{Timeout: 30 * time.Second}
+	}
+	return &Client{baseURL: u.String(), http: httpClient}, nil
+}
+
+// Token returns the current access token.
+func (c *Client) Token() string { return c.token }
+
+// apiError mirrors the server's error envelope.
+type apiError struct {
+	Error string `json:"error"`
+}
+
+// do sends a request and decodes the JSON response into out (when non-nil).
+func (c *Client) do(method, path string, body, out interface{}) error {
+	var reqBody *bytes.Reader
+	if body != nil {
+		raw, err := json.Marshal(body)
+		if err != nil {
+			return fmt.Errorf("client: marshal request: %w", err)
+		}
+		reqBody = bytes.NewReader(raw)
+	} else {
+		reqBody = bytes.NewReader(nil)
+	}
+	req, err := http.NewRequest(method, c.baseURL+path, reqBody)
+	if err != nil {
+		return fmt.Errorf("client: build request: %w", err)
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return fmt.Errorf("client: %s %s: %w", method, path, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		var e apiError
+		if json.NewDecoder(resp.Body).Decode(&e) == nil && e.Error != "" {
+			return fmt.Errorf("client: %s %s: %s (status %d)", method, path, e.Error, resp.StatusCode)
+		}
+		return fmt.Errorf("client: %s %s: status %d", method, path, resp.StatusCode)
+	}
+	if out == nil {
+		return nil
+	}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		return fmt.Errorf("client: decode %s response: %w", path, err)
+	}
+	return nil
+}
+
+// Session is the result of a sign-in or link call.
+type Session struct {
+	UserID   int64    `json:"user_id"`
+	Token    string   `json:"token"`
+	Networks []string `json:"networks"`
+}
+
+// SignIn registers or signs in with social-network credentials and stores
+// the access token on the client.
+func (c *Client) SignIn(network, credentials string) (Session, error) {
+	var s Session
+	err := c.do(http.MethodPost, "/api/signin", map[string]string{
+		"network": network, "credentials": credentials,
+	}, &s)
+	if err == nil {
+		c.token = s.Token
+	}
+	return s, err
+}
+
+// Link attaches one more social network to the signed-in account.
+func (c *Client) Link(network, credentials string) (Session, error) {
+	var s Session
+	err := c.do(http.MethodPost, "/api/link", map[string]string{
+		"token": c.token, "network": network, "credentials": credentials,
+	}, &s)
+	return s, err
+}
+
+// Friends lists the signed-in user's friends ("" = all networks).
+func (c *Client) Friends(network string) ([]model.Friend, error) {
+	path := "/api/friends?token=" + url.QueryEscape(c.token)
+	if network != "" {
+		path += "&network=" + url.QueryEscape(network)
+	}
+	var out []model.Friend
+	err := c.do(http.MethodGet, path, nil, &out)
+	return out, err
+}
+
+// SearchParams is a personalized POI search.
+type SearchParams struct {
+	MinLat, MinLon, MaxLat, MaxLon float64
+	Keyword                        string
+	Friends                        []int64
+	From, To                       time.Time
+	OrderBy                        string // "interest" | "hotness"
+	Limit                          int
+}
+
+// Search runs a personalized query as the signed-in user.
+func (c *Client) Search(p SearchParams) (*query.Result, error) {
+	body := map[string]interface{}{
+		"token":   c.token,
+		"min_lat": p.MinLat, "min_lon": p.MinLon,
+		"max_lat": p.MaxLat, "max_lon": p.MaxLon,
+		"keyword":  p.Keyword,
+		"friends":  p.Friends,
+		"order_by": p.OrderBy,
+		"limit":    p.Limit,
+	}
+	if !p.From.IsZero() {
+		body["from"] = p.From.Format(time.RFC3339)
+	}
+	if !p.To.IsZero() {
+		body["to"] = p.To.Format(time.RFC3339)
+	}
+	var out query.Result
+	if err := c.do(http.MethodPost, "/api/search", body, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Trending fetches the hottest places in the box over the trailing window.
+func (c *Client) Trending(minLat, minLon, maxLat, maxLon float64, hours, limit int, until time.Time) (*query.Result, error) {
+	v := url.Values{}
+	v.Set("min_lat", strconv.FormatFloat(minLat, 'f', -1, 64))
+	v.Set("min_lon", strconv.FormatFloat(minLon, 'f', -1, 64))
+	v.Set("max_lat", strconv.FormatFloat(maxLat, 'f', -1, 64))
+	v.Set("max_lon", strconv.FormatFloat(maxLon, 'f', -1, 64))
+	v.Set("hours", strconv.Itoa(hours))
+	v.Set("limit", strconv.Itoa(limit))
+	if !until.IsZero() {
+		v.Set("until", until.Format(time.RFC3339))
+	}
+	var out query.Result
+	if err := c.do(http.MethodGet, "/api/trending?"+v.Encode(), nil, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// POI fetches one POI by id.
+func (c *Client) POI(id int64) (model.POI, error) {
+	var out model.POI
+	err := c.do(http.MethodGet, fmt.Sprintf("/api/pois/%d", id), nil, &out)
+	return out, err
+}
+
+// PushGPS uploads GPS fixes for the signed-in user and returns the stored
+// count (which may be smaller than len(fixes) when the server compresses).
+func (c *Client) PushGPS(fixes []model.GPSFix) (int, error) {
+	var out struct {
+		Stored int `json:"stored"`
+	}
+	err := c.do(http.MethodPost, "/api/gps", map[string]interface{}{
+		"token": c.token, "fixes": fixes,
+	}, &out)
+	return out.Stored, err
+}
+
+// Blog is the client view of a stored daily blog.
+type Blog struct {
+	ID       int64  `json:"id"`
+	UserID   int64  `json:"user_id"`
+	Title    string `json:"title"`
+	Rendered string `json:"rendered"`
+	Shared   bool   `json:"shared"`
+}
+
+// GenerateBlog builds and persists the signed-in user's blog for the day.
+func (c *Client) GenerateBlog(day time.Time) (Blog, error) {
+	var out Blog
+	err := c.do(http.MethodPost, "/api/blog/generate", map[string]string{
+		"token": c.token, "date": day.Format("2006-01-02"),
+	}, &out)
+	return out, err
+}
+
+// GetBlog fetches the signed-in user's blog for the day.
+func (c *Client) GetBlog(day time.Time) (Blog, error) {
+	v := url.Values{}
+	v.Set("token", c.token)
+	v.Set("date", day.Format("2006-01-02"))
+	var out Blog
+	err := c.do(http.MethodGet, "/api/blog?"+v.Encode(), nil, &out)
+	return out, err
+}
+
+// AdminCollect triggers a data-collection pass (admin surface).
+func (c *Client) AdminCollect(since, until time.Time) (map[string]interface{}, error) {
+	var out map[string]interface{}
+	err := c.do(http.MethodPost, "/api/admin/collect", map[string]string{
+		"since": since.Format(time.RFC3339), "until": until.Format(time.RFC3339),
+	}, &out)
+	return out, err
+}
+
+// AdminHotIn triggers a HotIn aggregation over the window.
+func (c *Client) AdminHotIn(from, to time.Time) (map[string]interface{}, error) {
+	var out map[string]interface{}
+	err := c.do(http.MethodPost, "/api/admin/hotin", map[string]string{
+		"since": from.Format(time.RFC3339), "until": to.Format(time.RFC3339),
+	}, &out)
+	return out, err
+}
+
+// AdminDetectEvents triggers MR-DBSCAN event detection.
+func (c *Client) AdminDetectEvents(epsMeters float64, minPts int) (map[string]interface{}, error) {
+	var out map[string]interface{}
+	err := c.do(http.MethodPost, "/api/admin/events", map[string]interface{}{
+		"eps_meters": epsMeters, "min_pts": minPts,
+	}, &out)
+	return out, err
+}
+
+// Stats fetches the server's operational snapshot.
+func (c *Client) Stats() (map[string]interface{}, error) {
+	var out map[string]interface{}
+	err := c.do(http.MethodGet, "/api/stats", nil, &out)
+	return out, err
+}
+
+// Blogs lists every blog of the signed-in user, newest first.
+func (c *Client) Blogs() ([]Blog, error) {
+	var out []Blog
+	err := c.do(http.MethodGet, "/api/blogs?token="+url.QueryEscape(c.token), nil, &out)
+	return out, err
+}

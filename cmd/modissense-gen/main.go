@@ -1,0 +1,92 @@
+// Command modissense-gen generates the synthetic datasets of the paper's
+// evaluation as newline-delimited JSON, for inspection or for loading into
+// other systems.
+//
+// Usage:
+//
+//	modissense-gen -kind pois -n 8500 > pois.ndjson
+//	modissense-gen -kind users -n 150000 > users.ndjson
+//	modissense-gen -kind visits -users 100 > visits.ndjson
+//	modissense-gen -kind reviews -n 20000 > reviews.ndjson
+//	modissense-gen -kind gps -users 5 > gps.ndjson
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"os"
+	"time"
+
+	"modissense/internal/model"
+	"modissense/internal/workload"
+)
+
+func main() {
+	kind := flag.String("kind", "pois", "dataset: pois | users | visits | reviews | gps")
+	n := flag.Int("n", 1000, "record count (pois, users, reviews)")
+	users := flag.Int("users", 10, "user count (visits, gps)")
+	pois := flag.Int("pois", 500, "catalog size backing visits/gps generation")
+	seed := flag.Int64("seed", 1, "random seed")
+	flag.Parse()
+
+	out := bufio.NewWriterSize(os.Stdout, 1<<20)
+	defer out.Flush()
+	enc := json.NewEncoder(out)
+	rng := rand.New(rand.NewSource(*seed))
+
+	emit := func(v interface{}) {
+		if err := enc.Encode(v); err != nil {
+			log.Fatalf("encode: %v", err)
+		}
+	}
+
+	switch *kind {
+	case "pois":
+		for _, p := range workload.GenPOIs(rng, *n) {
+			emit(p)
+		}
+	case "users":
+		for _, u := range workload.GenUsers(rng, *n) {
+			emit(u)
+		}
+	case "visits":
+		catalog := workload.GenPOIs(rng, *pois)
+		start := time.Date(2015, 1, 1, 0, 0, 0, 0, time.UTC)
+		end := time.Date(2015, 6, 1, 0, 0, 0, 0, time.UTC)
+		for uid := int64(1); uid <= int64(*users); uid++ {
+			for _, v := range workload.GenVisitsForUser(rng, uid, catalog, start, end,
+				workload.PaperVisitMean, workload.PaperVisitSigma) {
+				emit(v)
+			}
+		}
+	case "reviews":
+		docs, err := workload.GenReviews(rng, *n, workload.DefaultReviewOptions())
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, d := range docs {
+			emit(map[string]interface{}{"text": d.Text, "label": d.Label.String()})
+		}
+	case "gps":
+		catalog := workload.GenPOIs(rng, *pois)
+		day := time.Date(2015, 5, 30, 0, 0, 0, 0, time.UTC)
+		for uid := int64(1); uid <= int64(*users); uid++ {
+			stops := []model.POI{
+				catalog[rng.Intn(len(catalog))],
+				catalog[rng.Intn(len(catalog))],
+				catalog[rng.Intn(len(catalog))],
+			}
+			for _, f := range workload.GenGPSDay(rng, uid, day, stops, 5*time.Minute, 40*time.Minute) {
+				emit(f)
+			}
+		}
+	default:
+		fmt.Fprintf(os.Stderr, "unknown kind %q\n", *kind)
+		flag.Usage()
+		os.Exit(2)
+	}
+}

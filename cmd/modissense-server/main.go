@@ -1,0 +1,53 @@
+// Command modissense-server boots a MoDisSENSE platform instance and
+// serves its REST API.
+//
+// Usage:
+//
+//	modissense-server -addr :8080 -nodes 4 -pois 800 -population 2000
+//
+// Then, for example:
+//
+//	curl -s -X POST localhost:8080/api/signin \
+//	     -d '{"network":"facebook","credentials":"facebook:1"}'
+package main
+
+import (
+	"flag"
+	"log"
+	"net/http"
+
+	"modissense/internal/core"
+	"modissense/internal/repos"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	nodes := flag.Int("nodes", 4, "simulated worker nodes")
+	regionsPerNode := flag.Int("regions-per-node", 4, "visits-table regions per node")
+	pois := flag.Int("pois", 800, "POI catalog size")
+	population := flag.Int("population", 2000, "users per simulated social network")
+	seed := flag.Int64("seed", 1, "master random seed")
+	normalized := flag.Bool("normalized-schema", false, "use the normalized (join-at-query-time) visits schema")
+	flag.Parse()
+
+	cfg := core.DefaultConfig()
+	cfg.Nodes = *nodes
+	cfg.RegionsPerNode = *regionsPerNode
+	cfg.POIs = *pois
+	cfg.NetworkPopulation = *population
+	cfg.Seed = *seed
+	if *normalized {
+		cfg.VisitSchema = repos.SchemaNormalized
+	}
+
+	log.Printf("booting platform: %d nodes × %d regions, %d POIs, %d users/network, schema=%s",
+		cfg.Nodes, cfg.RegionsPerNode, cfg.POIs, cfg.NetworkPopulation, cfg.VisitSchema)
+	p, err := core.New(cfg)
+	if err != nil {
+		log.Fatalf("boot: %v", err)
+	}
+	log.Printf("platform ready; serving REST API on %s", *addr)
+	if err := http.ListenAndServe(*addr, core.NewHandler(p)); err != nil {
+		log.Fatalf("serve: %v", err)
+	}
+}

@@ -1,0 +1,88 @@
+// REST client: run a MoDisSENSE server in-process and drive it purely
+// through the typed HTTP client — the integration path an external
+// application (or the paper's mobile frontends) would take.
+//
+// Run with: go run ./examples/rest_client
+package main
+
+import (
+	"fmt"
+	"log"
+	"net/http/httptest"
+	"time"
+
+	"modissense"
+	"modissense/client"
+)
+
+func main() {
+	// Boot a platform and expose it over HTTP (an httptest server keeps
+	// the example self-contained; point the client at any modissense-server
+	// URL in real use).
+	cfg := modissense.DefaultConfig()
+	cfg.POIs = 300
+	cfg.NetworkPopulation = 400
+	p, err := modissense.New(cfg)
+	if err != nil {
+		log.Fatalf("boot: %v", err)
+	}
+	srv := httptest.NewServer(modissense.NewHandler(p))
+	defer srv.Close()
+	fmt.Printf("server listening at %s\n", srv.URL)
+
+	c, err := client.New(srv.URL, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Sign in over HTTP and link a second network.
+	sess, err := c.SignIn("facebook", "facebook:1")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("signed in as user %d (token %.8s…)\n", sess.UserID, sess.Token)
+	if _, err := c.Link("foursquare", "foursquare:1"); err != nil {
+		log.Fatal(err)
+	}
+	friends, err := c.Friends("")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%d friends across linked networks\n", len(friends))
+
+	// Drive the admin surface: collect a week, refresh hotness.
+	since := time.Date(2015, 5, 1, 0, 0, 0, 0, time.UTC)
+	until := since.Add(7 * 24 * time.Hour)
+	collectStats, err := c.AdminCollect(since, until)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("collected %v check-ins\n", collectStats["Checkins"])
+	if _, err := c.AdminHotIn(since, until); err != nil {
+		log.Fatal(err)
+	}
+
+	// Personalized search over the wire.
+	res, err := c.Search(client.SearchParams{
+		MinLat: 34.8, MinLon: 19.3, MaxLat: 41.8, MaxLon: 28.3,
+		Friends: []int64{1},
+		From:    since, To: until,
+		OrderBy: "interest",
+		Limit:   3,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\ntop-3 by friends' opinion (%.0f ms simulated):\n", res.LatencySeconds*1000)
+	for i, s := range res.POIs {
+		fmt.Printf("  %d. %-18s %.2f\n", i+1, s.POI.Name, s.Score)
+	}
+
+	// Operational snapshot.
+	stats, err := c.Stats()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nserver stats: %v POIs, %v visit regions, schema %v\n",
+		stats["pois"], stats["visit_regions"], stats["visit_schema"])
+}

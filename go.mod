@@ -1,0 +1,3 @@
+module modissense
+
+go 1.22

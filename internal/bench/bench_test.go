@@ -1,0 +1,291 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+// quickDataset shrinks the dataset so shape tests stay fast.
+func quickDataset() DatasetConfig {
+	ds := DefaultDataset()
+	ds.POIs = 500
+	ds.Users = 1500
+	ds.Regions = 32
+	return ds
+}
+
+func TestDatasetValidation(t *testing.T) {
+	bad := DefaultDataset()
+	bad.Users = 0
+	if _, err := BuildDataset(bad, 4); err == nil {
+		t.Error("invalid dataset must fail")
+	}
+}
+
+func TestBuildDatasetDeterministic(t *testing.T) {
+	cfg := quickDataset()
+	cfg.Users = 200
+	a, err := BuildDataset(cfg, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := BuildDataset(cfg, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.TotalVisits != b.TotalVisits {
+		t.Errorf("dataset not deterministic: %d vs %d visits", a.TotalVisits, b.TotalVisits)
+	}
+	if a.TotalVisits < 200*10 {
+		t.Errorf("suspiciously few visits: %d", a.TotalVisits)
+	}
+}
+
+func TestFig2ShapeQuick(t *testing.T) {
+	cfg := Fig2Config{
+		Dataset:      quickDataset(),
+		FriendCounts: []int{200, 800, 1400},
+		Nodes:        []int{4, 16},
+		Repetitions:  2,
+		Seed:         42,
+	}
+	points, err := RunFig2(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	SortFig2(points)
+	byKey := map[[2]int]float64{}
+	for _, p := range points {
+		byKey[[2]int{p.Nodes, p.Friends}] = p.LatencySeconds
+		if p.LatencySeconds <= 0 {
+			t.Fatalf("non-positive latency: %+v", p)
+		}
+		if p.PaperEquivalentSeconds != p.LatencySeconds*float64(cfg.Dataset.VisitScale) {
+			t.Fatalf("paper-equivalent rescale wrong: %+v", p)
+		}
+	}
+	// Latency increases with friends on each cluster size.
+	for _, nodes := range cfg.Nodes {
+		if !(byKey[[2]int{nodes, 200}] < byKey[[2]int{nodes, 800}] && byKey[[2]int{nodes, 800}] < byKey[[2]int{nodes, 1400}]) {
+			t.Errorf("nodes=%d: latency not increasing in friends: %v", nodes, byKey)
+		}
+	}
+	// Bigger cluster is faster at every friend count.
+	for _, f := range cfg.FriendCounts {
+		if byKey[[2]int{16, f}] >= byKey[[2]int{4, f}] {
+			t.Errorf("friends=%d: 16 nodes (%g) not faster than 4 (%g)", f, byKey[[2]int{16, f}], byKey[[2]int{4, f}])
+		}
+	}
+	// Rough linearity in friends: slope between consecutive segments
+	// should not explode (factor < 3 difference).
+	for _, nodes := range cfg.Nodes {
+		s1 := (byKey[[2]int{nodes, 800}] - byKey[[2]int{nodes, 200}]) / 600
+		s2 := (byKey[[2]int{nodes, 1400}] - byKey[[2]int{nodes, 800}]) / 600
+		if s1 <= 0 || s2 <= 0 || s2/s1 > 3 || s1/s2 > 3 {
+			t.Errorf("nodes=%d: segment slopes %g vs %g not roughly linear", nodes, s1, s2)
+		}
+	}
+	if _, err := RunFig2(Fig2Config{Dataset: quickDataset(), FriendCounts: []int{10}, Nodes: []int{2}, Repetitions: 0}); err == nil {
+		t.Error("zero repetitions must fail")
+	}
+	if _, err := RunFig2(Fig2Config{Dataset: quickDataset(), FriendCounts: []int{999999}, Nodes: []int{2}, Repetitions: 1}); err == nil {
+		t.Error("oversize friend count must fail")
+	}
+}
+
+func TestFig3ShapeQuick(t *testing.T) {
+	cfg := Fig3Config{
+		Dataset:         quickDataset(),
+		Concurrency:     []int{4, 12},
+		Nodes:           []int{4, 16},
+		FriendsPerQuery: 600,
+		Seed:            43,
+	}
+	points, err := RunFig3(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	SortFig3(points)
+	byKey := map[[2]int]float64{}
+	for _, p := range points {
+		byKey[[2]int{p.Nodes, p.Concurrent}] = p.AvgLatencySeconds
+	}
+	for _, nodes := range cfg.Nodes {
+		if byKey[[2]int{nodes, 12}] <= byKey[[2]int{nodes, 4}] {
+			t.Errorf("nodes=%d: concurrency must increase latency", nodes)
+		}
+	}
+	for _, m := range cfg.Concurrency {
+		if byKey[[2]int{16, m}] >= byKey[[2]int{4, m}] {
+			t.Errorf("m=%d: 16 nodes must beat 4", m)
+		}
+	}
+	// The 16-node cluster must degrade slower with concurrency than the
+	// 4-node one (the paper's "resistance to concurrency").
+	growth4 := byKey[[2]int{4, 12}] - byKey[[2]int{4, 4}]
+	growth16 := byKey[[2]int{16, 12}] - byKey[[2]int{16, 4}]
+	if growth16 >= growth4 {
+		t.Errorf("16-node growth %g must be below 4-node growth %g", growth16, growth4)
+	}
+	if _, err := RunFig3(Fig3Config{Dataset: quickDataset(), Concurrency: []int{1}, Nodes: []int{2}, FriendsPerQuery: 0}); err == nil {
+		t.Error("zero friends must fail")
+	}
+}
+
+func TestFig4ShapeQuick(t *testing.T) {
+	cfg := DefaultFig4()
+	cfg.TrainSizes = []int{300, 1000, 6000}
+	cfg.TestDocs = 800
+	points, err := RunFig4(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	acc := map[[2]interface{}]float64{}
+	for _, p := range points {
+		acc[[2]interface{}{p.TrainDocs, p.Pipeline}] = p.Accuracy
+		if p.PaperEquivalentDocs != p.TrainDocs*Fig4Scale {
+			t.Fatalf("scale mismatch: %+v", p)
+		}
+	}
+	// Optimized beats baseline at every size.
+	for _, n := range cfg.TrainSizes {
+		if acc[[2]interface{}{n, "optimized"}] <= acc[[2]interface{}{n, "baseline"}] {
+			t.Errorf("n=%d: optimized (%g) must beat baseline (%g)", n,
+				acc[[2]interface{}{n, "optimized"}], acc[[2]interface{}{n, "baseline"}])
+		}
+	}
+	// The optimized pipeline peaks at the quality threshold and degrades.
+	if acc[[2]interface{}{1000, "optimized"}] <= acc[[2]interface{}{6000, "optimized"}] {
+		t.Errorf("accuracy must degrade past the threshold: 1000→%g, 6000→%g",
+			acc[[2]interface{}{1000, "optimized"}], acc[[2]interface{}{6000, "optimized"}])
+	}
+	if _, err := RunFig4(Fig4Config{}); err == nil {
+		t.Error("empty config must fail")
+	}
+}
+
+func TestAccuracyClaim(t *testing.T) {
+	acc, err := AccuracyClaim(46)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The paper claims 94%; the synthetic corpus should land within a few
+	// points of it.
+	if acc < 0.90 || acc > 1.0 {
+		t.Errorf("threshold accuracy = %.3f, want ≈0.94", acc)
+	}
+}
+
+func TestSchemaAblationQuick(t *testing.T) {
+	cfg := DefaultSchemaAblation()
+	cfg.Dataset = quickDataset()
+	cfg.Friends = 500
+	rows, err := RunSchemaAblation(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	var repl, norm SchemaAblationRow
+	for _, r := range rows {
+		if r.Schema == "replicated" {
+			repl = r
+		} else {
+			norm = r
+		}
+	}
+	if repl.LatencySeconds >= norm.LatencySeconds {
+		t.Errorf("replicated (%g) must beat normalized (%g)", repl.LatencySeconds, norm.LatencySeconds)
+	}
+	if repl.CandidatesMoved >= norm.CandidatesMoved {
+		t.Errorf("replicated must ship fewer candidates: %d vs %d", repl.CandidatesMoved, norm.CandidatesMoved)
+	}
+	if repl.ResultPOIs != norm.ResultPOIs {
+		t.Errorf("schemas must agree on results: %d vs %d", repl.ResultPOIs, norm.ResultPOIs)
+	}
+}
+
+func TestRegionAblationQuick(t *testing.T) {
+	cfg := DefaultRegionAblation()
+	cfg.Dataset = quickDataset()
+	cfg.Friends = 500
+	cfg.RegionCounts = []int{2, 8, 32}
+	rows, err := RunRegionAblation(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	// More regions must help up to the core count (4 nodes × 2 cores = 8
+	// parallel slots): 2 regions underuse the cluster.
+	if rows[0].LatencySeconds <= rows[1].LatencySeconds {
+		t.Errorf("2 regions (%g) must be slower than 8 (%g)", rows[0].LatencySeconds, rows[1].LatencySeconds)
+	}
+}
+
+func TestDBSCANExperiment(t *testing.T) {
+	cfg := DefaultDBSCAN()
+	cfg.Gatherings = 6
+	cfg.PointsPerGathering = 80
+	cfg.NoisePoints = 400
+	cfg.Nodes = []int{4, 16}
+	rows, err := RunDBSCAN(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if !r.AgreesWithSeq {
+			t.Errorf("nodes=%d: MR-DBSCAN disagrees with sequential oracle", r.Nodes)
+		}
+		if r.ClustersFound != cfg.Gatherings {
+			t.Errorf("nodes=%d: found %d clusters, planted %d", r.Nodes, r.ClustersFound, cfg.Gatherings)
+		}
+	}
+	if rows[1].SimulatedSeconds >= rows[0].SimulatedSeconds {
+		t.Errorf("16 nodes (%g) must beat 4 (%g)", rows[1].SimulatedSeconds, rows[0].SimulatedSeconds)
+	}
+	if _, err := RunDBSCAN(DBSCANConfig{}); err == nil {
+		t.Error("invalid config must fail")
+	}
+}
+
+func TestRenderTable(t *testing.T) {
+	out := RenderTable([]string{"a", "long-header"}, [][]string{{"1", "2"}, {"333", "4"}})
+	if !strings.Contains(out, "long-header") || !strings.Contains(out, "333") {
+		t.Errorf("table rendering broken:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 4 {
+		t.Errorf("expected 4 lines, got %d", len(lines))
+	}
+}
+
+func TestWebServerAblationQuick(t *testing.T) {
+	cfg := DefaultWebServerAblation()
+	cfg.Dataset = quickDataset()
+	cfg.Concurrent = 12
+	cfg.FriendsPerQuery = 500
+	rows, err := RunWebServerAblation(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	one, two, four := rows[0], rows[1], rows[2]
+	if one.WebServers != 1 || two.WebServers != 2 || four.WebServers != 4 {
+		t.Fatalf("unexpected order: %+v", rows)
+	}
+	// The paper's claim: two servers suffice — growing the farm further
+	// must not improve average latency meaningfully (< 5%).
+	if improvement := (two.AvgLatencySeconds - four.AvgLatencySeconds) / two.AvgLatencySeconds; improvement > 0.05 {
+		t.Errorf("2→4 web servers improved latency by %.1f%%; web farm should not be the bottleneck", improvement*100)
+	}
+	// And one server must not be catastrophically worse either — merges
+	// are cheap relative to region work.
+	if one.AvgLatencySeconds > two.AvgLatencySeconds*2 {
+		t.Errorf("single web server latency %.3fs vs %.3fs suggests an implausible bottleneck", one.AvgLatencySeconds, two.AvgLatencySeconds)
+	}
+}

@@ -1,0 +1,261 @@
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+
+	"modissense/internal/cluster"
+	"modissense/internal/dbscan"
+	"modissense/internal/geo"
+	"modissense/internal/textproc"
+	"modissense/internal/workload"
+)
+
+// Fig4Config parameterizes Figure 4: classification accuracy vs training
+// set size, baseline vs optimized pipeline.
+type Fig4Config struct {
+	// TrainSizes is the x-axis. The paper sweeps 1M–10M documents; the
+	// harness corpus is 500× smaller, so the default sweep 200–20 000 maps
+	// to 100k–10M with the quality threshold (paper: 500k) at 1 000.
+	TrainSizes []int
+	// TestDocs is the held-out evaluation set size.
+	TestDocs int
+	// Corpus tunes the generator.
+	Corpus workload.ReviewCorpusOptions
+	Seed   int64
+}
+
+// DefaultFig4 mirrors the paper's sweep at 500× reduction.
+func DefaultFig4() Fig4Config {
+	return Fig4Config{
+		TrainSizes: []int{200, 500, 1000, 2000, 4000, 8000, 12000, 16000, 20000},
+		TestDocs:   2000,
+		Corpus:     workload.DefaultReviewOptions(),
+		Seed:       46,
+	}
+}
+
+// Fig4Point is one measured accuracy point.
+type Fig4Point struct {
+	TrainDocs int
+	// PaperEquivalentDocs rescales the x-axis to the paper's corpus.
+	PaperEquivalentDocs int
+	Pipeline            string // "baseline" or "optimized"
+	Accuracy            float64
+}
+
+// Fig4Scale is the corpus reduction factor relative to the paper.
+const Fig4Scale = 500
+
+// RunFig4 trains both pipelines at every size on prefixes of one corpus
+// (matching how a growing crawl accumulates documents) and evaluates on a
+// clean held-out set.
+func RunFig4(cfg Fig4Config) ([]Fig4Point, error) {
+	if len(cfg.TrainSizes) == 0 || cfg.TestDocs < 1 {
+		return nil, fmt.Errorf("bench: invalid fig4 config")
+	}
+	maxSize := 0
+	for _, n := range cfg.TrainSizes {
+		if n > maxSize {
+			maxSize = n
+		}
+	}
+	corpus, err := workload.GenReviews(rand.New(rand.NewSource(cfg.Seed)), maxSize, cfg.Corpus)
+	if err != nil {
+		return nil, err
+	}
+	test := workload.GenTestReviews(rand.New(rand.NewSource(cfg.Seed+1)), cfg.TestDocs)
+
+	var out []Fig4Point
+	for _, n := range cfg.TrainSizes {
+		if n > len(corpus) {
+			return nil, fmt.Errorf("bench: train size %d exceeds corpus %d", n, len(corpus))
+		}
+		for _, pl := range []struct {
+			name string
+			opts textproc.PipelineOptions
+		}{
+			{"baseline", textproc.BaselineOptions()},
+			{"optimized", textproc.OptimizedOptions()},
+		} {
+			nb, err := textproc.TrainNaiveBayes(corpus[:n], pl.opts)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, Fig4Point{
+				TrainDocs:           n,
+				PaperEquivalentDocs: n * Fig4Scale,
+				Pipeline:            pl.name,
+				Accuracy:            textproc.Evaluate(nb, test).Accuracy(),
+			})
+		}
+	}
+	return out, nil
+}
+
+// AccuracyClaim reproduces the in-text claim "a highly accurate classifier
+// that achieves an accuracy ratio of 94% towards unseen data": the
+// optimized pipeline trained at the corpus quality threshold.
+func AccuracyClaim(seed int64) (float64, error) {
+	opts := workload.DefaultReviewOptions()
+	corpus, err := workload.GenReviews(rand.New(rand.NewSource(seed)), opts.CleanDocs, opts)
+	if err != nil {
+		return 0, err
+	}
+	nb, err := textproc.TrainNaiveBayes(corpus, textproc.OptimizedOptions())
+	if err != nil {
+		return 0, err
+	}
+	test := workload.GenTestReviews(rand.New(rand.NewSource(seed+1)), 2000)
+	return textproc.Evaluate(nb, test).Accuracy(), nil
+}
+
+// DBSCANConfig parameterizes the event-detection experiment: MR-DBSCAN
+// agreement with the sequential oracle plus parallel speedup.
+type DBSCANConfig struct {
+	// Gatherings is the number of planted crowd events.
+	Gatherings int
+	// PointsPerGathering sizes each event.
+	PointsPerGathering int
+	// NoisePoints scatter uniformly.
+	NoisePoints int
+	Partitions  int
+	Nodes       []int
+	Eps         float64
+	MinPts      int
+	Seed        int64
+}
+
+// DefaultDBSCAN plants 12 gatherings of 200 fixes among noise.
+func DefaultDBSCAN() DBSCANConfig {
+	return DBSCANConfig{
+		Gatherings:         12,
+		PointsPerGathering: 200,
+		NoisePoints:        1500,
+		Partitions:         32,
+		Nodes:              []int{4, 8, 16},
+		Eps:                120,
+		MinPts:             10,
+		Seed:               47,
+	}
+}
+
+// DBSCANRow is one cluster size's measurement.
+type DBSCANRow struct {
+	Nodes            int
+	ClustersFound    int
+	ClustersExpected int
+	AgreesWithSeq    bool
+	SimulatedSeconds float64
+}
+
+// RunDBSCAN generates the planted dataset, verifies MR-DBSCAN against the
+// sequential oracle and reports simulated makespans per cluster size.
+func RunDBSCAN(cfg DBSCANConfig) ([]DBSCANRow, error) {
+	if cfg.Gatherings < 1 || cfg.PointsPerGathering < cfg.MinPts {
+		return nil, fmt.Errorf("bench: invalid dbscan config")
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	bounds := workload.GreeceBounds()
+	var pts []geo.Point
+	for g := 0; g < cfg.Gatherings; g++ {
+		center := geo.Point{
+			Lat: bounds.MinLat + rng.Float64()*(bounds.MaxLat-bounds.MinLat),
+			Lon: bounds.MinLon + rng.Float64()*(bounds.MaxLon-bounds.MinLon),
+		}
+		for i := 0; i < cfg.PointsPerGathering; i++ {
+			pts = append(pts, geo.Point{
+				Lat: center.Lat + geo.MetersToLatDegrees(rng.NormFloat64()*cfg.Eps/4),
+				Lon: center.Lon + geo.MetersToLonDegrees(rng.NormFloat64()*cfg.Eps/4, center.Lat),
+			})
+		}
+	}
+	for i := 0; i < cfg.NoisePoints; i++ {
+		pts = append(pts, geo.Point{
+			Lat: bounds.MinLat + rng.Float64()*(bounds.MaxLat-bounds.MinLat),
+			Lon: bounds.MinLon + rng.Float64()*(bounds.MaxLon-bounds.MinLon),
+		})
+	}
+	params := dbscan.Params{Eps: cfg.Eps, MinPts: cfg.MinPts}
+	seq, err := dbscan.Sequential(pts, params)
+	if err != nil {
+		return nil, err
+	}
+	var out []DBSCANRow
+	for _, nodes := range cfg.Nodes {
+		clus, err := cluster.New(cluster.DefaultConfig(nodes))
+		if err != nil {
+			return nil, err
+		}
+		mr, err := dbscan.MRDBSCAN(pts, params, dbscan.MROptions{Partitions: cfg.Partitions, Cluster: clus})
+		if err != nil {
+			return nil, err
+		}
+		agrees := mr.NumClusters == seq.NumClusters
+		if agrees {
+			for i := range pts {
+				if (mr.Labels[i] == dbscan.Noise) != (seq.Labels[i] == dbscan.Noise) || mr.Core[i] != seq.Core[i] {
+					agrees = false
+					break
+				}
+			}
+		}
+		out = append(out, DBSCANRow{
+			Nodes:            nodes,
+			ClustersFound:    mr.NumClusters,
+			ClustersExpected: seq.NumClusters,
+			AgreesWithSeq:    agrees,
+			SimulatedSeconds: mr.SimulatedSeconds,
+		})
+	}
+	return out, nil
+}
+
+// ClassifierComparisonRow is one (size, algorithm) accuracy measurement of
+// the extension experiment comparing the two Mahout-family algorithms.
+type ClassifierComparisonRow struct {
+	TrainDocs int
+	Algorithm string // "multinomial-nb" or "complement-nb"
+	Accuracy  float64
+}
+
+// RunClassifierComparison is an extension experiment beyond the paper's
+// figures: Mahout ships both multinomial and Complement Naive Bayes, and
+// the paper does not say which the deployment used. The comparison runs
+// both on the same optimized pipeline across training sizes.
+func RunClassifierComparison(sizes []int, testDocs int, seed int64) ([]ClassifierComparisonRow, error) {
+	if len(sizes) == 0 || testDocs < 1 {
+		return nil, fmt.Errorf("bench: invalid classifier comparison config")
+	}
+	maxSize := 0
+	for _, n := range sizes {
+		if n > maxSize {
+			maxSize = n
+		}
+	}
+	corpus, err := workload.GenReviews(rand.New(rand.NewSource(seed)), maxSize, workload.DefaultReviewOptions())
+	if err != nil {
+		return nil, err
+	}
+	test := workload.GenTestReviews(rand.New(rand.NewSource(seed+1)), testDocs)
+	var out []ClassifierComparisonRow
+	for _, n := range sizes {
+		nb, err := textproc.TrainNaiveBayes(corpus[:n], textproc.OptimizedOptions())
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, ClassifierComparisonRow{
+			TrainDocs: n, Algorithm: "multinomial-nb",
+			Accuracy: textproc.Evaluate(nb, test).Accuracy(),
+		})
+		cnb, err := textproc.TrainComplementNB(corpus[:n], textproc.OptimizedOptions())
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, ClassifierComparisonRow{
+			TrainDocs: n, Algorithm: "complement-nb",
+			Accuracy: textproc.Evaluate(cnb, test).Accuracy(),
+		})
+	}
+	return out, nil
+}

@@ -1,0 +1,191 @@
+package cluster
+
+import (
+	"math"
+	"testing"
+)
+
+func TestNewValidatesConfig(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  func(*Config)
+	}{
+		{"zero-nodes", func(c *Config) { c.Nodes = 0 }},
+		{"zero-cores", func(c *Config) { c.CoresPerNode = 0 }},
+		{"zero-web", func(c *Config) { c.WebServers = 0 }},
+		{"zero-web-cores", func(c *Config) { c.WebServerCores = 0 }},
+		{"bad-cost", func(c *Config) { c.Cost.RowScan = -1 }},
+		{"zero-cost", func(c *Config) { c.Cost = CostModel{} }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := DefaultConfig(4)
+			tc.mut(&cfg)
+			if _, err := New(cfg); err == nil {
+				t.Errorf("expected config validation error for %s", tc.name)
+			}
+		})
+	}
+}
+
+func TestDefaultConfigMatchesPaperTestbed(t *testing.T) {
+	cfg := DefaultConfig(16)
+	if cfg.Nodes != 16 || cfg.CoresPerNode != 2 {
+		t.Errorf("worker VMs should be dual-core: %+v", cfg)
+	}
+	if cfg.WebServers != 2 || cfg.WebServerCores != 4 {
+		t.Errorf("web farm should be two 4-core servers: %+v", cfg)
+	}
+}
+
+func TestNodeIndexWrapsAndNegatives(t *testing.T) {
+	c, err := New(DefaultConfig(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Node(0) != c.Node(4) {
+		t.Error("node index must wrap modulo the node count")
+	}
+	if c.Node(-1) == nil {
+		t.Error("negative indexes must map to a valid node")
+	}
+}
+
+func TestPickWebServerRoundRobin(t *testing.T) {
+	c, err := New(DefaultConfig(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := c.PickWebServer()
+	b := c.PickWebServer()
+	if a == b {
+		t.Error("consecutive picks should alternate between the two web servers")
+	}
+	if c.PickWebServer() != a {
+		t.Error("third pick should wrap back to the first web server")
+	}
+}
+
+func TestCoprocessorServiceTimeComposition(t *testing.T) {
+	m := DefaultCostModel()
+	w := CoprocessorWork{Friends: 100, RowsScanned: 17000, VisitsMatched: 300, CandidatePOIs: 50}
+	got := m.CoprocessorServiceTime(w)
+	want := m.CoprocessorStart +
+		100*m.FriendGet + 17000*m.RowScan + 300*m.Aggregate +
+		50*math.Log2(50)*m.SortPerItem
+	if math.Abs(got-want) > 1e-12 {
+		t.Errorf("service time = %g, want %g", got, want)
+	}
+	// Zero work should still pay the fixed coprocessor launch cost.
+	if m.CoprocessorServiceTime(CoprocessorWork{}) != m.CoprocessorStart {
+		t.Error("empty work must cost exactly the launch overhead")
+	}
+	// One candidate POI needs no sort.
+	one := m.CoprocessorServiceTime(CoprocessorWork{CandidatePOIs: 1})
+	if one != m.CoprocessorStart {
+		t.Errorf("single candidate must not pay sort cost, got %g", one)
+	}
+}
+
+func TestServiceTimeMonotonicInWork(t *testing.T) {
+	m := DefaultCostModel()
+	small := m.CoprocessorServiceTime(CoprocessorWork{Friends: 10, RowsScanned: 1000})
+	large := m.CoprocessorServiceTime(CoprocessorWork{Friends: 100, RowsScanned: 100000})
+	if large <= small {
+		t.Errorf("more work must cost more: %g <= %g", large, small)
+	}
+}
+
+// TestClusterScalingShape runs the same synthetic fan-out workload on 4, 8
+// and 16 nodes and asserts the core property behind Figure 2: larger
+// clusters finish strictly faster, and the speedup is bounded by the
+// parallelism ratio.
+func TestClusterScalingShape(t *testing.T) {
+	latency := func(nodes int) float64 {
+		c, err := New(DefaultConfig(nodes))
+		if err != nil {
+			t.Fatal(err)
+		}
+		m := c.Config().Cost
+		// 64 region tasks, each scanning 25k rows, fanned out at t=0.
+		const regions = 64
+		done := 0
+		var finish float64
+		for i := 0; i < regions; i++ {
+			service := m.CoprocessorServiceTime(CoprocessorWork{Friends: 90, RowsScanned: 25000, VisitsMatched: 500, CandidatePOIs: 120})
+			_, err := c.Node(i).Submit(0, service, func(at float64) {
+				done++
+				if at > finish {
+					finish = at
+				}
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+		if _, err := c.Run(); err != nil {
+			t.Fatal(err)
+		}
+		if done != regions {
+			t.Fatalf("only %d/%d tasks completed", done, regions)
+		}
+		return finish
+	}
+
+	l4, l8, l16 := latency(4), latency(8), latency(16)
+	if !(l4 > l8 && l8 > l16) {
+		t.Fatalf("latency must decrease with cluster size: 4→%g 8→%g 16→%g", l4, l8, l16)
+	}
+	// Perfect scaling bound: 4→16 nodes cannot exceed 4× speedup.
+	if l4/l16 > 4.0+1e-9 {
+		t.Errorf("speedup %g exceeds the parallelism bound 4", l4/l16)
+	}
+	// And it should realize most of the available parallelism (> 2×).
+	if l4/l16 < 2.0 {
+		t.Errorf("speedup %g is implausibly low for a 4x bigger cluster", l4/l16)
+	}
+}
+
+func TestRunDetectsRunawayScheduling(t *testing.T) {
+	c, err := New(DefaultConfig(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var loop func()
+	loop = func() { _ = c.Engine().After(0.001, loop) }
+	if err := c.Engine().At(0, loop); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Run(); err == nil {
+		t.Error("expected the event guard to fire")
+	}
+}
+
+func TestMapReduceCosts(t *testing.T) {
+	m := DefaultCostModel()
+	if m.MapTaskServiceTime(0) != m.TaskStart {
+		t.Error("empty map task should cost the task start overhead")
+	}
+	if m.ReduceTaskServiceTime(1000) <= m.TaskStart {
+		t.Error("reduce cost must grow with records")
+	}
+}
+
+func TestTotalBusyTimeAccounting(t *testing.T) {
+	c, err := New(DefaultConfig(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Node(0).Submit(0, 1.5, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Node(1).Submit(0, 2.5, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.TotalBusyTime(); math.Abs(got-4.0) > 1e-12 {
+		t.Errorf("total busy time = %g, want 4.0", got)
+	}
+}

@@ -1,0 +1,152 @@
+package cluster
+
+import (
+	"fmt"
+	"math"
+)
+
+// CostModel converts work volumes measured on the real data path into
+// simulated service times. All constants are in seconds.
+//
+// Calibration: the constants below were chosen so that the reproduced
+// Figure 2 and Figure 3 series land in the same order of magnitude as the
+// paper's testbed (dual-core VMs, 2 GB RAM): a personalized query over 9 500
+// friends on 4 nodes costs a few seconds, and 30–50 concurrent 6 000-friend
+// queries average tens of seconds on small clusters. Only the *shape* of the
+// curves (linearity in friends, ordering of cluster sizes, concurrency
+// degradation) is asserted by the experiments; the constants set the scale.
+type CostModel struct {
+	// WebParse is the fixed web-server cost to parse a REST query and plan
+	// the coprocessor fan-out.
+	WebParse float64
+	// RPC is the per-region-task network round-trip plus request
+	// serialization cost between the web server and a region server.
+	RPC float64
+	// CoprocessorStart is the fixed cost of launching one coprocessor
+	// execution on a region.
+	CoprocessorStart float64
+	// FriendGet is the per-friend cost of the indexed get that locates the
+	// friend's visit rows inside a region.
+	FriendGet float64
+	// RowScan is the per-visit-row cost of decoding and filter-evaluating
+	// one stored visit inside the coprocessor.
+	RowScan float64
+	// Aggregate is the per-matching-visit cost of folding a visit into its
+	// POI's running hotness/interest aggregate.
+	Aggregate float64
+	// SortPerItem is the per-item × log2(items) coefficient for the
+	// region-side candidate sort.
+	SortPerItem float64
+	// MergePerItem is the web-server cost per candidate POI merged from the
+	// per-region sorted lists into the final ranking.
+	MergePerItem float64
+	// ResponsePerItem is the web-server cost per returned POI for JSON
+	// serialization.
+	ResponsePerItem float64
+	// RelLookup is the fixed cost of an indexed non-personalized query on
+	// the relational store.
+	RelLookup float64
+	// RelPerRow is the per-result-row cost of a non-personalized query.
+	RelPerRow float64
+	// MapPerRecord / ReducePerRecord / TaskStart cost the MapReduce engine
+	// when jobs run on the simulated cluster.
+	MapPerRecord    float64
+	ReducePerRecord float64
+	TaskStart       float64
+}
+
+// DefaultCostModel returns the calibrated constants described above.
+func DefaultCostModel() CostModel {
+	return CostModel{
+		WebParse:         3e-3,
+		RPC:              1.5e-3,
+		CoprocessorStart: 2e-3,
+		FriendGet:        50e-6,
+		RowScan:          8.5e-6,
+		Aggregate:        1.5e-6,
+		SortPerItem:      0.4e-6,
+		MergePerItem:     0.6e-6,
+		ResponsePerItem:  0.8e-6,
+		RelLookup:        2e-3,
+		RelPerRow:        4e-6,
+		MapPerRecord:     8e-6,
+		ReducePerRecord:  6e-6,
+		TaskStart:        120e-3,
+	}
+}
+
+// Validate checks that every constant is non-negative and that the model is
+// not entirely zero (which would make every simulated latency 0 and hide
+// scheduling bugs).
+func (m CostModel) Validate() error {
+	fields := map[string]float64{
+		"WebParse": m.WebParse, "RPC": m.RPC, "CoprocessorStart": m.CoprocessorStart,
+		"FriendGet": m.FriendGet, "RowScan": m.RowScan, "Aggregate": m.Aggregate,
+		"SortPerItem": m.SortPerItem, "MergePerItem": m.MergePerItem,
+		"ResponsePerItem": m.ResponsePerItem, "RelLookup": m.RelLookup,
+		"RelPerRow": m.RelPerRow, "MapPerRecord": m.MapPerRecord,
+		"ReducePerRecord": m.ReducePerRecord, "TaskStart": m.TaskStart,
+	}
+	sum := 0.0
+	for name, v := range fields {
+		if v < 0 || math.IsNaN(v) || math.IsInf(v, 0) {
+			return fmt.Errorf("cluster: cost model field %s = %g is invalid", name, v)
+		}
+		sum += v
+	}
+	if sum == 0 {
+		return fmt.Errorf("cluster: cost model is all zeros")
+	}
+	return nil
+}
+
+// CoprocessorWork is the work a single region's coprocessor actually
+// performed while executing a personalized query; the region server reports
+// it and the cost model turns it into a service time.
+type CoprocessorWork struct {
+	// Friends is the number of friend keys probed in this region.
+	Friends int
+	// RowsScanned is the number of visit rows decoded and filtered.
+	RowsScanned int
+	// VisitsMatched is the number of visits that satisfied all predicates
+	// and were aggregated.
+	VisitsMatched int
+	// CandidatePOIs is the number of distinct POIs sorted and returned.
+	CandidatePOIs int
+}
+
+// CoprocessorServiceTime converts coprocessor work into seconds of CPU on a
+// region server core.
+func (m CostModel) CoprocessorServiceTime(w CoprocessorWork) float64 {
+	t := m.CoprocessorStart +
+		float64(w.Friends)*m.FriendGet +
+		float64(w.RowsScanned)*m.RowScan +
+		float64(w.VisitsMatched)*m.Aggregate
+	if w.CandidatePOIs > 1 {
+		t += float64(w.CandidatePOIs) * math.Log2(float64(w.CandidatePOIs)) * m.SortPerItem
+	}
+	return t
+}
+
+// MergeServiceTime is the web-server cost of merging the per-region sorted
+// candidate lists (totalCandidates items across all regions) and serializing
+// the top `returned` results.
+func (m CostModel) MergeServiceTime(totalCandidates, returned int) float64 {
+	return float64(totalCandidates)*m.MergePerItem + float64(returned)*m.ResponsePerItem
+}
+
+// RelationalServiceTime is the cost of a non-personalized query answered by
+// the relational store.
+func (m CostModel) RelationalServiceTime(rows int) float64 {
+	return m.RelLookup + float64(rows)*m.RelPerRow
+}
+
+// MapTaskServiceTime costs one map task processing the given record count.
+func (m CostModel) MapTaskServiceTime(records int) float64 {
+	return m.TaskStart + float64(records)*m.MapPerRecord
+}
+
+// ReduceTaskServiceTime costs one reduce task processing the given record count.
+func (m CostModel) ReduceTaskServiceTime(records int) float64 {
+	return m.TaskStart + float64(records)*m.ReducePerRecord
+}

@@ -1,0 +1,512 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+
+	"modissense/internal/geo"
+	"modissense/internal/model"
+	"modissense/internal/query"
+)
+
+// NewHandler returns the platform's REST API. The JSON formats mirror the
+// request/response contract the paper's web and mobile clients use; any
+// client that speaks them integrates seamlessly (§2, "this feature enables
+// the seamless integration of more client applications").
+//
+// Endpoints:
+//
+//	POST /api/signin          {network, credentials} → {user_id, token, networks}
+//	POST /api/link            {token, network, credentials} → {user_id, networks}
+//	GET  /api/friends         ?token= [&network=] → [friend]
+//	POST /api/search          SearchJSON → {pois, latency_seconds}
+//	GET  /api/trending        ?min_lat&min_lon&max_lat&max_lon&hours&limit [&token&friends] → {pois,...}
+//	GET  /api/pois/{id}       → POI
+//	POST /api/gps             {token, fixes} → {stored}
+//	POST /api/blog/generate   {token, date} → blog
+//	GET  /api/blog            ?token=&date= → blog
+//	GET  /api/blogs           ?token= → all blogs of the user, newest first
+//	POST /api/admin/collect   {since, until} → collection stats
+//	POST /api/admin/hotin     {from, to} → hotin stats
+//	POST /api/admin/events    {eps_meters, min_pts} → detection result
+//	POST /api/admin/pipeline  {date} → daily batch report
+//	GET  /api/stats           → operational snapshot
+//	GET  /api/analytics/categories  [?min_lat&min_lon&max_lat&max_lon] → per-category stats
+func NewHandler(p *Platform) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /api/signin", p.handleSignIn)
+	mux.HandleFunc("POST /api/link", p.handleLink)
+	mux.HandleFunc("GET /api/friends", p.handleFriends)
+	mux.HandleFunc("POST /api/search", p.handleSearch)
+	mux.HandleFunc("GET /api/trending", p.handleTrending)
+	mux.HandleFunc("GET /api/pois/{id}", p.handlePOI)
+	mux.HandleFunc("POST /api/gps", p.handleGPS)
+	mux.HandleFunc("POST /api/blog/generate", p.handleBlogGenerate)
+	mux.HandleFunc("GET /api/blog", p.handleBlogGet)
+	mux.HandleFunc("GET /api/blogs", p.handleBlogList)
+	mux.HandleFunc("POST /api/admin/collect", p.handleCollect)
+	mux.HandleFunc("POST /api/admin/hotin", p.handleHotIn)
+	mux.HandleFunc("POST /api/admin/events", p.handleEvents)
+	mux.HandleFunc("POST /api/admin/pipeline", p.handlePipeline)
+	mux.HandleFunc("GET /api/analytics/categories", p.handleCategoryAnalytics)
+	mux.HandleFunc("GET /api/stats", p.handleStats)
+	return mux
+}
+
+// apiError is the uniform error envelope.
+type apiError struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, apiError{Error: err.Error()})
+}
+
+func decodeBody(r *http.Request, v interface{}) error {
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return fmt.Errorf("core: invalid request body: %w", err)
+	}
+	return nil
+}
+
+type signInRequest struct {
+	Network     string `json:"network"`
+	Credentials string `json:"credentials"`
+}
+
+type signInResponse struct {
+	UserID   int64    `json:"user_id"`
+	Token    string   `json:"token"`
+	Networks []string `json:"networks"`
+}
+
+func (p *Platform) handleSignIn(w http.ResponseWriter, r *http.Request) {
+	var req signInRequest
+	if err := decodeBody(r, &req); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	acct, token, err := p.Users.SignIn(req.Network, req.Credentials)
+	if err != nil {
+		writeErr(w, http.StatusUnauthorized, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, signInResponse{UserID: acct.UserID, Token: token, Networks: acct.Networks()})
+}
+
+type linkRequest struct {
+	Token       string `json:"token"`
+	Network     string `json:"network"`
+	Credentials string `json:"credentials"`
+}
+
+func (p *Platform) handleLink(w http.ResponseWriter, r *http.Request) {
+	var req linkRequest
+	if err := decodeBody(r, &req); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	acct, err := p.Users.Link(req.Token, req.Network, req.Credentials)
+	if err != nil {
+		writeErr(w, http.StatusUnauthorized, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, signInResponse{UserID: acct.UserID, Networks: acct.Networks()})
+}
+
+func (p *Platform) handleFriends(w http.ResponseWriter, r *http.Request) {
+	uid, err := p.Users.Authenticate(r.URL.Query().Get("token"))
+	if err != nil {
+		writeErr(w, http.StatusUnauthorized, err)
+		return
+	}
+	friends, err := p.Users.Friends(uid)
+	if err != nil {
+		writeErr(w, http.StatusInternalServerError, err)
+		return
+	}
+	if network := r.URL.Query().Get("network"); network != "" {
+		filtered := friends[:0]
+		for _, f := range friends {
+			if f.Network == network {
+				filtered = append(filtered, f)
+			}
+		}
+		friends = filtered
+	}
+	writeJSON(w, http.StatusOK, friends)
+}
+
+// searchJSON is the REST form of a personalized search.
+type searchJSON struct {
+	Token   string  `json:"token"`
+	MinLat  float64 `json:"min_lat"`
+	MinLon  float64 `json:"min_lon"`
+	MaxLat  float64 `json:"max_lat"`
+	MaxLon  float64 `json:"max_lon"`
+	Keyword string  `json:"keyword"`
+	Friends []int64 `json:"friends"`
+	// From/To are RFC3339 timestamps; empty means open-ended.
+	From    string `json:"from"`
+	To      string `json:"to"`
+	OrderBy string `json:"order_by"`
+	Limit   int    `json:"limit"`
+}
+
+func parseTimeOr(s string, fallback time.Time) (time.Time, error) {
+	if s == "" {
+		return fallback, nil
+	}
+	return time.Parse(time.RFC3339, s)
+}
+
+func (p *Platform) handleSearch(w http.ResponseWriter, r *http.Request) {
+	var req searchJSON
+	if err := decodeBody(r, &req); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	from, err := parseTimeOr(req.From, time.Unix(0, 0).UTC())
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	to, err := parseTimeOr(req.To, time.Date(2100, 1, 1, 0, 0, 0, 0, time.UTC))
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	var bbox *geo.Rect
+	if req.MinLat != 0 || req.MaxLat != 0 || req.MinLon != 0 || req.MaxLon != 0 {
+		b := geo.NewRect(geo.Point{Lat: req.MinLat, Lon: req.MinLon}, geo.Point{Lat: req.MaxLat, Lon: req.MaxLon})
+		bbox = &b
+	}
+	res, err := p.Search(SearchRequest{
+		Token:   req.Token,
+		BBox:    bbox,
+		Keyword: req.Keyword,
+		Friends: req.Friends,
+		From:    from,
+		To:      to,
+		OrderBy: query.OrderBy(req.OrderBy),
+		Limit:   req.Limit,
+	})
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, res)
+}
+
+func (p *Platform) handleTrending(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	parseF := func(key string) (float64, error) {
+		return strconv.ParseFloat(q.Get(key), 64)
+	}
+	minLat, err1 := parseF("min_lat")
+	minLon, err2 := parseF("min_lon")
+	maxLat, err3 := parseF("max_lat")
+	maxLon, err4 := parseF("max_lon")
+	var bbox *geo.Rect
+	if err1 == nil && err2 == nil && err3 == nil && err4 == nil {
+		b := geo.NewRect(geo.Point{Lat: minLat, Lon: minLon}, geo.Point{Lat: maxLat, Lon: maxLon})
+		bbox = &b
+	}
+	hours := 24
+	if h := q.Get("hours"); h != "" {
+		v, err := strconv.Atoi(h)
+		if err != nil || v < 1 {
+			writeErr(w, http.StatusBadRequest, fmt.Errorf("core: invalid hours %q", h))
+			return
+		}
+		hours = v
+	}
+	limit := 10
+	if l := q.Get("limit"); l != "" {
+		v, err := strconv.Atoi(l)
+		if err != nil || v < 1 {
+			writeErr(w, http.StatusBadRequest, fmt.Errorf("core: invalid limit %q", l))
+			return
+		}
+		limit = v
+	}
+	var friends []int64
+	for _, f := range q["friends"] {
+		id, err := strconv.ParseInt(f, 10, 64)
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, fmt.Errorf("core: invalid friend id %q", f))
+			return
+		}
+		friends = append(friends, id)
+	}
+	// The window's end defaults to "now" in platform time: the maximum
+	// visit timestamp would require a scan, so the API takes an explicit
+	// until when precision matters.
+	until := time.Now().UTC()
+	if u := q.Get("until"); u != "" {
+		t, err := time.Parse(time.RFC3339, u)
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, err)
+			return
+		}
+		until = t
+	}
+	res, err := p.Trending(bbox, friends, until.Add(-time.Duration(hours)*time.Hour), until, limit)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, res)
+}
+
+func (p *Platform) handlePOI(w http.ResponseWriter, r *http.Request) {
+	id, err := strconv.ParseInt(r.PathValue("id"), 10, 64)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("core: invalid POI id"))
+		return
+	}
+	poi, ok := p.POIs.Get(id)
+	if !ok {
+		writeErr(w, http.StatusNotFound, fmt.Errorf("core: no POI %d", id))
+		return
+	}
+	writeJSON(w, http.StatusOK, poi)
+}
+
+type gpsRequest struct {
+	Token string         `json:"token"`
+	Fixes []model.GPSFix `json:"fixes"`
+}
+
+func (p *Platform) handleGPS(w http.ResponseWriter, r *http.Request) {
+	var req gpsRequest
+	if err := decodeBody(r, &req); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	n, err := p.PushGPS(req.Token, req.Fixes)
+	if err != nil {
+		writeErr(w, http.StatusUnauthorized, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]int{"stored": n})
+}
+
+type blogRequest struct {
+	Token string `json:"token"`
+	// Date is a YYYY-MM-DD day.
+	Date string `json:"date"`
+}
+
+func parseDay(s string) (time.Time, error) {
+	return time.Parse("2006-01-02", s)
+}
+
+func (p *Platform) handleBlogGenerate(w http.ResponseWriter, r *http.Request) {
+	var req blogRequest
+	if err := decodeBody(r, &req); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	day, err := parseDay(req.Date)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	blog, err := p.GenerateBlog(req.Token, day)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, blog)
+}
+
+func (p *Platform) handleBlogGet(w http.ResponseWriter, r *http.Request) {
+	uid, err := p.Users.Authenticate(r.URL.Query().Get("token"))
+	if err != nil {
+		writeErr(w, http.StatusUnauthorized, err)
+		return
+	}
+	day, err := parseDay(r.URL.Query().Get("date"))
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	blog, ok, err := p.Blogs.Get(uid, day)
+	if err != nil {
+		writeErr(w, http.StatusInternalServerError, err)
+		return
+	}
+	if !ok {
+		writeErr(w, http.StatusNotFound, fmt.Errorf("core: no blog for %s", r.URL.Query().Get("date")))
+		return
+	}
+	writeJSON(w, http.StatusOK, blog)
+}
+
+type windowRequest struct {
+	Since string `json:"since"`
+	Until string `json:"until"`
+}
+
+func (r windowRequest) parse() (time.Time, time.Time, error) {
+	since, err := time.Parse(time.RFC3339, r.Since)
+	if err != nil {
+		return time.Time{}, time.Time{}, err
+	}
+	until, err := time.Parse(time.RFC3339, r.Until)
+	if err != nil {
+		return time.Time{}, time.Time{}, err
+	}
+	return since, until, nil
+}
+
+func (p *Platform) handleCollect(w http.ResponseWriter, r *http.Request) {
+	var req windowRequest
+	if err := decodeBody(r, &req); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	since, until, err := req.parse()
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	stats, err := p.Collect(since, until)
+	if err != nil {
+		writeErr(w, http.StatusInternalServerError, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, stats)
+}
+
+func (p *Platform) handleHotIn(w http.ResponseWriter, r *http.Request) {
+	var req windowRequest
+	if err := decodeBody(r, &req); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	from, to, err := req.parse()
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	stats, err := p.UpdateHotIn(from, to)
+	if err != nil {
+		writeErr(w, http.StatusInternalServerError, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, stats)
+}
+
+type eventsRequest struct {
+	EpsMeters  float64 `json:"eps_meters"`
+	MinPts     int     `json:"min_pts"`
+	Partitions int     `json:"partitions"`
+}
+
+func (p *Platform) handleEvents(w http.ResponseWriter, r *http.Request) {
+	var req eventsRequest
+	if err := decodeBody(r, &req); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	res, err := p.DetectEvents(EventDetectionParams{
+		Eps:        req.EpsMeters,
+		MinPts:     req.MinPts,
+		Partitions: req.Partitions,
+	})
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, res)
+}
+
+func (p *Platform) handleStats(w http.ResponseWriter, r *http.Request) {
+	stats, err := p.Stats()
+	if err != nil {
+		writeErr(w, http.StatusInternalServerError, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, stats)
+}
+
+type pipelineRequest struct {
+	// Date is the YYYY-MM-DD day to process.
+	Date string `json:"date"`
+	// HotInWindowHours overrides the hotness window (0 = default 168h).
+	HotInWindowHours int `json:"hotin_window_hours"`
+}
+
+func (p *Platform) handlePipeline(w http.ResponseWriter, r *http.Request) {
+	var req pipelineRequest
+	if err := decodeBody(r, &req); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	day, err := parseDay(req.Date)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	opts := PipelineOptions{}
+	if req.HotInWindowHours > 0 {
+		opts.HotInWindow = time.Duration(req.HotInWindowHours) * time.Hour
+	}
+	report, err := p.RunDailyPipeline(day, opts)
+	if err != nil {
+		writeErr(w, http.StatusInternalServerError, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, report)
+}
+
+func (p *Platform) handleCategoryAnalytics(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	var bbox *geo.Rect
+	if q.Get("min_lat") != "" {
+		parseF := func(key string) (float64, error) { return strconv.ParseFloat(q.Get(key), 64) }
+		minLat, e1 := parseF("min_lat")
+		minLon, e2 := parseF("min_lon")
+		maxLat, e3 := parseF("max_lat")
+		maxLon, e4 := parseF("max_lon")
+		if e1 != nil || e2 != nil || e3 != nil || e4 != nil {
+			writeErr(w, http.StatusBadRequest, fmt.Errorf("core: invalid bounding box"))
+			return
+		}
+		b := geo.NewRect(geo.Point{Lat: minLat, Lon: minLon}, geo.Point{Lat: maxLat, Lon: maxLon})
+		bbox = &b
+	}
+	stats, err := p.POIs.CategoryStats(bbox)
+	if err != nil {
+		writeErr(w, http.StatusInternalServerError, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, stats)
+}
+
+func (p *Platform) handleBlogList(w http.ResponseWriter, r *http.Request) {
+	uid, err := p.Users.Authenticate(r.URL.Query().Get("token"))
+	if err != nil {
+		writeErr(w, http.StatusUnauthorized, err)
+		return
+	}
+	blogs, err := p.Blogs.ListUser(uid)
+	if err != nil {
+		writeErr(w, http.StatusInternalServerError, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, blogs)
+}

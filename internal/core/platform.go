@@ -1,0 +1,521 @@
+// Package core wires every module into the MoDisSENSE platform: the
+// simulated cluster, the six repositories, the social connectors and user
+// management, the data-collection pipeline, the sentiment classifier, the
+// query-answering engine, the HotIn updater, event detection and blog
+// generation — plus the REST API the web and mobile clients speak.
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"modissense/internal/cluster"
+	"modissense/internal/dbscan"
+	"modissense/internal/geo"
+	"modissense/internal/hotin"
+	"modissense/internal/kvstore"
+	"modissense/internal/model"
+	"modissense/internal/query"
+	"modissense/internal/relstore"
+	"modissense/internal/repos"
+	"modissense/internal/social"
+	"modissense/internal/textproc"
+	"modissense/internal/trajectory"
+	"modissense/internal/workload"
+)
+
+// Config sizes a platform instance. The zero value is not usable; start
+// from DefaultConfig.
+type Config struct {
+	// Nodes is the worker-node count of the simulated HBase/Hadoop cluster.
+	Nodes int
+	// RegionsPerNode controls the Visits table pre-split: total regions =
+	// Nodes × RegionsPerNode. More regions mean more intra-query
+	// parallelism (the paper's coprocessor observation).
+	RegionsPerNode int
+	// Seed drives every random generator in the platform.
+	Seed int64
+	// POIs is the catalog size (the paper crawls 8 500).
+	POIs int
+	// NetworkPopulation is the user count of each simulated social network
+	// (the paper emulates 150 000).
+	NetworkPopulation int
+	// MeanFriends is the average friend-list size on each network.
+	MeanFriends int
+	// CheckinsPerDay is each network's per-user daily check-in rate.
+	CheckinsPerDay float64
+	// VisitSchema selects the Visits repository layout.
+	VisitSchema repos.VisitSchema
+	// ClassifierTrainDocs is the sentiment-classifier training-corpus size
+	// (1000 is the scaled quality threshold of Figure 4).
+	ClassifierTrainDocs int
+	// ClassifierOptions selects the preprocessing pipeline.
+	ClassifierOptions textproc.PipelineOptions
+	// GPSCompressionToleranceMeters, when positive, compresses pushed GPS
+	// traces with time-aware Douglas–Peucker before storage (0 = store
+	// raw fixes).
+	GPSCompressionToleranceMeters float64
+}
+
+// DefaultConfig returns a demo-scale platform: big enough to exercise
+// every code path, small enough to boot in well under a second.
+func DefaultConfig() Config {
+	return Config{
+		Nodes:               4,
+		RegionsPerNode:      4,
+		Seed:                1,
+		POIs:                800,
+		NetworkPopulation:   2000,
+		MeanFriends:         30,
+		CheckinsPerDay:      1.5,
+		VisitSchema:         repos.SchemaReplicated,
+		ClassifierTrainDocs: 1000,
+		ClassifierOptions:   textproc.OptimizedOptions(),
+	}
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.Nodes < 1 || c.RegionsPerNode < 1 {
+		return fmt.Errorf("core: nodes/regionsPerNode must be positive")
+	}
+	if c.POIs < 1 {
+		return fmt.Errorf("core: POIs must be positive")
+	}
+	if c.NetworkPopulation < 2 {
+		return fmt.Errorf("core: network population too small")
+	}
+	if c.MeanFriends < 1 || c.MeanFriends >= c.NetworkPopulation {
+		return fmt.Errorf("core: mean friends out of range")
+	}
+	if c.CheckinsPerDay <= 0 {
+		return fmt.Errorf("core: check-in rate must be positive")
+	}
+	if c.ClassifierTrainDocs < 10 {
+		return fmt.Errorf("core: classifier training corpus too small")
+	}
+	return nil
+}
+
+// Platform is a fully wired MoDisSENSE instance.
+type Platform struct {
+	cfg Config
+
+	Cluster    *cluster.Cluster
+	DB         *relstore.DB
+	POIs       *repos.POIRepo
+	Visits     *repos.VisitsRepo
+	SocialInfo *repos.SocialInfoRepo
+	Texts      *repos.TextRepo
+	GPS        *repos.GPSRepo
+	Blogs      *repos.BlogsRepo
+	Users      *social.UserManager
+	Collector  *social.Collector
+	Classifier *textproc.NaiveBayes
+	Query      *query.Engine
+
+	catalog []model.POI
+}
+
+// New boots a platform: generates the POI catalog, trains the sentiment
+// classifier, builds the simulated networks and wires all modules.
+func New(cfg Config) (*Platform, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	p := &Platform{cfg: cfg}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	// Cluster.
+	clus, err := cluster.New(cluster.DefaultConfig(cfg.Nodes))
+	if err != nil {
+		return nil, err
+	}
+	p.Cluster = clus
+
+	// Repositories.
+	p.DB = relstore.NewDB()
+	if p.POIs, err = repos.NewPOIRepo(p.DB); err != nil {
+		return nil, err
+	}
+	if p.Blogs, err = repos.NewBlogsRepo(p.DB); err != nil {
+		return nil, err
+	}
+	kvOpts := kvstore.DefaultStoreOptions()
+	kvOpts.Seed = cfg.Seed
+	maxUser := int64(cfg.NetworkPopulation) * 4 // headroom for platform accounts
+	regions := cfg.Nodes * cfg.RegionsPerNode
+	if p.Visits, err = repos.NewVisitsRepo(cfg.VisitSchema, maxUser, regions, cfg.Nodes, kvOpts); err != nil {
+		return nil, err
+	}
+	if p.SocialInfo, err = repos.NewSocialInfoRepo(maxUser, regions, cfg.Nodes, kvOpts); err != nil {
+		return nil, err
+	}
+	if p.Texts, err = repos.NewTextRepo(int64(cfg.POIs)+1, regions, cfg.Nodes, kvOpts); err != nil {
+		return nil, err
+	}
+	if p.GPS, err = repos.NewGPSRepo(maxUser, regions, cfg.Nodes, kvOpts); err != nil {
+		return nil, err
+	}
+
+	// POI catalog.
+	p.catalog = workload.GenPOIs(rng, cfg.POIs)
+	for _, poi := range p.catalog {
+		if _, err := p.POIs.Insert(poi); err != nil {
+			return nil, err
+		}
+	}
+
+	// Sentiment classifier, trained on the synthetic review corpus at the
+	// quality threshold.
+	corpus, err := workload.GenReviews(rand.New(rand.NewSource(cfg.Seed+1)), cfg.ClassifierTrainDocs, workload.DefaultReviewOptions())
+	if err != nil {
+		return nil, err
+	}
+	if p.Classifier, err = textproc.TrainNaiveBayes(corpus, cfg.ClassifierOptions); err != nil {
+		return nil, err
+	}
+
+	// Social networks + user management.
+	var connectors []social.Connector
+	for i, name := range []string{"facebook", "twitter", "foursquare"} {
+		conn, err := social.NewSimConnector(social.SimNetworkConfig{
+			Name:           name,
+			Seed:           cfg.Seed + int64(i)*101,
+			Population:     cfg.NetworkPopulation,
+			MeanFriends:    cfg.MeanFriends,
+			CheckinsPerDay: cfg.CheckinsPerDay,
+			POIs:           p.catalog,
+			PositiveRate:   0.6,
+		})
+		if err != nil {
+			return nil, err
+		}
+		connectors = append(connectors, conn)
+	}
+	if p.Users, err = social.NewUserManager(connectors...); err != nil {
+		return nil, err
+	}
+
+	// Data collection.
+	sink, err := repos.NewSink(p.SocialInfo, p.Texts, p.Visits)
+	if err != nil {
+		return nil, err
+	}
+	if p.Collector, err = social.NewCollector(p.Users, sink, p.Classifier, p.POIs, 8); err != nil {
+		return nil, err
+	}
+
+	// Query answering.
+	if p.Query, err = query.NewEngine(p.Visits, p.POIs, clus); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// Config returns the boot configuration.
+func (p *Platform) Config() Config { return p.cfg }
+
+// Catalog returns the generated POI catalog.
+func (p *Platform) Catalog() []model.POI { return p.catalog }
+
+// Collect runs one data-collection pass over (since, until].
+func (p *Platform) Collect(since, until time.Time) (social.RunStats, error) {
+	return p.Collector.Run(model.Millis(since), model.Millis(until))
+}
+
+// UpdateHotIn aggregates hotness/interest over the window.
+func (p *Platform) UpdateHotIn(from, to time.Time) (hotin.Stats, error) {
+	return hotin.Run(p.Visits, p.POIs, hotin.Config{
+		FromMillis: model.Millis(from),
+		ToMillis:   model.Millis(to),
+		Cluster:    p.Cluster,
+	})
+}
+
+// SearchRequest is the platform-level personalized search request: the
+// caller is an authenticated user; Friends optionally restricts the friend
+// set ("a specific subset, or all, of my friends"). A nil/empty Friends
+// uses every friend from every linked network.
+type SearchRequest struct {
+	Token    string
+	BBox     *geo.Rect
+	Keyword  string
+	Friends  []int64
+	From, To time.Time
+	OrderBy  query.OrderBy
+	Limit    int
+}
+
+// Search answers a personalized query for the authenticated user.
+func (p *Platform) Search(req SearchRequest) (*query.Result, error) {
+	uid, err := p.Users.Authenticate(req.Token)
+	if err != nil {
+		return nil, err
+	}
+	friends := req.Friends
+	if len(friends) == 0 {
+		all, err := p.Users.Friends(uid)
+		if err != nil {
+			return nil, err
+		}
+		for _, f := range all {
+			friends = append(friends, f.ID)
+		}
+	}
+	return p.Query.Run(query.Spec{
+		BBox:       req.BBox,
+		Keyword:    req.Keyword,
+		FriendIDs:  friends,
+		FromMillis: model.Millis(req.From),
+		ToMillis:   model.Millis(req.To),
+		OrderBy:    req.OrderBy,
+		Limit:      req.Limit,
+	})
+}
+
+// Trending answers a trending-events query; with a token and friend list
+// it is personalized, otherwise it serves the precomputed hotness ranking.
+func (p *Platform) Trending(bbox *geo.Rect, friends []int64, from, to time.Time, limit int) (*query.Result, error) {
+	return p.Query.Trending(query.Spec{
+		BBox:       bbox,
+		FriendIDs:  friends,
+		FromMillis: model.Millis(from),
+		ToMillis:   model.Millis(to),
+		Limit:      limit,
+	})
+}
+
+// PushGPS ingests GPS fixes for the authenticated user (overriding the
+// fixes' user ids with the authenticated identity). With a configured
+// compression tolerance, time-ordered batches are TD-TR-compressed before
+// storage; unordered batches are stored raw.
+func (p *Platform) PushGPS(token string, fixes []model.GPSFix) (int, error) {
+	uid, err := p.Users.Authenticate(token)
+	if err != nil {
+		return 0, err
+	}
+	for i := range fixes {
+		fixes[i].UserID = uid
+	}
+	if tol := p.cfg.GPSCompressionToleranceMeters; tol > 0 && len(fixes) > 2 {
+		trace := make([]trajectory.Fix, len(fixes))
+		ordered := true
+		for i, f := range fixes {
+			trace[i] = trajectory.Fix{Pt: f.Point(), At: model.FromMillis(f.Time)}
+			if i > 0 && trace[i].At.Before(trace[i-1].At) {
+				ordered = false
+				break
+			}
+		}
+		if ordered {
+			compressed, err := trajectory.CompressTrace(trace, tol)
+			if err != nil {
+				return 0, err
+			}
+			out := make([]model.GPSFix, len(compressed))
+			for i, f := range compressed {
+				out[i] = model.GPSFix{UserID: uid, Lat: f.Pt.Lat, Lon: f.Pt.Lon, Time: model.Millis(f.At)}
+			}
+			fixes = out
+		}
+	}
+	if err := p.GPS.PushBatch(fixes); err != nil {
+		return 0, err
+	}
+	return len(fixes), nil
+}
+
+// EventDetectionParams tune the Event Detection module.
+type EventDetectionParams struct {
+	// Eps and MinPts are the DBSCAN density parameters.
+	Eps    float64
+	MinPts int
+	// Partitions is the MR-DBSCAN map-task count (defaults to the region
+	// count).
+	Partitions int
+	// POIFilterRadius drops traces within this distance of known POIs
+	// (defaults to Eps).
+	POIFilterRadius float64
+	// SinceMillis/UntilMillis bound the fixes considered (0 = unbounded):
+	// the paper's module "processes the updates of GPS Traces Repository",
+	// i.e. only traces newer than the previous run's watermark.
+	SinceMillis int64
+	UntilMillis int64
+}
+
+// EventDetectionResult reports one Event Detection run.
+type EventDetectionResult struct {
+	TracesScanned    int
+	TracesClustered  int
+	NewPOIs          []model.POI
+	SimulatedSeconds float64
+	// Watermark is the newest fix timestamp seen; pass it as the next
+	// run's SinceMillis for incremental detection.
+	Watermark int64
+}
+
+// DetectEvents runs the Event Detection module: scan the GPS repository,
+// drop traces near known POIs, cluster the rest with MR-DBSCAN, and insert
+// each dense cluster into the POI repository as a new (event) POI.
+func (p *Platform) DetectEvents(params EventDetectionParams) (*EventDetectionResult, error) {
+	if params.Eps <= 0 || params.MinPts < 1 {
+		return nil, fmt.Errorf("core: invalid DBSCAN parameters")
+	}
+	if params.Partitions == 0 {
+		params.Partitions = p.cfg.Nodes * p.cfg.RegionsPerNode
+	}
+	if params.POIFilterRadius == 0 {
+		params.POIFilterRadius = params.Eps
+	}
+	var pts []geo.Point
+	var watermark int64
+	err := p.GPS.ScanAll(func(f model.GPSFix) bool {
+		if f.Time > watermark {
+			watermark = f.Time
+		}
+		if params.SinceMillis > 0 && f.Time <= params.SinceMillis {
+			return true
+		}
+		if params.UntilMillis > 0 && f.Time > params.UntilMillis {
+			return true
+		}
+		pts = append(pts, f.Point())
+		return true
+	})
+	if err != nil {
+		return nil, err
+	}
+	res := &EventDetectionResult{TracesScanned: len(pts), Watermark: watermark}
+	known, err := p.POIs.All()
+	if err != nil {
+		return nil, err
+	}
+	knownPts := make([]geo.Point, len(known))
+	for i, poi := range known {
+		knownPts[i] = poi.Point()
+	}
+	keepIdx, err := dbscan.FilterNearPOIs(pts, knownPts, params.POIFilterRadius)
+	if err != nil {
+		return nil, err
+	}
+	kept := make([]geo.Point, len(keepIdx))
+	for i, idx := range keepIdx {
+		kept[i] = pts[idx]
+	}
+	mr, err := dbscan.MRDBSCAN(kept, dbscan.Params{Eps: params.Eps, MinPts: params.MinPts}, dbscan.MROptions{
+		Partitions: params.Partitions,
+		Cluster:    p.Cluster,
+	})
+	if err != nil {
+		return nil, err
+	}
+	res.SimulatedSeconds = mr.SimulatedSeconds
+	for _, l := range mr.Labels {
+		if l >= 0 {
+			res.TracesClustered++
+		}
+	}
+	for ci, center := range mr.Centroids(kept) {
+		poi, err := p.POIs.Insert(model.POI{
+			Name:     fmt.Sprintf("event-%d", ci+1),
+			Lat:      center.Lat,
+			Lon:      center.Lon,
+			Keywords: []string{"event", "trending"},
+		})
+		if err != nil {
+			return nil, err
+		}
+		res.NewPOIs = append(res.NewPOIs, poi)
+	}
+	return res, nil
+}
+
+// GenerateBlog builds (and persists) the authenticated user's semantic
+// trajectory blog for the given day.
+func (p *Platform) GenerateBlog(token string, day time.Time) (repos.StoredBlog, error) {
+	uid, err := p.Users.Authenticate(token)
+	if err != nil {
+		return repos.StoredBlog{}, err
+	}
+	return p.generateBlogForUser(uid, day)
+}
+
+// generateBlogForUser is the internal blog pipeline shared by the API and
+// the daily batch.
+func (p *Platform) generateBlogForUser(uid int64, day time.Time) (repos.StoredBlog, error) {
+	dayStart := time.Date(day.Year(), day.Month(), day.Day(), 0, 0, 0, 0, time.UTC)
+	dayEnd := dayStart.Add(24 * time.Hour)
+	var trace []trajectory.Fix
+	err := p.GPS.ScanUser(uid, model.Millis(dayStart), model.Millis(dayEnd)-1, func(f model.GPSFix) bool {
+		trace = append(trace, trajectory.Fix{Pt: f.Point(), At: model.FromMillis(f.Time)})
+		return true
+	})
+	if err != nil {
+		return repos.StoredBlog{}, err
+	}
+	stays, err := trajectory.DetectStayPoints(trace, 150, 15*time.Minute)
+	if err != nil {
+		return repos.StoredBlog{}, err
+	}
+	all, err := p.POIs.All()
+	if err != nil {
+		return repos.StoredBlog{}, err
+	}
+	refs := make([]trajectory.POIRef, len(all))
+	for i, poi := range all {
+		refs[i] = trajectory.POIRef{ID: poi.ID, Name: poi.Name, Pt: poi.Point()}
+	}
+	visits, err := trajectory.MatchPOIs(stays, refs, 200)
+	if err != nil {
+		return repos.StoredBlog{}, err
+	}
+	// Enrich each matched visit with the user's own comment made at that
+	// POI during the stay, if any — the "background information such as
+	// check-ins, user comments" the paper folds into the semantic
+	// trajectory.
+	for i := range visits {
+		if !visits[i].Matched {
+			continue
+		}
+		comments, err := p.Texts.Comments(visits[i].POI.ID, uid,
+			model.Millis(visits[i].Stay.Arrival), model.Millis(visits[i].Stay.Departure))
+		if err != nil {
+			return repos.StoredBlog{}, err
+		}
+		if len(comments) > 0 {
+			visits[i].Comment = comments[0].Text
+		}
+	}
+	blog := trajectory.BuildBlog(uid, dayStart, visits)
+	return p.Blogs.Save(blog)
+}
+
+// PlatformStats is an operational snapshot served by /api/stats.
+type PlatformStats struct {
+	POIs          int    `json:"pois"`
+	VisitRegions  int    `json:"visit_regions"`
+	Nodes         int    `json:"nodes"`
+	VisitSchema   string `json:"visit_schema"`
+	GPSFixes      int    `json:"gps_fixes"`
+	Accounts      int    `json:"accounts"`
+	ClassifierVoc int    `json:"classifier_vocabulary"`
+}
+
+// Stats assembles the operational snapshot.
+func (p *Platform) Stats() (PlatformStats, error) {
+	fixes, err := p.GPS.Len()
+	if err != nil {
+		return PlatformStats{}, err
+	}
+	return PlatformStats{
+		POIs:          p.POIs.Len(),
+		VisitRegions:  p.Visits.Table().NumRegions(),
+		Nodes:         p.cfg.Nodes,
+		VisitSchema:   p.cfg.VisitSchema.String(),
+		GPSFixes:      fixes,
+		Accounts:      len(p.Users.Accounts()),
+		ClassifierVoc: p.Classifier.VocabularySize(),
+	}, nil
+}

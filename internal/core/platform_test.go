@@ -1,0 +1,414 @@
+package core
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"modissense/internal/geo"
+	"modissense/internal/model"
+	"modissense/internal/query"
+	"modissense/internal/repos"
+	"modissense/internal/workload"
+)
+
+// testConfig returns a small but complete platform configuration.
+func testConfig() Config {
+	cfg := DefaultConfig()
+	cfg.POIs = 200
+	cfg.NetworkPopulation = 300
+	cfg.MeanFriends = 12
+	cfg.ClassifierTrainDocs = 300
+	return cfg
+}
+
+func bootPlatform(t testing.TB) *Platform {
+	t.Helper()
+	p, err := New(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+var collectWindow = struct{ since, until time.Time }{
+	since: time.Date(2015, 5, 1, 0, 0, 0, 0, time.UTC),
+	until: time.Date(2015, 5, 8, 0, 0, 0, 0, time.UTC),
+}
+
+func TestConfigValidate(t *testing.T) {
+	muts := []func(*Config){
+		func(c *Config) { c.Nodes = 0 },
+		func(c *Config) { c.RegionsPerNode = 0 },
+		func(c *Config) { c.POIs = 0 },
+		func(c *Config) { c.NetworkPopulation = 1 },
+		func(c *Config) { c.MeanFriends = 0 },
+		func(c *Config) { c.CheckinsPerDay = 0 },
+		func(c *Config) { c.ClassifierTrainDocs = 5 },
+	}
+	for i, mut := range muts {
+		cfg := testConfig()
+		mut(&cfg)
+		if _, err := New(cfg); err == nil {
+			t.Errorf("mutation %d must fail", i)
+		}
+	}
+}
+
+func TestPlatformEndToEndFlow(t *testing.T) {
+	p := bootPlatform(t)
+	if p.POIs.Len() != 200 {
+		t.Fatalf("catalog size = %d", p.POIs.Len())
+	}
+
+	// Sign in two users and link an extra network for the first.
+	acct1, tok1, err := p.Users.SignIn("facebook", "facebook:1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Users.Link(tok1, "foursquare", "foursquare:1"); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := p.Users.SignIn("twitter", "twitter:2"); err != nil {
+		t.Fatal(err)
+	}
+
+	// Collect a week of social activity.
+	stats, err := p.Collect(collectWindow.since, collectWindow.until)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.UsersScanned != 2 || stats.Checkins == 0 {
+		t.Fatalf("collection stats = %+v", stats)
+	}
+
+	// HotIn update over the same window.
+	hotStats, err := p.UpdateHotIn(collectWindow.since, collectWindow.until)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hotStats.POIsUpdated == 0 || hotStats.SimulatedSeconds <= 0 {
+		t.Fatalf("hotin stats = %+v", hotStats)
+	}
+
+	// Personalized search with all friends of user 1.
+	box := workload.GreeceBounds()
+	res, err := p.Search(SearchRequest{
+		Token: tok1,
+		BBox:  &box,
+		From:  collectWindow.since,
+		To:    collectWindow.until,
+		Limit: 10,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.LatencySeconds <= 0 {
+		t.Error("search latency must be positive")
+	}
+	// Friends visit POIs only if they are platform users; user 1's friends
+	// are not registered, so the search legitimately may return nothing —
+	// but the fan-out must still have probed every friend.
+	if res.Work.Friends == 0 {
+		t.Error("search must probe the friend list")
+	}
+	_ = acct1
+
+	// Search restricted to the collected users themselves: their visits
+	// exist, so results must be non-empty.
+	res, err = p.Search(SearchRequest{
+		Token:   tok1,
+		BBox:    &box,
+		Friends: []int64{1, 2},
+		From:    collectWindow.since,
+		To:      collectWindow.until,
+		OrderBy: query.ByInterest,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.POIs) == 0 {
+		t.Error("search over active users returned nothing")
+	}
+
+	// Trending (non-personalized, precomputed hotness).
+	trend, err := p.Trending(&box, nil, collectWindow.since, collectWindow.until, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(trend.POIs) == 0 {
+		t.Error("trending returned nothing after hotin update")
+	}
+}
+
+func TestPlatformGPSAndBlog(t *testing.T) {
+	p := bootPlatform(t)
+	_, tok, err := p.Users.SignIn("facebook", "facebook:7")
+	if err != nil {
+		t.Fatal(err)
+	}
+	day := time.Date(2015, 5, 30, 0, 0, 0, 0, time.UTC)
+	stops := p.Catalog()[:3]
+	fixes := workload.GenGPSDay(newRng(9), 0 /* overridden by token */, day, stops, 5*time.Minute, 40*time.Minute)
+	n, err := p.PushGPS(tok, fixes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != len(fixes) {
+		t.Fatalf("stored %d fixes, want %d", n, len(fixes))
+	}
+	blog, err := p.GenerateBlog(tok, day)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(blog.Entries) < 2 {
+		t.Fatalf("blog has %d entries, want >= 2: %s", len(blog.Entries), blog.Rendered)
+	}
+	matched := 0
+	for _, e := range blog.Entries {
+		if e.Matched {
+			matched++
+		}
+	}
+	if matched == 0 {
+		t.Error("no blog entry matched a catalog POI")
+	}
+	// The blog is persisted and retrievable.
+	stored, ok, err := p.Blogs.Get(blog.UserID, day)
+	if err != nil || !ok {
+		t.Fatalf("stored blog missing: %v %v", ok, err)
+	}
+	if stored.ID != blog.ID {
+		t.Error("stored blog id mismatch")
+	}
+	// Pushing with a bad token fails.
+	if _, err := p.PushGPS("bogus", fixes); err == nil {
+		t.Error("bad token must fail")
+	}
+	if _, err := p.GenerateBlog("bogus", day); err == nil {
+		t.Error("bad token must fail")
+	}
+}
+
+func TestPlatformEventDetection(t *testing.T) {
+	p := bootPlatform(t)
+	_, tok, err := p.Users.SignIn("facebook", "facebook:9")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Plant a gathering far from every catalog POI: middle of the Aegean.
+	center := geo.Point{Lat: 37.0, Lon: 25.5}
+	for _, poi := range p.Catalog() {
+		if geo.Haversine(center, poi.Point()) < 5000 {
+			t.Skip("random catalog POI too close to the planted gathering")
+		}
+	}
+	start := time.Date(2015, 5, 30, 20, 0, 0, 0, time.UTC)
+	fixes := workload.GenGathering(newRng(10), center, 150, 40, start, start.Add(3*time.Hour))
+	if _, err := p.PushGPS(tok, fixes); err != nil {
+		t.Fatal(err)
+	}
+	before := p.POIs.Len()
+	res, err := p.DetectEvents(EventDetectionParams{Eps: 120, MinPts: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TracesScanned != 150 {
+		t.Errorf("scanned %d traces", res.TracesScanned)
+	}
+	if len(res.NewPOIs) != 1 {
+		t.Fatalf("detected %d events, want 1", len(res.NewPOIs))
+	}
+	if d := geo.Haversine(res.NewPOIs[0].Point(), center); d > 100 {
+		t.Errorf("event centroid %.0f m from the gathering", d)
+	}
+	if p.POIs.Len() != before+1 {
+		t.Error("event POI not inserted into the catalog")
+	}
+	if res.SimulatedSeconds <= 0 {
+		t.Error("event detection must report simulated duration")
+	}
+	// A second run must not re-detect the now-known POI.
+	res2, err := p.DetectEvents(EventDetectionParams{Eps: 120, MinPts: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res2.NewPOIs) != 0 {
+		t.Errorf("re-detected %d events at a known POI", len(res2.NewPOIs))
+	}
+	if _, err := p.DetectEvents(EventDetectionParams{}); err == nil {
+		t.Error("invalid params must fail")
+	}
+}
+
+func TestPlatformVisitsMatchTextRepo(t *testing.T) {
+	p := bootPlatform(t)
+	_, _, err := p.Users.SignIn("facebook", "facebook:5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Collect(collectWindow.since, collectWindow.until); err != nil {
+		t.Fatal(err)
+	}
+	// Every stored visit has a matching comment in the Text repository.
+	checked := 0
+	err = p.Visits.ScanAll(func(v model.Visit) bool {
+		if checked >= 10 {
+			return false
+		}
+		comments, err := p.Texts.Comments(v.POI.ID, v.UserID, v.Time, v.Time)
+		if err != nil || len(comments) == 0 {
+			t.Errorf("visit at %d has no comment (err=%v)", v.Time, err)
+		}
+		checked++
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if checked == 0 {
+		t.Fatal("no visits collected")
+	}
+	// Social info got populated too.
+	friends, err := p.SocialInfo.Friends(1, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(friends) == 0 {
+		t.Error("social info repo empty after collection")
+	}
+}
+
+func TestVisitSchemaConfig(t *testing.T) {
+	cfg := testConfig()
+	cfg.VisitSchema = repos.SchemaNormalized
+	p, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Visits.Schema() != repos.SchemaNormalized {
+		t.Error("schema config ignored")
+	}
+}
+
+func TestBlogEnrichedWithOwnComments(t *testing.T) {
+	p := bootPlatform(t)
+	acct, tok, err := p.Users.SignIn("facebook", "facebook:11")
+	if err != nil {
+		t.Fatal(err)
+	}
+	day := time.Date(2015, 5, 30, 0, 0, 0, 0, time.UTC)
+	stop := p.Catalog()[4]
+	fixes := workload.GenGPSDay(newRng(21), 0, day, []model.POI{stop}, 5*time.Minute, 40*time.Minute)
+	if _, err := p.PushGPS(tok, fixes); err != nil {
+		t.Fatal(err)
+	}
+	// A comment the user made at that POI while dwelling there.
+	if err := p.Texts.StoreComment(model.Comment{
+		UserID: acct.UserID,
+		POIID:  stop.ID,
+		Time:   model.Millis(day.Add(8*time.Hour + 10*time.Minute)),
+		Text:   "lovely spot for breakfast",
+		Grade:  4.5,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	blog, err := p.GenerateBlog(tok, day)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, e := range blog.Entries {
+		if e.Comment == "lovely spot for breakfast" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("blog entries missing the user's comment: %+v\n%s", blog.Entries, blog.Rendered)
+	}
+	if !strings.Contains(blog.Rendered, "lovely spot for breakfast") {
+		t.Errorf("rendered blog missing the comment:\n%s", blog.Rendered)
+	}
+}
+
+func TestGPSCompressionOnIngest(t *testing.T) {
+	cfg := testConfig()
+	cfg.GPSCompressionToleranceMeters = 15
+	p, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, tok, err := p.Users.SignIn("facebook", "facebook:13")
+	if err != nil {
+		t.Fatal(err)
+	}
+	day := time.Date(2015, 5, 30, 0, 0, 0, 0, time.UTC)
+	fixes := workload.GenGPSDay(newRng(23), 0, day, p.Catalog()[:3], 5*time.Minute, 40*time.Minute)
+	stored, err := p.PushGPS(tok, fixes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stored >= len(fixes) {
+		t.Errorf("compression stored %d of %d fixes", stored, len(fixes))
+	}
+	// The blog pipeline still finds the visits on the compressed trace.
+	blog, err := p.GenerateBlog(tok, day)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(blog.Entries) < 2 {
+		t.Errorf("compressed trace lost the visits: %d entries\n%s", len(blog.Entries), blog.Rendered)
+	}
+}
+
+func TestEventDetectionIncremental(t *testing.T) {
+	p := bootPlatform(t)
+	_, tok, err := p.Users.SignIn("facebook", "facebook:15")
+	if err != nil {
+		t.Fatal(err)
+	}
+	center := geo.Point{Lat: 36.9, Lon: 25.6} // open sea, far from the catalog
+	dayOne := time.Date(2015, 5, 29, 20, 0, 0, 0, time.UTC)
+	dayTwo := dayOne.Add(24 * time.Hour)
+	old := workload.GenGathering(newRng(41), center, 100, 40, dayOne, dayOne.Add(2*time.Hour))
+	if _, err := p.PushGPS(tok, old); err != nil {
+		t.Fatal(err)
+	}
+	// First incremental run over day one detects the gathering.
+	res1, err := p.DetectEvents(EventDetectionParams{
+		Eps: 120, MinPts: 10,
+		UntilMillis: model.Millis(dayOne.Add(24 * time.Hour)),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res1.NewPOIs) != 1 {
+		t.Fatalf("day-one run found %d events", len(res1.NewPOIs))
+	}
+	if res1.Watermark == 0 {
+		t.Fatal("watermark missing")
+	}
+	// Day two: only 5 fresh fixes near a *new* spot — below MinPts, so an
+	// incremental run over (watermark, ∞) must find nothing and must not
+	// even scan-in the old gathering again.
+	fresh := workload.GenGathering(newRng(42), geo.Point{Lat: 40.5, Lon: 24.5}, 5, 30, dayTwo, dayTwo.Add(time.Hour))
+	if _, err := p.PushGPS(tok, fresh); err != nil {
+		t.Fatal(err)
+	}
+	res2, err := p.DetectEvents(EventDetectionParams{
+		Eps: 120, MinPts: 10,
+		SinceMillis: res1.Watermark,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.TracesScanned != 5 {
+		t.Errorf("incremental run scanned %d fixes, want 5", res2.TracesScanned)
+	}
+	if len(res2.NewPOIs) != 0 {
+		t.Errorf("incremental run invented %d events", len(res2.NewPOIs))
+	}
+	if res2.Watermark <= res1.Watermark {
+		t.Error("watermark must advance")
+	}
+}

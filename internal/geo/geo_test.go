@@ -1,0 +1,240 @@
+package geo
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestHaversineKnownDistances(t *testing.T) {
+	athens := Point{Lat: 37.9838, Lon: 23.7275}
+	thessaloniki := Point{Lat: 40.6401, Lon: 22.9444}
+	melbourne := Point{Lat: -37.8136, Lon: 144.9631}
+
+	cases := []struct {
+		name    string
+		a, b    Point
+		wantKm  float64
+		tolerKm float64
+	}{
+		{"athens-thessaloniki", athens, thessaloniki, 301, 5},
+		{"athens-melbourne", athens, melbourne, 14950, 100},
+		{"london-newyork", Point{Lat: 51.5074, Lon: -0.1278}, Point{Lat: 40.7128, Lon: -74.0060}, 5570, 50},
+		{"same-point", athens, athens, 0, 0.001},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			got := Haversine(c.a, c.b) / 1000
+			if math.Abs(got-c.wantKm) > c.tolerKm {
+				t.Errorf("Haversine(%v,%v) = %.1f km, want %.1f±%.1f", c.a, c.b, got, c.wantKm, c.tolerKm)
+			}
+		})
+	}
+}
+
+func TestHaversineSymmetric(t *testing.T) {
+	f := func(lat1, lon1, lat2, lon2 float64) bool {
+		a := Point{Lat: clampLat(lat1), Lon: clampLon(lon1)}
+		b := Point{Lat: clampLat(lat2), Lon: clampLon(lon2)}
+		d1, d2 := Haversine(a, b), Haversine(b, a)
+		return math.Abs(d1-d2) < 1e-6
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHaversineTriangleInequality(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 500; i++ {
+		a := randPoint(rng)
+		b := randPoint(rng)
+		c := randPoint(rng)
+		if Haversine(a, c) > Haversine(a, b)+Haversine(b, c)+1e-6 {
+			t.Fatalf("triangle inequality violated for %v %v %v", a, b, c)
+		}
+	}
+}
+
+func clampLat(v float64) float64 {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return 0
+	}
+	return math.Mod(math.Abs(v), 180) - 90
+}
+
+func clampLon(v float64) float64 {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return 0
+	}
+	return math.Mod(math.Abs(v), 360) - 180
+}
+
+func randPoint(rng *rand.Rand) Point {
+	return Point{Lat: rng.Float64()*170 - 85, Lon: rng.Float64()*360 - 180}
+}
+
+func TestRectContainsAndIntersects(t *testing.T) {
+	r := Rect{MinLat: 37, MinLon: 23, MaxLat: 38, MaxLon: 24}
+	if !r.Contains(Point{Lat: 37.5, Lon: 23.5}) {
+		t.Error("point inside should be contained")
+	}
+	if r.Contains(Point{Lat: 36.9, Lon: 23.5}) {
+		t.Error("point below should not be contained")
+	}
+	if !r.Contains(Point{Lat: 37, Lon: 23}) {
+		t.Error("border should be inclusive")
+	}
+	s := Rect{MinLat: 37.5, MinLon: 23.5, MaxLat: 39, MaxLon: 25}
+	if !r.Intersects(s) || !s.Intersects(r) {
+		t.Error("overlapping rects must intersect symmetrically")
+	}
+	far := Rect{MinLat: 50, MinLon: 0, MaxLat: 51, MaxLon: 1}
+	if r.Intersects(far) {
+		t.Error("disjoint rects must not intersect")
+	}
+}
+
+func TestRectUnionContainsBoth(t *testing.T) {
+	f := func(a1, o1, a2, o2, a3, o3, a4, o4 float64) bool {
+		r := NewRect(Point{clampLat(a1), clampLon(o1)}, Point{clampLat(a2), clampLon(o2)})
+		s := NewRect(Point{clampLat(a3), clampLon(o3)}, Point{clampLat(a4), clampLon(o4)})
+		u := r.Union(s)
+		return u.ContainsRect(r) && u.ContainsRect(s)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRectExpandContainsOriginal(t *testing.T) {
+	r := Rect{MinLat: 37, MinLon: 23, MaxLat: 38, MaxLon: 24}
+	e := r.Expand(5000)
+	if !e.ContainsRect(r) {
+		t.Errorf("expanded rect %+v must contain original %+v", e, r)
+	}
+	// The margin should be roughly 5km in latitude.
+	gotMeters := (r.MinLat - e.MinLat) * math.Pi / 180 * EarthRadiusMeters
+	if math.Abs(gotMeters-5000) > 1 {
+		t.Errorf("latitude margin = %.1f m, want 5000", gotMeters)
+	}
+}
+
+func TestRectAroundContainsCircle(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for i := 0; i < 200; i++ {
+		center := Point{Lat: rng.Float64()*140 - 70, Lon: rng.Float64()*360 - 180}
+		radius := rng.Float64()*20000 + 1
+		r := RectAround(center, radius)
+		// Sample points on the circle: they must fall inside the rect
+		// (up to tiny numeric slack).
+		for k := 0; k < 8; k++ {
+			theta := float64(k) * math.Pi / 4
+			p := Point{
+				Lat: center.Lat + MetersToLatDegrees(radius*math.Cos(theta))*0.999,
+				Lon: center.Lon + MetersToLonDegrees(radius*math.Sin(theta), center.Lat)*0.999,
+			}
+			if p.Lat > 90 || p.Lat < -90 || p.Lon > 180 || p.Lon < -180 {
+				continue
+			}
+			if !r.Contains(p) {
+				t.Fatalf("circle point %v outside RectAround(%v, %.0f) = %+v", p, center, radius, r)
+			}
+		}
+	}
+}
+
+func TestGeohashRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 500; i++ {
+		p := randPoint(rng)
+		for _, prec := range []int{4, 6, 8, 10} {
+			h := EncodeGeohash(p, prec)
+			if len(h) != prec {
+				t.Fatalf("EncodeGeohash precision %d returned %q (len %d)", prec, h, len(h))
+			}
+			cell, err := DecodeGeohash(h)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !cell.Contains(p) {
+				t.Fatalf("decoded cell %+v of %q does not contain %v", cell, h, p)
+			}
+		}
+	}
+}
+
+func TestGeohashKnownValues(t *testing.T) {
+	// Reference value computed with the canonical geohash algorithm.
+	h := EncodeGeohash(Point{Lat: 57.64911, Lon: 10.40744}, 11)
+	if h != "u4pruydqqvj" {
+		t.Errorf("EncodeGeohash = %q, want u4pruydqqvj", h)
+	}
+}
+
+func TestGeohashPrefixProperty(t *testing.T) {
+	// A longer geohash cell must be contained in its prefix cell.
+	rng := rand.New(rand.NewSource(4))
+	for i := 0; i < 200; i++ {
+		p := randPoint(rng)
+		long := EncodeGeohash(p, 8)
+		short := EncodeGeohash(p, 5)
+		if long[:5] != short {
+			t.Fatalf("geohash prefix mismatch: %q vs %q", long, short)
+		}
+	}
+}
+
+func TestDecodeGeohashInvalid(t *testing.T) {
+	if _, err := DecodeGeohash("abci"); err == nil { // 'i' is not in the alphabet
+		t.Error("expected error for invalid geohash character")
+	}
+}
+
+func TestGeohashesCovering(t *testing.T) {
+	r := Rect{MinLat: 37.9, MinLon: 23.6, MaxLat: 38.1, MaxLon: 23.9}
+	cells, err := GeohashesCovering(r, 5, 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) == 0 {
+		t.Fatal("expected at least one covering cell")
+	}
+	// Every random point of the rect must fall in one of the cover cells.
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 200; i++ {
+		p := Point{
+			Lat: r.MinLat + rng.Float64()*(r.MaxLat-r.MinLat),
+			Lon: r.MinLon + rng.Float64()*(r.MaxLon-r.MinLon),
+		}
+		h := EncodeGeohash(p, 5)
+		found := false
+		for _, c := range cells {
+			if c == h {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Fatalf("point %v (cell %q) not covered by %v", p, h, cells)
+		}
+	}
+}
+
+func TestGeohashesCoveringTooMany(t *testing.T) {
+	r := Rect{MinLat: -80, MinLon: -170, MaxLat: 80, MaxLon: 170}
+	if _, err := GeohashesCovering(r, 8, 100); err == nil {
+		t.Error("expected cover-size error for world-sized rect at high precision")
+	}
+}
+
+func TestMetersToLonDegreesPoles(t *testing.T) {
+	if d := MetersToLonDegrees(1000, 90); d != 180 {
+		t.Errorf("at the pole conversion should saturate to 180, got %g", d)
+	}
+	d := MetersToLonDegrees(111195, 0) // ~1 degree at the equator
+	if math.Abs(d-1) > 0.01 {
+		t.Errorf("1 degree at equator, got %g", d)
+	}
+}

@@ -1,0 +1,155 @@
+package geo
+
+import (
+	"fmt"
+	"strings"
+)
+
+// geohash implements the standard base-32 geohash encoding. The platform
+// uses geohashes as row-key prefixes in the KV store so that spatially close
+// points land in the same regions, and as grid cell identifiers during
+// trending-event detection.
+
+const geohashBase32 = "0123456789bcdefghjkmnpqrstuvwxyz"
+
+var geohashDecode = func() map[byte]int {
+	m := make(map[byte]int, len(geohashBase32))
+	for i := 0; i < len(geohashBase32); i++ {
+		m[geohashBase32[i]] = i
+	}
+	return m
+}()
+
+// EncodeGeohash returns the geohash of p with the requested precision
+// (number of base-32 characters, 1..12).
+func EncodeGeohash(p Point, precision int) string {
+	if precision < 1 {
+		precision = 1
+	}
+	if precision > 12 {
+		precision = 12
+	}
+	var (
+		sb                 strings.Builder
+		minLat, maxLat     = -90.0, 90.0
+		minLon, maxLon     = -180.0, 180.0
+		bit, current, even = 0, 0, true
+	)
+	sb.Grow(precision)
+	for sb.Len() < precision {
+		if even {
+			mid := (minLon + maxLon) / 2
+			if p.Lon >= mid {
+				current = current<<1 | 1
+				minLon = mid
+			} else {
+				current <<= 1
+				maxLon = mid
+			}
+		} else {
+			mid := (minLat + maxLat) / 2
+			if p.Lat >= mid {
+				current = current<<1 | 1
+				minLat = mid
+			} else {
+				current <<= 1
+				maxLat = mid
+			}
+		}
+		even = !even
+		bit++
+		if bit == 5 {
+			sb.WriteByte(geohashBase32[current])
+			bit, current = 0, 0
+		}
+	}
+	return sb.String()
+}
+
+// DecodeGeohash returns the bounding box represented by the geohash string.
+func DecodeGeohash(hash string) (Rect, error) {
+	r := Rect{MinLat: -90, MaxLat: 90, MinLon: -180, MaxLon: 180}
+	even := true
+	for i := 0; i < len(hash); i++ {
+		v, ok := geohashDecode[hash[i]]
+		if !ok {
+			return Rect{}, fmt.Errorf("geo: invalid geohash character %q in %q", hash[i], hash)
+		}
+		for mask := 16; mask > 0; mask >>= 1 {
+			if even {
+				mid := (r.MinLon + r.MaxLon) / 2
+				if v&mask != 0 {
+					r.MinLon = mid
+				} else {
+					r.MaxLon = mid
+				}
+			} else {
+				mid := (r.MinLat + r.MaxLat) / 2
+				if v&mask != 0 {
+					r.MinLat = mid
+				} else {
+					r.MaxLat = mid
+				}
+			}
+			even = !even
+		}
+	}
+	return r, nil
+}
+
+// GeohashCenter decodes the geohash and returns the center of its cell.
+func GeohashCenter(hash string) (Point, error) {
+	r, err := DecodeGeohash(hash)
+	if err != nil {
+		return Point{}, err
+	}
+	return r.Center(), nil
+}
+
+// GeohashesCovering returns all geohash cells at the given precision that
+// intersect the query rectangle. It walks the cell lattice row by row, so
+// callers should pick a precision whose cell size is commensurate with the
+// rectangle (the function caps the expansion at maxCells and returns an
+// error beyond it, to protect against accidentally huge covers).
+func GeohashesCovering(r Rect, precision, maxCells int) ([]string, error) {
+	if precision < 1 || precision > 12 {
+		return nil, fmt.Errorf("geo: precision %d out of range [1,12]", precision)
+	}
+	// Determine the cell dimensions at this precision from an example cell.
+	cell, err := DecodeGeohash(EncodeGeohash(Point{Lat: r.MinLat, Lon: r.MinLon}, precision))
+	if err != nil {
+		return nil, err
+	}
+	dLat := cell.MaxLat - cell.MinLat
+	dLon := cell.MaxLon - cell.MinLon
+
+	var out []string
+	seen := make(map[string]bool)
+	for lat := r.MinLat; ; lat += dLat {
+		clampedLat := lat
+		if clampedLat > r.MaxLat {
+			clampedLat = r.MaxLat
+		}
+		for lon := r.MinLon; ; lon += dLon {
+			clampedLon := lon
+			if clampedLon > r.MaxLon {
+				clampedLon = r.MaxLon
+			}
+			h := EncodeGeohash(Point{Lat: clampedLat, Lon: clampedLon}, precision)
+			if !seen[h] {
+				seen[h] = true
+				out = append(out, h)
+				if len(out) > maxCells {
+					return nil, fmt.Errorf("geo: cover of %+v at precision %d exceeds %d cells", r, precision, maxCells)
+				}
+			}
+			if lon >= r.MaxLon {
+				break
+			}
+		}
+		if lat >= r.MaxLat {
+			break
+		}
+	}
+	return out, nil
+}

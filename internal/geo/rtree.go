@@ -1,0 +1,520 @@
+package geo
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// RTree is an in-memory R-tree over rectangles with opaque integer ids. It
+// backs the spatial index of the relational POI repository (the role
+// PostgreSQL+GiST plays in the original system).
+//
+// The implementation uses quadratic-split insertion (Guttman 1984) for
+// dynamic updates and Sort-Tile-Recursive packing for bulk loads. RTree is
+// not safe for concurrent mutation; the relational store serializes writes.
+type RTree struct {
+	root    *rtreeNode
+	minFill int
+	maxFill int
+	size    int
+	// pathBuf holds the root-to-leaf path of the last chooseLeaf call so
+	// that splits can propagate upward without parent pointers.
+	pathBuf []*rtreeNode
+}
+
+type rtreeNode struct {
+	leaf     bool
+	rect     Rect
+	entries  []rtreeEntry
+	children []*rtreeNode
+}
+
+type rtreeEntry struct {
+	rect Rect
+	id   int64
+}
+
+// NewRTree creates an empty R-tree. maxFill is the fan-out (entries per
+// node); values in [4, 64] are sensible, the store uses 16.
+func NewRTree(maxFill int) (*RTree, error) {
+	if maxFill < 4 {
+		return nil, fmt.Errorf("geo: rtree maxFill must be >= 4, got %d", maxFill)
+	}
+	return &RTree{
+		root:    &rtreeNode{leaf: true},
+		minFill: maxFill * 2 / 5, // 40% as in Guttman's recommendation
+		maxFill: maxFill,
+	}, nil
+}
+
+// Len returns the number of stored rectangles.
+func (t *RTree) Len() int { return t.size }
+
+// Insert adds a rectangle with the given id. Point data is inserted as a
+// degenerate rectangle.
+func (t *RTree) Insert(id int64, r Rect) {
+	e := rtreeEntry{rect: r, id: id}
+	leaf := t.chooseLeaf(t.root, r)
+	leaf.entries = append(leaf.entries, e)
+	leaf.rect = extendRect(leaf)
+	t.size++
+	t.splitUpwards(leaf)
+}
+
+// InsertPoint adds a point with the given id.
+func (t *RTree) InsertPoint(id int64, p Point) {
+	t.Insert(id, Rect{MinLat: p.Lat, MaxLat: p.Lat, MinLon: p.Lon, MaxLon: p.Lon})
+}
+
+// chooseLeaf descends to the leaf whose enlargement to cover r is minimal.
+func (t *RTree) chooseLeaf(n *rtreeNode, r Rect) *rtreeNode {
+	t.pathBuf = t.pathBuf[:0]
+	for !n.leaf {
+		t.pathBuf = append(t.pathBuf, n)
+		best, bestCost, bestArea := -1, math.Inf(1), math.Inf(1)
+		for i, c := range n.children {
+			area := c.rect.Area()
+			cost := c.rect.Union(r).Area() - area
+			if cost < bestCost || (cost == bestCost && area < bestArea) {
+				best, bestCost, bestArea = i, cost, area
+			}
+		}
+		n = n.children[best]
+	}
+	t.pathBuf = append(t.pathBuf, n)
+	return n
+}
+
+// splitUpwards re-validates node capacities along the recorded path,
+// splitting overflowing nodes and growing the tree at the root if needed.
+func (t *RTree) splitUpwards(leaf *rtreeNode) {
+	// Walk the recorded path bottom-up.
+	for i := len(t.pathBuf) - 1; i >= 0; i-- {
+		n := t.pathBuf[i]
+		over := len(n.entries) > t.maxFill || len(n.children) > t.maxFill
+		if !over {
+			n.rect = extendRect(n)
+			continue
+		}
+		left, right := t.split(n)
+		if i == 0 {
+			// Root split: grow the tree.
+			t.root = &rtreeNode{
+				leaf:     false,
+				children: []*rtreeNode{left, right},
+			}
+			t.root.rect = left.rect.Union(right.rect)
+			return
+		}
+		parent := t.pathBuf[i-1]
+		// Replace n with left, append right.
+		for j, c := range parent.children {
+			if c == n {
+				parent.children[j] = left
+				break
+			}
+		}
+		parent.children = append(parent.children, right)
+		parent.rect = extendRect(parent)
+	}
+}
+
+// split performs Guttman's quadratic split of an overflowing node, returning
+// the two halves.
+func (t *RTree) split(n *rtreeNode) (*rtreeNode, *rtreeNode) {
+	if n.leaf {
+		groups := quadraticSplitRects(entryRects(n.entries), t.minFill)
+		l := &rtreeNode{leaf: true}
+		r := &rtreeNode{leaf: true}
+		for _, idx := range groups[0] {
+			l.entries = append(l.entries, n.entries[idx])
+		}
+		for _, idx := range groups[1] {
+			r.entries = append(r.entries, n.entries[idx])
+		}
+		l.rect, r.rect = extendRect(l), extendRect(r)
+		return l, r
+	}
+	groups := quadraticSplitRects(childRects(n.children), t.minFill)
+	l := &rtreeNode{}
+	r := &rtreeNode{}
+	for _, idx := range groups[0] {
+		l.children = append(l.children, n.children[idx])
+	}
+	for _, idx := range groups[1] {
+		r.children = append(r.children, n.children[idx])
+	}
+	l.rect, r.rect = extendRect(l), extendRect(r)
+	return l, r
+}
+
+func entryRects(es []rtreeEntry) []Rect {
+	rs := make([]Rect, len(es))
+	for i, e := range es {
+		rs[i] = e.rect
+	}
+	return rs
+}
+
+func childRects(cs []*rtreeNode) []Rect {
+	rs := make([]Rect, len(cs))
+	for i, c := range cs {
+		rs[i] = c.rect
+	}
+	return rs
+}
+
+// quadraticSplitRects distributes indexes of rects into two groups using the
+// quadratic seed heuristic, honoring the minimum fill.
+func quadraticSplitRects(rects []Rect, minFill int) [2][]int {
+	n := len(rects)
+	// Pick the pair of seeds wasting the most area together.
+	seedA, seedB, worst := 0, 1, math.Inf(-1)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			waste := rects[i].Union(rects[j]).Area() - rects[i].Area() - rects[j].Area()
+			if waste > worst {
+				worst, seedA, seedB = waste, i, j
+			}
+		}
+	}
+	var groups [2][]int
+	groups[0] = append(groups[0], seedA)
+	groups[1] = append(groups[1], seedB)
+	boxA, boxB := rects[seedA], rects[seedB]
+
+	assigned := make([]bool, n)
+	assigned[seedA], assigned[seedB] = true, true
+	remaining := n - 2
+	for remaining > 0 {
+		// If one group must absorb all remaining entries to reach minFill,
+		// assign them wholesale.
+		if len(groups[0])+remaining == minFill {
+			for i := 0; i < n; i++ {
+				if !assigned[i] {
+					groups[0] = append(groups[0], i)
+					assigned[i] = true
+				}
+			}
+			break
+		}
+		if len(groups[1])+remaining == minFill {
+			for i := 0; i < n; i++ {
+				if !assigned[i] {
+					groups[1] = append(groups[1], i)
+					assigned[i] = true
+				}
+			}
+			break
+		}
+		// Pick the entry with the greatest preference for one group.
+		best, bestDiff := -1, math.Inf(-1)
+		var bestCostA, bestCostB float64
+		for i := 0; i < n; i++ {
+			if assigned[i] {
+				continue
+			}
+			costA := boxA.Union(rects[i]).Area() - boxA.Area()
+			costB := boxB.Union(rects[i]).Area() - boxB.Area()
+			diff := math.Abs(costA - costB)
+			if diff > bestDiff {
+				best, bestDiff, bestCostA, bestCostB = i, diff, costA, costB
+			}
+		}
+		assigned[best] = true
+		remaining--
+		if bestCostA < bestCostB || (bestCostA == bestCostB && len(groups[0]) < len(groups[1])) {
+			groups[0] = append(groups[0], best)
+			boxA = boxA.Union(rects[best])
+		} else {
+			groups[1] = append(groups[1], best)
+			boxB = boxB.Union(rects[best])
+		}
+	}
+	return groups
+}
+
+func extendRect(n *rtreeNode) Rect {
+	var r Rect
+	first := true
+	for _, e := range n.entries {
+		if first {
+			r, first = e.rect, false
+		} else {
+			r = r.Union(e.rect)
+		}
+	}
+	for _, c := range n.children {
+		if first {
+			r, first = c.rect, false
+		} else {
+			r = r.Union(c.rect)
+		}
+	}
+	return r
+}
+
+// Search appends to dst the ids of all rectangles intersecting q and
+// returns the extended slice.
+func (t *RTree) Search(dst []int64, q Rect) []int64 {
+	if t.size == 0 {
+		return dst
+	}
+	return searchNode(dst, t.root, q)
+}
+
+func searchNode(dst []int64, n *rtreeNode, q Rect) []int64 {
+	if !n.rect.Intersects(q) && !(len(n.entries) == 0 && len(n.children) == 0) {
+		return dst
+	}
+	if n.leaf {
+		for _, e := range n.entries {
+			if e.rect.Intersects(q) {
+				dst = append(dst, e.id)
+			}
+		}
+		return dst
+	}
+	for _, c := range n.children {
+		if c.rect.Intersects(q) {
+			dst = searchNode(dst, c, q)
+		}
+	}
+	return dst
+}
+
+// NearestNeighbors returns the ids of the k rectangles whose centers are
+// closest (haversine) to p, ordered nearest first. It performs a best-first
+// branch-and-bound traversal.
+func (t *RTree) NearestNeighbors(p Point, k int) []int64 {
+	if k <= 0 || t.size == 0 {
+		return nil
+	}
+	type cand struct {
+		node *rtreeNode
+		ent  *rtreeEntry
+		dist float64
+	}
+	// Simple priority queue by insertion+sort; tree depth keeps it small.
+	pq := []cand{{node: t.root, dist: 0}}
+	var out []int64
+	for len(pq) > 0 && len(out) < k {
+		sort.Slice(pq, func(i, j int) bool { return pq[i].dist < pq[j].dist })
+		c := pq[0]
+		pq = pq[1:]
+		switch {
+		case c.ent != nil:
+			out = append(out, c.ent.id)
+		case c.node.leaf:
+			for i := range c.node.entries {
+				e := &c.node.entries[i]
+				pq = append(pq, cand{ent: e, dist: Haversine(p, e.rect.Center())})
+			}
+		default:
+			for _, ch := range c.node.children {
+				pq = append(pq, cand{node: ch, dist: rectMinDist(p, ch.rect)})
+			}
+		}
+	}
+	return out
+}
+
+// rectMinDist lower-bounds the haversine distance from p to any point of r.
+func rectMinDist(p Point, r Rect) float64 {
+	nearest := Point{
+		Lat: math.Max(r.MinLat, math.Min(p.Lat, r.MaxLat)),
+		Lon: math.Max(r.MinLon, math.Min(p.Lon, r.MaxLon)),
+	}
+	return Haversine(p, nearest)
+}
+
+// BulkLoad builds an R-tree from the given points using Sort-Tile-Recursive
+// packing, which produces much better leaves than repeated insertion for
+// static datasets such as the POI catalog.
+func BulkLoad(maxFill int, ids []int64, pts []Point) (*RTree, error) {
+	if len(ids) != len(pts) {
+		return nil, fmt.Errorf("geo: BulkLoad ids (%d) and pts (%d) length mismatch", len(ids), len(pts))
+	}
+	t, err := NewRTree(maxFill)
+	if err != nil {
+		return nil, err
+	}
+	if len(ids) == 0 {
+		return t, nil
+	}
+	entries := make([]rtreeEntry, len(ids))
+	for i := range ids {
+		entries[i] = rtreeEntry{
+			id:   ids[i],
+			rect: Rect{MinLat: pts[i].Lat, MaxLat: pts[i].Lat, MinLon: pts[i].Lon, MaxLon: pts[i].Lon},
+		}
+	}
+	leaves := strPack(entries, maxFill)
+	t.size = len(ids)
+	// Build upper levels by packing child rectangles the same way.
+	level := leaves
+	for len(level) > 1 {
+		level = strPackNodes(level, maxFill)
+	}
+	t.root = level[0]
+	return t, nil
+}
+
+// strPack tiles leaf entries into leaves of up to maxFill entries.
+func strPack(entries []rtreeEntry, maxFill int) []*rtreeNode {
+	sort.Slice(entries, func(i, j int) bool {
+		return entries[i].rect.Center().Lon < entries[j].rect.Center().Lon
+	})
+	n := len(entries)
+	leafCount := (n + maxFill - 1) / maxFill
+	sliceCount := int(math.Ceil(math.Sqrt(float64(leafCount))))
+	perSlice := (n + sliceCount - 1) / sliceCount
+	var leaves []*rtreeNode
+	for s := 0; s < n; s += perSlice {
+		e := s + perSlice
+		if e > n {
+			e = n
+		}
+		slice := entries[s:e]
+		sort.Slice(slice, func(i, j int) bool {
+			return slice[i].rect.Center().Lat < slice[j].rect.Center().Lat
+		})
+		for o := 0; o < len(slice); o += maxFill {
+			oe := o + maxFill
+			if oe > len(slice) {
+				oe = len(slice)
+			}
+			leaf := &rtreeNode{leaf: true, entries: append([]rtreeEntry(nil), slice[o:oe]...)}
+			leaf.rect = extendRect(leaf)
+			leaves = append(leaves, leaf)
+		}
+	}
+	return leaves
+}
+
+// strPackNodes tiles nodes into parents of up to maxFill children.
+func strPackNodes(nodes []*rtreeNode, maxFill int) []*rtreeNode {
+	sort.Slice(nodes, func(i, j int) bool {
+		return nodes[i].rect.Center().Lon < nodes[j].rect.Center().Lon
+	})
+	n := len(nodes)
+	parentCount := (n + maxFill - 1) / maxFill
+	sliceCount := int(math.Ceil(math.Sqrt(float64(parentCount))))
+	perSlice := (n + sliceCount - 1) / sliceCount
+	var parents []*rtreeNode
+	for s := 0; s < n; s += perSlice {
+		e := s + perSlice
+		if e > n {
+			e = n
+		}
+		slice := nodes[s:e]
+		sort.Slice(slice, func(i, j int) bool {
+			return slice[i].rect.Center().Lat < slice[j].rect.Center().Lat
+		})
+		for o := 0; o < len(slice); o += maxFill {
+			oe := o + maxFill
+			if oe > len(slice) {
+				oe = len(slice)
+			}
+			p := &rtreeNode{children: append([]*rtreeNode(nil), slice[o:oe]...)}
+			p.rect = extendRect(p)
+			parents = append(parents, p)
+		}
+	}
+	return parents
+}
+
+// Delete removes the entry with the given id and rectangle, returning
+// whether it was found. It implements Guttman's CondenseTree: underflowing
+// nodes are dissolved and their surviving entries reinserted, and the tree
+// height shrinks when the root is left with a single child.
+func (t *RTree) Delete(id int64, r Rect) bool {
+	var path []*rtreeNode
+	leaf, entryIdx := t.findLeaf(t.root, id, r, &path)
+	if leaf == nil {
+		return false
+	}
+	leaf.entries = append(leaf.entries[:entryIdx], leaf.entries[entryIdx+1:]...)
+	t.size--
+
+	// Condense: walk the path bottom-up, dissolving underflowing nodes.
+	var orphans []rtreeEntry
+	for i := len(path) - 1; i >= 1; i-- {
+		n := path[i]
+		parent := path[i-1]
+		under := false
+		if n.leaf {
+			under = len(n.entries) < t.minFill
+		} else {
+			under = len(n.children) < t.minFill
+		}
+		if under {
+			for j, c := range parent.children {
+				if c == n {
+					parent.children = append(parent.children[:j], parent.children[j+1:]...)
+					break
+				}
+			}
+			orphans = append(orphans, collectEntries(n)...)
+		} else {
+			n.rect = extendRect(n)
+		}
+	}
+	t.root.rect = extendRect(t.root)
+	// Shrink the root while it is a non-leaf with one child.
+	for !t.root.leaf && len(t.root.children) == 1 {
+		t.root = t.root.children[0]
+	}
+	if !t.root.leaf && len(t.root.children) == 0 {
+		t.root = &rtreeNode{leaf: true}
+	}
+	// Reinsert orphaned entries (Insert maintains size; compensate).
+	for _, e := range orphans {
+		t.size--
+		t.Insert(e.id, e.rect)
+	}
+	return true
+}
+
+// DeletePoint removes a point entry inserted with InsertPoint.
+func (t *RTree) DeletePoint(id int64, p Point) bool {
+	return t.Delete(id, Rect{MinLat: p.Lat, MaxLat: p.Lat, MinLon: p.Lon, MaxLon: p.Lon})
+}
+
+// findLeaf locates the leaf holding the exact (id, rect) entry, recording
+// the root-to-leaf path (inclusive of both ends) into *path.
+func (t *RTree) findLeaf(n *rtreeNode, id int64, r Rect, path *[]*rtreeNode) (*rtreeNode, int) {
+	*path = append(*path, n)
+	if n.leaf {
+		for i, e := range n.entries {
+			if e.id == id && e.rect == r {
+				return n, i
+			}
+		}
+		*path = (*path)[:len(*path)-1]
+		return nil, -1
+	}
+	for _, c := range n.children {
+		if !c.rect.Intersects(r) {
+			continue
+		}
+		if leaf, idx := t.findLeaf(c, id, r, path); leaf != nil {
+			return leaf, idx
+		}
+	}
+	*path = (*path)[:len(*path)-1]
+	return nil, -1
+}
+
+// collectEntries gathers every leaf entry under n.
+func collectEntries(n *rtreeNode) []rtreeEntry {
+	if n.leaf {
+		return append([]rtreeEntry(nil), n.entries...)
+	}
+	var out []rtreeEntry
+	for _, c := range n.children {
+		out = append(out, collectEntries(c)...)
+	}
+	return out
+}

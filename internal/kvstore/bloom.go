@@ -1,0 +1,67 @@
+package kvstore
+
+import (
+	"hash/fnv"
+	"math"
+)
+
+// bloomFilter is a classic split-hash Bloom filter attached to each
+// immutable segment: point reads (Get) probe the filter before binary-
+// searching the segment, so rows that live only in newer runs skip the
+// older segments entirely — the same optimization HBase's HFile blooms
+// provide for the Visits repository's per-friend gets.
+type bloomFilter struct {
+	bits   []uint64
+	nBits  uint64
+	hashes int
+}
+
+// newBloomFilter sizes a filter for n keys at ~1% false-positive rate
+// (9.6 bits/key, 7 hash functions).
+func newBloomFilter(n int) *bloomFilter {
+	if n < 1 {
+		n = 1
+	}
+	nBits := uint64(math.Ceil(float64(n) * 9.6))
+	// Round up to a multiple of 64.
+	words := (nBits + 63) / 64
+	return &bloomFilter{
+		bits:   make([]uint64, words),
+		nBits:  words * 64,
+		hashes: 7,
+	}
+}
+
+// baseHashes derives two independent 64-bit hashes of the key; the k probe
+// positions come from the standard Kirsch–Mitzenmacher double hashing
+// h1 + i·h2.
+func bloomBaseHashes(key string) (uint64, uint64) {
+	h := fnv.New64a()
+	h.Write([]byte(key))
+	h1 := h.Sum64()
+	h.Write([]byte{0xff})
+	h2 := h.Sum64() | 1 // force odd so probes cycle the whole table
+	return h1, h2
+}
+
+// add inserts a key.
+func (b *bloomFilter) add(key string) {
+	h1, h2 := bloomBaseHashes(key)
+	for i := 0; i < b.hashes; i++ {
+		pos := (h1 + uint64(i)*h2) % b.nBits
+		b.bits[pos/64] |= 1 << (pos % 64)
+	}
+}
+
+// mayContain reports whether the key may have been added (false positives
+// possible, false negatives impossible).
+func (b *bloomFilter) mayContain(key string) bool {
+	h1, h2 := bloomBaseHashes(key)
+	for i := 0; i < b.hashes; i++ {
+		pos := (h1 + uint64(i)*h2) % b.nBits
+		if b.bits[pos/64]&(1<<(pos%64)) == 0 {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,80 @@
+package kvstore
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Durable tables: a table-level write-ahead log shared by all regions.
+// Region stores run WAL-less; the table appends every mutation to one log
+// before routing it, and OpenDurableTable replays the log through normal
+// routing on startup — so recovery is correct across any pre-split layout
+// and even across region splits (replayed cells simply route to whatever
+// region owns the key now).
+
+// tableWAL serializes appends from concurrent region writers.
+type tableWAL struct {
+	mu  sync.Mutex
+	wal *FileWAL
+}
+
+func (w *tableWAL) append(c Cell) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.wal.Append(c)
+}
+
+// OpenDurableTable opens (creating if absent) the WAL at walPath, builds a
+// table with the given pre-splits, replays every logged mutation into it,
+// and arranges for future mutations to be logged before they apply. Close
+// the table to flush and release the log.
+func OpenDurableTable(name string, splitKeys []string, nodes int, opts StoreOptions, walPath string) (*Table, error) {
+	if walPath == "" {
+		return nil, fmt.Errorf("kvstore: empty WAL path for durable table %q", name)
+	}
+	opts.WAL = nil // region stores must not double-log
+	t, err := NewTable(name, splitKeys, nodes, opts)
+	if err != nil {
+		return nil, err
+	}
+	// Replay BEFORE attaching the log: replayed cells must not re-append.
+	err = ReplayWAL(walPath, func(c Cell) error {
+		region := t.RegionFor(c.Row)
+		return region.Store().Apply(c)
+	})
+	if err != nil {
+		return nil, fmt.Errorf("kvstore: replay %q: %w", walPath, err)
+	}
+	w, err := OpenFileWAL(walPath)
+	if err != nil {
+		return nil, err
+	}
+	t.wal = &tableWAL{wal: w}
+	return t, nil
+}
+
+// Close flushes and releases the table's WAL (no-op for non-durable
+// tables). The table must not be mutated afterwards.
+func (t *Table) Close() error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.wal == nil {
+		return nil
+	}
+	err := t.wal.wal.Close()
+	t.wal = nil
+	return err
+}
+
+// Sync flushes buffered WAL appends to stable storage (no-op for
+// non-durable tables).
+func (t *Table) Sync() error {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	if t.wal == nil {
+		return nil
+	}
+	t.wal.mu.Lock()
+	defer t.wal.mu.Unlock()
+	return t.wal.wal.Sync()
+}

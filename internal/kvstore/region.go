@@ -1,0 +1,332 @@
+package kvstore
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Region is one contiguous key range of a table, backed by its own LSM
+// store — the unit of distribution and of coprocessor execution, exactly as
+// in HBase. StartKey is inclusive, EndKey exclusive; empty means unbounded.
+type Region struct {
+	ID       int
+	StartKey string
+	EndKey   string
+	// NodeID is the simulated cluster node hosting this region.
+	NodeID int
+	store  *Store
+}
+
+// Contains reports whether the row key falls inside the region's range.
+func (r *Region) Contains(row string) bool {
+	if r.StartKey != "" && row < r.StartKey {
+		return false
+	}
+	if r.EndKey != "" && row >= r.EndKey {
+		return false
+	}
+	return true
+}
+
+// Store exposes the region's backing store to coprocessors; they run
+// "inside" the region and may only touch local data, which is what makes
+// the fan-out parallelism of the personalized query path honest.
+func (r *Region) Store() *Store { return r.store }
+
+// Coprocessor is server-side code executed against a single region. The
+// returned value travels back to the client; implementations report the
+// work they performed through their own result type so the caller's cost
+// model can convert it into simulated service time.
+type Coprocessor interface {
+	// Name identifies the coprocessor in errors and traces.
+	Name() string
+	// RunRegion executes against one region.
+	RunRegion(r *Region) (interface{}, error)
+}
+
+// Table is an ordered collection of regions covering the whole key space.
+// Tables route puts/gets/scans to regions and fan coprocessors out across
+// them. Safe for concurrent use; region splits take the table lock.
+type Table struct {
+	mu      sync.RWMutex
+	name    string
+	regions []*Region // sorted by StartKey, first has StartKey ""
+	opts    StoreOptions
+	nextID  int
+	nodes   int
+	// wal, when non-nil, logs every mutation before it applies (durable
+	// tables; see OpenDurableTable).
+	wal *tableWAL
+}
+
+// NewTable creates a table pre-split at the given keys (may be empty for a
+// single region) with regions assigned round-robin across `nodes` simulated
+// cluster nodes.
+func NewTable(name string, splitKeys []string, nodes int, opts StoreOptions) (*Table, error) {
+	if name == "" {
+		return nil, fmt.Errorf("kvstore: empty table name")
+	}
+	if nodes < 1 {
+		return nil, fmt.Errorf("kvstore: table %q needs nodes >= 1, got %d", name, nodes)
+	}
+	keys := append([]string(nil), splitKeys...)
+	sort.Strings(keys)
+	for i := 1; i < len(keys); i++ {
+		if keys[i] == keys[i-1] {
+			return nil, fmt.Errorf("kvstore: duplicate split key %q", keys[i])
+		}
+	}
+	for _, k := range keys {
+		if k == "" {
+			return nil, fmt.Errorf("kvstore: empty split key")
+		}
+	}
+	t := &Table{name: name, opts: opts, nodes: nodes}
+	bounds := append([]string{""}, keys...)
+	for i, start := range bounds {
+		end := ""
+		if i+1 < len(bounds) {
+			end = bounds[i+1]
+		}
+		st, err := NewStore(storeOptsForRegion(opts, t.nextID))
+		if err != nil {
+			return nil, err
+		}
+		t.regions = append(t.regions, &Region{
+			ID:       t.nextID,
+			StartKey: start,
+			EndKey:   end,
+			NodeID:   t.nextID % nodes,
+			store:    st,
+		})
+		t.nextID++
+	}
+	return t, nil
+}
+
+func storeOptsForRegion(opts StoreOptions, regionID int) StoreOptions {
+	o := opts
+	if o.WAL == nil {
+		o.WAL = NopWAL{}
+	}
+	o.Seed = opts.Seed*1000003 + int64(regionID)
+	return o
+}
+
+// Name returns the table name.
+func (t *Table) Name() string { return t.name }
+
+// NumRegions returns the current region count.
+func (t *Table) NumRegions() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return len(t.regions)
+}
+
+// Regions returns a snapshot of the current regions in key order.
+func (t *Table) Regions() []*Region {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return append([]*Region(nil), t.regions...)
+}
+
+// regionFor returns the region containing the row key.
+func (t *Table) regionFor(row string) *Region {
+	// regions[i].StartKey <= row < regions[i].EndKey; find the last region
+	// whose StartKey <= row.
+	i := sort.Search(len(t.regions), func(i int) bool {
+		return t.regions[i].StartKey > row
+	}) - 1
+	if i < 0 {
+		i = 0
+	}
+	return t.regions[i]
+}
+
+// RegionFor exposes routing for tests and placement-aware callers.
+func (t *Table) RegionFor(row string) *Region {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.regionFor(row)
+}
+
+// Put routes a versioned write to the owning region, logging it first on
+// durable tables.
+func (t *Table) Put(row, qualifier string, timestamp int64, value []byte) error {
+	if row == "" {
+		return fmt.Errorf("kvstore: empty row key")
+	}
+	t.mu.RLock()
+	r := t.regionFor(row)
+	w := t.wal
+	t.mu.RUnlock()
+	if w != nil {
+		if err := w.append(Cell{Row: row, Qualifier: qualifier, Timestamp: timestamp, Value: value}); err != nil {
+			return fmt.Errorf("kvstore: table wal: %w", err)
+		}
+	}
+	return r.store.Put(row, qualifier, timestamp, value)
+}
+
+// Delete routes a tombstone to the owning region, logging it first on
+// durable tables.
+func (t *Table) Delete(row, qualifier string, timestamp int64) error {
+	if row == "" {
+		return fmt.Errorf("kvstore: empty row key")
+	}
+	t.mu.RLock()
+	r := t.regionFor(row)
+	w := t.wal
+	t.mu.RUnlock()
+	if w != nil {
+		if err := w.append(Cell{Row: row, Qualifier: qualifier, Timestamp: timestamp, Tombstone: true}); err != nil {
+			return fmt.Errorf("kvstore: table wal: %w", err)
+		}
+	}
+	return r.store.Delete(row, qualifier, timestamp)
+}
+
+// Get reads the newest live view of a row.
+func (t *Table) Get(row string) (RowResult, error) {
+	t.mu.RLock()
+	r := t.regionFor(row)
+	t.mu.RUnlock()
+	return r.store.Get(row)
+}
+
+// Scan streams rows across all regions intersecting the range, in global
+// key order.
+func (t *Table) Scan(opts ScanOptions, fn func(RowResult) bool) error {
+	t.mu.RLock()
+	regions := append([]*Region(nil), t.regions...)
+	t.mu.RUnlock()
+	remaining := opts.Limit
+	stopped := false
+	for _, r := range regions {
+		if stopped {
+			return nil
+		}
+		if opts.StopRow != "" && r.StartKey != "" && r.StartKey >= opts.StopRow {
+			return nil
+		}
+		if opts.StartRow != "" && r.EndKey != "" && r.EndKey <= opts.StartRow {
+			continue
+		}
+		ro := opts
+		ro.Limit = remaining
+		err := r.store.Scan(ro, func(res RowResult) bool {
+			if remaining > 0 {
+				remaining--
+				if remaining == 0 {
+					stopped = true
+				}
+			}
+			if !fn(res) {
+				stopped = true
+			}
+			return !stopped
+		})
+		if err != nil {
+			return err
+		}
+		if opts.Limit > 0 && stopped {
+			return nil
+		}
+	}
+	return nil
+}
+
+// RegionResult pairs a region with its coprocessor output.
+type RegionResult struct {
+	Region *Region
+	Value  interface{}
+	Err    error
+}
+
+// ExecCoprocessor runs the coprocessor on every region (sequentially — the
+// simulated cluster provides the timing model; real parallelism on one CPU
+// would only add nondeterminism) and returns per-region results in key
+// order.
+func (t *Table) ExecCoprocessor(cp Coprocessor) ([]RegionResult, error) {
+	if cp == nil {
+		return nil, fmt.Errorf("kvstore: nil coprocessor")
+	}
+	t.mu.RLock()
+	regions := append([]*Region(nil), t.regions...)
+	t.mu.RUnlock()
+	out := make([]RegionResult, 0, len(regions))
+	for _, r := range regions {
+		v, err := cp.RunRegion(r)
+		out = append(out, RegionResult{Region: r, Value: v, Err: err})
+	}
+	return out, nil
+}
+
+// SplitRegion splits the region containing splitKey at splitKey: the upper
+// half of the data moves into a fresh region. It reproduces HBase's
+// split-for-parallelism behaviour used by the paper ("increasing the
+// regions number ... achieves higher degree of parallelism within a single
+// query").
+func (t *Table) SplitRegion(splitKey string) error {
+	if splitKey == "" {
+		return fmt.Errorf("kvstore: empty split key")
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	r := t.regionFor(splitKey)
+	if r.StartKey == splitKey {
+		return fmt.Errorf("kvstore: region already starts at %q", splitKey)
+	}
+	upper, err := NewStore(storeOptsForRegion(t.opts, t.nextID))
+	if err != nil {
+		return err
+	}
+	lower, err := NewStore(storeOptsForRegion(t.opts, t.nextID+1))
+	if err != nil {
+		return err
+	}
+	// Rewrite the region's cells into the two halves. Raw cells (including
+	// tombstones) preserve full version history across the split.
+	for _, c := range r.store.rawCells() {
+		dst := lower
+		if c.Row >= splitKey {
+			dst = upper
+		}
+		if err := dst.Apply(c); err != nil {
+			return err
+		}
+	}
+	newRegion := &Region{
+		ID:       t.nextID,
+		StartKey: splitKey,
+		EndKey:   r.EndKey,
+		NodeID:   t.nextID % t.nodes,
+		store:    upper,
+	}
+	t.nextID++
+	r.EndKey = splitKey
+	r.store = lower
+	// Insert newRegion right after r.
+	idx := sort.Search(len(t.regions), func(i int) bool {
+		return t.regions[i].StartKey > splitKey
+	})
+	t.regions = append(t.regions, nil)
+	copy(t.regions[idx+1:], t.regions[idx:])
+	t.regions[idx] = newRegion
+	return nil
+}
+
+// rawCells returns every stored cell (all versions, tombstones included) in
+// sorted order. Used by region splits.
+func (s *Store) rawCells() []Cell {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	merged := newMergeIterator(s.iteratorsLocked(nil))
+	var out []Cell
+	for merged.valid() {
+		out = append(out, *merged.cell())
+		merged.next()
+	}
+	return out
+}

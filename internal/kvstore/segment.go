@@ -1,0 +1,163 @@
+package kvstore
+
+import (
+	"fmt"
+	"sort"
+)
+
+// segment is an immutable sorted run of cells — the in-memory analogue of
+// an HBase HFile produced by a memtable flush or a compaction. Segments
+// support binary-search seeks and forward iteration.
+type segment struct {
+	cells []Cell
+	// id orders segments by creation; higher ids are newer. During reads
+	// the merge iterator breaks exact-key ties by preferring newer segments.
+	id uint64
+	// bloom indexes the segment's row keys so point reads can skip
+	// segments that cannot contain the probed row.
+	bloom *bloomFilter
+}
+
+// newSegment wraps a cell slice that must already be sorted by compareCells.
+func newSegment(id uint64, cells []Cell) (*segment, error) {
+	for i := 1; i < len(cells); i++ {
+		if compareCells(&cells[i-1], &cells[i]) > 0 {
+			return nil, fmt.Errorf("kvstore: segment %d cells out of order at index %d", id, i)
+		}
+	}
+	seg := &segment{id: id, cells: cells}
+	distinctRows := 0
+	for i := range cells {
+		if i == 0 || cells[i].Row != cells[i-1].Row {
+			distinctRows++
+		}
+	}
+	seg.bloom = newBloomFilter(distinctRows)
+	for i := range cells {
+		if i == 0 || cells[i].Row != cells[i-1].Row {
+			seg.bloom.add(cells[i].Row)
+		}
+	}
+	return seg, nil
+}
+
+// mayContainRow consults the segment's Bloom filter.
+func (s *segment) mayContainRow(row string) bool {
+	return s.bloom.mayContain(row)
+}
+
+func (s *segment) len() int { return len(s.cells) }
+
+// seekIdx returns the index of the first cell >= probe.
+func (s *segment) seekIdx(probe *Cell) int {
+	return sort.Search(len(s.cells), func(i int) bool {
+		return compareCells(&s.cells[i], probe) >= 0
+	})
+}
+
+// iterator returns a cellIterator positioned at the first cell >= start
+// (or the beginning when start is nil).
+func (s *segment) iterator(start *Cell) cellIterator {
+	idx := 0
+	if start != nil {
+		idx = s.seekIdx(start)
+	}
+	return &segmentIterator{seg: s, idx: idx}
+}
+
+type segmentIterator struct {
+	seg *segment
+	idx int
+}
+
+func (it *segmentIterator) valid() bool { return it.idx < len(it.seg.cells) }
+func (it *segmentIterator) cell() *Cell { return &it.seg.cells[it.idx] }
+func (it *segmentIterator) next()       { it.idx++ }
+
+// cellIterator is the common forward-iteration interface over sorted cell
+// sources (memtable, segments, merged views).
+type cellIterator interface {
+	valid() bool
+	cell() *Cell
+	next()
+}
+
+// mergeIterator performs an ordered merge across several cellIterators.
+// Sources must be given newest-first: when two sources expose cells that
+// compare equal, the earlier source wins and later duplicates are skipped.
+type mergeIterator struct {
+	sources []cellIterator
+	cur     int // index of the source holding the current smallest cell
+}
+
+func newMergeIterator(newestFirst []cellIterator) *mergeIterator {
+	m := &mergeIterator{sources: newestFirst}
+	m.findSmallest()
+	return m
+}
+
+func (m *mergeIterator) findSmallest() {
+	m.cur = -1
+	var best *Cell
+	for i, src := range m.sources {
+		if !src.valid() {
+			continue
+		}
+		c := src.cell()
+		if best == nil || compareCells(c, best) < 0 {
+			best, m.cur = c, i
+		}
+	}
+}
+
+func (m *mergeIterator) valid() bool { return m.cur >= 0 }
+
+func (m *mergeIterator) cell() *Cell { return m.sources[m.cur].cell() }
+
+func (m *mergeIterator) next() {
+	cur := m.sources[m.cur].cell()
+	// Advance every source past cells equal to the current one so that
+	// shadowed duplicates (older segments rewritten at the same timestamp)
+	// are skipped; the newest-first source ordering made the freshest copy
+	// surface first.
+	for _, src := range m.sources {
+		for src.valid() && compareCells(src.cell(), cur) == 0 {
+			src.next()
+		}
+	}
+	m.findSmallest()
+}
+
+// compactSegments merges the given segments (newest first) into one,
+// dropping shadowed duplicate keys. When dropTombstones is true, tombstones
+// and every version they mask are removed — valid only for a full
+// compaction of all segments including the memtable snapshot, otherwise
+// deleted rows would resurrect from older runs.
+func compactSegments(id uint64, newestFirst []*segment, dropTombstones bool) (*segment, error) {
+	its := make([]cellIterator, len(newestFirst))
+	for i, s := range newestFirst {
+		its[i] = s.iterator(nil)
+	}
+	merged := newMergeIterator(its)
+	var out []Cell
+	for merged.valid() {
+		c := *merged.cell()
+		merged.next()
+		if dropTombstones {
+			if c.Tombstone {
+				// Skip every older version of this (row, qualifier) at or
+				// below the tombstone timestamp.
+				for merged.valid() {
+					n := merged.cell()
+					if n.Row != c.Row || n.Qualifier != c.Qualifier || n.Timestamp > c.Timestamp {
+						break
+					}
+					merged.next()
+				}
+				continue
+			}
+		}
+		out = append(out, c)
+	}
+	return newSegment(id, out)
+}

@@ -1,0 +1,320 @@
+package kvstore
+
+import (
+	"fmt"
+	"sync"
+)
+
+// StoreOptions tune a single store (one region's backing storage).
+type StoreOptions struct {
+	// FlushThresholdBytes flushes the memtable to an immutable segment once
+	// its approximate footprint exceeds this many bytes.
+	FlushThresholdBytes int
+	// CompactionTrigger compacts all segments into one when their count
+	// reaches this value.
+	CompactionTrigger int
+	// WAL receives every mutation; defaults to NopWAL.
+	WAL WAL
+	// Seed pins the memtable skiplist randomness for determinism.
+	Seed int64
+}
+
+// DefaultStoreOptions returns sensible defaults for simulation workloads.
+func DefaultStoreOptions() StoreOptions {
+	return StoreOptions{
+		FlushThresholdBytes: 8 << 20,
+		CompactionTrigger:   6,
+		WAL:                 NopWAL{},
+		Seed:                1,
+	}
+}
+
+// Store is one LSM tree: a mutable memtable over a stack of immutable
+// sorted segments. It is safe for concurrent use.
+type Store struct {
+	mu       sync.RWMutex
+	opts     StoreOptions
+	mem      *memtable
+	segments []*segment // newest last
+	nextSeg  uint64
+	puts     uint64
+	flushes  uint64
+	compacts uint64
+}
+
+// NewStore creates an empty store.
+func NewStore(opts StoreOptions) (*Store, error) {
+	if opts.FlushThresholdBytes <= 0 {
+		return nil, fmt.Errorf("kvstore: flush threshold must be positive, got %d", opts.FlushThresholdBytes)
+	}
+	if opts.CompactionTrigger < 2 {
+		return nil, fmt.Errorf("kvstore: compaction trigger must be >= 2, got %d", opts.CompactionTrigger)
+	}
+	if opts.WAL == nil {
+		opts.WAL = NopWAL{}
+	}
+	return &Store{opts: opts, mem: newMemtable(opts.Seed)}, nil
+}
+
+// Put writes one versioned cell.
+func (s *Store) Put(row, qualifier string, timestamp int64, value []byte) error {
+	return s.apply(Cell{Row: row, Qualifier: qualifier, Timestamp: timestamp, Value: value})
+}
+
+// Delete writes a tombstone masking all versions of (row, qualifier) at or
+// before timestamp.
+func (s *Store) Delete(row, qualifier string, timestamp int64) error {
+	return s.apply(Cell{Row: row, Qualifier: qualifier, Timestamp: timestamp, Tombstone: true})
+}
+
+// Apply writes a pre-built cell (used by WAL replay and bulk loads).
+func (s *Store) Apply(c Cell) error { return s.apply(c) }
+
+func (s *Store) apply(c Cell) error {
+	if c.Row == "" {
+		return fmt.Errorf("kvstore: empty row key")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.opts.WAL.Append(c); err != nil {
+		return fmt.Errorf("kvstore: wal append: %w", err)
+	}
+	s.mem.add(c)
+	s.puts++
+	if s.mem.sizeBytes() >= s.opts.FlushThresholdBytes {
+		if err := s.flushLocked(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Flush forces the memtable into a new immutable segment.
+func (s *Store) Flush() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.flushLocked()
+}
+
+func (s *Store) flushLocked() error {
+	if s.mem.len() == 0 {
+		return nil
+	}
+	cells := s.mem.snapshot()
+	seg, err := newSegment(s.nextSeg, cells)
+	if err != nil {
+		return err
+	}
+	s.nextSeg++
+	s.segments = append(s.segments, seg)
+	s.mem = newMemtable(s.opts.Seed + int64(s.nextSeg))
+	s.flushes++
+	if len(s.segments) >= s.opts.CompactionTrigger {
+		return s.compactLocked()
+	}
+	return nil
+}
+
+// Compact merges every segment (and implicitly drops shadowed versions and
+// tombstoned data, since all runs participate).
+func (s *Store) Compact() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.flushLocked(); err != nil {
+		return err
+	}
+	return s.compactLocked()
+}
+
+func (s *Store) compactLocked() error {
+	if len(s.segments) <= 1 {
+		return nil
+	}
+	newestFirst := make([]*segment, len(s.segments))
+	for i := range s.segments {
+		newestFirst[i] = s.segments[len(s.segments)-1-i]
+	}
+	seg, err := compactSegments(s.nextSeg, newestFirst, true)
+	if err != nil {
+		return err
+	}
+	s.nextSeg++
+	s.segments = []*segment{seg}
+	s.compacts++
+	return nil
+}
+
+// iteratorsLocked returns the newest-first iterator stack (memtable first,
+// then segments newest to oldest), positioned at start.
+func (s *Store) iteratorsLocked(start *Cell) []cellIterator {
+	its := make([]cellIterator, 0, len(s.segments)+1)
+	its = append(its, s.mem.iterator(start))
+	for i := len(s.segments) - 1; i >= 0; i-- {
+		its = append(its, s.segments[i].iterator(start))
+	}
+	return its
+}
+
+// Get returns the newest live version of every qualifier of the row.
+func (s *Store) Get(row string) (RowResult, error) {
+	return s.GetAt(row, int64(1)<<62)
+}
+
+// GetAt reads the row as of the given timestamp: only versions with
+// Timestamp <= asOf are visible. This gives repositories snapshot reads.
+// Segments whose Bloom filter excludes the row are skipped entirely.
+func (s *Store) GetAt(row string, asOf int64) (RowResult, error) {
+	if row == "" {
+		return RowResult{}, fmt.Errorf("kvstore: empty row key")
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	start := &Cell{Row: row, Qualifier: "", Timestamp: int64(1) << 62, Tombstone: true}
+	merged := newMergeIterator(s.pointIteratorsLocked(row, start))
+	res := RowResult{Row: row}
+	resolveRowVersions(merged, row, asOf, &res)
+	return res, nil
+}
+
+// GetVersions returns up to max versions of one (row, qualifier), newest
+// first, stopping at (and excluding) the first tombstone. max <= 0 returns
+// every live version down to the newest tombstone.
+func (s *Store) GetVersions(row, qualifier string, max int) ([]Cell, error) {
+	if row == "" {
+		return nil, fmt.Errorf("kvstore: empty row key")
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	start := &Cell{Row: row, Qualifier: qualifier, Timestamp: int64(1) << 62, Tombstone: true}
+	merged := newMergeIterator(s.pointIteratorsLocked(row, start))
+	var out []Cell
+	for merged.valid() {
+		c := merged.cell()
+		if c.Row != row || c.Qualifier != qualifier {
+			break
+		}
+		if c.Tombstone {
+			break
+		}
+		out = append(out, *c)
+		if max > 0 && len(out) >= max {
+			break
+		}
+		merged.next()
+	}
+	return out, nil
+}
+
+// pointIteratorsLocked is iteratorsLocked specialized for point reads: it
+// consults each segment's Bloom filter and skips segments that cannot
+// contain the row.
+func (s *Store) pointIteratorsLocked(row string, start *Cell) []cellIterator {
+	its := make([]cellIterator, 0, len(s.segments)+1)
+	its = append(its, s.mem.iterator(start))
+	for i := len(s.segments) - 1; i >= 0; i-- {
+		if !s.segments[i].mayContainRow(row) {
+			continue
+		}
+		its = append(its, s.segments[i].iterator(start))
+	}
+	return its
+}
+
+// resolveRowVersions walks merged cells of a single row and appends the
+// newest live version of each qualifier (as of asOf) to res.
+func resolveRowVersions(merged *mergeIterator, row string, asOf int64, res *RowResult) {
+	for merged.valid() {
+		c := merged.cell()
+		if c.Row != row {
+			return
+		}
+		qual := c.Qualifier
+		// The first visible (Timestamp <= asOf) version decides this
+		// qualifier's fate: a put surfaces, a tombstone hides it; every
+		// older version is consumed and discarded.
+		decided := false
+		for merged.valid() {
+			cc := merged.cell()
+			if cc.Row != row || cc.Qualifier != qual {
+				break
+			}
+			if !decided && cc.Timestamp <= asOf {
+				if !cc.Tombstone {
+					res.Cells = append(res.Cells, *cc)
+				}
+				decided = true
+			}
+			merged.next()
+		}
+	}
+}
+
+// ScanOptions select a key range and visibility bound for Scan.
+type ScanOptions struct {
+	// StartRow is the inclusive lower bound ("" = from the beginning).
+	StartRow string
+	// StopRow is the exclusive upper bound ("" = to the end).
+	StopRow string
+	// AsOf hides versions newer than this timestamp (0 = no bound).
+	AsOf int64
+	// Limit stops the scan after this many rows (0 = unlimited).
+	Limit int
+}
+
+// Scan streams resolved rows in key order to fn; returning false from fn
+// stops the scan early. The scan holds the store read lock for its duration.
+func (s *Store) Scan(opts ScanOptions, fn func(RowResult) bool) error {
+	if fn == nil {
+		return fmt.Errorf("kvstore: nil scan callback")
+	}
+	asOf := opts.AsOf
+	if asOf == 0 {
+		asOf = int64(1) << 62
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var start *Cell
+	if opts.StartRow != "" {
+		start = &Cell{Row: opts.StartRow, Timestamp: int64(1) << 62, Tombstone: true}
+	}
+	merged := newMergeIterator(s.iteratorsLocked(start))
+	rows := 0
+	for merged.valid() {
+		row := merged.cell().Row
+		if opts.StopRow != "" && row >= opts.StopRow {
+			return nil
+		}
+		res := RowResult{Row: row}
+		resolveRowVersions(merged, row, asOf, &res)
+		if !res.Empty() {
+			rows++
+			if !fn(res) {
+				return nil
+			}
+			if opts.Limit > 0 && rows >= opts.Limit {
+				return nil
+			}
+		}
+	}
+	return nil
+}
+
+// Stats reports store counters for tests and observability.
+type Stats struct {
+	Puts, Flushes, Compactions uint64
+	Segments                   int
+	MemtableCells              int
+}
+
+// Stats returns a snapshot of the store counters.
+func (s *Store) Stats() Stats {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return Stats{
+		Puts:          s.puts,
+		Flushes:       s.flushes,
+		Compactions:   s.compacts,
+		Segments:      len(s.segments),
+		MemtableCells: s.mem.len(),
+	}
+}

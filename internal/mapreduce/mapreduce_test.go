@@ -1,0 +1,354 @@
+package mapreduce
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"sort"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"modissense/internal/cluster"
+)
+
+// wordCountMapper emits (word, 1) per token.
+var wordCountMapper = MapperFunc(func(record interface{}, emit func(string, interface{})) error {
+	line, ok := record.(string)
+	if !ok {
+		return fmt.Errorf("want string record, got %T", record)
+	}
+	for _, w := range strings.Fields(line) {
+		emit(w, 1)
+	}
+	return nil
+})
+
+// sumReducer emits (key, sum(values)).
+var sumReducer = ReducerFunc(func(key string, values []interface{}, emit func(string, interface{})) error {
+	total := 0
+	for _, v := range values {
+		total += v.(int)
+	}
+	emit(key, total)
+	return nil
+})
+
+func wordCountJob(lines []string, reducers int, combiner bool) *Job {
+	recs := make([]interface{}, len(lines))
+	for i, l := range lines {
+		recs[i] = l
+	}
+	j := &Job{
+		Name:        "wordcount",
+		Input:       SplitRecords(recs, 4),
+		Mapper:      wordCountMapper,
+		Reducer:     sumReducer,
+		NumReducers: reducers,
+	}
+	if combiner {
+		j.Combiner = sumReducer
+	}
+	return j
+}
+
+func outputToMap(t *testing.T, out []Pair) map[string]int {
+	t.Helper()
+	m := map[string]int{}
+	for _, p := range out {
+		if _, dup := m[p.Key]; dup {
+			t.Fatalf("duplicate key %q in output", p.Key)
+		}
+		m[p.Key] = p.Value.(int)
+	}
+	return m
+}
+
+func TestWordCount(t *testing.T) {
+	lines := []string{
+		"the quick brown fox",
+		"the lazy dog",
+		"the quick dog barks",
+		"fox and dog",
+	}
+	res, err := wordCountJob(lines, 3, false).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := outputToMap(t, res.Output)
+	want := map[string]int{"the": 3, "quick": 2, "brown": 1, "fox": 2, "lazy": 1, "dog": 3, "barks": 1, "and": 1}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("wordcount = %v, want %v", got, want)
+	}
+	if res.Counters.MapInputRecords != 4 {
+		t.Errorf("map input records = %d", res.Counters.MapInputRecords)
+	}
+	if res.Counters.MapOutputRecords != 14 {
+		t.Errorf("map output records = %d", res.Counters.MapOutputRecords)
+	}
+	if res.Counters.ReduceInputGroups != len(want) {
+		t.Errorf("reduce groups = %d, want %d", res.Counters.ReduceInputGroups, len(want))
+	}
+}
+
+func TestCombinerReducesShuffleVolumeNotOutput(t *testing.T) {
+	lines := []string{
+		strings.Repeat("alpha ", 50),
+		strings.Repeat("alpha beta ", 30),
+	}
+	plain, err := wordCountJob(lines, 2, false).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	combined, err := wordCountJob(lines, 2, true).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(outputToMap(t, plain.Output), outputToMap(t, combined.Output)) {
+		t.Error("combiner changed the job result")
+	}
+	if combined.Counters.CombineOutput >= plain.Counters.CombineOutput {
+		t.Errorf("combiner did not shrink shuffle: %d vs %d", combined.Counters.CombineOutput, plain.Counters.CombineOutput)
+	}
+}
+
+func TestOutputSortedByKey(t *testing.T) {
+	lines := []string{"zeta alpha", "mu kappa zeta", "alpha beta"}
+	res, err := wordCountJob(lines, 4, true).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := make([]string, len(res.Output))
+	for i, p := range res.Output {
+		keys[i] = p.Key
+	}
+	if !sort.StringsAreSorted(keys) {
+		t.Errorf("output keys not sorted: %v", keys)
+	}
+}
+
+func TestJobValidation(t *testing.T) {
+	j := &Job{Name: "bad"}
+	if _, err := j.Run(); err == nil {
+		t.Error("missing mapper must fail")
+	}
+	j.Mapper = wordCountMapper
+	if _, err := j.Run(); err == nil {
+		t.Error("missing reducer must fail")
+	}
+	j.Reducer = sumReducer
+	j.NumReducers = -1
+	if _, err := j.Run(); err == nil {
+		t.Error("negative reducers must fail")
+	}
+	j.NumReducers = 2
+	j.Partitioner = func(string, int) int { return 99 }
+	j.Input = SplitRecords([]interface{}{"a b"}, 1)
+	if _, err := j.Run(); err == nil {
+		t.Error("out-of-range partitioner must fail")
+	}
+	if _, err := j.RunOnCluster(nil); err == nil {
+		t.Error("nil cluster must fail")
+	}
+}
+
+func TestMapErrorPropagates(t *testing.T) {
+	j := &Job{
+		Name:    "maperr",
+		Input:   SplitRecords([]interface{}{1}, 1), // int record breaks the mapper
+		Mapper:  wordCountMapper,
+		Reducer: sumReducer,
+	}
+	if _, err := j.Run(); err == nil {
+		t.Error("mapper error must propagate")
+	}
+}
+
+func TestReduceErrorPropagates(t *testing.T) {
+	j := wordCountJob([]string{"a"}, 1, false)
+	j.Reducer = ReducerFunc(func(string, []interface{}, func(string, interface{})) error {
+		return fmt.Errorf("boom")
+	})
+	if _, err := j.Run(); err == nil {
+		t.Error("reducer error must propagate")
+	}
+}
+
+func TestEmptyInput(t *testing.T) {
+	j := &Job{Name: "empty", Mapper: wordCountMapper, Reducer: sumReducer}
+	res, err := j.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Output) != 0 {
+		t.Errorf("empty job produced %v", res.Output)
+	}
+}
+
+func TestSplitRecords(t *testing.T) {
+	recs := make([]interface{}, 10)
+	for i := range recs {
+		recs[i] = i
+	}
+	splits := SplitRecords(recs, 3)
+	if len(splits) != 3 {
+		t.Fatalf("got %d splits", len(splits))
+	}
+	total := 0
+	for _, s := range splits {
+		total += len(s)
+	}
+	if total != 10 {
+		t.Errorf("splits cover %d records, want 10", total)
+	}
+	if got := SplitRecords(nil, 4); got != nil {
+		t.Errorf("empty input should produce no splits, got %v", got)
+	}
+	if got := SplitRecords(recs[:2], 5); len(got) != 2 {
+		t.Errorf("more splits than records should clamp, got %d", len(got))
+	}
+	if got := SplitRecords(recs, 0); len(got) != 1 {
+		t.Errorf("n<1 should clamp to one split, got %d", len(got))
+	}
+}
+
+func TestHashPartitionerStableAndInRange(t *testing.T) {
+	for _, key := range []string{"", "a", "user-42", "poi:1234", strings.Repeat("x", 100)} {
+		p1 := HashPartitioner(key, 7)
+		p2 := HashPartitioner(key, 7)
+		if p1 != p2 {
+			t.Errorf("partitioner not deterministic for %q", key)
+		}
+		if p1 < 0 || p1 >= 7 {
+			t.Errorf("partition %d out of range for %q", p1, key)
+		}
+	}
+}
+
+// TestClusterSpeedupShape verifies the Hadoop-substrate scaling property:
+// the same job on more nodes has a smaller simulated makespan.
+func TestClusterSpeedupShape(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	var lines []string
+	for i := 0; i < 400; i++ {
+		lines = append(lines, fmt.Sprintf("word%d word%d word%d", rng.Intn(50), rng.Intn(50), rng.Intn(50)))
+	}
+	recs := make([]interface{}, len(lines))
+	for i, l := range lines {
+		recs[i] = l
+	}
+
+	makespan := func(nodes int) float64 {
+		c, err := cluster.New(cluster.DefaultConfig(nodes))
+		if err != nil {
+			t.Fatal(err)
+		}
+		j := &Job{
+			Name:        "scaling",
+			Input:       SplitRecords(recs, 32),
+			Mapper:      wordCountMapper,
+			Combiner:    sumReducer,
+			Reducer:     sumReducer,
+			NumReducers: 8,
+		}
+		res, err := j.RunOnCluster(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.SimulatedSeconds <= 0 {
+			t.Fatal("simulated time must be positive")
+		}
+		return res.SimulatedSeconds
+	}
+
+	m4, m8, m16 := makespan(4), makespan(8), makespan(16)
+	if !(m4 > m8 && m8 > m16) {
+		t.Errorf("makespan must shrink with cluster size: %g %g %g", m4, m8, m16)
+	}
+}
+
+// TestTwoStageJobChaining runs job B over job A's output, the pattern the
+// HotIn pipeline uses.
+func TestTwoStageJobChaining(t *testing.T) {
+	lines := []string{"a b a", "b c", "a c c"}
+	first, err := wordCountJob(lines, 2, true).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Second job: bucket words by their count.
+	recs := make([]interface{}, len(first.Output))
+	for i, p := range first.Output {
+		recs[i] = p
+	}
+	second := &Job{
+		Name:  "histogram",
+		Input: SplitRecords(recs, 2),
+		Mapper: MapperFunc(func(record interface{}, emit func(string, interface{})) error {
+			p := record.(Pair)
+			emit(fmt.Sprintf("count=%d", p.Value.(int)), 1)
+			return nil
+		}),
+		Reducer:     sumReducer,
+		NumReducers: 1,
+	}
+	res, err := second.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := outputToMap(t, res.Output)
+	// a:3 b:2 c:3 → two words with count 3, one with count 2.
+	want := map[string]int{"count=3": 2, "count=2": 1}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("histogram = %v, want %v", got, want)
+	}
+}
+
+// TestWordCountConservationQuick is a testing/quick property: for any
+// input lines, the sum of all word counts equals the total token count,
+// independent of reducer count and combiner use.
+func TestWordCountConservationQuick(t *testing.T) {
+	f := func(words []string, reducers uint8, useCombiner bool) bool {
+		var clean []string
+		total := 0
+		for _, w := range words {
+			fields := strings.Fields(w)
+			if len(fields) == 0 {
+				continue
+			}
+			clean = append(clean, strings.Join(fields, " "))
+			total += len(fields)
+		}
+		j := wordCountJob(clean, int(reducers%8)+1, useCombiner)
+		res, err := j.Run()
+		if err != nil {
+			return false
+		}
+		sum := 0
+		for _, p := range res.Output {
+			sum += p.Value.(int)
+		}
+		return sum == total
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestReducerCountInvariance: the job result must not depend on the number
+// of reduce partitions.
+func TestReducerCountInvariance(t *testing.T) {
+	lines := []string{"a b c a", "b c d", "a d d d"}
+	want, err := wordCountJob(lines, 1, false).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, reducers := range []int{2, 3, 7, 16} {
+		got, err := wordCountJob(lines, reducers, true).Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(outputToMap(t, got.Output), outputToMap(t, want.Output)) {
+			t.Errorf("reducers=%d changed the result", reducers)
+		}
+	}
+}

@@ -1,0 +1,476 @@
+// Package query implements the Query Answering module: personalized POI
+// search executed as coprocessors fanned out across the Visits table's
+// regions (with the web-server merge the paper describes), non-personalized
+// search on the relational POI repository, and trending-events queries on
+// either path.
+//
+// Every query executes for real against the real stores; the simulated
+// cluster converts the measured per-region work into latency, which is what
+// the Figure 2/3 experiments sweep.
+package query
+
+import (
+	"fmt"
+	"sort"
+
+	"modissense/internal/cluster"
+	"modissense/internal/geo"
+	"modissense/internal/kvstore"
+	"modissense/internal/model"
+	"modissense/internal/repos"
+)
+
+// OrderBy selects the ranking criterion of a search.
+type OrderBy string
+
+// Ranking criteria. Interest ranks by the friends' average sentiment grade
+// ("the opinion of one's friends"); Hotness ranks by crowd concentration
+// (visit volume).
+const (
+	ByInterest OrderBy = "interest"
+	ByHotness  OrderBy = "hotness"
+)
+
+// Spec is one personalized search query — the REST API's search parameters
+// from §2.2: bounding box, keywords, friend list, time window, sorting
+// criterion and result count.
+type Spec struct {
+	BBox      *geo.Rect
+	Keyword   string
+	FriendIDs []int64
+	// FromMillis/ToMillis bound the visit window (inclusive).
+	FromMillis int64
+	ToMillis   int64
+	OrderBy    OrderBy
+	Limit      int
+	// RegionTopK, when positive, makes each region's coprocessor return
+	// only its K best partial aggregates instead of all of them. This cuts
+	// shipped data and merge cost but can miss POIs whose visits are
+	// spread thinly across many regions (regions partition by *user*, so
+	// one POI's aggregate may be split) — an approximation the
+	// topk-ablation experiment quantifies. Zero keeps the exact merge.
+	RegionTopK int
+}
+
+// Validate checks the spec.
+func (s *Spec) Validate() error {
+	if len(s.FriendIDs) == 0 {
+		return fmt.Errorf("query: personalized query needs at least one friend")
+	}
+	if s.ToMillis < s.FromMillis {
+		return fmt.Errorf("query: time window inverted")
+	}
+	switch s.OrderBy {
+	case ByInterest, ByHotness, "":
+	default:
+		return fmt.Errorf("query: unsupported order %q", s.OrderBy)
+	}
+	if s.Limit < 0 {
+		return fmt.Errorf("query: negative limit")
+	}
+	if s.RegionTopK < 0 {
+		return fmt.Errorf("query: negative region top-k")
+	}
+	return nil
+}
+
+func (s *Spec) orderOrDefault() OrderBy {
+	if s.OrderBy == "" {
+		return ByInterest
+	}
+	return s.OrderBy
+}
+
+// ScoredPOI is one ranked result.
+type ScoredPOI struct {
+	POI model.POI `json:"poi"`
+	// Score is the average sentiment grade of the matching visits (1–5).
+	Score float64 `json:"score"`
+	// Visits is the number of matching visits (the hotness evidence).
+	Visits int `json:"visits"`
+}
+
+// Result is a completed personalized query.
+type Result struct {
+	POIs []ScoredPOI `json:"pois"`
+	// LatencySeconds is the simulated end-to-end latency.
+	LatencySeconds float64 `json:"latency_seconds"`
+	// Work aggregates the per-region coprocessor work.
+	Work cluster.CoprocessorWork `json:"-"`
+	// Regions is the number of regions that participated.
+	Regions int `json:"-"`
+}
+
+// Engine wires the stores and the simulated cluster.
+type Engine struct {
+	visits *repos.VisitsRepo
+	pois   *repos.POIRepo
+	clus   *cluster.Cluster
+}
+
+// NewEngine builds the query engine.
+func NewEngine(visits *repos.VisitsRepo, pois *repos.POIRepo, clus *cluster.Cluster) (*Engine, error) {
+	if visits == nil || pois == nil || clus == nil {
+		return nil, fmt.Errorf("query: engine dependencies must be non-nil")
+	}
+	return &Engine{visits: visits, pois: pois, clus: clus}, nil
+}
+
+// poiAgg is one POI's partial aggregate inside a region.
+type poiAgg struct {
+	poi      model.POI
+	gradeSum float64
+	visits   int
+}
+
+// regionOutput is what one coprocessor execution returns.
+type regionOutput struct {
+	aggs []poiAgg
+	work cluster.CoprocessorWork
+}
+
+// queryPlan holds one query's real execution artifacts, ready for the
+// timing simulation.
+type queryPlan struct {
+	spec    *Spec
+	outputs []*regionOutput
+	regions []*kvstore.Region
+}
+
+// visitsCoprocessor executes one query against one region, HBase-style:
+// get each local friend's visit rows, filter, aggregate per POI and sort.
+type visitsCoprocessor struct {
+	spec    *Spec
+	schema  repos.VisitSchema
+	friends []int64 // sorted
+}
+
+// Name implements kvstore.Coprocessor.
+func (cp *visitsCoprocessor) Name() string { return "personalized-visits" }
+
+// RunRegion implements kvstore.Coprocessor.
+func (cp *visitsCoprocessor) RunRegion(r *kvstore.Region) (interface{}, error) {
+	out := &regionOutput{}
+	aggs := map[int64]*poiAgg{}
+	for _, friend := range cp.friends {
+		key := repos.UserKeyPrefix(friend)
+		if !r.Contains(key) {
+			continue
+		}
+		out.work.Friends++
+		start, stop := repos.VisitScanBounds(friend, cp.spec.FromMillis, cp.spec.ToMillis)
+		err := r.Store().Scan(kvstore.ScanOptions{StartRow: start, StopRow: stop}, func(row kvstore.RowResult) bool {
+			raw, ok := row.Get(repos.VisitQualifier)
+			if !ok {
+				return true
+			}
+			out.work.RowsScanned++
+			v, err := repos.DecodeVisit(cp.schema, raw)
+			if err != nil {
+				return true // skip undecodable rows; accounted as scanned
+			}
+			// Under the replicated schema every predicate evaluates right
+			// here; the normalized schema can only filter by time and must
+			// ship every aggregate to the web server for the join.
+			if cp.schema == repos.SchemaReplicated && !cp.matches(&v) {
+				return true
+			}
+			out.work.VisitsMatched++
+			a := aggs[v.POI.ID]
+			if a == nil {
+				a = &poiAgg{poi: v.POI}
+				aggs[v.POI.ID] = a
+			}
+			a.gradeSum += v.Grade
+			a.visits++
+			return true
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	out.aggs = make([]poiAgg, 0, len(aggs))
+	for _, a := range aggs {
+		out.aggs = append(out.aggs, *a)
+	}
+	// Region-side sort by the query criterion (the coprocessor "sorts the
+	// candidate POIs according to the aggregated scores").
+	sortAggs(out.aggs, cp.spec.orderOrDefault())
+	if k := cp.spec.RegionTopK; k > 0 && len(out.aggs) > k {
+		out.aggs = out.aggs[:k]
+	}
+	out.work.CandidatePOIs = len(out.aggs)
+	return out, nil
+}
+
+// matches evaluates the spatial/keyword predicates on a replicated visit.
+func (cp *visitsCoprocessor) matches(v *model.Visit) bool {
+	if cp.spec.BBox != nil && !cp.spec.BBox.Contains(v.POI.Point()) {
+		return false
+	}
+	if cp.spec.Keyword != "" {
+		found := false
+		for _, k := range v.POI.Keywords {
+			if k == cp.spec.Keyword {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return false
+		}
+	}
+	return true
+}
+
+func sortAggs(aggs []poiAgg, order OrderBy) {
+	sort.Slice(aggs, func(i, j int) bool {
+		var less bool
+		switch order {
+		case ByHotness:
+			if aggs[i].visits != aggs[j].visits {
+				less = aggs[i].visits > aggs[j].visits
+			} else {
+				less = aggs[i].poi.ID < aggs[j].poi.ID
+			}
+		default: // ByInterest
+			si := aggs[i].gradeSum / float64(aggs[i].visits)
+			sj := aggs[j].gradeSum / float64(aggs[j].visits)
+			if si != sj {
+				less = si > sj
+			} else {
+				less = aggs[i].poi.ID < aggs[j].poi.ID
+			}
+		}
+		return less
+	})
+}
+
+// Run executes one personalized query and returns results plus simulated
+// latency.
+func (e *Engine) Run(spec Spec) (*Result, error) {
+	results, err := e.RunConcurrent([]Spec{spec})
+	if err != nil {
+		return nil, err
+	}
+	return results[0], nil
+}
+
+// RunConcurrent executes the given queries as simultaneous arrivals on the
+// platform (the Figure 3 scenario): every query fans its coprocessor tasks
+// out across the same simulated nodes, so queueing contention shapes the
+// latencies exactly as shared region servers would.
+func (e *Engine) RunConcurrent(specs []Spec) ([]*Result, error) {
+	if len(specs) == 0 {
+		return nil, fmt.Errorf("query: no queries")
+	}
+	cost := e.clus.Config().Cost
+	results := make([]*Result, len(specs))
+	plans := make([]*queryPlan, len(specs))
+
+	// Phase 1: real execution of every query's coprocessors.
+	for qi := range specs {
+		spec := specs[qi]
+		if err := spec.Validate(); err != nil {
+			return nil, err
+		}
+		friends := append([]int64(nil), spec.FriendIDs...)
+		sort.Slice(friends, func(i, j int) bool { return friends[i] < friends[j] })
+		cp := &visitsCoprocessor{spec: &spec, schema: e.visits.Schema(), friends: friends}
+		regionResults, err := e.visits.Table().ExecCoprocessor(cp)
+		if err != nil {
+			return nil, err
+		}
+		plan := &queryPlan{spec: &spec}
+		for _, rr := range regionResults {
+			if rr.Err != nil {
+				return nil, rr.Err
+			}
+			plan.outputs = append(plan.outputs, rr.Value.(*regionOutput))
+			plan.regions = append(plan.regions, rr.Region)
+		}
+		plans[qi] = plan
+
+		// Merge (real): combine per-region aggregates.
+		merged, totalWork := e.merge(plan)
+		results[qi] = &Result{POIs: merged, Work: totalWork, Regions: len(plan.regions)}
+	}
+
+	// Phase 2: schedule all queries as simultaneous arrivals at the current
+	// simulation clock (the cluster may have served earlier work, so
+	// latencies are measured relative to this batch's arrival time).
+	base := e.clus.Engine().Now()
+	for qi, plan := range plans {
+		qi, plan := qi, plan
+		web := e.clus.PickWebServer()
+		totalCandidates := 0
+		for _, out := range plan.outputs {
+			totalCandidates += len(out.aggs)
+		}
+		// The web server parses the request, then issues one RPC per
+		// region; each region's coprocessor runs on its node's cores; when
+		// the last region returns, the web server merges and responds.
+		_, err := web.Submit(base, cost.WebParse, func(parseDone float64) {
+			remaining := len(plan.outputs)
+			var lastRegion float64
+			for ri, out := range plan.outputs {
+				node := e.clus.Node(plan.regions[ri].NodeID)
+				service := cost.CoprocessorServiceTime(out.work)
+				_, err := node.Submit(parseDone+cost.RPC, service, func(at float64) {
+					if at > lastRegion {
+						lastRegion = at
+					}
+					remaining--
+					if remaining > 0 {
+						return
+					}
+					mergeService := cost.MergeServiceTime(totalCandidates, len(results[qi].POIs))
+					if e.visits.Schema() == repos.SchemaNormalized {
+						// The normalized schema pays the POI join at merge
+						// time: one indexed lookup per candidate.
+						mergeService += cost.RelationalServiceTime(totalCandidates)
+					}
+					_, err := web.Submit(lastRegion+cost.RPC, mergeService, func(done float64) {
+						results[qi].LatencySeconds = done - base
+					})
+					if err != nil {
+						panic(err) // scheduling in the past is a bug, not a runtime condition
+					}
+				})
+				if err != nil {
+					panic(err)
+				}
+			}
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	if _, err := e.clus.Run(); err != nil {
+		return nil, err
+	}
+	for qi, r := range results {
+		if r.LatencySeconds <= 0 {
+			return nil, fmt.Errorf("query: query %d never completed in simulation", qi)
+		}
+	}
+	return results, nil
+}
+
+// merge combines region aggregates into the final ranking. Under the
+// normalized schema the POI info is joined from the relational repository
+// and the spatial/keyword predicates are applied post-join.
+func (e *Engine) merge(plan *queryPlan) ([]ScoredPOI, cluster.CoprocessorWork) {
+	var work cluster.CoprocessorWork
+	byPOI := map[int64]*poiAgg{}
+	for _, out := range plan.outputs {
+		work.Friends += out.work.Friends
+		work.RowsScanned += out.work.RowsScanned
+		work.VisitsMatched += out.work.VisitsMatched
+		work.CandidatePOIs += out.work.CandidatePOIs
+		for _, a := range out.aggs {
+			cur := byPOI[a.poi.ID]
+			if cur == nil {
+				cp := a
+				byPOI[a.poi.ID] = &cp
+				continue
+			}
+			cur.gradeSum += a.gradeSum
+			cur.visits += a.visits
+		}
+	}
+	aggs := make([]poiAgg, 0, len(byPOI))
+	for _, a := range byPOI {
+		if e.visits.Schema() == repos.SchemaNormalized {
+			poi, ok := e.pois.Get(a.poi.ID)
+			if !ok {
+				continue
+			}
+			a.poi = poi
+			// Post-join residual predicates.
+			if plan.spec.BBox != nil && !plan.spec.BBox.Contains(poi.Point()) {
+				continue
+			}
+			if plan.spec.Keyword != "" {
+				found := false
+				for _, k := range poi.Keywords {
+					if k == plan.spec.Keyword {
+						found = true
+						break
+					}
+				}
+				if !found {
+					continue
+				}
+			}
+		}
+		aggs = append(aggs, *a)
+	}
+	sortAggs(aggs, plan.spec.orderOrDefault())
+	limit := plan.spec.Limit
+	if limit > 0 && len(aggs) > limit {
+		aggs = aggs[:limit]
+	}
+	out := make([]ScoredPOI, len(aggs))
+	for i, a := range aggs {
+		out[i] = ScoredPOI{POI: a.poi, Score: a.gradeSum / float64(a.visits), Visits: a.visits}
+	}
+	return out, work
+}
+
+// NonPersonalized answers a query with no friend list straight from the
+// relational POI repository, returning the simulated latency of the
+// PostgreSQL path.
+func (e *Engine) NonPersonalized(spec repos.SearchSpec) ([]model.POI, float64, error) {
+	pois, examined, err := e.pois.Search(spec)
+	if err != nil {
+		return nil, 0, err
+	}
+	cost := e.clus.Config().Cost
+	var latency float64
+	web := e.clus.PickWebServer()
+	base := e.clus.Engine().Now()
+	_, err = web.Submit(base, cost.WebParse, func(parseDone float64) {
+		_, err := e.clus.PG().Submit(parseDone+cost.RPC, cost.RelationalServiceTime(examined), func(pgDone float64) {
+			_, err := web.Submit(pgDone+cost.RPC, cost.MergeServiceTime(len(pois), len(pois)), func(done float64) {
+				latency = done - base
+			})
+			if err != nil {
+				panic(err)
+			}
+		})
+		if err != nil {
+			panic(err)
+		}
+	})
+	if err != nil {
+		return nil, 0, err
+	}
+	if _, err := e.clus.Run(); err != nil {
+		return nil, 0, err
+	}
+	return pois, latency, nil
+}
+
+// Trending answers a trending-events query: the hottest places within the
+// window. With friends it runs the personalized coprocessor path ordered
+// by hotness ("the three hottest places visited by my x specific friends
+// the last y hours"); without friends it serves the precomputed hotness
+// ranking from the POI repository.
+func (e *Engine) Trending(spec Spec) (*Result, error) {
+	spec.OrderBy = ByHotness
+	if len(spec.FriendIDs) > 0 {
+		return e.Run(spec)
+	}
+	pois, latency, err := e.NonPersonalized(repos.SearchSpec{
+		BBox: spec.BBox, Keyword: spec.Keyword, OrderBy: "hotness", Limit: spec.Limit,
+	})
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{LatencySeconds: latency}
+	for _, p := range pois {
+		res.POIs = append(res.POIs, ScoredPOI{POI: p, Score: p.Interest * 5, Visits: int(p.Hotness * 1000)})
+	}
+	return res, nil
+}

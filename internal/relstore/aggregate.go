@@ -1,0 +1,165 @@
+package relstore
+
+import (
+	"fmt"
+	"sort"
+)
+
+// AggFunc enumerates aggregate functions.
+type AggFunc int
+
+// Aggregate functions. Count ignores its column; the numeric aggregates
+// require an Int or Float column.
+const (
+	Count AggFunc = iota
+	Sum
+	Avg
+	Min
+	Max
+)
+
+// String implements fmt.Stringer.
+func (f AggFunc) String() string {
+	switch f {
+	case Count:
+		return "COUNT"
+	case Sum:
+		return "SUM"
+	case Avg:
+		return "AVG"
+	case Min:
+		return "MIN"
+	case Max:
+		return "MAX"
+	default:
+		return fmt.Sprintf("AggFunc(%d)", int(f))
+	}
+}
+
+// Aggregation is one aggregate expression, e.g. {Avg, "hotness"}.
+type Aggregation struct {
+	Func   AggFunc
+	Column string // ignored for Count
+}
+
+// GroupRow is one output group: the grouping key plus one value per
+// requested aggregation, in request order.
+type GroupRow struct {
+	Key    Value
+	Values []float64
+}
+
+// GroupBy evaluates the query's WHERE/Within filters, groups surviving rows
+// by groupCol and computes the aggregations per group. Groups come back in
+// ascending key order. An empty groupCol produces a single global group
+// whose key is the Int value 0.
+func (t *Table) GroupBy(q Query, groupCol string, aggs []Aggregation) ([]GroupRow, error) {
+	if len(aggs) == 0 {
+		return nil, fmt.Errorf("relstore: GroupBy needs at least one aggregation")
+	}
+	var groupCI int
+	if groupCol == "" {
+		groupCI = -1
+	} else {
+		groupCI = t.schema.ColIndex(groupCol)
+		if groupCI < 0 {
+			return nil, fmt.Errorf("relstore: unknown group column %q", groupCol)
+		}
+	}
+	aggCIs := make([]int, len(aggs))
+	for i, a := range aggs {
+		if a.Func == Count {
+			aggCIs[i] = -1
+			continue
+		}
+		ci := t.schema.ColIndex(a.Column)
+		if ci < 0 {
+			return nil, fmt.Errorf("relstore: unknown aggregate column %q", a.Column)
+		}
+		typ := t.schema.Columns[ci].Type
+		if typ != Int && typ != Float {
+			return nil, fmt.Errorf("relstore: %s(%s) requires a numeric column", a.Func, a.Column)
+		}
+		aggCIs[i] = ci
+	}
+	// Ordering/limit make no sense on the input rows; reuse Select for
+	// filtering only.
+	q.OrderBy = ""
+	q.Desc = false
+	q.Limit = 0
+	rows, _, err := t.Select(q)
+	if err != nil {
+		return nil, err
+	}
+
+	type acc struct {
+		key    Value
+		count  int
+		sums   []float64
+		mins   []float64
+		maxs   []float64
+		seeded bool
+	}
+	groups := map[string]*acc{}
+	keyOf := func(r Row) Value {
+		if groupCI < 0 {
+			return IntVal(0)
+		}
+		return r[groupCI]
+	}
+	numeric := func(v Value) float64 {
+		if v.Type == Int {
+			return float64(v.I)
+		}
+		return v.F
+	}
+	for _, r := range rows {
+		k := keyOf(r)
+		g := groups[k.String()]
+		if g == nil {
+			g = &acc{
+				key:  k,
+				sums: make([]float64, len(aggs)),
+				mins: make([]float64, len(aggs)),
+				maxs: make([]float64, len(aggs)),
+			}
+			groups[k.String()] = g
+		}
+		g.count++
+		for i, ci := range aggCIs {
+			if ci < 0 {
+				continue
+			}
+			v := numeric(r[ci])
+			g.sums[i] += v
+			if !g.seeded || v < g.mins[i] {
+				g.mins[i] = v
+			}
+			if !g.seeded || v > g.maxs[i] {
+				g.maxs[i] = v
+			}
+		}
+		g.seeded = true
+	}
+	out := make([]GroupRow, 0, len(groups))
+	for _, g := range groups {
+		row := GroupRow{Key: g.key, Values: make([]float64, len(aggs))}
+		for i, a := range aggs {
+			switch a.Func {
+			case Count:
+				row.Values[i] = float64(g.count)
+			case Sum:
+				row.Values[i] = g.sums[i]
+			case Avg:
+				row.Values[i] = g.sums[i] / float64(g.count)
+			case Min:
+				row.Values[i] = g.mins[i]
+			case Max:
+				row.Values[i] = g.maxs[i]
+			}
+		}
+		out = append(out, row)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Key.Compare(out[j].Key) < 0 })
+	return out, nil
+}

@@ -1,0 +1,306 @@
+package relstore
+
+import "fmt"
+
+// btree is a B-tree mapping (Value, rowID) pairs to nothing — a secondary
+// index. Duplicate column values are allowed; the rowID disambiguates
+// entries, so deletes are exact. Range scans stream entries in
+// (value, rowID) order.
+//
+// The implementation is a classic order-m B-tree with proactive splitting
+// on descent (split full children before entering them), which keeps the
+// insert path single-pass.
+type btree struct {
+	root   *btreeNode
+	degree int // minimum degree t: nodes hold t-1..2t-1 keys
+	size   int
+}
+
+type btreeKey struct {
+	val Value
+	row int64
+}
+
+func (k btreeKey) less(o btreeKey) bool {
+	if c := k.val.Compare(o.val); c != 0 {
+		return c < 0
+	}
+	return k.row < o.row
+}
+
+type btreeNode struct {
+	keys     []btreeKey
+	children []*btreeNode // nil for leaves
+}
+
+func (n *btreeNode) leaf() bool { return n.children == nil }
+
+// newBTree creates an empty B-tree with the given minimum degree (>= 2).
+func newBTree(degree int) (*btree, error) {
+	if degree < 2 {
+		return nil, fmt.Errorf("relstore: btree degree must be >= 2, got %d", degree)
+	}
+	return &btree{root: &btreeNode{}, degree: degree}, nil
+}
+
+func (t *btree) maxKeys() int { return 2*t.degree - 1 }
+
+// insert adds the (value, rowID) entry. Duplicate exact entries are
+// ignored (the index is a set).
+func (t *btree) insert(val Value, row int64) {
+	k := btreeKey{val: val, row: row}
+	if t.contains(k) {
+		return
+	}
+	if len(t.root.keys) == t.maxKeys() {
+		old := t.root
+		t.root = &btreeNode{children: []*btreeNode{old}}
+		t.splitChild(t.root, 0)
+	}
+	t.insertNonFull(t.root, k)
+	t.size++
+}
+
+func (t *btree) insertNonFull(n *btreeNode, k btreeKey) {
+	i := n.search(k)
+	if n.leaf() {
+		n.keys = append(n.keys, btreeKey{})
+		copy(n.keys[i+1:], n.keys[i:])
+		n.keys[i] = k
+		return
+	}
+	if len(n.children[i].keys) == t.maxKeys() {
+		t.splitChild(n, i)
+		if n.keys[i].less(k) {
+			i++
+		}
+	}
+	t.insertNonFull(n.children[i], k)
+}
+
+// search returns the index of the first key >= k.
+func (n *btreeNode) search(k btreeKey) int {
+	lo, hi := 0, len(n.keys)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if n.keys[mid].less(k) {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// splitChild splits the full child at index i of parent n.
+func (t *btree) splitChild(n *btreeNode, i int) {
+	child := n.children[i]
+	mid := t.degree - 1
+	midKey := child.keys[mid]
+	right := &btreeNode{keys: append([]btreeKey(nil), child.keys[mid+1:]...)}
+	if !child.leaf() {
+		right.children = append([]*btreeNode(nil), child.children[mid+1:]...)
+		child.children = child.children[:mid+1]
+	}
+	child.keys = child.keys[:mid]
+
+	n.keys = append(n.keys, btreeKey{})
+	copy(n.keys[i+1:], n.keys[i:])
+	n.keys[i] = midKey
+	n.children = append(n.children, nil)
+	copy(n.children[i+2:], n.children[i+1:])
+	n.children[i+1] = right
+}
+
+// contains reports whether the exact entry exists.
+func (t *btree) contains(k btreeKey) bool {
+	n := t.root
+	for {
+		i := n.search(k)
+		if i < len(n.keys) && !k.less(n.keys[i]) && !n.keys[i].less(k) {
+			return true
+		}
+		if n.leaf() {
+			return false
+		}
+		n = n.children[i]
+	}
+}
+
+// delete removes the exact entry if present, returning whether it was found.
+// Deletion uses the standard CLRS algorithm, rebalancing on descent so that
+// every visited node (except the root) has at least t keys.
+func (t *btree) delete(val Value, row int64) bool {
+	k := btreeKey{val: val, row: row}
+	if !t.contains(k) {
+		return false
+	}
+	t.deleteFrom(t.root, k)
+	if len(t.root.keys) == 0 && !t.root.leaf() {
+		t.root = t.root.children[0]
+	}
+	t.size--
+	return true
+}
+
+func (t *btree) deleteFrom(n *btreeNode, k btreeKey) {
+	i := n.search(k)
+	found := i < len(n.keys) && !k.less(n.keys[i]) && !n.keys[i].less(k)
+	if n.leaf() {
+		if found {
+			n.keys = append(n.keys[:i], n.keys[i+1:]...)
+		}
+		return
+	}
+	if found {
+		// Replace with predecessor or successor, or merge.
+		if len(n.children[i].keys) >= t.degree {
+			pred := n.children[i]
+			for !pred.leaf() {
+				pred = pred.children[len(pred.children)-1]
+			}
+			n.keys[i] = pred.keys[len(pred.keys)-1]
+			t.deleteFrom(n.children[i], n.keys[i])
+			return
+		}
+		if len(n.children[i+1].keys) >= t.degree {
+			succ := n.children[i+1]
+			for !succ.leaf() {
+				succ = succ.children[0]
+			}
+			n.keys[i] = succ.keys[0]
+			t.deleteFrom(n.children[i+1], n.keys[i])
+			return
+		}
+		t.mergeChildren(n, i)
+		t.deleteFrom(n.children[i], k)
+		return
+	}
+	// Descend, topping up the child first if it is minimal.
+	child := n.children[i]
+	if len(child.keys) == t.degree-1 {
+		switch {
+		case i > 0 && len(n.children[i-1].keys) >= t.degree:
+			// Borrow from left sibling.
+			left := n.children[i-1]
+			child.keys = append([]btreeKey{n.keys[i-1]}, child.keys...)
+			n.keys[i-1] = left.keys[len(left.keys)-1]
+			left.keys = left.keys[:len(left.keys)-1]
+			if !left.leaf() {
+				child.children = append([]*btreeNode{left.children[len(left.children)-1]}, child.children...)
+				left.children = left.children[:len(left.children)-1]
+			}
+		case i < len(n.children)-1 && len(n.children[i+1].keys) >= t.degree:
+			// Borrow from right sibling.
+			right := n.children[i+1]
+			child.keys = append(child.keys, n.keys[i])
+			n.keys[i] = right.keys[0]
+			right.keys = right.keys[1:]
+			if !right.leaf() {
+				child.children = append(child.children, right.children[0])
+				right.children = right.children[1:]
+			}
+		case i > 0:
+			t.mergeChildren(n, i-1)
+			child = n.children[i-1]
+		default:
+			t.mergeChildren(n, i)
+		}
+	}
+	t.deleteFrom(child, k)
+}
+
+// mergeChildren merges child i, separator key i and child i+1 of n.
+func (t *btree) mergeChildren(n *btreeNode, i int) {
+	left, right := n.children[i], n.children[i+1]
+	left.keys = append(left.keys, n.keys[i])
+	left.keys = append(left.keys, right.keys...)
+	if !left.leaf() {
+		left.children = append(left.children, right.children...)
+	}
+	n.keys = append(n.keys[:i], n.keys[i+1:]...)
+	n.children = append(n.children[:i+1], n.children[i+2:]...)
+}
+
+// ascendRange streams entries with lo <= value <= hi (nil bounds are open)
+// in order, calling fn(value, rowID); returning false stops the walk.
+func (t *btree) ascendRange(lo, hi *Value, fn func(Value, int64) bool) {
+	t.walk(t.root, lo, hi, fn)
+}
+
+func (t *btree) walk(n *btreeNode, lo, hi *Value, fn func(Value, int64) bool) bool {
+	start := 0
+	if lo != nil {
+		start = n.search(btreeKey{val: *lo, row: -1 << 62})
+	}
+	for i := start; i <= len(n.keys); i++ {
+		if !n.leaf() {
+			if !t.walk(n.children[i], lo, hi, fn) {
+				return false
+			}
+		}
+		if i == len(n.keys) {
+			break
+		}
+		k := n.keys[i]
+		if hi != nil && k.val.Compare(*hi) > 0 {
+			return false
+		}
+		if lo == nil || k.val.Compare(*lo) >= 0 {
+			if !fn(k.val, k.row) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// len returns the number of entries.
+func (t *btree) len() int { return t.size }
+
+// checkInvariants verifies B-tree structural invariants; used by tests.
+func (t *btree) checkInvariants() error {
+	var prev *btreeKey
+	var depthSeen = -1
+	var check func(n *btreeNode, depth int, isRoot bool) error
+	check = func(n *btreeNode, depth int, isRoot bool) error {
+		if !isRoot && len(n.keys) < t.degree-1 {
+			return fmt.Errorf("node underflow: %d keys at depth %d", len(n.keys), depth)
+		}
+		if len(n.keys) > t.maxKeys() {
+			return fmt.Errorf("node overflow: %d keys", len(n.keys))
+		}
+		if n.leaf() {
+			if depthSeen == -1 {
+				depthSeen = depth
+			} else if depth != depthSeen {
+				return fmt.Errorf("leaves at different depths: %d vs %d", depth, depthSeen)
+			}
+			for i := range n.keys {
+				if prev != nil && !prev.less(n.keys[i]) {
+					return fmt.Errorf("keys out of order")
+				}
+				k := n.keys[i]
+				prev = &k
+			}
+			return nil
+		}
+		if len(n.children) != len(n.keys)+1 {
+			return fmt.Errorf("child count %d != keys+1 (%d)", len(n.children), len(n.keys)+1)
+		}
+		for i := 0; i <= len(n.keys); i++ {
+			if err := check(n.children[i], depth+1, false); err != nil {
+				return err
+			}
+			if i < len(n.keys) {
+				if prev != nil && !prev.less(n.keys[i]) {
+					return fmt.Errorf("separator out of order")
+				}
+				k := n.keys[i]
+				prev = &k
+			}
+		}
+		return nil
+	}
+	return check(t.root, 0, true)
+}

@@ -1,0 +1,189 @@
+package relstore
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func TestBTreeInsertSearchDelete(t *testing.T) {
+	bt, err := newBTree(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		bt.insert(IntVal(int64(i%10)), int64(i))
+	}
+	if bt.len() != 100 {
+		t.Fatalf("len = %d, want 100", bt.len())
+	}
+	if err := bt.checkInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	// Duplicates are ignored.
+	bt.insert(IntVal(3), 3)
+	if bt.len() != 100 {
+		t.Errorf("duplicate insert changed len to %d", bt.len())
+	}
+	// Range scan over value 3: rows 3, 13, ..., 93.
+	var rows []int64
+	lo, hi := IntVal(3), IntVal(3)
+	bt.ascendRange(&lo, &hi, func(v Value, row int64) bool {
+		rows = append(rows, row)
+		return true
+	})
+	if len(rows) != 10 || rows[0] != 3 || rows[9] != 93 {
+		t.Errorf("rows for value 3 = %v", rows)
+	}
+	if !bt.delete(IntVal(3), 13) {
+		t.Error("delete of existing entry must return true")
+	}
+	if bt.delete(IntVal(3), 13) {
+		t.Error("second delete must return false")
+	}
+	if err := bt.checkInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBTreeRejectsTinyDegree(t *testing.T) {
+	if _, err := newBTree(1); err == nil {
+		t.Error("degree 1 must fail")
+	}
+}
+
+// TestBTreeMatchesSortedSliceModel drives random inserts/deletes against a
+// sorted-slice oracle and compares full scans and range scans.
+func TestBTreeMatchesSortedSliceModel(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	for trial := 0; trial < 20; trial++ {
+		degree := 2 + rng.Intn(6)
+		bt, err := newBTree(degree)
+		if err != nil {
+			t.Fatal(err)
+		}
+		type entry struct {
+			v   int64
+			row int64
+		}
+		var model []entry
+		has := func(v, row int64) bool {
+			for _, e := range model {
+				if e.v == v && e.row == row {
+					return true
+				}
+			}
+			return false
+		}
+		for op := 0; op < 400; op++ {
+			v := int64(rng.Intn(40))
+			row := int64(rng.Intn(20))
+			if rng.Intn(3) == 0 {
+				got := bt.delete(IntVal(v), row)
+				want := has(v, row)
+				if got != want {
+					t.Fatalf("delete(%d,%d) = %v, want %v", v, row, got, want)
+				}
+				if want {
+					for i, e := range model {
+						if e.v == v && e.row == row {
+							model = append(model[:i], model[i+1:]...)
+							break
+						}
+					}
+				}
+			} else {
+				bt.insert(IntVal(v), row)
+				if !has(v, row) {
+					model = append(model, entry{v, row})
+				}
+			}
+			if op%50 == 0 {
+				if err := bt.checkInvariants(); err != nil {
+					t.Fatalf("trial %d op %d: %v", trial, op, err)
+				}
+			}
+		}
+		if bt.len() != len(model) {
+			t.Fatalf("len = %d, model = %d", bt.len(), len(model))
+		}
+		// Full ordered scan must equal the sorted model.
+		sort.Slice(model, func(i, j int) bool {
+			if model[i].v != model[j].v {
+				return model[i].v < model[j].v
+			}
+			return model[i].row < model[j].row
+		})
+		var got []entry
+		bt.ascendRange(nil, nil, func(v Value, row int64) bool {
+			got = append(got, entry{v.I, row})
+			return true
+		})
+		if len(got) != len(model) {
+			t.Fatalf("scan %d entries, model %d", len(got), len(model))
+		}
+		for i := range got {
+			if got[i] != model[i] {
+				t.Fatalf("scan[%d] = %+v, model %+v", i, got[i], model[i])
+			}
+		}
+		// Random range scans.
+		for r := 0; r < 10; r++ {
+			a, b := int64(rng.Intn(40)), int64(rng.Intn(40))
+			if a > b {
+				a, b = b, a
+			}
+			loV, hiV := IntVal(a), IntVal(b)
+			var rangeGot []entry
+			bt.ascendRange(&loV, &hiV, func(v Value, row int64) bool {
+				rangeGot = append(rangeGot, entry{v.I, row})
+				return true
+			})
+			var rangeWant []entry
+			for _, e := range model {
+				if e.v >= a && e.v <= b {
+					rangeWant = append(rangeWant, e)
+				}
+			}
+			if len(rangeGot) != len(rangeWant) {
+				t.Fatalf("range [%d,%d]: got %d want %d", a, b, len(rangeGot), len(rangeWant))
+			}
+			for i := range rangeGot {
+				if rangeGot[i] != rangeWant[i] {
+					t.Fatalf("range [%d,%d][%d]: got %+v want %+v", a, b, i, rangeGot[i], rangeWant[i])
+				}
+			}
+		}
+	}
+}
+
+func TestBTreeEarlyStop(t *testing.T) {
+	bt, _ := newBTree(3)
+	for i := 0; i < 50; i++ {
+		bt.insert(IntVal(int64(i)), int64(i))
+	}
+	count := 0
+	bt.ascendRange(nil, nil, func(Value, int64) bool {
+		count++
+		return count < 7
+	})
+	if count != 7 {
+		t.Errorf("early stop after %d entries, want 7", count)
+	}
+}
+
+func TestBTreeTextKeys(t *testing.T) {
+	bt, _ := newBTree(2)
+	words := []string{"taverna", "bar", "museum", "beach", "cafe", "hotel"}
+	for i, w := range words {
+		bt.insert(TextVal(w), int64(i))
+	}
+	var got []string
+	bt.ascendRange(nil, nil, func(v Value, _ int64) bool {
+		got = append(got, v.S)
+		return true
+	})
+	if !sort.StringsAreSorted(got) {
+		t.Errorf("text keys out of order: %v", got)
+	}
+}

@@ -1,0 +1,255 @@
+package relstore
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"modissense/internal/geo"
+)
+
+// Op enumerates predicate operators.
+type Op int
+
+// Predicate operators.
+const (
+	Eq Op = iota
+	Lt
+	Le
+	Gt
+	Ge
+	// ContainsWord matches Text columns holding space-separated word lists
+	// (the POI keyword column); the operand must be a single word.
+	ContainsWord
+)
+
+// Predicate is one WHERE condition on a column.
+type Predicate struct {
+	Column string
+	Op     Op
+	Arg    Value
+}
+
+// Query is a single-table SELECT: conjunctive predicates, optional spatial
+// containment, ordering and limit.
+type Query struct {
+	// Where predicates are ANDed.
+	Where []Predicate
+	// Within, when non-nil, restricts rows to the bounding box using the
+	// table's spatial index (or a filtered scan when absent).
+	Within *geo.Rect
+	// OrderBy names the sort column ("" keeps primary-key order).
+	OrderBy string
+	// Desc reverses the sort order.
+	Desc bool
+	// Limit caps the result (0 = unlimited).
+	Limit int
+}
+
+// ExplainInfo reports the access path the planner chose — tests and the
+// schema-ablation experiment assert on it.
+type ExplainInfo struct {
+	// Access is "index:<column>", "spatial", or "fullscan".
+	Access string
+	// RowsExamined counts rows fetched before residual filtering.
+	RowsExamined int
+}
+
+// Select plans and executes the query, returning copies of matching rows.
+func (t *Table) Select(q Query) ([]Row, ExplainInfo, error) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+
+	info := ExplainInfo{}
+	// Type-check predicates before execution.
+	for _, p := range q.Where {
+		ci := t.schema.ColIndex(p.Column)
+		if ci < 0 {
+			return nil, info, fmt.Errorf("relstore: unknown column %q", p.Column)
+		}
+		colType := t.schema.Columns[ci].Type
+		if p.Op == ContainsWord {
+			if colType != Text || p.Arg.Type != Text {
+				return nil, info, fmt.Errorf("relstore: ContainsWord requires Text column and argument")
+			}
+			continue
+		}
+		if p.Arg.Type != colType {
+			return nil, info, fmt.Errorf("relstore: predicate on %q mixes %s with %s", p.Column, colType, p.Arg.Type)
+		}
+	}
+	if q.OrderBy != "" && t.schema.ColIndex(q.OrderBy) < 0 {
+		return nil, info, fmt.Errorf("relstore: unknown ORDER BY column %q", q.OrderBy)
+	}
+
+	candidateIDs, access := t.planAccess(q)
+	info.Access = access
+	info.RowsExamined = len(candidateIDs)
+
+	// Residual filter.
+	var out []Row
+	for _, id := range candidateIDs {
+		row := t.rows[id]
+		if t.matches(row, q) {
+			out = append(out, append(Row(nil), row...))
+		}
+	}
+
+	// Order.
+	if q.OrderBy != "" {
+		ci := t.schema.ColIndex(q.OrderBy)
+		sort.SliceStable(out, func(i, j int) bool {
+			c := out[i][ci].Compare(out[j][ci])
+			if q.Desc {
+				return c > 0
+			}
+			return c < 0
+		})
+	} else if q.Desc {
+		for i, j := 0, len(out)-1; i < j; i, j = i+1, j-1 {
+			out[i], out[j] = out[j], out[i]
+		}
+	}
+	if q.Limit > 0 && len(out) > q.Limit {
+		out = out[:q.Limit]
+	}
+	return out, info, nil
+}
+
+// planAccess picks the cheapest access path: an equality B-tree probe if
+// available, then a (possibly double-bounded) B-tree range combining every
+// range predicate on one indexed column, then the spatial index if the
+// query has a bounding box, else a full scan.
+func (t *Table) planAccess(q Query) ([]int64, string) {
+	// Prefer an equality predicate on an indexed column.
+	for i := range q.Where {
+		p := &q.Where[i]
+		if p.Op != Eq {
+			continue
+		}
+		idx, ok := t.indexes[p.Column]
+		if !ok {
+			continue
+		}
+		var ids []int64
+		idx.ascendRange(&p.Arg, &p.Arg, func(_ Value, row int64) bool {
+			ids = append(ids, row)
+			return true
+		})
+		return ids, "index:" + p.Column
+	}
+	// Combine all range predicates per indexed column into [lo, hi] and
+	// pick the first column that has any bound. Strict bounds (Lt/Gt) keep
+	// the boundary value in the candidate set; the residual filter removes
+	// it — the usual index-scan-plus-filter contract.
+	var rangeCol string
+	var lo, hi *Value
+	for i := range q.Where {
+		p := &q.Where[i]
+		if p.Op == Eq || p.Op == ContainsWord {
+			continue
+		}
+		if _, ok := t.indexes[p.Column]; !ok {
+			continue
+		}
+		if rangeCol == "" {
+			rangeCol = p.Column
+		}
+		if p.Column != rangeCol {
+			continue
+		}
+		arg := p.Arg
+		switch p.Op {
+		case Lt, Le:
+			if hi == nil || arg.Compare(*hi) < 0 {
+				hi = &arg
+			}
+		case Gt, Ge:
+			if lo == nil || arg.Compare(*lo) > 0 {
+				lo = &arg
+			}
+		}
+	}
+	if rangeCol != "" {
+		idx := t.indexes[rangeCol]
+		var ids []int64
+		idx.ascendRange(lo, hi, func(_ Value, row int64) bool {
+			ids = append(ids, row)
+			return true
+		})
+		return ids, "index:" + rangeCol
+	}
+	if q.Within != nil && t.spatial != nil {
+		ids := t.spatial.tree.Search(nil, *q.Within)
+		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+		return ids, "spatial"
+	}
+	return t.scanAllIDs(), "fullscan"
+}
+
+// matches evaluates all residual predicates on a row.
+func (t *Table) matches(row Row, q Query) bool {
+	for _, p := range q.Where {
+		ci := t.schema.ColIndex(p.Column)
+		v := row[ci]
+		switch p.Op {
+		case Eq:
+			if v.Compare(p.Arg) != 0 {
+				return false
+			}
+		case Lt:
+			if v.Compare(p.Arg) >= 0 {
+				return false
+			}
+		case Le:
+			if v.Compare(p.Arg) > 0 {
+				return false
+			}
+		case Gt:
+			if v.Compare(p.Arg) <= 0 {
+				return false
+			}
+		case Ge:
+			if v.Compare(p.Arg) < 0 {
+				return false
+			}
+		case ContainsWord:
+			if !containsWord(v.S, p.Arg.S) {
+				return false
+			}
+		}
+	}
+	if q.Within != nil {
+		if t.spatial == nil {
+			// Without a spatial index the bounding box is evaluated on the
+			// conventional lat/lon columns when present.
+			latCI := t.schema.ColIndex("lat")
+			lonCI := t.schema.ColIndex("lon")
+			if latCI < 0 || lonCI < 0 {
+				return false
+			}
+			if !q.Within.Contains(geo.Point{Lat: row[latCI].F, Lon: row[lonCI].F}) {
+				return false
+			}
+		} else if !q.Within.Contains(geo.Point{Lat: row[t.spatial.latCol].F, Lon: row[t.spatial.lonCol].F}) {
+			return false
+		}
+	}
+	return true
+}
+
+func containsWord(words, w string) bool {
+	for len(words) > 0 {
+		i := strings.IndexByte(words, ' ')
+		var tok string
+		if i < 0 {
+			tok, words = words, ""
+		} else {
+			tok, words = words[:i], words[i+1:]
+		}
+		if tok == w {
+			return true
+		}
+	}
+	return false
+}

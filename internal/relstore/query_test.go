@@ -1,0 +1,257 @@
+package relstore
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"modissense/internal/geo"
+)
+
+// TestDoubleBoundedRangeUsesOneIndexScan verifies the planner folds
+// Ge+Le (and Gt/Lt) predicates on one indexed column into a single
+// bounded B-tree range.
+func TestDoubleBoundedRangeUsesOneIndexScan(t *testing.T) {
+	tbl := newPOITable(t)
+	if err := tbl.CreateIndex("hotness"); err != nil {
+		t.Fatal(err)
+	}
+	for i := int64(0); i < 100; i++ {
+		if err := tbl.Insert(poiRow(i, fmt.Sprintf("p%d", i), 37, 23, "x", float64(i)/100, 0)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rows, info, err := tbl.Select(Query{Where: []Predicate{
+		{Column: "hotness", Op: Ge, Arg: FloatVal(0.30)},
+		{Column: "hotness", Op: Le, Arg: FloatVal(0.39)},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Access != "index:hotness" {
+		t.Errorf("access = %q", info.Access)
+	}
+	if len(rows) != 10 {
+		t.Errorf("rows = %d, want 10", len(rows))
+	}
+	// Both bounds applied at the index: candidates must not include the
+	// whole table.
+	if info.RowsExamined != 10 {
+		t.Errorf("rows examined = %d, want 10 (double-bounded scan)", info.RowsExamined)
+	}
+	// Strict bounds still return correct results (boundary removed by the
+	// residual filter even though the index scan included it).
+	rows, info, err = tbl.Select(Query{Where: []Predicate{
+		{Column: "hotness", Op: Gt, Arg: FloatVal(0.30)},
+		{Column: "hotness", Op: Lt, Arg: FloatVal(0.39)},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 8 {
+		t.Errorf("strict-bounds rows = %d, want 8", len(rows))
+	}
+	// Contradictory bounds return nothing.
+	rows, _, err = tbl.Select(Query{Where: []Predicate{
+		{Column: "hotness", Op: Ge, Arg: FloatVal(0.9)},
+		{Column: "hotness", Op: Le, Arg: FloatVal(0.1)},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 0 {
+		t.Errorf("contradictory bounds returned %d rows", len(rows))
+	}
+}
+
+// TestSelectMatchesFullScanOracle cross-checks arbitrary indexed queries
+// against the same query on an unindexed copy of the table.
+func TestSelectMatchesFullScanOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(91))
+	indexed := newPOITable(t)
+	plain := newPOITable(t)
+	if err := indexed.CreateIndex("hotness"); err != nil {
+		t.Fatal(err)
+	}
+	if err := indexed.CreateIndex("name"); err != nil {
+		t.Fatal(err)
+	}
+	for i := int64(0); i < 300; i++ {
+		row := poiRow(i, fmt.Sprintf("poi-%03d", rng.Intn(50)), 37, 23, "kw", rng.Float64(), rng.Float64())
+		if err := indexed.Insert(row); err != nil {
+			t.Fatal(err)
+		}
+		if err := plain.Insert(row); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ops := []Op{Eq, Lt, Le, Gt, Ge}
+	for trial := 0; trial < 100; trial++ {
+		var preds []Predicate
+		for n := 0; n < 1+rng.Intn(2); n++ {
+			if rng.Intn(2) == 0 {
+				preds = append(preds, Predicate{
+					Column: "hotness", Op: ops[rng.Intn(len(ops))], Arg: FloatVal(rng.Float64()),
+				})
+			} else {
+				preds = append(preds, Predicate{
+					Column: "name", Op: ops[rng.Intn(len(ops))], Arg: TextVal(fmt.Sprintf("poi-%03d", rng.Intn(50))),
+				})
+			}
+		}
+		q := Query{Where: preds, OrderBy: "id"}
+		a, infoA, err := indexed.Select(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, infoB, err := plain.Select(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if infoB.Access != "fullscan" {
+			t.Fatalf("oracle must fullscan, got %s", infoB.Access)
+		}
+		if len(a) != len(b) {
+			t.Fatalf("trial %d (%v, %s): indexed %d rows, oracle %d", trial, preds, infoA.Access, len(a), len(b))
+		}
+		for i := range a {
+			if a[i][0].I != b[i][0].I {
+				t.Fatalf("trial %d row %d: id %d vs %d", trial, i, a[i][0].I, b[i][0].I)
+			}
+		}
+	}
+}
+
+// TestBTreeInsertDeleteQuick drives the index through testing/quick.
+func TestBTreeInsertDeleteQuick(t *testing.T) {
+	f := func(values []int16, deletions []int16) bool {
+		bt, err := newBTree(3)
+		if err != nil {
+			return false
+		}
+		present := map[int64]bool{}
+		for _, v := range values {
+			bt.insert(IntVal(int64(v)), int64(v))
+			present[int64(v)] = true
+		}
+		for _, d := range deletions {
+			got := bt.delete(IntVal(int64(d)), int64(d))
+			if got != present[int64(d)] {
+				return false
+			}
+			delete(present, int64(d))
+		}
+		if bt.len() != len(present) {
+			return false
+		}
+		return bt.checkInvariants() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGroupByAggregates(t *testing.T) {
+	tbl := newPOITable(t)
+	data := []struct {
+		id  int64
+		cat string
+		hot float64
+	}{
+		{1, "restaurant", 0.9}, {2, "restaurant", 0.5}, {3, "restaurant", 0.1},
+		{4, "bar", 0.8}, {5, "bar", 0.2},
+		{6, "museum", 0.6},
+	}
+	for _, d := range data {
+		if err := tbl.Insert(poiRow(d.id, d.cat, 37, 23, d.cat, d.hot, 0)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rows, err := tbl.GroupBy(Query{}, "name", []Aggregation{
+		{Func: Count},
+		{Func: Avg, Column: "hotness"},
+		{Func: Min, Column: "hotness"},
+		{Func: Max, Column: "hotness"},
+		{Func: Sum, Column: "hotness"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("groups = %d, want 3", len(rows))
+	}
+	// Sorted by key: bar, museum, restaurant.
+	bar := rows[0]
+	if bar.Key.S != "bar" || bar.Values[0] != 2 || !close(bar.Values[1], 0.5) || bar.Values[2] != 0.2 || bar.Values[3] != 0.8 || !close(bar.Values[4], 1.0) {
+		t.Errorf("bar group = %+v", bar)
+	}
+	rest := rows[2]
+	if rest.Key.S != "restaurant" || rest.Values[0] != 3 || !close(rest.Values[1], 0.5) {
+		t.Errorf("restaurant group = %+v", rest)
+	}
+
+	// Filtered global aggregate (no group column).
+	global, err := tbl.GroupBy(Query{Where: []Predicate{{Column: "hotness", Op: Ge, Arg: FloatVal(0.5)}}}, "", []Aggregation{{Func: Count}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(global) != 1 || global[0].Values[0] != 4 {
+		t.Errorf("global = %+v", global)
+	}
+
+	// Validation.
+	if _, err := tbl.GroupBy(Query{}, "name", nil); err == nil {
+		t.Error("no aggregations must fail")
+	}
+	if _, err := tbl.GroupBy(Query{}, "ghost", []Aggregation{{Func: Count}}); err == nil {
+		t.Error("unknown group column must fail")
+	}
+	if _, err := tbl.GroupBy(Query{}, "name", []Aggregation{{Func: Avg, Column: "ghost"}}); err == nil {
+		t.Error("unknown aggregate column must fail")
+	}
+	if _, err := tbl.GroupBy(Query{}, "name", []Aggregation{{Func: Avg, Column: "name"}}); err == nil {
+		t.Error("AVG over text must fail")
+	}
+	// Empty table → no groups.
+	empty := newPOITable(t)
+	none, err := empty.GroupBy(Query{}, "name", []Aggregation{{Func: Count}})
+	if err != nil || len(none) != 0 {
+		t.Errorf("empty table groups = %v, %v", none, err)
+	}
+}
+
+func close(a, b float64) bool { d := a - b; return d < 1e-9 && d > -1e-9 }
+
+func BenchmarkSelectSpatialKeyword(b *testing.B) {
+	tbl := newPOITable(b)
+	rng := rand.New(rand.NewSource(6))
+	for i := int64(0); i < 8500; i++ {
+		lat := 34.8 + rng.Float64()*7
+		lon := 19.3 + rng.Float64()*9
+		kw := []string{"restaurant food", "bar drinks", "museum history"}[rng.Intn(3)]
+		if err := tbl.Insert(poiRow(i, fmt.Sprintf("poi-%d", i), lat, lon, kw, rng.Float64(), 0)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := tbl.CreateSpatialIndex("lat", "lon"); err != nil {
+		b.Fatal(err)
+	}
+	if err := tbl.CreateIndex("hotness"); err != nil {
+		b.Fatal(err)
+	}
+	box := geo.RectAround(geo.Point{Lat: 37.98, Lon: 23.72}, 50000)
+	q := Query{
+		Within:  &box,
+		Where:   []Predicate{{Column: "keywords", Op: ContainsWord, Arg: TextVal("restaurant")}},
+		OrderBy: "hotness",
+		Desc:    true,
+		Limit:   10,
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := tbl.Select(q); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

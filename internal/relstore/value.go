@@ -1,0 +1,178 @@
+// Package relstore implements the relational substrate of the platform: an
+// in-memory, typed, indexed table store playing the role PostgreSQL plays in
+// the original MoDisSENSE deployment. The POI and Blogs repositories live
+// here because they serve heavy random-access read loads with rich
+// predicates (spatial containment, keyword membership, ordering by computed
+// scores) and only light write traffic.
+//
+// The store provides B-tree secondary indexes, an R-tree spatial index and
+// a small planner that picks the cheapest access path for a query.
+package relstore
+
+import (
+	"fmt"
+	"strings"
+)
+
+// ColType enumerates the supported column types.
+type ColType int
+
+// Supported column types.
+const (
+	Int ColType = iota
+	Float
+	Text
+	Bool
+)
+
+// String implements fmt.Stringer.
+func (t ColType) String() string {
+	switch t {
+	case Int:
+		return "INT"
+	case Float:
+		return "FLOAT"
+	case Text:
+		return "TEXT"
+	case Bool:
+		return "BOOL"
+	default:
+		return fmt.Sprintf("ColType(%d)", int(t))
+	}
+}
+
+// Value is a dynamically typed cell value. Exactly one use-pattern is
+// supported per type: Int → int64, Float → float64, Text → string,
+// Bool → bool.
+type Value struct {
+	Type ColType
+	I    int64
+	F    float64
+	S    string
+	B    bool
+}
+
+// IntVal builds an Int value.
+func IntVal(v int64) Value { return Value{Type: Int, I: v} }
+
+// FloatVal builds a Float value.
+func FloatVal(v float64) Value { return Value{Type: Float, F: v} }
+
+// TextVal builds a Text value.
+func TextVal(v string) Value { return Value{Type: Text, S: v} }
+
+// BoolVal builds a Bool value.
+func BoolVal(v bool) Value { return Value{Type: Bool, B: v} }
+
+// String implements fmt.Stringer.
+func (v Value) String() string {
+	switch v.Type {
+	case Int:
+		return fmt.Sprintf("%d", v.I)
+	case Float:
+		return fmt.Sprintf("%g", v.F)
+	case Text:
+		return v.S
+	case Bool:
+		return fmt.Sprintf("%t", v.B)
+	default:
+		return "?"
+	}
+}
+
+// Compare orders two values of the same type: -1, 0, +1. Comparing values
+// of different types is a programming error and panics, matching the
+// planner's invariant that predicates are type-checked before execution.
+func (v Value) Compare(o Value) int {
+	if v.Type != o.Type {
+		panic(fmt.Sprintf("relstore: comparing %s with %s", v.Type, o.Type))
+	}
+	switch v.Type {
+	case Int:
+		switch {
+		case v.I < o.I:
+			return -1
+		case v.I > o.I:
+			return 1
+		}
+		return 0
+	case Float:
+		switch {
+		case v.F < o.F:
+			return -1
+		case v.F > o.F:
+			return 1
+		}
+		return 0
+	case Text:
+		return strings.Compare(v.S, o.S)
+	case Bool:
+		switch {
+		case !v.B && o.B:
+			return -1
+		case v.B && !o.B:
+			return 1
+		}
+		return 0
+	default:
+		panic(fmt.Sprintf("relstore: unknown type %d", v.Type))
+	}
+}
+
+// Column describes one table column.
+type Column struct {
+	Name string
+	Type ColType
+}
+
+// Schema is an ordered column list. The first column is always the primary
+// key and must be of type Int.
+type Schema struct {
+	Columns []Column
+	byName  map[string]int
+}
+
+// NewSchema validates and builds a schema.
+func NewSchema(cols ...Column) (*Schema, error) {
+	if len(cols) == 0 {
+		return nil, fmt.Errorf("relstore: schema needs at least one column")
+	}
+	if cols[0].Type != Int {
+		return nil, fmt.Errorf("relstore: primary key column %q must be Int", cols[0].Name)
+	}
+	s := &Schema{Columns: cols, byName: make(map[string]int, len(cols))}
+	for i, c := range cols {
+		if c.Name == "" {
+			return nil, fmt.Errorf("relstore: column %d has empty name", i)
+		}
+		if _, dup := s.byName[c.Name]; dup {
+			return nil, fmt.Errorf("relstore: duplicate column %q", c.Name)
+		}
+		s.byName[c.Name] = i
+	}
+	return s, nil
+}
+
+// ColIndex returns the position of the named column, or -1.
+func (s *Schema) ColIndex(name string) int {
+	if i, ok := s.byName[name]; ok {
+		return i
+	}
+	return -1
+}
+
+// Row is one tuple, positionally matching the schema.
+type Row []Value
+
+// validate checks a row against the schema.
+func (s *Schema) validate(r Row) error {
+	if len(r) != len(s.Columns) {
+		return fmt.Errorf("relstore: row has %d values, schema has %d columns", len(r), len(s.Columns))
+	}
+	for i, v := range r {
+		if v.Type != s.Columns[i].Type {
+			return fmt.Errorf("relstore: column %q expects %s, got %s", s.Columns[i].Name, s.Columns[i].Type, v.Type)
+		}
+	}
+	return nil
+}

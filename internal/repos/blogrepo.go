@@ -1,0 +1,166 @@
+package repos
+
+import (
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"modissense/internal/model"
+	"modissense/internal/relstore"
+	"modissense/internal/trajectory"
+)
+
+// BlogsRepo stores generated daily blogs on the relational store: blogs
+// are frequently queried by users but rarely updated, the same access
+// profile as POIs.
+type BlogsRepo struct {
+	table  *relstore.Table
+	nextID atomic.Int64
+}
+
+const (
+	blogColID = iota
+	blogColUser
+	blogColDay // days since epoch, UTC
+	blogColTitle
+	blogColRendered
+	blogColEntries // JSON-encoded visits for re-editing
+	blogColShared
+)
+
+// NewBlogsRepo creates the repository with an index on the owning user.
+func NewBlogsRepo(db *relstore.DB) (*BlogsRepo, error) {
+	schema, err := relstore.NewSchema(
+		relstore.Column{Name: "id", Type: relstore.Int},
+		relstore.Column{Name: "user_id", Type: relstore.Int},
+		relstore.Column{Name: "day", Type: relstore.Int},
+		relstore.Column{Name: "title", Type: relstore.Text},
+		relstore.Column{Name: "rendered", Type: relstore.Text},
+		relstore.Column{Name: "entries", Type: relstore.Text},
+		relstore.Column{Name: "shared", Type: relstore.Bool},
+	)
+	if err != nil {
+		return nil, err
+	}
+	table, err := db.CreateTable("blogs", schema)
+	if err != nil {
+		return nil, err
+	}
+	if err := table.CreateIndex("user_id"); err != nil {
+		return nil, err
+	}
+	return &BlogsRepo{table: table}, nil
+}
+
+// StoredBlog is the repository view of a blog.
+type StoredBlog struct {
+	ID       int64              `json:"id"`
+	UserID   int64              `json:"user_id"`
+	Day      time.Time          `json:"day"`
+	Title    string             `json:"title"`
+	Rendered string             `json:"rendered"`
+	Entries  []trajectory.Visit `json:"entries"`
+	Shared   bool               `json:"shared"`
+}
+
+func dayNumber(t time.Time) int64 {
+	return t.UTC().Unix() / 86400
+}
+
+// Save persists (or replaces) the blog of (user, day).
+func (r *BlogsRepo) Save(b *trajectory.Blog) (StoredBlog, error) {
+	if b == nil {
+		return StoredBlog{}, fmt.Errorf("repos: nil blog")
+	}
+	existing, ok, err := r.Get(b.UserID, b.Date)
+	if err != nil {
+		return StoredBlog{}, err
+	}
+	id := r.nextID.Add(1)
+	if ok {
+		id = existing.ID
+	}
+	row := relstore.Row{
+		relstore.IntVal(id),
+		relstore.IntVal(b.UserID),
+		relstore.IntVal(dayNumber(b.Date)),
+		relstore.TextVal(b.Title),
+		relstore.TextVal(b.Render()),
+		relstore.TextVal(string(model.EncodeJSON(b.Entries))),
+		relstore.BoolVal(ok && existing.Shared),
+	}
+	if ok {
+		err = r.table.Update(row)
+	} else {
+		err = r.table.Insert(row)
+	}
+	if err != nil {
+		return StoredBlog{}, err
+	}
+	return r.rowToBlog(row)
+}
+
+// Get returns the blog of (user, day) if present.
+func (r *BlogsRepo) Get(userID int64, day time.Time) (StoredBlog, bool, error) {
+	rows, _, err := r.table.Select(relstore.Query{Where: []relstore.Predicate{
+		{Column: "user_id", Op: relstore.Eq, Arg: relstore.IntVal(userID)},
+		{Column: "day", Op: relstore.Eq, Arg: relstore.IntVal(dayNumber(day))},
+	}})
+	if err != nil {
+		return StoredBlog{}, false, err
+	}
+	if len(rows) == 0 {
+		return StoredBlog{}, false, nil
+	}
+	b, err := r.rowToBlog(rows[0])
+	return b, err == nil, err
+}
+
+// ListUser returns all blogs of a user, newest day first.
+func (r *BlogsRepo) ListUser(userID int64) ([]StoredBlog, error) {
+	rows, _, err := r.table.Select(relstore.Query{
+		Where:   []relstore.Predicate{{Column: "user_id", Op: relstore.Eq, Arg: relstore.IntVal(userID)}},
+		OrderBy: "day",
+		Desc:    true,
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := make([]StoredBlog, 0, len(rows))
+	for _, row := range rows {
+		b, err := r.rowToBlog(row)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, b)
+	}
+	return out, nil
+}
+
+// MarkShared flags the blog as posted to a social network.
+func (r *BlogsRepo) MarkShared(blogID int64) error {
+	row, ok := r.table.Get(blogID)
+	if !ok {
+		return fmt.Errorf("repos: no blog %d", blogID)
+	}
+	row[blogColShared] = relstore.BoolVal(true)
+	return r.table.Update(row)
+}
+
+func (r *BlogsRepo) rowToBlog(row relstore.Row) (StoredBlog, error) {
+	var entries []trajectory.Visit
+	if s := row[blogColEntries].S; s != "" && s != "null" {
+		if err := model.DecodeJSON([]byte(s), &entries); err != nil {
+			return StoredBlog{}, err
+		}
+	}
+	return StoredBlog{
+		ID:       row[blogColID].I,
+		UserID:   row[blogColUser].I,
+		Day:      time.Unix(row[blogColDay].I*86400, 0).UTC(),
+		Title:    row[blogColTitle].S,
+		Rendered: row[blogColRendered].S,
+		Entries:  entries,
+		Shared:   row[blogColShared].B,
+	}, nil
+}

@@ -1,0 +1,109 @@
+// Package repos implements the platform's datastore repositories (§2.1 of
+// the paper): POI and Blogs on the relational store, Social-Info, Text,
+// Visits and GPS-Traces on the NoSQL store. It owns the row-key encodings
+// that make range scans line up with the access patterns each repository
+// serves.
+package repos
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Row-key encoding: fixed-width zero-padded decimal fields joined by '|'
+// so that lexicographic order equals numeric order. Visits and GPS rows
+// lead with the user id, clustering each user's history into a contiguous
+// key range — the property the per-region coprocessor gets exploit.
+
+// UserKeyPrefix returns the key prefix of all rows of one user. Exported
+// because the query coprocessors route friends to regions with it.
+func UserKeyPrefix(userID int64) string {
+	return fmt.Sprintf("u%012d|", userID)
+}
+
+// visitRowKey builds a Visits row key: user, time, then a sequence number
+// to keep same-millisecond visits distinct.
+func visitRowKey(userID, timeMillis int64, seq uint32) string {
+	return fmt.Sprintf("u%012d|t%013d|%06d", userID, timeMillis, seq)
+}
+
+// VisitScanBounds returns the [start, stop) row range covering one user's
+// visits within [fromMillis, toMillis]. Exported for the region-local scans
+// the query coprocessors perform.
+func VisitScanBounds(userID, fromMillis, toMillis int64) (string, string) {
+	start := fmt.Sprintf("u%012d|t%013d|", userID, fromMillis)
+	stop := fmt.Sprintf("u%012d|t%013d|", userID, toMillis+1)
+	return start, stop
+}
+
+// parseVisitRowKey decodes a Visits row key.
+func parseVisitRowKey(key string) (userID, timeMillis int64, seq uint32, err error) {
+	parts := strings.Split(key, "|")
+	if len(parts) != 3 || len(parts[0]) != 13 || len(parts[1]) != 14 || len(parts[2]) != 6 {
+		return 0, 0, 0, fmt.Errorf("repos: malformed visit key %q", key)
+	}
+	userID, err = strconv.ParseInt(parts[0][1:], 10, 64)
+	if err != nil {
+		return 0, 0, 0, fmt.Errorf("repos: visit key user %q: %w", key, err)
+	}
+	timeMillis, err = strconv.ParseInt(parts[1][1:], 10, 64)
+	if err != nil {
+		return 0, 0, 0, fmt.Errorf("repos: visit key time %q: %w", key, err)
+	}
+	s, err := strconv.ParseUint(parts[2], 10, 32)
+	if err != nil {
+		return 0, 0, 0, fmt.Errorf("repos: visit key seq %q: %w", key, err)
+	}
+	return userID, timeMillis, uint32(s), nil
+}
+
+// textRowKey builds a Text row key: POI, user, time — "texts are indexed
+// by user, POI and time; for any given POI we are able to retrieve the
+// comments that a specified user made at any given time interval".
+func textRowKey(poiID, userID, timeMillis int64) string {
+	return fmt.Sprintf("p%012d|u%012d|t%013d", poiID, userID, timeMillis)
+}
+
+// textScanBounds covers (poi, user) comments within [from, to].
+func textScanBounds(poiID, userID, fromMillis, toMillis int64) (string, string) {
+	return fmt.Sprintf("p%012d|u%012d|t%013d", poiID, userID, fromMillis),
+		fmt.Sprintf("p%012d|u%012d|t%013d", poiID, userID, toMillis+1)
+}
+
+// gpsRowKey builds a GPS-trace row key: user then time. The repository is
+// scan-only (no secondary indexes), matching the paper's design note.
+func gpsRowKey(userID, timeMillis int64, seq uint32) string {
+	return fmt.Sprintf("u%012d|t%013d|%06d", userID, timeMillis, seq)
+}
+
+// socialRowKey is the Social-Info row for one user.
+func socialRowKey(userID int64) string {
+	return fmt.Sprintf("u%012d", userID)
+}
+
+// userSplitKeys pre-splits a user-keyed table into n contiguous user-id
+// ranges over [1, maxUser], giving every region an equal share of users.
+func userSplitKeys(maxUser int64, n int) []string {
+	if n <= 1 {
+		return nil
+	}
+	keys := make([]string, 0, n-1)
+	for i := 1; i < n; i++ {
+		boundary := maxUser * int64(i) / int64(n)
+		if boundary < 1 {
+			boundary = 1
+		}
+		keys = append(keys, UserKeyPrefix(boundary))
+	}
+	// Deduplicate (tiny maxUser with many regions).
+	out := keys[:0]
+	var prev string
+	for _, k := range keys {
+		if k != prev {
+			out = append(out, k)
+		}
+		prev = k
+	}
+	return out
+}

@@ -1,0 +1,540 @@
+package repos
+
+import (
+	"fmt"
+	"math/rand"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"modissense/internal/geo"
+	"modissense/internal/kvstore"
+	"modissense/internal/model"
+	"modissense/internal/relstore"
+	"modissense/internal/trajectory"
+	"modissense/internal/workload"
+)
+
+func TestKeyEncodingOrderAndRoundTrip(t *testing.T) {
+	// Lexicographic order of encoded keys must equal numeric order.
+	k1 := visitRowKey(5, 1000, 1)
+	k2 := visitRowKey(5, 1001, 0)
+	k3 := visitRowKey(6, 0, 0)
+	k4 := visitRowKey(10, 0, 0)
+	if !(k1 < k2 && k2 < k3 && k3 < k4) {
+		t.Errorf("key order broken: %q %q %q %q", k1, k2, k3, k4)
+	}
+	u, ts, seq, err := parseVisitRowKey(visitRowKey(123456, 98765432100, 42))
+	if err != nil || u != 123456 || ts != 98765432100 || seq != 42 {
+		t.Errorf("round trip = %d %d %d %v", u, ts, seq, err)
+	}
+	if _, _, _, err := parseVisitRowKey("garbage"); err == nil {
+		t.Error("malformed key must fail")
+	}
+	// Scan bounds are inclusive of from and to.
+	start, stop := VisitScanBounds(5, 1000, 2000)
+	if !(start <= visitRowKey(5, 1000, 0) && visitRowKey(5, 2000, 999999) < stop) {
+		t.Error("scan bounds must cover [from,to]")
+	}
+	if visitRowKey(5, 2001, 0) < stop {
+		t.Error("scan bounds must exclude times past to")
+	}
+}
+
+func TestUserSplitKeys(t *testing.T) {
+	keys := userSplitKeys(1000, 4)
+	if len(keys) != 3 {
+		t.Fatalf("got %d split keys", len(keys))
+	}
+	for i := 1; i < len(keys); i++ {
+		if keys[i] <= keys[i-1] {
+			t.Error("split keys must be strictly increasing")
+		}
+	}
+	if got := userSplitKeys(1000, 1); got != nil {
+		t.Errorf("single region needs no splits, got %v", got)
+	}
+	// Tiny population with many regions deduplicates.
+	small := userSplitKeys(2, 8)
+	for i := 1; i < len(small); i++ {
+		if small[i] == small[i-1] {
+			t.Error("duplicate split keys must be removed")
+		}
+	}
+}
+
+func newTestPOIRepo(t testing.TB) (*POIRepo, []model.POI) {
+	t.Helper()
+	db := relstore.NewDB()
+	repo, err := NewPOIRepo(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pois := workload.GenPOIs(rand.New(rand.NewSource(3)), 500)
+	for _, p := range pois {
+		if _, err := repo.Insert(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return repo, pois
+}
+
+func TestPOIRepoInsertGetSearch(t *testing.T) {
+	repo, pois := newTestPOIRepo(t)
+	if repo.Len() != len(pois) {
+		t.Fatalf("len = %d", repo.Len())
+	}
+	got, ok := repo.Get(pois[7].ID)
+	if !ok || got.Name != pois[7].Name || len(got.Keywords) == 0 {
+		t.Errorf("Get = %+v, %v", got, ok)
+	}
+	// Auto-assigned ids.
+	created, err := repo.Insert(model.POI{Name: "event-1", Lat: 37.9, Lon: 23.7, Keywords: []string{"event"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if created.ID <= 1_000_000_000 {
+		t.Errorf("auto id = %d, want above the reserved range start", created.ID)
+	}
+	// Spatial + keyword search.
+	box := geo.RectAround(geo.Point{Lat: 37.9838, Lon: 23.7275}, 20000)
+	results, examined, err := repo.Search(SearchSpec{BBox: &box, Keyword: "restaurant", OrderBy: "hotness", Limit: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if examined == 0 {
+		t.Error("search must report rows examined")
+	}
+	for _, p := range results {
+		if !box.Contains(p.Point()) {
+			t.Errorf("POI %d outside box", p.ID)
+		}
+		found := false
+		for _, k := range p.Keywords {
+			if k == "restaurant" {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("POI %d missing keyword: %v", p.ID, p.Keywords)
+		}
+	}
+	if _, _, err := repo.Search(SearchSpec{OrderBy: "bogus"}); err == nil {
+		t.Error("bad order must fail")
+	}
+	// ResolvePOI implements the collector interface.
+	p, ok := repo.ResolvePOI(model.Checkin{POIID: pois[3].ID})
+	if !ok || p.ID != pois[3].ID {
+		t.Error("ResolvePOI broken")
+	}
+}
+
+func TestPOIRepoUpdateHotInOrdersSearch(t *testing.T) {
+	repo, pois := newTestPOIRepo(t)
+	if err := repo.UpdateHotIn(pois[0].ID, 0.99, 0.7); err != nil {
+		t.Fatal(err)
+	}
+	if err := repo.UpdateHotIn(pois[1].ID, 0.5, 0.9); err != nil {
+		t.Fatal(err)
+	}
+	if err := repo.UpdateHotIn(999999, 1, 1); err == nil {
+		t.Error("missing POI must fail")
+	}
+	results, _, err := repo.Search(SearchSpec{OrderBy: "hotness", Limit: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 1 || results[0].ID != pois[0].ID {
+		t.Errorf("hottest = %+v", results)
+	}
+	results, _, err = repo.Search(SearchSpec{OrderBy: "interest", Limit: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 1 || results[0].ID != pois[1].ID {
+		t.Errorf("most interesting = %+v", results)
+	}
+}
+
+func newTestVisitsRepo(t testing.TB, schema VisitSchema) *VisitsRepo {
+	t.Helper()
+	repo, err := NewVisitsRepo(schema, 1000, 8, 4, kvstore.DefaultStoreOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return repo
+}
+
+func TestVisitsRepoStoreScan(t *testing.T) {
+	for _, schema := range []VisitSchema{SchemaReplicated, SchemaNormalized} {
+		t.Run(schema.String(), func(t *testing.T) {
+			repo := newTestVisitsRepo(t, schema)
+			poi := model.POI{ID: 9, Name: "taverna-9", Lat: 37.9, Lon: 23.7, Keywords: []string{"restaurant"}}
+			base := time.Date(2015, 5, 1, 12, 0, 0, 0, time.UTC)
+			for i := 0; i < 10; i++ {
+				v := model.Visit{
+					UserID: 42, Time: model.Millis(base.Add(time.Duration(i) * time.Hour)),
+					Grade: 4, Network: "facebook", POI: poi,
+				}
+				if err := repo.Store(v); err != nil {
+					t.Fatal(err)
+				}
+			}
+			// Another user's visits must not leak into scans.
+			if err := repo.Store(model.Visit{UserID: 43, Time: model.Millis(base), Grade: 1, POI: poi}); err != nil {
+				t.Fatal(err)
+			}
+			var got []model.Visit
+			err := repo.ScanUser(42, model.Millis(base.Add(2*time.Hour)), model.Millis(base.Add(5*time.Hour)), func(v model.Visit) bool {
+				got = append(got, v)
+				return true
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(got) != 4 {
+				t.Fatalf("scan window returned %d visits, want 4", len(got))
+			}
+			for i, v := range got {
+				if v.UserID != 42 {
+					t.Fatal("foreign visit leaked into scan")
+				}
+				if i > 0 && v.Time < got[i-1].Time {
+					t.Fatal("scan not time-ordered")
+				}
+				if schema == SchemaReplicated {
+					if v.POI.Name != "taverna-9" {
+						t.Error("replicated schema must carry POI info")
+					}
+				} else {
+					if v.POI.Name != "" || v.POI.ID != 9 {
+						t.Errorf("normalized schema must carry only the POI id: %+v", v.POI)
+					}
+				}
+			}
+			total := 0
+			if err := repo.ScanAll(func(model.Visit) bool { total++; return true }); err != nil {
+				t.Fatal(err)
+			}
+			if total != 11 {
+				t.Errorf("ScanAll saw %d visits, want 11", total)
+			}
+		})
+	}
+}
+
+func TestVisitsRepoValidation(t *testing.T) {
+	repo := newTestVisitsRepo(t, SchemaReplicated)
+	if err := repo.Store(model.Visit{UserID: 0, POI: model.POI{ID: 1}}); err == nil {
+		t.Error("invalid user must fail")
+	}
+	if err := repo.Store(model.Visit{UserID: 1}); err == nil {
+		t.Error("missing POI must fail")
+	}
+	if _, err := NewVisitsRepo(SchemaReplicated, 0, 4, 4, kvstore.DefaultStoreOptions()); err == nil {
+		t.Error("bad maxUser must fail")
+	}
+	if _, err := NewVisitsRepo(SchemaReplicated, 100, 0, 4, kvstore.DefaultStoreOptions()); err == nil {
+		t.Error("bad regions must fail")
+	}
+}
+
+func TestVisitsRepoRegionDistribution(t *testing.T) {
+	repo := newTestVisitsRepo(t, SchemaReplicated)
+	if got := repo.Table().NumRegions(); got != 8 {
+		t.Fatalf("regions = %d, want 8", got)
+	}
+	poi := model.POI{ID: 1, Name: "x"}
+	rng := rand.New(rand.NewSource(4))
+	for i := 0; i < 400; i++ {
+		uid := int64(rng.Intn(1000) + 1)
+		if err := repo.Store(model.Visit{UserID: uid, Time: int64(i), Grade: 3, POI: poi}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Every region should hold some data (uniform users over 8 ranges).
+	for _, region := range repo.Table().Regions() {
+		count := 0
+		err := region.Store().Scan(kvstore.ScanOptions{}, func(kvstore.RowResult) bool { count++; return true })
+		if err != nil {
+			t.Fatal(err)
+		}
+		if count == 0 {
+			t.Errorf("region [%q,%q) is empty", region.StartKey, region.EndKey)
+		}
+	}
+}
+
+func TestSocialInfoRepo(t *testing.T) {
+	repo, err := NewSocialInfoRepo(1000, 4, 2, kvstore.DefaultStoreOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	friends := []model.Friend{
+		{ID: 1, Name: "a", Network: "facebook", Avatar: "u1"},
+		{ID: 2, Name: "b", Network: "facebook", Avatar: "u2"},
+		{ID: 3, Name: "c", Network: "twitter", Avatar: "u3"},
+	}
+	if err := repo.StoreFriends(42, friends); err != nil {
+		t.Fatal(err)
+	}
+	fb, err := repo.Friends(42, "facebook")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fb) != 2 {
+		t.Errorf("facebook friends = %d, want 2", len(fb))
+	}
+	all, err := repo.Friends(42, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != 3 {
+		t.Errorf("all friends = %d, want 3", len(all))
+	}
+	// Re-storing replaces (newest version wins).
+	if err := repo.StoreFriends(42, friends[:1]); err != nil {
+		t.Fatal(err)
+	}
+	fb, _ = repo.Friends(42, "facebook")
+	if len(fb) != 1 {
+		t.Errorf("after refresh facebook friends = %d, want 1", len(fb))
+	}
+	if err := repo.StoreFriends(0, friends); err == nil {
+		t.Error("invalid user must fail")
+	}
+	none, err := repo.Friends(999, "")
+	if err != nil || len(none) != 0 {
+		t.Errorf("unknown user friends = %v, %v", none, err)
+	}
+}
+
+func TestTextRepo(t *testing.T) {
+	repo, err := NewTextRepo(10000, 4, 2, kvstore.DefaultStoreOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := time.Date(2015, 5, 1, 0, 0, 0, 0, time.UTC)
+	for i := 0; i < 5; i++ {
+		c := model.Comment{
+			UserID: 7, POIID: 99, Time: model.Millis(base.Add(time.Duration(i) * time.Hour)),
+			Text: fmt.Sprintf("comment %d", i), Grade: 3.5,
+		}
+		if err := repo.StoreComment(c); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Different user and different POI must not appear.
+	if err := repo.StoreComment(model.Comment{UserID: 8, POIID: 99, Time: model.Millis(base), Text: "other user"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := repo.StoreComment(model.Comment{UserID: 7, POIID: 100, Time: model.Millis(base), Text: "other poi"}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := repo.Comments(99, 7, model.Millis(base.Add(time.Hour)), model.Millis(base.Add(3*time.Hour)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 {
+		t.Fatalf("comments = %d, want 3", len(got))
+	}
+	for i, c := range got {
+		if c.UserID != 7 || c.POIID != 99 {
+			t.Fatal("scan leaked other keys")
+		}
+		if i > 0 && c.Time < got[i-1].Time {
+			t.Fatal("comments not time-ordered")
+		}
+	}
+	if err := repo.StoreComment(model.Comment{}); err == nil {
+		t.Error("invalid comment must fail")
+	}
+}
+
+func TestGPSRepo(t *testing.T) {
+	repo, err := NewGPSRepo(1000, 4, 2, kvstore.DefaultStoreOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := time.Date(2015, 5, 1, 8, 0, 0, 0, time.UTC)
+	var fixes []model.GPSFix
+	for i := 0; i < 20; i++ {
+		fixes = append(fixes, model.GPSFix{
+			UserID: 5, Lat: 37.9 + float64(i)*0.001, Lon: 23.7, Time: model.Millis(base.Add(time.Duration(i) * time.Minute)),
+		})
+	}
+	if err := repo.PushBatch(fixes); err != nil {
+		t.Fatal(err)
+	}
+	if err := repo.Push(model.GPSFix{UserID: 6, Lat: 38, Lon: 23, Time: model.Millis(base)}); err != nil {
+		t.Fatal(err)
+	}
+	n, err := repo.Len()
+	if err != nil || n != 21 {
+		t.Fatalf("Len = %d, %v", n, err)
+	}
+	var got []model.GPSFix
+	err = repo.ScanUser(5, model.Millis(base.Add(5*time.Minute)), model.Millis(base.Add(10*time.Minute)), func(f model.GPSFix) bool {
+		got = append(got, f)
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 6 {
+		t.Errorf("windowed scan = %d fixes, want 6", len(got))
+	}
+	if err := repo.Push(model.GPSFix{UserID: 0}); err == nil {
+		t.Error("invalid user must fail")
+	}
+}
+
+func TestBlogsRepo(t *testing.T) {
+	db := relstore.NewDB()
+	repo, err := NewBlogsRepo(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	day := time.Date(2015, 5, 31, 0, 0, 0, 0, time.UTC)
+	visits := []trajectory.Visit{
+		{
+			Stay:    trajectory.StayPoint{Center: geo.Point{Lat: 37.98, Lon: 23.72}, Arrival: day.Add(10 * time.Hour), Departure: day.Add(11 * time.Hour), Fixes: 10},
+			POI:     trajectory.POIRef{ID: 1, Name: "Syntagma Square", Pt: geo.Point{Lat: 37.98, Lon: 23.72}},
+			Matched: true,
+		},
+	}
+	blog := trajectory.BuildBlog(42, day, visits)
+	stored, err := repo.Save(blog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stored.ID == 0 || stored.UserID != 42 || len(stored.Entries) != 1 {
+		t.Fatalf("stored = %+v", stored)
+	}
+	got, ok, err := repo.Get(42, day.Add(13*time.Hour)) // any time that day
+	if err != nil || !ok {
+		t.Fatalf("Get = %v %v", ok, err)
+	}
+	if got.ID != stored.ID || got.Entries[0].POI.Name != "Syntagma Square" {
+		t.Errorf("got = %+v", got)
+	}
+	// Saving the same day replaces, not duplicates.
+	if err := blog.Annotate(0, "lovely morning"); err != nil {
+		t.Fatal(err)
+	}
+	stored2, err := repo.Save(blog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stored2.ID != stored.ID {
+		t.Errorf("resave must keep id %d, got %d", stored.ID, stored2.ID)
+	}
+	list, err := repo.ListUser(42)
+	if err != nil || len(list) != 1 {
+		t.Fatalf("ListUser = %v, %v", list, err)
+	}
+	// Share flag.
+	if err := repo.MarkShared(stored.ID); err != nil {
+		t.Fatal(err)
+	}
+	got, _, _ = repo.Get(42, day)
+	if !got.Shared {
+		t.Error("blog must be marked shared")
+	}
+	if err := repo.MarkShared(999); err == nil {
+		t.Error("missing blog must fail")
+	}
+	// Sharing survives a resave.
+	if _, err := repo.Save(blog); err != nil {
+		t.Fatal(err)
+	}
+	got, _, _ = repo.Get(42, day)
+	if !got.Shared {
+		t.Error("share flag must survive resave")
+	}
+	if _, ok, _ := repo.Get(42, day.Add(48*time.Hour)); ok {
+		t.Error("different day must be absent")
+	}
+	if _, err := repo.Save(nil); err == nil {
+		t.Error("nil blog must fail")
+	}
+}
+
+func TestSinkBinding(t *testing.T) {
+	social, err := NewSocialInfoRepo(100, 2, 2, kvstore.DefaultStoreOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	texts, err := NewTextRepo(100, 2, 2, kvstore.DefaultStoreOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	visits := newTestVisitsRepo(t, SchemaReplicated)
+	sink, err := NewSink(social, texts, visits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sink.StoreFriends(1, []model.Friend{{ID: 2, Network: "facebook"}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := sink.StoreComment(model.Comment{UserID: 1, POIID: 2, Time: 5, Text: "hi"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := sink.StoreVisit(model.Visit{UserID: 1, Time: 5, POI: model.POI{ID: 2}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewSink(nil, texts, visits); err == nil {
+		t.Error("nil repo must fail")
+	}
+}
+
+func TestVisitsRepoDurableRecovery(t *testing.T) {
+	dir := t.TempDir()
+	walPath := filepath.Join(dir, "visits.wal")
+	poi := model.POI{ID: 3, Name: "taverna-3", Lat: 37.9, Lon: 23.7, Keywords: []string{"restaurant"}}
+
+	// First life.
+	tbl, err := kvstore.OpenDurableTable("visits", userSplitKeys(100, 4), 2, kvstore.DefaultStoreOptions(), walPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	repo, err := NewVisitsRepoFromTable(SchemaReplicated, tbl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		if err := repo.Store(model.Visit{UserID: int64(i%5 + 1), Time: int64(i * 1000), Grade: 4, POI: poi}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tbl.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Second life: everything is back and scannable.
+	tbl2, err := kvstore.OpenDurableTable("visits", userSplitKeys(100, 4), 2, kvstore.DefaultStoreOptions(), walPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tbl2.Close()
+	repo2, err := NewVisitsRepoFromTable(SchemaReplicated, tbl2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	count := 0
+	if err := repo2.ScanAll(func(v model.Visit) bool {
+		if v.POI.Name != "taverna-3" {
+			t.Fatal("recovered visit lost its POI payload")
+		}
+		count++
+		return true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if count != 20 {
+		t.Errorf("recovered %d visits, want 20", count)
+	}
+	if _, err := NewVisitsRepoFromTable(SchemaReplicated, nil); err == nil {
+		t.Error("nil table must fail")
+	}
+}

@@ -1,0 +1,192 @@
+// Package sim is a small discrete-event simulation kernel: a virtual clock,
+// an event queue and multi-server FCFS resources.
+//
+// The platform uses it to reproduce the paper's cluster-scaling experiments
+// on a single machine: all data-path code (scans, coprocessors, merges)
+// executes for real, and sim converts the measured work volumes into
+// latency under a configurable cost model with authentic queueing behaviour.
+// Simulated time is expressed in float64 seconds.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+)
+
+// Time is a point in simulated time, in seconds since simulation start.
+type Time = float64
+
+// Engine owns the virtual clock and the pending event queue. An Engine is
+// single-goroutine: processes are plain callbacks scheduled at absolute
+// times, and resources sequence work by chaining callbacks. This keeps the
+// kernel deterministic and allocation-light.
+type Engine struct {
+	now   Time
+	queue eventHeap
+	seq   uint64 // tie-breaker preserving scheduling order at equal times
+	fired uint64
+}
+
+// NewEngine returns an Engine with the clock at zero.
+func NewEngine() *Engine {
+	return &Engine{}
+}
+
+// Now returns the current simulated time.
+func (e *Engine) Now() Time { return e.now }
+
+// EventsFired returns the number of events executed so far (useful for
+// tests and runaway detection).
+func (e *Engine) EventsFired() uint64 { return e.fired }
+
+// At schedules fn to run at absolute time t. Scheduling in the past is an
+// error: the kernel would otherwise silently reorder causality.
+func (e *Engine) At(t Time, fn func()) error {
+	if t < e.now {
+		return fmt.Errorf("sim: cannot schedule event at %.9f before now %.9f", t, e.now)
+	}
+	if fn == nil {
+		return fmt.Errorf("sim: nil event function")
+	}
+	e.seq++
+	heap.Push(&e.queue, &event{at: t, seq: e.seq, fn: fn})
+	return nil
+}
+
+// After schedules fn to run d seconds from now. Negative delays are clamped
+// to zero.
+func (e *Engine) After(d float64, fn func()) error {
+	if d < 0 {
+		d = 0
+	}
+	return e.At(e.now+d, fn)
+}
+
+// Run executes events until the queue drains, returning the final clock
+// value. maxEvents bounds the run as a safety valve (0 means no bound).
+func (e *Engine) Run(maxEvents uint64) (Time, error) {
+	for len(e.queue) > 0 {
+		if maxEvents > 0 && e.fired >= maxEvents {
+			return e.now, fmt.Errorf("sim: exceeded %d events; likely a scheduling loop", maxEvents)
+		}
+		ev := heap.Pop(&e.queue).(*event)
+		if ev.at < e.now {
+			return e.now, fmt.Errorf("sim: event at %.9f fired after clock reached %.9f", ev.at, e.now)
+		}
+		e.now = ev.at
+		e.fired++
+		ev.fn()
+	}
+	return e.now, nil
+}
+
+// Pending returns the number of not-yet-fired events.
+func (e *Engine) Pending() int { return len(e.queue) }
+
+type event struct {
+	at  Time
+	seq uint64
+	fn  func()
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return ev
+}
+
+// Resource models a station with a fixed number of identical servers and a
+// FIFO queue — e.g. one cluster node with C cores. Work items request a
+// service time; when a server becomes free the item occupies it for that
+// long and then its completion callback fires.
+type Resource struct {
+	eng     *Engine
+	name    string
+	servers int
+	// freeAt[i] is the time server i becomes idle.
+	freeAt []Time
+	// waiting holds items that could not be placed immediately. Because the
+	// kernel is single-threaded we can compute placement eagerly: each
+	// Acquire picks the earliest-free server. That is exactly FCFS with C
+	// servers, so no explicit queue structure is needed.
+	busyTime  float64 // total busy server-seconds, for utilization stats
+	completed uint64
+}
+
+// NewResource creates a resource with the given number of servers.
+func NewResource(eng *Engine, name string, servers int) (*Resource, error) {
+	if servers < 1 {
+		return nil, fmt.Errorf("sim: resource %q needs at least one server, got %d", name, servers)
+	}
+	return &Resource{
+		eng:     eng,
+		name:    name,
+		servers: servers,
+		freeAt:  make([]Time, servers),
+	}, nil
+}
+
+// Name returns the resource name.
+func (r *Resource) Name() string { return r.name }
+
+// Servers returns the number of servers.
+func (r *Resource) Servers() int { return r.servers }
+
+// Submit enqueues a work item that becomes ready at readyAt, needs service
+// seconds of a single server, and calls done(completionTime) when finished.
+// It returns the completion time. FCFS order is the order of Submit calls.
+func (r *Resource) Submit(readyAt Time, service float64, done func(Time)) (Time, error) {
+	if service < 0 {
+		return 0, fmt.Errorf("sim: negative service time %.9f on %q", service, r.name)
+	}
+	if readyAt < r.eng.now {
+		readyAt = r.eng.now
+	}
+	// Pick the server that frees up first.
+	best := 0
+	for i := 1; i < r.servers; i++ {
+		if r.freeAt[i] < r.freeAt[best] {
+			best = i
+		}
+	}
+	start := math.Max(readyAt, r.freeAt[best])
+	finish := start + service
+	r.freeAt[best] = finish
+	r.busyTime += service
+	r.completed++
+	if done != nil {
+		if err := r.eng.At(finish, func() { done(finish) }); err != nil {
+			return 0, err
+		}
+	}
+	return finish, nil
+}
+
+// BusyTime returns the total server-seconds of service performed.
+func (r *Resource) BusyTime() float64 { return r.busyTime }
+
+// Completed returns the number of items served.
+func (r *Resource) Completed() uint64 { return r.completed }
+
+// Utilization returns busy-server-seconds divided by (servers × horizon).
+func (r *Resource) Utilization(horizon Time) float64 {
+	if horizon <= 0 {
+		return 0
+	}
+	return r.busyTime / (float64(r.servers) * horizon)
+}

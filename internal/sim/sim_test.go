@@ -1,0 +1,269 @@
+package sim
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestEngineRunsEventsInTimeOrder(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	must(t, e.At(3, func() { order = append(order, 3) }))
+	must(t, e.At(1, func() { order = append(order, 1) }))
+	must(t, e.At(2, func() { order = append(order, 2) }))
+	end, err := e.Run(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if end != 3 {
+		t.Errorf("final clock = %v, want 3", end)
+	}
+	want := []int{1, 2, 3}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestEngineStableOrderAtEqualTimes(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		must(t, e.At(5, func() { order = append(order, i) }))
+	}
+	if _, err := e.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if !sort.IntsAreSorted(order) {
+		t.Errorf("events at the same timestamp must fire in scheduling order, got %v", order)
+	}
+}
+
+func TestEngineRejectsPastAndNil(t *testing.T) {
+	e := NewEngine()
+	must(t, e.At(10, func() {}))
+	if _, err := e.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.At(5, func() {}); err == nil {
+		t.Error("scheduling in the past must fail")
+	}
+	if err := e.At(20, nil); err == nil {
+		t.Error("nil event function must fail")
+	}
+}
+
+func TestEngineAfterClampsNegative(t *testing.T) {
+	e := NewEngine()
+	fired := false
+	must(t, e.After(-5, func() { fired = true }))
+	if _, err := e.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if !fired {
+		t.Error("negative-delay event should fire immediately")
+	}
+}
+
+func TestEngineEventsCanScheduleEvents(t *testing.T) {
+	e := NewEngine()
+	depth := 0
+	var recurse func()
+	recurse = func() {
+		depth++
+		if depth < 100 {
+			must(t, e.After(1, recurse))
+		}
+	}
+	must(t, e.At(0, recurse))
+	end, err := e.Run(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if depth != 100 || end != 99 {
+		t.Errorf("depth=%d end=%v, want 100 and 99", depth, end)
+	}
+}
+
+func TestEngineMaxEventsGuard(t *testing.T) {
+	e := NewEngine()
+	var loop func()
+	loop = func() { _ = e.After(1, loop) }
+	must(t, e.At(0, loop))
+	if _, err := e.Run(50); err == nil {
+		t.Error("expected runaway-loop error")
+	}
+}
+
+func TestResourceSingleServerSequencesFCFS(t *testing.T) {
+	e := NewEngine()
+	r, err := NewResource(e, "node", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var finishes []Time
+	for i := 0; i < 3; i++ {
+		if _, err := r.Submit(0, 2, func(at Time) { finishes = append(finishes, at) }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := e.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	want := []Time{2, 4, 6}
+	for i := range want {
+		if finishes[i] != want[i] {
+			t.Fatalf("finishes = %v, want %v", finishes, want)
+		}
+	}
+	if r.Completed() != 3 {
+		t.Errorf("completed = %d, want 3", r.Completed())
+	}
+	if got := r.BusyTime(); got != 6 {
+		t.Errorf("busy time = %v, want 6", got)
+	}
+}
+
+func TestResourceMultiServerParallelism(t *testing.T) {
+	e := NewEngine()
+	r, err := NewResource(e, "node", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var maxFinish Time
+	for i := 0; i < 8; i++ {
+		if _, err := r.Submit(0, 3, func(at Time) {
+			if at > maxFinish {
+				maxFinish = at
+			}
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := e.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	// 8 unit tasks of 3s on 4 servers = two waves = 6s makespan.
+	if maxFinish != 6 {
+		t.Errorf("makespan = %v, want 6", maxFinish)
+	}
+	if u := r.Utilization(6); math.Abs(u-1.0) > 1e-9 {
+		t.Errorf("utilization = %v, want 1.0", u)
+	}
+}
+
+func TestResourceReadyAtDelaysStart(t *testing.T) {
+	e := NewEngine()
+	r, _ := NewResource(e, "node", 1)
+	finish, err := r.Submit(10, 5, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if finish != 15 {
+		t.Errorf("finish = %v, want 15", finish)
+	}
+}
+
+func TestResourceRejectsBadInput(t *testing.T) {
+	e := NewEngine()
+	if _, err := NewResource(e, "x", 0); err == nil {
+		t.Error("zero servers must fail")
+	}
+	r, _ := NewResource(e, "x", 1)
+	if _, err := r.Submit(0, -1, nil); err == nil {
+		t.Error("negative service must fail")
+	}
+}
+
+// TestResourceMakespanMatchesGreedyOracle cross-checks the resource
+// scheduler against an independent greedy multi-processor schedule.
+func TestResourceMakespanMatchesGreedyOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 50; trial++ {
+		servers := 1 + rng.Intn(8)
+		n := 1 + rng.Intn(40)
+		services := make([]float64, n)
+		for i := range services {
+			services[i] = rng.Float64() * 10
+		}
+
+		// Oracle: assign each task (in order) to the earliest-free server.
+		free := make([]float64, servers)
+		var wantMakespan float64
+		for _, s := range services {
+			best := 0
+			for i := 1; i < servers; i++ {
+				if free[i] < free[best] {
+					best = i
+				}
+			}
+			free[best] += s
+			if free[best] > wantMakespan {
+				wantMakespan = free[best]
+			}
+		}
+
+		e := NewEngine()
+		r, _ := NewResource(e, "node", servers)
+		var gotMakespan Time
+		for _, s := range services {
+			if _, err := r.Submit(0, s, func(at Time) {
+				if at > gotMakespan {
+					gotMakespan = at
+				}
+			}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if _, err := e.Run(0); err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(gotMakespan-wantMakespan) > 1e-9 {
+			t.Fatalf("trial %d: makespan %v, oracle %v (servers=%d n=%d)", trial, gotMakespan, wantMakespan, servers, n)
+		}
+	}
+}
+
+func must(t *testing.T, err error) {
+	t.Helper()
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestResourceBusyTimeConservationQuick is a testing/quick property: total
+// busy time equals the sum of submitted service times, and no task
+// finishes before its service could have completed.
+func TestResourceBusyTimeConservationQuick(t *testing.T) {
+	f := func(rawServices []uint16, servers uint8) bool {
+		e := NewEngine()
+		r, err := NewResource(e, "node", int(servers%8)+1)
+		if err != nil {
+			return false
+		}
+		var sum float64
+		for _, raw := range rawServices {
+			service := float64(raw) / 1000
+			sum += service
+			finish, err := r.Submit(0, service, nil)
+			if err != nil {
+				return false
+			}
+			if finish < service-1e-12 {
+				return false
+			}
+		}
+		if _, err := e.Run(0); err != nil {
+			return false
+		}
+		return math.Abs(r.BusyTime()-sum) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

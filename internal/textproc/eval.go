@@ -1,0 +1,149 @@
+package textproc
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// ConfusionMatrix tallies binary classification outcomes.
+type ConfusionMatrix struct {
+	TruePositive  int
+	TrueNegative  int
+	FalsePositive int
+	FalseNegative int
+}
+
+// Total returns the number of evaluated documents.
+func (m ConfusionMatrix) Total() int {
+	return m.TruePositive + m.TrueNegative + m.FalsePositive + m.FalseNegative
+}
+
+// Accuracy returns the fraction of correct predictions.
+func (m ConfusionMatrix) Accuracy() float64 {
+	t := m.Total()
+	if t == 0 {
+		return 0
+	}
+	return float64(m.TruePositive+m.TrueNegative) / float64(t)
+}
+
+// Precision returns TP / (TP + FP) for the positive class.
+func (m ConfusionMatrix) Precision() float64 {
+	d := m.TruePositive + m.FalsePositive
+	if d == 0 {
+		return 0
+	}
+	return float64(m.TruePositive) / float64(d)
+}
+
+// Recall returns TP / (TP + FN) for the positive class.
+func (m ConfusionMatrix) Recall() float64 {
+	d := m.TruePositive + m.FalseNegative
+	if d == 0 {
+		return 0
+	}
+	return float64(m.TruePositive) / float64(d)
+}
+
+// F1 returns the harmonic mean of precision and recall.
+func (m ConfusionMatrix) F1() float64 {
+	p, r := m.Precision(), m.Recall()
+	if p+r == 0 {
+		return 0
+	}
+	return 2 * p * r / (p + r)
+}
+
+// String implements fmt.Stringer.
+func (m ConfusionMatrix) String() string {
+	return fmt.Sprintf("acc=%.3f p=%.3f r=%.3f f1=%.3f (tp=%d tn=%d fp=%d fn=%d)",
+		m.Accuracy(), m.Precision(), m.Recall(), m.F1(),
+		m.TruePositive, m.TrueNegative, m.FalsePositive, m.FalseNegative)
+}
+
+// Evaluate classifies every document and tallies the confusion matrix.
+func Evaluate(c TextClassifier, docs []Document) ConfusionMatrix {
+	var m ConfusionMatrix
+	for _, d := range docs {
+		pred := c.Predict(d.Text)
+		switch {
+		case pred == Positive && d.Label == Positive:
+			m.TruePositive++
+		case pred == Negative && d.Label == Negative:
+			m.TrueNegative++
+		case pred == Positive && d.Label == Negative:
+			m.FalsePositive++
+		default:
+			m.FalseNegative++
+		}
+	}
+	return m
+}
+
+// TrainTestSplit shuffles docs with the rng and splits them with the given
+// training fraction (0 < frac < 1). The input slice is not modified.
+func TrainTestSplit(docs []Document, frac float64, rng *rand.Rand) (train, test []Document, err error) {
+	if frac <= 0 || frac >= 1 {
+		return nil, nil, fmt.Errorf("textproc: training fraction %g out of (0,1)", frac)
+	}
+	if len(docs) < 2 {
+		return nil, nil, fmt.Errorf("textproc: need at least 2 documents, got %d", len(docs))
+	}
+	shuffled := append([]Document(nil), docs...)
+	rng.Shuffle(len(shuffled), func(i, j int) { shuffled[i], shuffled[j] = shuffled[j], shuffled[i] })
+	cut := int(float64(len(shuffled)) * frac)
+	if cut == 0 {
+		cut = 1
+	}
+	if cut == len(shuffled) {
+		cut = len(shuffled) - 1
+	}
+	return shuffled[:cut], shuffled[cut:], nil
+}
+
+// CrossValidate runs k-fold cross-validation of the pipeline on the corpus
+// and returns the per-fold accuracies (the "extensive experimental study"
+// instrument behind the paper's parameter fine-tuning). The docs are
+// shuffled once with rng; folds are contiguous slices of the shuffle.
+func CrossValidate(docs []Document, k int, opts PipelineOptions, rng *rand.Rand) ([]float64, error) {
+	if k < 2 {
+		return nil, fmt.Errorf("textproc: need k >= 2 folds, got %d", k)
+	}
+	if len(docs) < k {
+		return nil, fmt.Errorf("textproc: %d documents cannot fill %d folds", len(docs), k)
+	}
+	shuffled := append([]Document(nil), docs...)
+	rng.Shuffle(len(shuffled), func(i, j int) { shuffled[i], shuffled[j] = shuffled[j], shuffled[i] })
+	accs := make([]float64, 0, k)
+	for fold := 0; fold < k; fold++ {
+		lo := len(shuffled) * fold / k
+		hi := len(shuffled) * (fold + 1) / k
+		test := shuffled[lo:hi]
+		train := make([]Document, 0, len(shuffled)-len(test))
+		train = append(train, shuffled[:lo]...)
+		train = append(train, shuffled[hi:]...)
+		nb, err := TrainNaiveBayes(train, opts)
+		if err != nil {
+			return nil, fmt.Errorf("textproc: fold %d: %w", fold, err)
+		}
+		accs = append(accs, Evaluate(nb, test).Accuracy())
+	}
+	return accs, nil
+}
+
+// MeanStd returns the mean and (population) standard deviation of values.
+func MeanStd(values []float64) (mean, std float64) {
+	if len(values) == 0 {
+		return 0, 0
+	}
+	for _, v := range values {
+		mean += v
+	}
+	mean /= float64(len(values))
+	for _, v := range values {
+		std += (v - mean) * (v - mean)
+	}
+	std = math.Sqrt(std / float64(len(values)))
+	return mean, std
+}

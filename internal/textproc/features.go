@@ -1,0 +1,128 @@
+package textproc
+
+import (
+	"math"
+	"sort"
+)
+
+// PipelineOptions select the preprocessing and feature-engineering steps
+// applied before Naive Bayes. The paper's baseline is stemming + lowercase
+// + stopword removal (§3.2); the optimized configuration additionally
+// enables term frequency, 2-grams, Bi-Normal Separation scaling and
+// rare-term deletion.
+type PipelineOptions struct {
+	// RemoveStopwords drops tokens on the stopword list.
+	RemoveStopwords bool
+	// Stem applies the Porter stemmer.
+	Stem bool
+	// Bigrams adds adjacent-pair 2-gram features.
+	Bigrams bool
+	// TermFrequency weights each feature by its in-document count instead
+	// of binary presence.
+	TermFrequency bool
+	// BNS scales feature counts by their Bi-Normal Separation score
+	// (Forman 2003), sharpening the contribution of class-discriminative
+	// terms.
+	BNS bool
+	// MinOccurrences deletes terms appearing in fewer than this many
+	// training documents (0 or 1 disables pruning).
+	MinOccurrences int
+}
+
+// BaselineOptions reproduce the paper's baseline training process:
+// stemming, lowercasing (Tokenize always lowercases) and stopword removal.
+func BaselineOptions() PipelineOptions {
+	return PipelineOptions{RemoveStopwords: true, Stem: true}
+}
+
+// OptimizedOptions reproduce the paper's optimized configuration: baseline
+// plus tf weighting, 2-grams, Bi-Normal Separation and deletion of words
+// with fewer than 3 occurrences.
+func OptimizedOptions() PipelineOptions {
+	return PipelineOptions{
+		RemoveStopwords: true,
+		Stem:            true,
+		Bigrams:         true,
+		TermFrequency:   true,
+		BNS:             true,
+		MinOccurrences:  3,
+	}
+}
+
+// Features extracts the feature tokens of a document under the options
+// (vocabulary pruning and weighting happen at training time).
+func (o PipelineOptions) Features(text string) []string {
+	tokens := Tokenize(text)
+	if o.RemoveStopwords {
+		tokens = RemoveStopwords(tokens)
+	}
+	if o.Stem {
+		for i, t := range tokens {
+			tokens[i] = Stem(t)
+		}
+	}
+	if o.Bigrams {
+		tokens = Bigrams(tokens, tokens)
+	}
+	return tokens
+}
+
+// InverseNormalCDF returns Φ⁻¹(p), the standard normal quantile function,
+// used by the Bi-Normal Separation score. p is clamped to
+// [pEpsilon, 1-pEpsilon] as in Forman's original formulation to keep the
+// score finite for terms absent from one class.
+func InverseNormalCDF(p float64) float64 {
+	const pEpsilon = 0.0005
+	if p < pEpsilon {
+		p = pEpsilon
+	}
+	if p > 1-pEpsilon {
+		p = 1 - pEpsilon
+	}
+	return math.Sqrt2 * math.Erfinv(2*p-1)
+}
+
+// BNSScore computes |Φ⁻¹(tpr) − Φ⁻¹(fpr)| for a term occurring in tp of
+// the pos positive documents and fp of the neg negative documents.
+func BNSScore(tp, pos, fp, neg int) float64 {
+	if pos == 0 || neg == 0 {
+		return 0
+	}
+	tpr := float64(tp) / float64(pos)
+	fpr := float64(fp) / float64(neg)
+	return math.Abs(InverseNormalCDF(tpr) - InverseNormalCDF(fpr))
+}
+
+// countFeatures folds a token list into per-term weights: term frequency
+// when tf is set, binary presence otherwise.
+func countFeatures(tokens []string, tf bool) map[string]float64 {
+	m := make(map[string]float64, len(tokens))
+	for _, t := range tokens {
+		if tf {
+			m[t]++
+		} else {
+			m[t] = 1
+		}
+	}
+	return m
+}
+
+// topTermsByScore returns the n highest-scoring terms (all when n <= 0),
+// sorted by descending score then term for determinism. Used by diagnostics
+// and the example applications to surface the most discriminative features.
+func topTermsByScore(scores map[string]float64, n int) []string {
+	terms := make([]string, 0, len(scores))
+	for t := range scores {
+		terms = append(terms, t)
+	}
+	sort.Slice(terms, func(i, j int) bool {
+		if scores[terms[i]] != scores[terms[j]] {
+			return scores[terms[i]] > scores[terms[j]]
+		}
+		return terms[i] < terms[j]
+	})
+	if n > 0 && len(terms) > n {
+		terms = terms[:n]
+	}
+	return terms
+}

@@ -1,0 +1,259 @@
+package textproc
+
+// Stem implements the classic Porter stemming algorithm (Porter, 1980),
+// the stemmer used by the paper's preprocessing step. The implementation
+// follows the original paper's step structure (1a, 1b, 1c, 2, 3, 4, 5a,
+// 5b) and operates on lowercase ASCII words; words shorter than three
+// characters are returned unchanged, per the original definition.
+func Stem(word string) string {
+	if len(word) < 3 {
+		return word
+	}
+	s := stemState{b: []byte(word)}
+	s.step1a()
+	s.step1b()
+	s.step1c()
+	s.step2()
+	s.step3()
+	s.step4()
+	s.step5a()
+	s.step5b()
+	return string(s.b)
+}
+
+type stemState struct {
+	b []byte
+}
+
+// isConsonant reports whether b[i] is a consonant in Porter's sense:
+// letters other than a,e,i,o,u; 'y' is a consonant when the preceding
+// letter is a vowel (or at position 0).
+func (s *stemState) isConsonant(i int) bool {
+	switch s.b[i] {
+	case 'a', 'e', 'i', 'o', 'u':
+		return false
+	case 'y':
+		if i == 0 {
+			return true
+		}
+		return !s.isConsonant(i - 1)
+	default:
+		return true
+	}
+}
+
+// measure computes m, the number of VC sequences, of the prefix b[:end].
+func (s *stemState) measure(end int) int {
+	m := 0
+	i := 0
+	// Skip initial consonants.
+	for i < end && s.isConsonant(i) {
+		i++
+	}
+	for i < end {
+		// Vowel run.
+		for i < end && !s.isConsonant(i) {
+			i++
+		}
+		if i >= end {
+			break
+		}
+		// Consonant run terminates a VC pair.
+		m++
+		for i < end && s.isConsonant(i) {
+			i++
+		}
+	}
+	return m
+}
+
+// hasVowel reports whether the prefix b[:end] contains a vowel.
+func (s *stemState) hasVowel(end int) bool {
+	for i := 0; i < end; i++ {
+		if !s.isConsonant(i) {
+			return true
+		}
+	}
+	return false
+}
+
+// endsDoubleConsonant reports whether the prefix b[:end] ends with a double
+// consonant (e.g. -tt, -ss).
+func (s *stemState) endsDoubleConsonant(end int) bool {
+	if end < 2 {
+		return false
+	}
+	return s.b[end-1] == s.b[end-2] && s.isConsonant(end-1)
+}
+
+// endsCVC reports whether the prefix b[:end] ends consonant-vowel-consonant
+// where the final consonant is not w, x or y — the *o condition.
+func (s *stemState) endsCVC(end int) bool {
+	if end < 3 {
+		return false
+	}
+	if !s.isConsonant(end-3) || s.isConsonant(end-2) || !s.isConsonant(end-1) {
+		return false
+	}
+	switch s.b[end-1] {
+	case 'w', 'x', 'y':
+		return false
+	}
+	return true
+}
+
+// hasSuffix reports whether b ends with suf.
+func (s *stemState) hasSuffix(suf string) bool {
+	if len(s.b) < len(suf) {
+		return false
+	}
+	return string(s.b[len(s.b)-len(suf):]) == suf
+}
+
+// stemEnd returns the length of b without the suffix.
+func (s *stemState) stemEnd(suf string) int { return len(s.b) - len(suf) }
+
+// replaceSuffix swaps suf for rep.
+func (s *stemState) replaceSuffix(suf, rep string) {
+	s.b = append(s.b[:s.stemEnd(suf)], rep...)
+}
+
+// replaceIfM replaces suf with rep when measure(stem) > m. Returns whether
+// the suffix matched (even if the measure condition failed), so callers can
+// stop at the first matching rule as the algorithm requires.
+func (s *stemState) replaceIfM(suf, rep string, m int) bool {
+	if !s.hasSuffix(suf) {
+		return false
+	}
+	if s.measure(s.stemEnd(suf)) > m {
+		s.replaceSuffix(suf, rep)
+	}
+	return true
+}
+
+func (s *stemState) step1a() {
+	switch {
+	case s.hasSuffix("sses"):
+		s.replaceSuffix("sses", "ss")
+	case s.hasSuffix("ies"):
+		s.replaceSuffix("ies", "i")
+	case s.hasSuffix("ss"):
+		// keep
+	case s.hasSuffix("s"):
+		s.replaceSuffix("s", "")
+	}
+}
+
+func (s *stemState) step1b() {
+	if s.hasSuffix("eed") {
+		if s.measure(s.stemEnd("eed")) > 0 {
+			s.replaceSuffix("eed", "ee")
+		}
+		return
+	}
+	matched := false
+	switch {
+	case s.hasSuffix("ed") && s.hasVowel(s.stemEnd("ed")):
+		s.replaceSuffix("ed", "")
+		matched = true
+	case s.hasSuffix("ing") && s.hasVowel(s.stemEnd("ing")):
+		s.replaceSuffix("ing", "")
+		matched = true
+	}
+	if !matched {
+		return
+	}
+	// Post-rules after removing -ed/-ing.
+	switch {
+	case s.hasSuffix("at"):
+		s.b = append(s.b, 'e')
+	case s.hasSuffix("bl"):
+		s.b = append(s.b, 'e')
+	case s.hasSuffix("iz"):
+		s.b = append(s.b, 'e')
+	case s.endsDoubleConsonant(len(s.b)):
+		last := s.b[len(s.b)-1]
+		if last != 'l' && last != 's' && last != 'z' {
+			s.b = s.b[:len(s.b)-1]
+		}
+	case s.measure(len(s.b)) == 1 && s.endsCVC(len(s.b)):
+		s.b = append(s.b, 'e')
+	}
+}
+
+func (s *stemState) step1c() {
+	if s.hasSuffix("y") && s.hasVowel(s.stemEnd("y")) {
+		s.b[len(s.b)-1] = 'i'
+	}
+}
+
+func (s *stemState) step2() {
+	rules := []struct{ suf, rep string }{
+		{"ational", "ate"}, {"tional", "tion"}, {"enci", "ence"},
+		{"anci", "ance"}, {"izer", "ize"}, {"abli", "able"},
+		{"alli", "al"}, {"entli", "ent"}, {"eli", "e"},
+		{"ousli", "ous"}, {"ization", "ize"}, {"ation", "ate"},
+		{"ator", "ate"}, {"alism", "al"}, {"iveness", "ive"},
+		{"fulness", "ful"}, {"ousness", "ous"}, {"aliti", "al"},
+		{"iviti", "ive"}, {"biliti", "ble"},
+	}
+	for _, r := range rules {
+		if s.replaceIfM(r.suf, r.rep, 0) {
+			return
+		}
+	}
+}
+
+func (s *stemState) step3() {
+	rules := []struct{ suf, rep string }{
+		{"icate", "ic"}, {"ative", ""}, {"alize", "al"},
+		{"iciti", "ic"}, {"ical", "ic"}, {"ful", ""}, {"ness", ""},
+	}
+	for _, r := range rules {
+		if s.replaceIfM(r.suf, r.rep, 0) {
+			return
+		}
+	}
+}
+
+func (s *stemState) step4() {
+	rules := []string{
+		"al", "ance", "ence", "er", "ic", "able", "ible", "ant",
+		"ement", "ment", "ent", "ion", "ou", "ism", "ate", "iti",
+		"ous", "ive", "ize",
+	}
+	for _, suf := range rules {
+		if !s.hasSuffix(suf) {
+			continue
+		}
+		end := s.stemEnd(suf)
+		if suf == "ion" {
+			// -ion only drops after s or t.
+			if end > 0 && (s.b[end-1] == 's' || s.b[end-1] == 't') && s.measure(end) > 1 {
+				s.replaceSuffix(suf, "")
+			}
+			return
+		}
+		if s.measure(end) > 1 {
+			s.replaceSuffix(suf, "")
+		}
+		return
+	}
+}
+
+func (s *stemState) step5a() {
+	if !s.hasSuffix("e") {
+		return
+	}
+	end := s.stemEnd("e")
+	m := s.measure(end)
+	if m > 1 || (m == 1 && !s.endsCVC(end)) {
+		s.replaceSuffix("e", "")
+	}
+}
+
+func (s *stemState) step5b() {
+	if s.hasSuffix("ll") && s.measure(len(s.b)) > 1 {
+		s.b = s.b[:len(s.b)-1]
+	}
+}

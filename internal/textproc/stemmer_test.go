@@ -1,0 +1,139 @@
+package textproc
+
+import "testing"
+
+// TestStemReferenceVectors checks the stemmer against the worked examples
+// in Porter's 1980 paper ("An algorithm for suffix stripping").
+func TestStemReferenceVectors(t *testing.T) {
+	cases := map[string]string{
+		// Step 1a
+		"caresses": "caress",
+		"ponies":   "poni",
+		"ties":     "ti",
+		"caress":   "caress",
+		"cats":     "cat",
+		// Step 1b
+		"feed":      "feed",
+		"agreed":    "agre",
+		"plastered": "plaster",
+		"bled":      "bled",
+		"motoring":  "motor",
+		"sing":      "sing",
+		"conflated": "conflat",
+		"troubled":  "troubl",
+		"sized":     "size",
+		"hopping":   "hop",
+		"tanned":    "tan",
+		"falling":   "fall",
+		"hissing":   "hiss",
+		"fizzed":    "fizz",
+		"failing":   "fail",
+		"filing":    "file",
+		// Step 1c
+		"happy": "happi",
+		"sky":   "sky",
+		// Step 2
+		"relational":     "relat",
+		"conditional":    "condit",
+		"rational":       "ration",
+		"valenci":        "valenc",
+		"hesitanci":      "hesit",
+		"digitizer":      "digit",
+		"conformabli":    "conform",
+		"radicalli":      "radic",
+		"differentli":    "differ",
+		"vileli":         "vile",
+		"analogousli":    "analog",
+		"vietnamization": "vietnam",
+		"predication":    "predic",
+		"operator":       "oper",
+		"feudalism":      "feudal",
+		"decisiveness":   "decis",
+		"hopefulness":    "hope",
+		"callousness":    "callous",
+		"formaliti":      "formal",
+		"sensitiviti":    "sensit",
+		"sensibiliti":    "sensibl",
+		// Step 3
+		"triplicate":  "triplic",
+		"formative":   "form",
+		"formalize":   "formal",
+		"electriciti": "electr",
+		"electrical":  "electr",
+		"hopeful":     "hope",
+		"goodness":    "good",
+		// Step 4
+		"revival":     "reviv",
+		"allowance":   "allow",
+		"inference":   "infer",
+		"airliner":    "airlin",
+		"gyroscopic":  "gyroscop",
+		"adjustable":  "adjust",
+		"defensible":  "defens",
+		"irritant":    "irrit",
+		"replacement": "replac",
+		"adjustment":  "adjust",
+		"dependent":   "depend",
+		"adoption":    "adopt",
+		"homologou":   "homolog",
+		"communism":   "commun",
+		"activate":    "activ",
+		"angulariti":  "angular",
+		"homologous":  "homolog",
+		"effective":   "effect",
+		"bowdlerize":  "bowdler",
+		// Step 5a
+		"probate": "probat",
+		"rate":    "rate",
+		"cease":   "ceas",
+		// Step 5b
+		"controll": "control",
+		"roll":     "roll",
+	}
+	for in, want := range cases {
+		if got := Stem(in); got != want {
+			t.Errorf("Stem(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestStemShortWordsUnchanged(t *testing.T) {
+	for _, w := range []string{"", "a", "is", "be"} {
+		if got := Stem(w); got != w {
+			t.Errorf("Stem(%q) = %q, want unchanged", w, got)
+		}
+	}
+}
+
+func TestStemIdempotentOnCommonVocabulary(t *testing.T) {
+	// Stemming a stem once more commonly yields the same stem for review
+	// vocabulary; guard the property on the corpus words the platform uses.
+	words := []string{
+		"amazing", "terrible", "delicious", "friendly", "dirty", "romantic",
+		"overpriced", "excellent", "disappointing", "recommended", "crowded",
+		"tasty", "horrible", "wonderful", "rude", "cozy", "authentic",
+	}
+	for _, w := range words {
+		once := Stem(w)
+		twice := Stem(once)
+		if once != twice {
+			t.Errorf("Stem not stable for %q: %q -> %q", w, once, twice)
+		}
+	}
+}
+
+func TestStemGroupsInflections(t *testing.T) {
+	groups := [][]string{
+		{"walk", "walks", "walked", "walking"},
+		{"recommendation", "recommendations"},
+		{"tasty", "tastiness"},
+	}
+	for _, g := range groups {
+		stem := Stem(g[0])
+		for _, w := range g[1:] {
+			if got := Stem(w); got != stem {
+				t.Errorf("Stem(%q) = %q, want %q (same group as %q)", w, got, stem, g[0])
+			}
+		}
+	}
+}

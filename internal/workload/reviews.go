@@ -1,0 +1,174 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"modissense/internal/textproc"
+)
+
+// Review-corpus generator. It stands in for the paper's Tripadvisor crawl:
+// star-rated place reviews whose text carries sentiment through marker
+// words, negations and noise. The label-noise schedule reproduces the
+// Figure 4 phenomenon: past a clean threshold, additional training
+// documents are increasingly mislabeled (crawled corpora get dirtier the
+// deeper you scrape), so accuracy peaks and then degrades.
+
+var positiveMarkers = []string{
+	"amazing", "excellent", "wonderful", "delicious", "friendly", "lovely",
+	"fantastic", "perfect", "great", "tasty", "charming", "cozy",
+}
+
+var negativeMarkers = []string{
+	"terrible", "awful", "horrible", "rude", "dirty", "disgusting", "bland",
+	"overpriced", "noisy", "slow", "cold", "stale",
+}
+
+var commonWords = []string{
+	"food", "place", "service", "staff", "table", "menu", "dinner", "lunch",
+	"waiter", "dish", "meal", "wine", "dessert", "view", "location", "price",
+	"portion", "atmosphere", "music", "terrace", "kitchen", "order", "night",
+	"evening", "visit", "experience", "time", "room", "beach", "drinks",
+	"coffee", "breakfast", "plate", "salad", "fish", "meat", "cheese",
+	"bread", "sauce", "chef", "bill", "reservation", "family", "friends",
+}
+
+// ReviewCorpusOptions control corpus size-vs-quality behaviour.
+type ReviewCorpusOptions struct {
+	// CleanDocs is the length of the clean prefix: documents up to this
+	// index carry only BaseNoise label noise. It is the scaled analogue of
+	// the paper's 500 k-document quality threshold.
+	CleanDocs int
+	// BaseNoise is the label-flip probability inside the clean prefix.
+	BaseNoise float64
+	// MaxNoise is the asymptotic label-flip probability deep in the corpus.
+	MaxNoise float64
+	// RampDocs is the index distance over which noise climbs from
+	// BaseNoise to (approximately) MaxNoise after the clean prefix.
+	RampDocs int
+	// RareWordRate injects one-off misspelled tokens (what min-occurrence
+	// pruning removes).
+	RareWordRate float64
+	// NegationRate writes markers in negated form ("not good"), the
+	// pattern 2-gram features capture.
+	NegationRate float64
+}
+
+// DefaultReviewOptions mirror the scaled paper setup (500× smaller than
+// the 10M-document crawl, so the paper's 500k-document quality threshold
+// lands at 1000 documents and the 10M top of Figure 4's x-axis at 20000).
+func DefaultReviewOptions() ReviewCorpusOptions {
+	return ReviewCorpusOptions{
+		CleanDocs:    1000,
+		BaseNoise:    0.02,
+		MaxNoise:     0.44,
+		RampDocs:     600,
+		RareWordRate: 0.08,
+		NegationRate: 0.20,
+	}
+}
+
+// Validate checks option sanity.
+func (o ReviewCorpusOptions) Validate() error {
+	if o.CleanDocs < 0 || o.RampDocs <= 0 {
+		return fmt.Errorf("workload: CleanDocs/RampDocs invalid: %d/%d", o.CleanDocs, o.RampDocs)
+	}
+	if o.BaseNoise < 0 || o.BaseNoise > 1 || o.MaxNoise < 0 || o.MaxNoise > 1 || o.MaxNoise < o.BaseNoise {
+		return fmt.Errorf("workload: noise rates invalid: base=%g max=%g", o.BaseNoise, o.MaxNoise)
+	}
+	return nil
+}
+
+// noiseAt returns the label-flip probability for document index i.
+func (o ReviewCorpusOptions) noiseAt(i int) float64 {
+	if i < o.CleanDocs {
+		return o.BaseNoise
+	}
+	frac := float64(i-o.CleanDocs) / float64(o.RampDocs)
+	if frac > 1 {
+		frac = 1
+	}
+	return o.BaseNoise + (o.MaxNoise-o.BaseNoise)*frac
+}
+
+// genReviewText writes one review with the given true sentiment.
+func genReviewText(rng *rand.Rand, positive bool, opts ReviewCorpusOptions, serial int) string {
+	length := 8 + rng.Intn(14)
+	markers := positiveMarkers
+	opposite := negativeMarkers
+	if !positive {
+		markers, opposite = negativeMarkers, positiveMarkers
+	}
+	nMarkers := 2 + rng.Intn(3)
+	var words []string
+	for len(words) < length {
+		words = append(words, commonWords[rng.Intn(len(commonWords))])
+	}
+	// Insert marker units at random positions. A negated unit ("not
+	// terrible") stays adjacent so 2-gram features can capture it.
+	insert := func(unit ...string) {
+		pos := rng.Intn(len(words) + 1)
+		words = append(words[:pos], append(append([]string(nil), unit...), words[pos:]...)...)
+	}
+	for m := 0; m < nMarkers; m++ {
+		if rng.Float64() < opts.NegationRate {
+			// Negated opposite marker: "not terrible" in a positive review.
+			insert("not", opposite[rng.Intn(len(opposite))])
+		} else {
+			insert(markers[rng.Intn(len(markers))])
+		}
+	}
+	if rng.Float64() < opts.RareWordRate {
+		// A unique typo token that only this document contains.
+		insert(fmt.Sprintf("%sx%dq", markers[rng.Intn(len(markers))][:3], serial))
+	}
+	return strings.Join(words, " ")
+}
+
+// GenReviews generates the training corpus: n documents whose label noise
+// follows the options' schedule over the document index. Taking the first
+// k documents as a training set therefore reproduces the paper's
+// size-vs-quality trade-off.
+func GenReviews(rng *rand.Rand, n int, opts ReviewCorpusOptions) ([]textproc.Document, error) {
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
+	docs := make([]textproc.Document, n)
+	for i := range docs {
+		positive := rng.Intn(2) == 1
+		text := genReviewText(rng, positive, opts, i)
+		label := textproc.Negative
+		if positive {
+			label = textproc.Positive
+		}
+		if rng.Float64() < opts.noiseAt(i) {
+			label = 1 - label // flipped annotation
+		}
+		docs[i] = textproc.Document{Text: text, Label: label}
+	}
+	return docs, nil
+}
+
+// GenTestReviews generates a clean, correctly labeled held-out set for
+// evaluation ("accuracy towards unseen data").
+func GenTestReviews(rng *rand.Rand, n int) []textproc.Document {
+	opts := DefaultReviewOptions()
+	docs := make([]textproc.Document, n)
+	for i := range docs {
+		positive := rng.Intn(2) == 1
+		label := textproc.Negative
+		if positive {
+			label = textproc.Positive
+		}
+		docs[i] = textproc.Document{Text: genReviewText(rng, positive, opts, -i-1), Label: label}
+	}
+	return docs
+}
+
+// GenComment produces one free-text check-in comment with the given
+// sentiment, reusing the review text model; the data-collection pipeline
+// classifies these at ingest.
+func GenComment(rng *rand.Rand, positive bool) string {
+	return genReviewText(rng, positive, DefaultReviewOptions(), rng.Intn(1<<30))
+}
