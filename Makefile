@@ -1,0 +1,27 @@
+GO ?= go
+
+.PHONY: check fmt vet build test test-race bench
+
+## check runs the tier-1 verification gate: formatting, vet, build, and the
+## full test suite under the race detector. CI and pre-merge runs use this.
+check: fmt vet build test-race
+
+fmt:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+test-race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) run ./cmd/modissense-bench -exp all -quick

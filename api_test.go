@@ -1,6 +1,7 @@
 package modissense_test
 
 import (
+	"context"
 	"encoding/json"
 	"net/http"
 	"net/http/httptest"
@@ -42,7 +43,7 @@ func TestPublicAPIEndToEnd(t *testing.T) {
 		modissense.Point{Lat: 34.8, Lon: 19.3},
 		modissense.Point{Lat: 41.8, Lon: 28.3},
 	)
-	res, err := p.Search(modissense.SearchRequest{
+	res, err := p.Search(context.Background(), modissense.SearchRequest{
 		Token:   token,
 		BBox:    &bounds,
 		Friends: []int64{1},
@@ -57,7 +58,7 @@ func TestPublicAPIEndToEnd(t *testing.T) {
 	if len(res.POIs) == 0 || res.LatencySeconds <= 0 {
 		t.Fatalf("search result = %+v", res)
 	}
-	trend, err := p.Trending(&bounds, nil, since, until, 3)
+	trend, err := p.Trending(context.Background(), &bounds, nil, since, until, 3)
 	if err != nil {
 		t.Fatal(err)
 	}

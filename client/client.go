@@ -6,6 +6,7 @@ package client
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"net/http"
@@ -49,10 +50,17 @@ func (c *Client) Token() string { return c.token }
 // apiError mirrors the server's error envelope.
 type apiError struct {
 	Error string `json:"error"`
+	Code  string `json:"code"`
 }
 
 // do sends a request and decodes the JSON response into out (when non-nil).
 func (c *Client) do(method, path string, body, out interface{}) error {
+	return c.doCtx(context.Background(), method, path, body, out)
+}
+
+// doCtx is do bound to a caller context: cancelling ctx aborts the request
+// (and, server-side, the query it carries).
+func (c *Client) doCtx(ctx context.Context, method, path string, body, out interface{}) error {
 	var reqBody *bytes.Reader
 	if body != nil {
 		raw, err := json.Marshal(body)
@@ -63,7 +71,7 @@ func (c *Client) do(method, path string, body, out interface{}) error {
 	} else {
 		reqBody = bytes.NewReader(nil)
 	}
-	req, err := http.NewRequest(method, c.baseURL+path, reqBody)
+	req, err := http.NewRequestWithContext(ctx, method, c.baseURL+path, reqBody)
 	if err != nil {
 		return fmt.Errorf("client: build request: %w", err)
 	}
@@ -78,6 +86,9 @@ func (c *Client) do(method, path string, body, out interface{}) error {
 	if resp.StatusCode/100 != 2 {
 		var e apiError
 		if json.NewDecoder(resp.Body).Decode(&e) == nil && e.Error != "" {
+			if e.Code != "" {
+				return fmt.Errorf("client: %s %s: %s (status %d, code %s)", method, path, e.Error, resp.StatusCode, e.Code)
+			}
 			return fmt.Errorf("client: %s %s: %s (status %d)", method, path, e.Error, resp.StatusCode)
 		}
 		return fmt.Errorf("client: %s %s: status %d", method, path, resp.StatusCode)
@@ -143,6 +154,12 @@ type SearchParams struct {
 
 // Search runs a personalized query as the signed-in user.
 func (c *Client) Search(p SearchParams) (*query.Result, error) {
+	return c.SearchCtx(context.Background(), p)
+}
+
+// SearchCtx is Search bound to a caller context; cancelling it aborts the
+// query server-side mid-scan.
+func (c *Client) SearchCtx(ctx context.Context, p SearchParams) (*query.Result, error) {
 	body := map[string]interface{}{
 		"token":   c.token,
 		"min_lat": p.MinLat, "min_lon": p.MinLon,
@@ -159,7 +176,7 @@ func (c *Client) Search(p SearchParams) (*query.Result, error) {
 		body["to"] = p.To.Format(time.RFC3339)
 	}
 	var out query.Result
-	if err := c.do(http.MethodPost, "/api/search", body, &out); err != nil {
+	if err := c.doCtx(ctx, http.MethodPost, "/api/search", body, &out); err != nil {
 		return nil, err
 	}
 	return &out, nil
@@ -167,6 +184,11 @@ func (c *Client) Search(p SearchParams) (*query.Result, error) {
 
 // Trending fetches the hottest places in the box over the trailing window.
 func (c *Client) Trending(minLat, minLon, maxLat, maxLon float64, hours, limit int, until time.Time) (*query.Result, error) {
+	return c.TrendingCtx(context.Background(), minLat, minLon, maxLat, maxLon, hours, limit, until)
+}
+
+// TrendingCtx is Trending bound to a caller context.
+func (c *Client) TrendingCtx(ctx context.Context, minLat, minLon, maxLat, maxLon float64, hours, limit int, until time.Time) (*query.Result, error) {
 	v := url.Values{}
 	v.Set("min_lat", strconv.FormatFloat(minLat, 'f', -1, 64))
 	v.Set("min_lon", strconv.FormatFloat(minLon, 'f', -1, 64))
@@ -178,7 +200,7 @@ func (c *Client) Trending(minLat, minLon, maxLat, maxLon float64, hours, limit i
 		v.Set("until", until.Format(time.RFC3339))
 	}
 	var out query.Result
-	if err := c.do(http.MethodGet, "/api/trending?"+v.Encode(), nil, &out); err != nil {
+	if err := c.doCtx(ctx, http.MethodGet, "/api/trending?"+v.Encode(), nil, &out); err != nil {
 		return nil, err
 	}
 	return &out, nil

@@ -19,12 +19,16 @@ import (
 	"time"
 
 	"modissense/internal/bench"
+	"modissense/internal/exec"
 )
 
 func main() {
 	exp := flag.String("exp", "all", "experiment: fig2 | fig3 | fig4 | accuracy | ablation-schema | ablation-regions | dbscan | ext-cnb | ext-webservers | ext-topk | all")
 	quick := flag.Bool("quick", false, "run reduced sweeps (smaller dataset, fewer points)")
+	scatterWorkers := flag.Int("scatter-workers", 0, "scatter-gather worker-pool size for real region execution (0 = GOMAXPROCS)")
 	flag.Parse()
+
+	exec.SetDefaultWorkers(*scatterWorkers)
 
 	runners := map[string]func(bool) error{
 		"fig2":             runFig2,

@@ -15,8 +15,10 @@ import (
 	"flag"
 	"log"
 	"net/http"
+	"time"
 
 	"modissense/internal/core"
+	"modissense/internal/exec"
 	"modissense/internal/repos"
 )
 
@@ -28,7 +30,11 @@ func main() {
 	population := flag.Int("population", 2000, "users per simulated social network")
 	seed := flag.Int64("seed", 1, "master random seed")
 	normalized := flag.Bool("normalized-schema", false, "use the normalized (join-at-query-time) visits schema")
+	queryTimeout := flag.Duration("query-timeout", 30*time.Second, "per-request query deadline (0 = none); expiry answers 504")
+	scatterWorkers := flag.Int("scatter-workers", 0, "scatter-gather worker-pool size (0 = GOMAXPROCS)")
 	flag.Parse()
+
+	exec.SetDefaultWorkers(*scatterWorkers)
 
 	cfg := core.DefaultConfig()
 	cfg.Nodes = *nodes
@@ -36,6 +42,7 @@ func main() {
 	cfg.POIs = *pois
 	cfg.NetworkPopulation = *population
 	cfg.Seed = *seed
+	cfg.QueryTimeout = *queryTimeout
 	if *normalized {
 		cfg.VisitSchema = repos.SchemaNormalized
 	}

@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math"
@@ -66,7 +67,7 @@ func main() {
 		len(crowd)+len(nearKnown)+len(noise))
 
 	before := p.POIs.Len()
-	res, err := p.DetectEvents(modissense.EventDetectionParams{Eps: 120, MinPts: 15})
+	res, err := p.DetectEvents(context.Background(), modissense.EventDetectionParams{Eps: 120, MinPts: 15})
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
@@ -88,7 +89,7 @@ func main() {
 		for id := friendLo; id <= friendHi; id++ {
 			friends = append(friends, id)
 		}
-		res, err := p.Search(modissense.SearchRequest{
+		res, err := p.Search(context.Background(), modissense.SearchRequest{
 			Token:   token,
 			BBox:    &athens,
 			Keyword: "restaurant",

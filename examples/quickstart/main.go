@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -61,7 +62,7 @@ func main() {
 		modissense.Point{Lat: 34.8, Lon: 19.3},
 		modissense.Point{Lat: 41.8, Lon: 28.3},
 	)
-	res, err := p.Search(modissense.SearchRequest{
+	res, err := p.Search(context.Background(), modissense.SearchRequest{
 		Token:   token,
 		BBox:    &bounds,
 		Friends: []int64{1},
@@ -80,7 +81,7 @@ func main() {
 
 	// Trending: the hottest places platform-wide, from the precomputed
 	// hotness ranking.
-	trend, err := p.Trending(&bounds, nil, since, until, 5)
+	trend, err := p.Trending(context.Background(), &bounds, nil, since, until, 5)
 	if err != nil {
 		log.Fatalf("trending: %v", err)
 	}

@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -57,7 +58,7 @@ func main() {
 	)
 
 	// Non-personalized: hottest places of the last 3 days, platform-wide.
-	trend, err := p.Trending(&bounds, nil, since, until, 3)
+	trend, err := p.Trending(context.Background(), &bounds, nil, since, until, 3)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -69,7 +70,7 @@ func main() {
 	// Personalized, tighter granularity: hottest places among 10 specific
 	// friends in the final 24 hours only.
 	friends := []int64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
-	personal, err := p.Trending(&bounds, friends, until.Add(-24*time.Hour), until, 3)
+	personal, err := p.Trending(context.Background(), &bounds, friends, until.Add(-24*time.Hour), until, 3)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"sort"
@@ -83,7 +84,7 @@ func RunFig2(cfg Fig2Config) ([]Fig2Point, error) {
 					OrderBy:    query.ByInterest,
 					Limit:      10,
 				}
-				res, err := ds.Engine.Run(spec)
+				res, err := ds.Engine.Run(context.Background(), spec)
 				if err != nil {
 					return nil, err
 				}
@@ -155,7 +156,7 @@ func RunFig3(cfg Fig3Config) ([]Fig3Point, error) {
 					Limit:      10,
 				}
 			}
-			results, err := ds.Engine.RunConcurrent(specs)
+			results, err := ds.Engine.RunConcurrent(context.Background(), specs)
 			if err != nil {
 				return nil, err
 			}
@@ -217,7 +218,7 @@ func RunSchemaAblation(cfg SchemaAblationConfig) ([]SchemaAblationRow, error) {
 		from, to := ds.Window()
 		// Athens-area restaurants: a selective query.
 		box := athensBox()
-		res, err := ds.Engine.Run(query.Spec{
+		res, err := ds.Engine.Run(context.Background(), query.Spec{
 			BBox:       &box,
 			Keyword:    "restaurant",
 			FriendIDs:  friends,
@@ -282,7 +283,7 @@ func RunRegionAblation(cfg RegionAblationConfig) ([]RegionAblationRow, error) {
 			return nil, err
 		}
 		from, to := ds.Window()
-		res, err := ds.Engine.Run(query.Spec{
+		res, err := ds.Engine.Run(context.Background(), query.Spec{
 			FriendIDs:  friends,
 			FromMillis: from,
 			ToMillis:   to,
@@ -413,7 +414,7 @@ func RunWebServerAblation(cfg WebServerAblationConfig) ([]WebServerAblationRow, 
 				Limit:      10,
 			}
 		}
-		results, err := ds.Engine.RunConcurrent(specs)
+		results, err := ds.Engine.RunConcurrent(context.Background(), specs)
 		if err != nil {
 			return nil, err
 		}
@@ -485,7 +486,7 @@ func RunTopKAblation(cfg TopKAblationConfig) ([]TopKAblationRow, error) {
 		OrderBy:    query.ByHotness,
 		Limit:      cfg.Limit,
 	}
-	exact, err := ds.Engine.Run(base)
+	exact, err := ds.Engine.Run(context.Background(), base)
 	if err != nil {
 		return nil, err
 	}
@@ -497,7 +498,7 @@ func RunTopKAblation(cfg TopKAblationConfig) ([]TopKAblationRow, error) {
 	for _, k := range cfg.Ks {
 		spec := base
 		spec.RegionTopK = k
-		res, err := ds.Engine.Run(spec)
+		res, err := ds.Engine.Run(context.Background(), spec)
 		if err != nil {
 			return nil, err
 		}

@@ -1,7 +1,9 @@
 package core
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"strconv"
@@ -56,9 +58,11 @@ func NewHandler(p *Platform) http.Handler {
 	return mux
 }
 
-// apiError is the uniform error envelope.
+// apiError is the uniform error envelope. Code, when set, names the
+// machine-readable failure class ("timeout", "canceled").
 type apiError struct {
 	Error string `json:"error"`
+	Code  string `json:"code,omitempty"`
 }
 
 func writeJSON(w http.ResponseWriter, status int, v interface{}) {
@@ -69,6 +73,34 @@ func writeJSON(w http.ResponseWriter, status int, v interface{}) {
 
 func writeErr(w http.ResponseWriter, status int, err error) {
 	writeJSON(w, status, apiError{Error: err.Error()})
+}
+
+// StatusClientClosedRequest is the de-facto status (nginx's 499) reported
+// when the client goes away before the response is ready.
+const StatusClientClosedRequest = 499
+
+// requestContext derives the per-request query context: the request's own
+// context (cancelled when the client disconnects) bounded by the
+// configured query timeout.
+func (p *Platform) requestContext(r *http.Request) (context.Context, context.CancelFunc) {
+	if t := p.cfg.QueryTimeout; t > 0 {
+		return context.WithTimeout(r.Context(), t)
+	}
+	return context.WithCancel(r.Context())
+}
+
+// writeQueryErr maps a query-path failure onto the API contract: deadline
+// expiry answers 504 with code "timeout", client cancellation answers 499
+// with code "canceled", anything else is a plain 400.
+func writeQueryErr(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		writeJSON(w, http.StatusGatewayTimeout, apiError{Error: err.Error(), Code: "timeout"})
+	case errors.Is(err, context.Canceled):
+		writeJSON(w, StatusClientClosedRequest, apiError{Error: err.Error(), Code: "canceled"})
+	default:
+		writeErr(w, http.StatusBadRequest, err)
+	}
 }
 
 func decodeBody(r *http.Request, v interface{}) error {
@@ -192,7 +224,9 @@ func (p *Platform) handleSearch(w http.ResponseWriter, r *http.Request) {
 		b := geo.NewRect(geo.Point{Lat: req.MinLat, Lon: req.MinLon}, geo.Point{Lat: req.MaxLat, Lon: req.MaxLon})
 		bbox = &b
 	}
-	res, err := p.Search(SearchRequest{
+	ctx, cancel := p.requestContext(r)
+	defer cancel()
+	res, err := p.Search(ctx, SearchRequest{
 		Token:   req.Token,
 		BBox:    bbox,
 		Keyword: req.Keyword,
@@ -203,7 +237,7 @@ func (p *Platform) handleSearch(w http.ResponseWriter, r *http.Request) {
 		Limit:   req.Limit,
 	})
 	if err != nil {
-		writeErr(w, http.StatusBadRequest, err)
+		writeQueryErr(w, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, res)
@@ -262,9 +296,11 @@ func (p *Platform) handleTrending(w http.ResponseWriter, r *http.Request) {
 		}
 		until = t
 	}
-	res, err := p.Trending(bbox, friends, until.Add(-time.Duration(hours)*time.Hour), until, limit)
+	ctx, cancel := p.requestContext(r)
+	defer cancel()
+	res, err := p.Trending(ctx, bbox, friends, until.Add(-time.Duration(hours)*time.Hour), until, limit)
 	if err != nil {
-		writeErr(w, http.StatusBadRequest, err)
+		writeQueryErr(w, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, res)
@@ -422,13 +458,15 @@ func (p *Platform) handleEvents(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, err)
 		return
 	}
-	res, err := p.DetectEvents(EventDetectionParams{
+	ctx, cancel := p.requestContext(r)
+	defer cancel()
+	res, err := p.DetectEvents(ctx, EventDetectionParams{
 		Eps:        req.EpsMeters,
 		MinPts:     req.MinPts,
 		Partitions: req.Partitions,
 	})
 	if err != nil {
-		writeErr(w, http.StatusBadRequest, err)
+		writeQueryErr(w, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, res)
@@ -465,8 +503,14 @@ func (p *Platform) handlePipeline(w http.ResponseWriter, r *http.Request) {
 	if req.HotInWindowHours > 0 {
 		opts.HotInWindow = time.Duration(req.HotInWindowHours) * time.Hour
 	}
-	report, err := p.RunDailyPipeline(day, opts)
+	ctx, cancel := p.requestContext(r)
+	defer cancel()
+	report, err := p.RunDailyPipeline(ctx, day, opts)
 	if err != nil {
+		if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
+			writeQueryErr(w, err)
+			return
+		}
 		writeErr(w, http.StatusInternalServerError, err)
 		return
 	}

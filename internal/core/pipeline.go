@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -43,8 +44,12 @@ type PipelineReport struct {
 }
 
 // RunDailyPipeline executes the platform's periodic batch work for the
-// 24 hours of `day` (UTC).
-func (p *Platform) RunDailyPipeline(day time.Time, opts PipelineOptions) (*PipelineReport, error) {
+// 24 hours of `day` (UTC). Cancelling ctx aborts the event-detection scan
+// and stops between stages.
+func (p *Platform) RunDailyPipeline(ctx context.Context, day time.Time, opts PipelineOptions) (*PipelineReport, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if opts.HotInWindow == 0 {
 		opts.HotInWindow = 7 * 24 * time.Hour
 	}
@@ -85,7 +90,7 @@ func (p *Platform) RunDailyPipeline(day time.Time, opts PipelineOptions) (*Pipel
 	// (incremental, per the paper's "processes the updates of GPS Traces
 	// Repository").
 	if !opts.SkipEventDetection {
-		events, err := p.DetectEvents(EventDetectionParams{
+		events, err := p.DetectEvents(ctx, EventDetectionParams{
 			Eps:         opts.EventEps,
 			MinPts:      opts.EventMinPts,
 			SinceMillis: dayStart.UnixMilli() - 1,
@@ -101,6 +106,9 @@ func (p *Platform) RunDailyPipeline(day time.Time, opts PipelineOptions) (*Pipel
 	// Stage 4: regenerate blogs for every account with GPS activity today.
 	if !opts.SkipBlogs {
 		for _, acct := range p.Users.Accounts() {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
 			moved := false
 			err := p.GPS.ScanUser(acct.UserID, dayStart.UnixMilli(), dayEnd.UnixMilli()-1, func(model.GPSFix) bool {
 				moved = true

@@ -6,6 +6,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"time"
@@ -56,6 +57,11 @@ type Config struct {
 	// traces with time-aware Douglas–Peucker before storage (0 = store
 	// raw fixes).
 	GPSCompressionToleranceMeters float64
+	// QueryTimeout bounds every API query (search, trending, event
+	// detection, pipeline): the HTTP layer derives each request's context
+	// with this deadline and answers 504 when it fires. Zero disables the
+	// deadline.
+	QueryTimeout time.Duration
 }
 
 // DefaultConfig returns a demo-scale platform: big enough to exercise
@@ -72,6 +78,7 @@ func DefaultConfig() Config {
 		VisitSchema:         repos.SchemaReplicated,
 		ClassifierTrainDocs: 1000,
 		ClassifierOptions:   textproc.OptimizedOptions(),
+		QueryTimeout:        30 * time.Second,
 	}
 }
 
@@ -94,6 +101,9 @@ func (c Config) Validate() error {
 	}
 	if c.ClassifierTrainDocs < 10 {
 		return fmt.Errorf("core: classifier training corpus too small")
+	}
+	if c.QueryTimeout < 0 {
+		return fmt.Errorf("core: negative query timeout")
 	}
 	return nil
 }
@@ -249,7 +259,8 @@ type SearchRequest struct {
 }
 
 // Search answers a personalized query for the authenticated user.
-func (p *Platform) Search(req SearchRequest) (*query.Result, error) {
+// Cancelling ctx aborts the region scans mid-flight.
+func (p *Platform) Search(ctx context.Context, req SearchRequest) (*query.Result, error) {
 	uid, err := p.Users.Authenticate(req.Token)
 	if err != nil {
 		return nil, err
@@ -264,7 +275,7 @@ func (p *Platform) Search(req SearchRequest) (*query.Result, error) {
 			friends = append(friends, f.ID)
 		}
 	}
-	return p.Query.Run(query.Spec{
+	return p.Query.Run(ctx, query.Spec{
 		BBox:       req.BBox,
 		Keyword:    req.Keyword,
 		FriendIDs:  friends,
@@ -277,8 +288,8 @@ func (p *Platform) Search(req SearchRequest) (*query.Result, error) {
 
 // Trending answers a trending-events query; with a token and friend list
 // it is personalized, otherwise it serves the precomputed hotness ranking.
-func (p *Platform) Trending(bbox *geo.Rect, friends []int64, from, to time.Time, limit int) (*query.Result, error) {
-	return p.Query.Trending(query.Spec{
+func (p *Platform) Trending(ctx context.Context, bbox *geo.Rect, friends []int64, from, to time.Time, limit int) (*query.Result, error) {
+	return p.Query.Trending(ctx, query.Spec{
 		BBox:       bbox,
 		FriendIDs:  friends,
 		FromMillis: model.Millis(from),
@@ -359,7 +370,12 @@ type EventDetectionResult struct {
 // DetectEvents runs the Event Detection module: scan the GPS repository,
 // drop traces near known POIs, cluster the rest with MR-DBSCAN, and insert
 // each dense cluster into the POI repository as a new (event) POI.
-func (p *Platform) DetectEvents(params EventDetectionParams) (*EventDetectionResult, error) {
+// Cancelling ctx aborts the GPS scan mid-flight and stops between the later
+// stages.
+func (p *Platform) DetectEvents(ctx context.Context, params EventDetectionParams) (*EventDetectionResult, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if params.Eps <= 0 || params.MinPts < 1 {
 		return nil, fmt.Errorf("core: invalid DBSCAN parameters")
 	}
@@ -371,7 +387,7 @@ func (p *Platform) DetectEvents(params EventDetectionParams) (*EventDetectionRes
 	}
 	var pts []geo.Point
 	var watermark int64
-	err := p.GPS.ScanAll(func(f model.GPSFix) bool {
+	err := p.GPS.ScanAllCtx(ctx, func(f model.GPSFix) bool {
 		if f.Time > watermark {
 			watermark = f.Time
 		}
@@ -392,6 +408,9 @@ func (p *Platform) DetectEvents(params EventDetectionParams) (*EventDetectionRes
 	if err != nil {
 		return nil, err
 	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	knownPts := make([]geo.Point, len(known))
 	for i, poi := range known {
 		knownPts[i] = poi.Point()
@@ -403,6 +422,9 @@ func (p *Platform) DetectEvents(params EventDetectionParams) (*EventDetectionRes
 	kept := make([]geo.Point, len(keepIdx))
 	for i, idx := range keepIdx {
 		kept[i] = pts[idx]
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
 	mr, err := dbscan.MRDBSCAN(kept, dbscan.Params{Eps: params.Eps, MinPts: params.MinPts}, dbscan.MROptions{
 		Partitions: params.Partitions,

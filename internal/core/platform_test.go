@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"strings"
 	"testing"
 	"time"
@@ -93,7 +94,7 @@ func TestPlatformEndToEndFlow(t *testing.T) {
 
 	// Personalized search with all friends of user 1.
 	box := workload.GreeceBounds()
-	res, err := p.Search(SearchRequest{
+	res, err := p.Search(context.Background(), SearchRequest{
 		Token: tok1,
 		BBox:  &box,
 		From:  collectWindow.since,
@@ -116,7 +117,7 @@ func TestPlatformEndToEndFlow(t *testing.T) {
 
 	// Search restricted to the collected users themselves: their visits
 	// exist, so results must be non-empty.
-	res, err = p.Search(SearchRequest{
+	res, err = p.Search(context.Background(), SearchRequest{
 		Token:   tok1,
 		BBox:    &box,
 		Friends: []int64{1, 2},
@@ -132,7 +133,7 @@ func TestPlatformEndToEndFlow(t *testing.T) {
 	}
 
 	// Trending (non-personalized, precomputed hotness).
-	trend, err := p.Trending(&box, nil, collectWindow.since, collectWindow.until, 5)
+	trend, err := p.Trending(context.Background(), &box, nil, collectWindow.since, collectWindow.until, 5)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -209,7 +210,7 @@ func TestPlatformEventDetection(t *testing.T) {
 		t.Fatal(err)
 	}
 	before := p.POIs.Len()
-	res, err := p.DetectEvents(EventDetectionParams{Eps: 120, MinPts: 10})
+	res, err := p.DetectEvents(context.Background(), EventDetectionParams{Eps: 120, MinPts: 10})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -229,14 +230,14 @@ func TestPlatformEventDetection(t *testing.T) {
 		t.Error("event detection must report simulated duration")
 	}
 	// A second run must not re-detect the now-known POI.
-	res2, err := p.DetectEvents(EventDetectionParams{Eps: 120, MinPts: 10})
+	res2, err := p.DetectEvents(context.Background(), EventDetectionParams{Eps: 120, MinPts: 10})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(res2.NewPOIs) != 0 {
 		t.Errorf("re-detected %d events at a known POI", len(res2.NewPOIs))
 	}
-	if _, err := p.DetectEvents(EventDetectionParams{}); err == nil {
+	if _, err := p.DetectEvents(context.Background(), EventDetectionParams{}); err == nil {
 		t.Error("invalid params must fail")
 	}
 }
@@ -375,7 +376,7 @@ func TestEventDetectionIncremental(t *testing.T) {
 		t.Fatal(err)
 	}
 	// First incremental run over day one detects the gathering.
-	res1, err := p.DetectEvents(EventDetectionParams{
+	res1, err := p.DetectEvents(context.Background(), EventDetectionParams{
 		Eps: 120, MinPts: 10,
 		UntilMillis: model.Millis(dayOne.Add(24 * time.Hour)),
 	})
@@ -395,7 +396,7 @@ func TestEventDetectionIncremental(t *testing.T) {
 	if _, err := p.PushGPS(tok, fresh); err != nil {
 		t.Fatal(err)
 	}
-	res2, err := p.DetectEvents(EventDetectionParams{
+	res2, err := p.DetectEvents(context.Background(), EventDetectionParams{
 		Eps: 120, MinPts: 10,
 		SinceMillis: res1.Watermark,
 	})

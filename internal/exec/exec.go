@@ -1,0 +1,238 @@
+// Package exec is the platform's scatter-gather execution engine: a bounded
+// worker pool running context-aware tasks with deterministic result ordering,
+// errors.Join-style error aggregation and per-query statistics.
+//
+// The personalized query path fans one coprocessor out across every region of
+// the Visits table. The simulated cluster (internal/sim) models *when* that
+// work would finish on the paper's testbed; this package makes the real
+// execution actually parallel on the host, so wall-clock throughput under
+// concurrent traffic scales with the hardware instead of contradicting the
+// timing model.
+package exec
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Task is one unit of scatter work. Tasks must be safe to run concurrently
+// with each other; the value they return travels back to the caller in the
+// task's original position.
+type Task func(ctx context.Context) (interface{}, error)
+
+// Result pairs one task's output with its error, in submission order.
+type Result struct {
+	Value interface{}
+	Err   error
+}
+
+// Pool is a bounded worker pool. The bound applies across every concurrent
+// Gather on the same pool, so a burst of simultaneous queries cannot spawn
+// more than `workers` running tasks in total. The zero value is not usable;
+// construct with NewPool.
+type Pool struct {
+	workers int
+	// sem bounds globally-running tasks; each Gather additionally spawns at
+	// most min(workers, len(tasks)) goroutines of its own.
+	sem chan struct{}
+}
+
+// NewPool creates a pool with the given worker bound; workers < 1 uses
+// GOMAXPROCS.
+func NewPool(workers int) *Pool {
+	if workers < 1 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return &Pool{workers: workers, sem: make(chan struct{}, workers)}
+}
+
+// Workers returns the pool's concurrency bound.
+func (p *Pool) Workers() int { return p.workers }
+
+// defaultPool is the process-wide pool used by Default.
+var defaultPool atomic.Pointer[Pool]
+
+// Default returns the shared process-wide pool, creating it on first use
+// with GOMAXPROCS workers.
+func Default() *Pool {
+	if p := defaultPool.Load(); p != nil {
+		return p
+	}
+	p := NewPool(0)
+	if defaultPool.CompareAndSwap(nil, p) {
+		return p
+	}
+	return defaultPool.Load()
+}
+
+// SetDefaultWorkers replaces the shared pool with one bounded at n workers
+// (n < 1 restores the GOMAXPROCS default). Gathers already in flight keep
+// their old pool.
+func SetDefaultWorkers(n int) {
+	defaultPool.Store(NewPool(n))
+}
+
+// Stats accumulates one query's execution statistics. All methods are safe
+// for concurrent use and tolerate a nil receiver, so code paths that execute
+// outside a query (background jobs, tests) need no special-casing.
+type Stats struct {
+	tasks      atomic.Int64
+	goroutines atomic.Int64
+	rows       atomic.Int64
+	bytes      atomic.Int64
+	wallNanos  atomic.Int64
+}
+
+// Snapshot is an immutable copy of Stats for reporting.
+type Snapshot struct {
+	// Tasks is the number of tasks executed (or cancelled before running).
+	Tasks int64 `json:"tasks"`
+	// Goroutines counts the worker goroutines that ran at least one task —
+	// the observed scatter parallelism.
+	Goroutines int64 `json:"goroutines"`
+	// RowsScanned is the number of store rows the tasks visited.
+	RowsScanned int64 `json:"rows_scanned"`
+	// BytesMerged is the (estimated) wire size of the partial aggregates the
+	// gather stage combined.
+	BytesMerged int64 `json:"bytes_merged"`
+	// WallSeconds is the real elapsed time spent in Gather calls.
+	WallSeconds float64 `json:"wall_seconds"`
+}
+
+// AddRows records n scanned rows.
+func (s *Stats) AddRows(n int64) {
+	if s != nil {
+		s.rows.Add(n)
+	}
+}
+
+// AddBytes records n merged bytes.
+func (s *Stats) AddBytes(n int64) {
+	if s != nil {
+		s.bytes.Add(n)
+	}
+}
+
+func (s *Stats) addTask() {
+	if s != nil {
+		s.tasks.Add(1)
+	}
+}
+
+func (s *Stats) addGoroutine() {
+	if s != nil {
+		s.goroutines.Add(1)
+	}
+}
+
+func (s *Stats) addWall(d time.Duration) {
+	if s != nil {
+		s.wallNanos.Add(int64(d))
+	}
+}
+
+// Snapshot returns a copy of the counters. Safe on a nil receiver.
+func (s *Stats) Snapshot() Snapshot {
+	if s == nil {
+		return Snapshot{}
+	}
+	return Snapshot{
+		Tasks:       s.tasks.Load(),
+		Goroutines:  s.goroutines.Load(),
+		RowsScanned: s.rows.Load(),
+		BytesMerged: s.bytes.Load(),
+		WallSeconds: float64(s.wallNanos.Load()) / 1e9,
+	}
+}
+
+type statsKey struct{}
+
+// WithStats attaches a Stats collector to the context; Gather and
+// cancellation-aware scans report into it.
+func WithStats(ctx context.Context, s *Stats) context.Context {
+	return context.WithValue(ctx, statsKey{}, s)
+}
+
+// StatsFrom returns the context's Stats collector, or nil when none is
+// attached (nil is safe to use with every Stats method).
+func StatsFrom(ctx context.Context) *Stats {
+	s, _ := ctx.Value(statsKey{}).(*Stats)
+	return s
+}
+
+// Gather runs every task on the pool and returns their results in task
+// order. It never aborts on the first failure: every task either runs or —
+// once ctx is cancelled — is marked with the context error, and the returned
+// error joins every per-task error (nil when all succeeded). A panicking
+// task is converted into an error instead of crashing the process.
+func (p *Pool) Gather(ctx context.Context, tasks []Task) ([]Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	start := time.Now()
+	st := StatsFrom(ctx)
+	n := len(tasks)
+	res := make([]Result, n)
+	if n == 0 {
+		return res, nil
+	}
+	spawn := p.workers
+	if spawn > n {
+		spawn = n
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < spawn; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			counted := false
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				p.sem <- struct{}{}
+				if !counted {
+					st.addGoroutine()
+					counted = true
+				}
+				if err := ctx.Err(); err != nil {
+					res[i].Err = err
+				} else {
+					res[i].Value, res[i].Err = runTask(ctx, tasks[i])
+				}
+				st.addTask()
+				<-p.sem
+			}
+		}()
+	}
+	wg.Wait()
+	st.addWall(time.Since(start))
+	var errs []error
+	for i := range res {
+		if res[i].Err != nil {
+			errs = append(errs, res[i].Err)
+		}
+	}
+	return res, errors.Join(errs...)
+}
+
+// runTask executes one task, converting a panic into an error so a buggy
+// callback degrades into a failed query instead of a crashed process.
+func runTask(ctx context.Context, t Task) (v interface{}, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("exec: task panic: %v", r)
+		}
+	}()
+	if t == nil {
+		return nil, fmt.Errorf("exec: nil task")
+	}
+	return t(ctx)
+}

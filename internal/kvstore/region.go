@@ -1,21 +1,37 @@
 package kvstore
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"sync"
+
+	"modissense/internal/exec"
 )
 
 // Region is one contiguous key range of a table, backed by its own LSM
 // store — the unit of distribution and of coprocessor execution, exactly as
-// in HBase. StartKey is inclusive, EndKey exclusive; empty means unbounded.
+// in HBase. StartKey is inclusive, the end key exclusive; empty means
+// unbounded. ID, StartKey and NodeID are fixed at creation; the end key and
+// backing store change only when the region splits, guarded by mu.
 type Region struct {
 	ID       int
 	StartKey string
-	EndKey   string
 	// NodeID is the simulated cluster node hosting this region.
 	NodeID int
+
+	mu     sync.RWMutex
+	endKey string
 	store  *Store
+}
+
+// EndKey returns the region's exclusive upper bound ("" = unbounded). A
+// concurrent split may shrink it; coprocessors and scans never observe that
+// because they run against frozen region views (see frozen).
+func (r *Region) EndKey() string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.endKey
 }
 
 // Contains reports whether the row key falls inside the region's range.
@@ -23,7 +39,7 @@ func (r *Region) Contains(row string) bool {
 	if r.StartKey != "" && row < r.StartKey {
 		return false
 	}
-	if r.EndKey != "" && row >= r.EndKey {
+	if end := r.EndKey(); end != "" && row >= end {
 		return false
 	}
 	return true
@@ -32,7 +48,27 @@ func (r *Region) Contains(row string) bool {
 // Store exposes the region's backing store to coprocessors; they run
 // "inside" the region and may only touch local data, which is what makes
 // the fan-out parallelism of the personalized query path honest.
-func (r *Region) Store() *Store { return r.store }
+func (r *Region) Store() *Store {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.store
+}
+
+// frozen returns a point-in-time copy of the region. The copy's store and
+// end key can never change under a running coprocessor: a concurrent
+// SplitRegion builds *new* stores for both halves and swaps them in, so the
+// frozen store keeps serving the full pre-split range consistently.
+func (r *Region) frozen() *Region {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return &Region{
+		ID:       r.ID,
+		StartKey: r.StartKey,
+		NodeID:   r.NodeID,
+		endKey:   r.endKey,
+		store:    r.store,
+	}
+}
 
 // Coprocessor is server-side code executed against a single region. The
 // returned value travels back to the client; implementations report the
@@ -45,9 +81,24 @@ type Coprocessor interface {
 	RunRegion(r *Region) (interface{}, error)
 }
 
+// CoprocessorCtx is an optional extension implemented by coprocessors that
+// honor cancellation. ExecCoprocessorCtx prefers RunRegionCtx when present
+// and falls back to RunRegion otherwise.
+type CoprocessorCtx interface {
+	Coprocessor
+	// RunRegionCtx executes against one region, returning early (with
+	// ctx.Err()) when the context is cancelled.
+	RunRegionCtx(ctx context.Context, r *Region) (interface{}, error)
+}
+
 // Table is an ordered collection of regions covering the whole key space.
 // Tables route puts/gets/scans to regions and fan coprocessors out across
 // them. Safe for concurrent use; region splits take the table lock.
+//
+// Lock order is always table.mu before region.mu. Mutations (Put/Delete)
+// hold the table read lock across the store write so a concurrent split —
+// which rewrites the region's cells into two fresh stores under the table
+// write lock — can never strand a write in an orphaned store.
 type Table struct {
 	mu      sync.RWMutex
 	name    string
@@ -96,8 +147,8 @@ func NewTable(name string, splitKeys []string, nodes int, opts StoreOptions) (*T
 		t.regions = append(t.regions, &Region{
 			ID:       t.nextID,
 			StartKey: start,
-			EndKey:   end,
 			NodeID:   t.nextID % nodes,
+			endKey:   end,
 			store:    st,
 		})
 		t.nextID++
@@ -131,9 +182,21 @@ func (t *Table) Regions() []*Region {
 	return append([]*Region(nil), t.regions...)
 }
 
-// regionFor returns the region containing the row key.
+// frozenRegions captures a point-in-time view of every region under the
+// table lock: one consistent cut that no concurrent split can disturb.
+func (t *Table) frozenRegions() []*Region {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	out := make([]*Region, len(t.regions))
+	for i, r := range t.regions {
+		out[i] = r.frozen()
+	}
+	return out
+}
+
+// regionFor returns the region containing the row key. Caller holds t.mu.
 func (t *Table) regionFor(row string) *Region {
-	// regions[i].StartKey <= row < regions[i].EndKey; find the last region
+	// regions[i].StartKey <= row < regions[i].endKey; find the last region
 	// whose StartKey <= row.
 	i := sort.Search(len(t.regions), func(i int) bool {
 		return t.regions[i].StartKey > row
@@ -152,21 +215,20 @@ func (t *Table) RegionFor(row string) *Region {
 }
 
 // Put routes a versioned write to the owning region, logging it first on
-// durable tables.
+// durable tables. The table read lock is held across the store write so the
+// write cannot land in a store a concurrent split just retired.
 func (t *Table) Put(row, qualifier string, timestamp int64, value []byte) error {
 	if row == "" {
 		return fmt.Errorf("kvstore: empty row key")
 	}
 	t.mu.RLock()
-	r := t.regionFor(row)
-	w := t.wal
-	t.mu.RUnlock()
-	if w != nil {
-		if err := w.append(Cell{Row: row, Qualifier: qualifier, Timestamp: timestamp, Value: value}); err != nil {
+	defer t.mu.RUnlock()
+	if t.wal != nil {
+		if err := t.wal.append(Cell{Row: row, Qualifier: qualifier, Timestamp: timestamp, Value: value}); err != nil {
 			return fmt.Errorf("kvstore: table wal: %w", err)
 		}
 	}
-	return r.store.Put(row, qualifier, timestamp, value)
+	return t.regionFor(row).store.Put(row, qualifier, timestamp, value)
 }
 
 // Delete routes a tombstone to the owning region, logging it first on
@@ -176,31 +238,32 @@ func (t *Table) Delete(row, qualifier string, timestamp int64) error {
 		return fmt.Errorf("kvstore: empty row key")
 	}
 	t.mu.RLock()
-	r := t.regionFor(row)
-	w := t.wal
-	t.mu.RUnlock()
-	if w != nil {
-		if err := w.append(Cell{Row: row, Qualifier: qualifier, Timestamp: timestamp, Tombstone: true}); err != nil {
+	defer t.mu.RUnlock()
+	if t.wal != nil {
+		if err := t.wal.append(Cell{Row: row, Qualifier: qualifier, Timestamp: timestamp, Tombstone: true}); err != nil {
 			return fmt.Errorf("kvstore: table wal: %w", err)
 		}
 	}
-	return r.store.Delete(row, qualifier, timestamp)
+	return t.regionFor(row).store.Delete(row, qualifier, timestamp)
 }
 
 // Get reads the newest live view of a row.
 func (t *Table) Get(row string) (RowResult, error) {
 	t.mu.RLock()
-	r := t.regionFor(row)
-	t.mu.RUnlock()
-	return r.store.Get(row)
+	defer t.mu.RUnlock()
+	return t.regionFor(row).store.Get(row)
 }
 
 // Scan streams rows across all regions intersecting the range, in global
 // key order.
 func (t *Table) Scan(opts ScanOptions, fn func(RowResult) bool) error {
-	t.mu.RLock()
-	regions := append([]*Region(nil), t.regions...)
-	t.mu.RUnlock()
+	return t.ScanCtx(context.Background(), opts, fn)
+}
+
+// ScanCtx is Scan with row-granular cancellation: it stops and returns
+// ctx.Err() as soon as the context is done, even mid-region.
+func (t *Table) ScanCtx(ctx context.Context, opts ScanOptions, fn func(RowResult) bool) error {
+	regions := t.frozenRegions()
 	remaining := opts.Limit
 	stopped := false
 	for _, r := range regions {
@@ -210,12 +273,12 @@ func (t *Table) Scan(opts ScanOptions, fn func(RowResult) bool) error {
 		if opts.StopRow != "" && r.StartKey != "" && r.StartKey >= opts.StopRow {
 			return nil
 		}
-		if opts.StartRow != "" && r.EndKey != "" && r.EndKey <= opts.StartRow {
+		if opts.StartRow != "" && r.endKey != "" && r.endKey <= opts.StartRow {
 			continue
 		}
 		ro := opts
 		ro.Limit = remaining
-		err := r.store.Scan(ro, func(res RowResult) bool {
+		err := r.store.ScanCtx(ctx, ro, func(res RowResult) bool {
 			if remaining > 0 {
 				remaining--
 				if remaining == 0 {
@@ -244,21 +307,57 @@ type RegionResult struct {
 	Err    error
 }
 
-// ExecCoprocessor runs the coprocessor on every region (sequentially — the
-// simulated cluster provides the timing model; real parallelism on one CPU
-// would only add nondeterminism) and returns per-region results in key
-// order.
+// ExecCoprocessor runs the coprocessor on every region sequentially and
+// returns per-region results in key order. Regions execute against frozen
+// views, so a concurrent SplitRegion cannot swap a store out from under a
+// running coprocessor. Prefer ExecCoprocessorCtx on hot paths.
 func (t *Table) ExecCoprocessor(cp Coprocessor) ([]RegionResult, error) {
 	if cp == nil {
 		return nil, fmt.Errorf("kvstore: nil coprocessor")
 	}
-	t.mu.RLock()
-	regions := append([]*Region(nil), t.regions...)
-	t.mu.RUnlock()
+	regions := t.frozenRegions()
 	out := make([]RegionResult, 0, len(regions))
 	for _, r := range regions {
 		v, err := cp.RunRegion(r)
 		out = append(out, RegionResult{Region: r, Value: v, Err: err})
+	}
+	return out, nil
+}
+
+// ExecCoprocessorCtx fans the coprocessor out across all regions on the
+// shared scatter-gather pool (exec.Default). Results come back in region
+// key order regardless of completion order — byte-identical to the
+// sequential path. Per-region failures land in RegionResult.Err and are
+// also joined into the returned error; no first-error abort, so every
+// region's outcome is always reported. When ctx carries an exec.Stats (see
+// exec.WithStats) the fan-out's parallelism and row counts are recorded
+// there.
+func (t *Table) ExecCoprocessorCtx(ctx context.Context, cp Coprocessor) ([]RegionResult, error) {
+	if cp == nil {
+		return nil, fmt.Errorf("kvstore: nil coprocessor")
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	cpCtx, _ := cp.(CoprocessorCtx)
+	regions := t.frozenRegions()
+	tasks := make([]exec.Task, len(regions))
+	for i, r := range regions {
+		r := r
+		tasks[i] = func(ctx context.Context) (interface{}, error) {
+			if cpCtx != nil {
+				return cpCtx.RunRegionCtx(ctx, r)
+			}
+			return cp.RunRegion(r)
+		}
+	}
+	results, err := exec.Default().Gather(ctx, tasks)
+	out := make([]RegionResult, len(regions))
+	for i, r := range regions {
+		out[i] = RegionResult{Region: r, Value: results[i].Value, Err: results[i].Err}
+	}
+	if err != nil {
+		return out, fmt.Errorf("kvstore: coprocessor %q: %w", cp.Name(), err)
 	}
 	return out, nil
 }
@@ -287,7 +386,9 @@ func (t *Table) SplitRegion(splitKey string) error {
 		return err
 	}
 	// Rewrite the region's cells into the two halves. Raw cells (including
-	// tombstones) preserve full version history across the split.
+	// tombstones) preserve full version history across the split. The old
+	// store is left untouched: frozen views handed to in-flight coprocessors
+	// keep reading a consistent full-range snapshot.
 	for _, c := range r.store.rawCells() {
 		dst := lower
 		if c.Row >= splitKey {
@@ -300,13 +401,15 @@ func (t *Table) SplitRegion(splitKey string) error {
 	newRegion := &Region{
 		ID:       t.nextID,
 		StartKey: splitKey,
-		EndKey:   r.EndKey,
 		NodeID:   t.nextID % t.nodes,
+		endKey:   r.endKey,
 		store:    upper,
 	}
 	t.nextID++
-	r.EndKey = splitKey
+	r.mu.Lock()
+	r.endKey = splitKey
 	r.store = lower
+	r.mu.Unlock()
 	// Insert newRegion right after r.
 	idx := sort.Search(len(t.regions), func(i int) bool {
 		return t.regions[i].StartKey > splitKey

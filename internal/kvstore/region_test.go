@@ -51,7 +51,7 @@ func TestTableRegionRouting(t *testing.T) {
 			t.Errorf("RegionFor(%q).StartKey = %q, want %q", c.row, r.StartKey, c.wantStart)
 		}
 		if !r.Contains(c.row) {
-			t.Errorf("region %q..%q must contain %q", r.StartKey, r.EndKey, c.row)
+			t.Errorf("region %q..%q must contain %q", r.StartKey, r.EndKey(), c.row)
 		}
 	}
 }
@@ -62,12 +62,12 @@ func TestTableRegionsCoverKeySpace(t *testing.T) {
 	if regions[0].StartKey != "" {
 		t.Error("first region must start at the beginning of the key space")
 	}
-	if regions[len(regions)-1].EndKey != "" {
+	if regions[len(regions)-1].EndKey() != "" {
 		t.Error("last region must extend to the end of the key space")
 	}
 	for i := 1; i < len(regions); i++ {
-		if regions[i-1].EndKey != regions[i].StartKey {
-			t.Errorf("gap between region %d and %d: %q vs %q", i-1, i, regions[i-1].EndKey, regions[i].StartKey)
+		if regions[i-1].EndKey() != regions[i].StartKey {
+			t.Errorf("gap between region %d and %d: %q vs %q", i-1, i, regions[i-1].EndKey(), regions[i].StartKey)
 		}
 	}
 }
@@ -283,7 +283,7 @@ func TestSplitRegionRepeatedIncreasesParallelUnits(t *testing.T) {
 	if err := tbl.Scan(ScanOptions{}, func(r RowResult) bool {
 		reg := tbl.RegionFor(r.Row)
 		if !reg.Contains(r.Row) {
-			t.Errorf("row %s routed to region [%q,%q)", r.Row, reg.StartKey, reg.EndKey)
+			t.Errorf("row %s routed to region [%q,%q)", r.Row, reg.StartKey, reg.EndKey())
 		}
 		return true
 	}); err != nil {

@@ -1,8 +1,11 @@
 package kvstore
 
 import (
+	"context"
 	"fmt"
 	"sync"
+
+	"modissense/internal/exec"
 )
 
 // StoreOptions tune a single store (one region's backing storage).
@@ -264,9 +267,20 @@ type ScanOptions struct {
 // Scan streams resolved rows in key order to fn; returning false from fn
 // stops the scan early. The scan holds the store read lock for its duration.
 func (s *Store) Scan(opts ScanOptions, fn func(RowResult) bool) error {
+	return s.ScanCtx(context.Background(), opts, fn)
+}
+
+// ScanCtx is Scan with row-granular cancellation: between rows it checks
+// ctx and returns ctx.Err() as soon as the context is done, so a cancelled
+// query releases the store read lock promptly instead of finishing a large
+// scan it no longer needs. Rows delivered to fn are counted into the
+// context's exec.Stats when one is attached.
+func (s *Store) ScanCtx(ctx context.Context, opts ScanOptions, fn func(RowResult) bool) error {
 	if fn == nil {
 		return fmt.Errorf("kvstore: nil scan callback")
 	}
+	st := exec.StatsFrom(ctx)
+	done := ctx.Done()
 	asOf := opts.AsOf
 	if asOf == 0 {
 		asOf = int64(1) << 62
@@ -280,6 +294,13 @@ func (s *Store) Scan(opts ScanOptions, fn func(RowResult) bool) error {
 	merged := newMergeIterator(s.iteratorsLocked(start))
 	rows := 0
 	for merged.valid() {
+		if done != nil {
+			select {
+			case <-done:
+				return ctx.Err()
+			default:
+			}
+		}
 		row := merged.cell().Row
 		if opts.StopRow != "" && row >= opts.StopRow {
 			return nil
@@ -288,6 +309,7 @@ func (s *Store) Scan(opts ScanOptions, fn func(RowResult) bool) error {
 		resolveRowVersions(merged, row, asOf, &res)
 		if !res.Empty() {
 			rows++
+			st.AddRows(1)
 			if !fn(res) {
 				return nil
 			}

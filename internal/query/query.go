@@ -4,16 +4,22 @@
 // search on the relational POI repository, and trending-events queries on
 // either path.
 //
-// Every query executes for real against the real stores; the simulated
+// Every query executes for real against the real stores — in parallel, on
+// the shared scatter-gather pool (internal/exec) — while the simulated
 // cluster converts the measured per-region work into latency, which is what
-// the Figure 2/3 experiments sweep.
+// the Figure 2/3 experiments sweep. Queries carry a context.Context end to
+// end: cancelling it aborts region scans mid-flight.
 package query
 
 import (
+	"container/heap"
+	"context"
+	"errors"
 	"fmt"
 	"sort"
 
 	"modissense/internal/cluster"
+	"modissense/internal/exec"
 	"modissense/internal/geo"
 	"modissense/internal/kvstore"
 	"modissense/internal/model"
@@ -95,6 +101,9 @@ type Result struct {
 	POIs []ScoredPOI `json:"pois"`
 	// LatencySeconds is the simulated end-to-end latency.
 	LatencySeconds float64 `json:"latency_seconds"`
+	// Exec reports the real scatter-gather execution of this query: tasks,
+	// parallelism, rows scanned, bytes merged, wall time.
+	Exec exec.Snapshot `json:"exec"`
 	// Work aggregates the per-region coprocessor work.
 	Work cluster.CoprocessorWork `json:"-"`
 	// Regions is the number of regions that participated.
@@ -121,6 +130,16 @@ type poiAgg struct {
 	poi      model.POI
 	gradeSum float64
 	visits   int
+}
+
+// wireBytes estimates the serialized size of one partial aggregate as it
+// would travel region → web server (id, sums, name, keywords).
+func (a *poiAgg) wireBytes() int64 {
+	n := 48 + len(a.poi.Name)
+	for _, k := range a.poi.Keywords {
+		n += len(k) + 3
+	}
+	return int64(n)
 }
 
 // regionOutput is what one coprocessor execution returns.
@@ -150,6 +169,12 @@ func (cp *visitsCoprocessor) Name() string { return "personalized-visits" }
 
 // RunRegion implements kvstore.Coprocessor.
 func (cp *visitsCoprocessor) RunRegion(r *kvstore.Region) (interface{}, error) {
+	return cp.RunRegionCtx(context.Background(), r)
+}
+
+// RunRegionCtx implements kvstore.CoprocessorCtx: the per-friend range
+// scans honor cancellation at row granularity.
+func (cp *visitsCoprocessor) RunRegionCtx(ctx context.Context, r *kvstore.Region) (interface{}, error) {
 	out := &regionOutput{}
 	aggs := map[int64]*poiAgg{}
 	for _, friend := range cp.friends {
@@ -159,7 +184,7 @@ func (cp *visitsCoprocessor) RunRegion(r *kvstore.Region) (interface{}, error) {
 		}
 		out.work.Friends++
 		start, stop := repos.VisitScanBounds(friend, cp.spec.FromMillis, cp.spec.ToMillis)
-		err := r.Store().Scan(kvstore.ScanOptions{StartRow: start, StopRow: stop}, func(row kvstore.RowResult) bool {
+		err := r.Store().ScanCtx(ctx, kvstore.ScanOptions{StartRow: start, StopRow: stop}, func(row kvstore.RowResult) bool {
 			raw, ok := row.Get(repos.VisitQualifier)
 			if !ok {
 				return true
@@ -223,33 +248,80 @@ func (cp *visitsCoprocessor) matches(v *model.Visit) bool {
 	return true
 }
 
+// aggLess is the strict total order of the final ranking: score (or visit
+// count) descending, POI id ascending as the tiebreak. Both the exact sort
+// and the streaming top-k heap rank through this one function, which is
+// what makes the two merge paths return identical results.
+func aggLess(order OrderBy, a, b *poiAgg) bool {
+	switch order {
+	case ByHotness:
+		if a.visits != b.visits {
+			return a.visits > b.visits
+		}
+	default: // ByInterest
+		sa := a.gradeSum / float64(a.visits)
+		sb := b.gradeSum / float64(b.visits)
+		if sa != sb {
+			return sa > sb
+		}
+	}
+	return a.poi.ID < b.poi.ID
+}
+
 func sortAggs(aggs []poiAgg, order OrderBy) {
 	sort.Slice(aggs, func(i, j int) bool {
-		var less bool
-		switch order {
-		case ByHotness:
-			if aggs[i].visits != aggs[j].visits {
-				less = aggs[i].visits > aggs[j].visits
-			} else {
-				less = aggs[i].poi.ID < aggs[j].poi.ID
-			}
-		default: // ByInterest
-			si := aggs[i].gradeSum / float64(aggs[i].visits)
-			sj := aggs[j].gradeSum / float64(aggs[j].visits)
-			if si != sj {
-				less = si > sj
-			} else {
-				less = aggs[i].poi.ID < aggs[j].poi.ID
-			}
-		}
-		return less
+		return aggLess(order, &aggs[i], &aggs[j])
 	})
+}
+
+// boundedAggHeap keeps the k best aggregates seen so far, worst at the
+// root, so the streaming merge is O(n log k) instead of sorting everything.
+type boundedAggHeap struct {
+	items []poiAgg
+	order OrderBy
+	k     int
+}
+
+func (h *boundedAggHeap) Len() int { return len(h.items) }
+func (h *boundedAggHeap) Less(i, j int) bool {
+	// Inverted: the root is the worst of the kept aggregates.
+	return aggLess(h.order, &h.items[j], &h.items[i])
+}
+func (h *boundedAggHeap) Swap(i, j int)      { h.items[i], h.items[j] = h.items[j], h.items[i] }
+func (h *boundedAggHeap) Push(x interface{}) { h.items = append(h.items, x.(poiAgg)) }
+func (h *boundedAggHeap) Pop() interface{} {
+	old := h.items
+	n := len(old)
+	x := old[n-1]
+	h.items = old[:n-1]
+	return x
+}
+
+// offer considers one aggregate for the top k.
+func (h *boundedAggHeap) offer(a poiAgg) {
+	if len(h.items) < h.k {
+		heap.Push(h, a)
+		return
+	}
+	if aggLess(h.order, &a, &h.items[0]) {
+		h.items[0] = a
+		heap.Fix(h, 0)
+	}
+}
+
+// sorted drains the heap into best-first order (destructive).
+func (h *boundedAggHeap) sorted() []poiAgg {
+	out := make([]poiAgg, len(h.items))
+	for i := len(h.items) - 1; i >= 0; i-- {
+		out[i] = heap.Pop(h).(poiAgg)
+	}
+	return out
 }
 
 // Run executes one personalized query and returns results plus simulated
 // latency.
-func (e *Engine) Run(spec Spec) (*Result, error) {
-	results, err := e.RunConcurrent([]Spec{spec})
+func (e *Engine) Run(ctx context.Context, spec Spec) (*Result, error) {
+	results, err := e.RunConcurrent(ctx, []Spec{spec})
 	if err != nil {
 		return nil, err
 	}
@@ -259,10 +331,15 @@ func (e *Engine) Run(spec Spec) (*Result, error) {
 // RunConcurrent executes the given queries as simultaneous arrivals on the
 // platform (the Figure 3 scenario): every query fans its coprocessor tasks
 // out across the same simulated nodes, so queueing contention shapes the
-// latencies exactly as shared region servers would.
-func (e *Engine) RunConcurrent(specs []Spec) ([]*Result, error) {
+// latencies exactly as shared region servers would. The real region work
+// runs in parallel on the scatter-gather pool; cancelling ctx aborts the
+// remaining scans and fails the batch with the context's error.
+func (e *Engine) RunConcurrent(ctx context.Context, specs []Spec) ([]*Result, error) {
 	if len(specs) == 0 {
 		return nil, fmt.Errorf("query: no queries")
+	}
+	if ctx == nil {
+		ctx = context.Background()
 	}
 	cost := e.clus.Config().Cost
 	results := make([]*Result, len(specs))
@@ -270,6 +347,9 @@ func (e *Engine) RunConcurrent(specs []Spec) ([]*Result, error) {
 
 	// Phase 1: real execution of every query's coprocessors.
 	for qi := range specs {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		spec := specs[qi]
 		if err := spec.Validate(); err != nil {
 			return nil, err
@@ -277,7 +357,9 @@ func (e *Engine) RunConcurrent(specs []Spec) ([]*Result, error) {
 		friends := append([]int64(nil), spec.FriendIDs...)
 		sort.Slice(friends, func(i, j int) bool { return friends[i] < friends[j] })
 		cp := &visitsCoprocessor{spec: &spec, schema: e.visits.Schema(), friends: friends}
-		regionResults, err := e.visits.Table().ExecCoprocessor(cp)
+		stats := &exec.Stats{}
+		qctx := exec.WithStats(ctx, stats)
+		regionResults, err := e.visits.Table().ExecCoprocessorCtx(qctx, cp)
 		if err != nil {
 			return nil, err
 		}
@@ -292,13 +374,18 @@ func (e *Engine) RunConcurrent(specs []Spec) ([]*Result, error) {
 		plans[qi] = plan
 
 		// Merge (real): combine per-region aggregates.
-		merged, totalWork := e.merge(plan)
-		results[qi] = &Result{POIs: merged, Work: totalWork, Regions: len(plan.regions)}
+		merged, totalWork := e.merge(plan, stats)
+		results[qi] = &Result{POIs: merged, Work: totalWork, Regions: len(plan.regions), Exec: stats.Snapshot()}
 	}
 
 	// Phase 2: schedule all queries as simultaneous arrivals at the current
 	// simulation clock (the cluster may have served earlier work, so
 	// latencies are measured relative to this batch's arrival time).
+	// Scheduling in the past is a bug in the cost model, but a buggy cost
+	// model must fail the query, not crash the process: callback errors are
+	// collected and reported after the simulation drains.
+	var schedErr error
+	fail := func(err error) { schedErr = errors.Join(schedErr, err) }
 	base := e.clus.Engine().Now()
 	for qi, plan := range plans {
 		qi, plan := qi, plan
@@ -334,11 +421,11 @@ func (e *Engine) RunConcurrent(specs []Spec) ([]*Result, error) {
 						results[qi].LatencySeconds = done - base
 					})
 					if err != nil {
-						panic(err) // scheduling in the past is a bug, not a runtime condition
+						fail(fmt.Errorf("query %d: schedule merge: %w", qi, err))
 					}
 				})
 				if err != nil {
-					panic(err)
+					fail(fmt.Errorf("query %d: schedule region %d: %w", qi, ri, err))
 				}
 			}
 		})
@@ -348,6 +435,9 @@ func (e *Engine) RunConcurrent(specs []Spec) ([]*Result, error) {
 	}
 	if _, err := e.clus.Run(); err != nil {
 		return nil, err
+	}
+	if schedErr != nil {
+		return nil, schedErr
 	}
 	for qi, r := range results {
 		if r.LatencySeconds <= 0 {
@@ -359,8 +449,11 @@ func (e *Engine) RunConcurrent(specs []Spec) ([]*Result, error) {
 
 // merge combines region aggregates into the final ranking. Under the
 // normalized schema the POI info is joined from the relational repository
-// and the spatial/keyword predicates are applied post-join.
-func (e *Engine) merge(plan *queryPlan) ([]ScoredPOI, cluster.CoprocessorWork) {
+// and the spatial/keyword predicates are applied post-join. With a positive
+// Limit the ranking streams through a bounded heap (O(n log k)); otherwise
+// it falls back to the exact full sort, which doubles as the oracle the
+// property tests compare the heap against.
+func (e *Engine) merge(plan *queryPlan, stats *exec.Stats) ([]ScoredPOI, cluster.CoprocessorWork) {
 	var work cluster.CoprocessorWork
 	byPOI := map[int64]*poiAgg{}
 	for _, out := range plan.outputs {
@@ -369,6 +462,7 @@ func (e *Engine) merge(plan *queryPlan) ([]ScoredPOI, cluster.CoprocessorWork) {
 		work.VisitsMatched += out.work.VisitsMatched
 		work.CandidatePOIs += out.work.CandidatePOIs
 		for _, a := range out.aggs {
+			stats.AddBytes(a.wireBytes())
 			cur := byPOI[a.poi.ID]
 			if cur == nil {
 				cp := a
@@ -379,7 +473,13 @@ func (e *Engine) merge(plan *queryPlan) ([]ScoredPOI, cluster.CoprocessorWork) {
 			cur.visits += a.visits
 		}
 	}
-	aggs := make([]poiAgg, 0, len(byPOI))
+	order := plan.spec.orderOrDefault()
+	limit := plan.spec.Limit
+	var topk *boundedAggHeap
+	var aggs []poiAgg
+	if limit > 0 {
+		topk = &boundedAggHeap{order: order, k: limit}
+	}
 	for _, a := range byPOI {
 		if e.visits.Schema() == repos.SchemaNormalized {
 			poi, ok := e.pois.Get(a.poi.ID)
@@ -404,12 +504,16 @@ func (e *Engine) merge(plan *queryPlan) ([]ScoredPOI, cluster.CoprocessorWork) {
 				}
 			}
 		}
-		aggs = append(aggs, *a)
+		if topk != nil {
+			topk.offer(*a)
+		} else {
+			aggs = append(aggs, *a)
+		}
 	}
-	sortAggs(aggs, plan.spec.orderOrDefault())
-	limit := plan.spec.Limit
-	if limit > 0 && len(aggs) > limit {
-		aggs = aggs[:limit]
+	if topk != nil {
+		aggs = topk.sorted()
+	} else {
+		sortAggs(aggs, order)
 	}
 	out := make([]ScoredPOI, len(aggs))
 	for i, a := range aggs {
@@ -421,13 +525,20 @@ func (e *Engine) merge(plan *queryPlan) ([]ScoredPOI, cluster.CoprocessorWork) {
 // NonPersonalized answers a query with no friend list straight from the
 // relational POI repository, returning the simulated latency of the
 // PostgreSQL path.
-func (e *Engine) NonPersonalized(spec repos.SearchSpec) ([]model.POI, float64, error) {
+func (e *Engine) NonPersonalized(ctx context.Context, spec repos.SearchSpec) ([]model.POI, float64, error) {
+	if ctx != nil {
+		if err := ctx.Err(); err != nil {
+			return nil, 0, err
+		}
+	}
 	pois, examined, err := e.pois.Search(spec)
 	if err != nil {
 		return nil, 0, err
 	}
 	cost := e.clus.Config().Cost
 	var latency float64
+	var schedErr error
+	fail := func(err error) { schedErr = errors.Join(schedErr, err) }
 	web := e.clus.PickWebServer()
 	base := e.clus.Engine().Now()
 	_, err = web.Submit(base, cost.WebParse, func(parseDone float64) {
@@ -436,11 +547,11 @@ func (e *Engine) NonPersonalized(spec repos.SearchSpec) ([]model.POI, float64, e
 				latency = done - base
 			})
 			if err != nil {
-				panic(err)
+				fail(fmt.Errorf("query: schedule response: %w", err))
 			}
 		})
 		if err != nil {
-			panic(err)
+			fail(fmt.Errorf("query: schedule relational lookup: %w", err))
 		}
 	})
 	if err != nil {
@@ -448,6 +559,9 @@ func (e *Engine) NonPersonalized(spec repos.SearchSpec) ([]model.POI, float64, e
 	}
 	if _, err := e.clus.Run(); err != nil {
 		return nil, 0, err
+	}
+	if schedErr != nil {
+		return nil, 0, schedErr
 	}
 	return pois, latency, nil
 }
@@ -457,12 +571,12 @@ func (e *Engine) NonPersonalized(spec repos.SearchSpec) ([]model.POI, float64, e
 // by hotness ("the three hottest places visited by my x specific friends
 // the last y hours"); without friends it serves the precomputed hotness
 // ranking from the POI repository.
-func (e *Engine) Trending(spec Spec) (*Result, error) {
+func (e *Engine) Trending(ctx context.Context, spec Spec) (*Result, error) {
 	spec.OrderBy = ByHotness
 	if len(spec.FriendIDs) > 0 {
-		return e.Run(spec)
+		return e.Run(ctx, spec)
 	}
-	pois, latency, err := e.NonPersonalized(repos.SearchSpec{
+	pois, latency, err := e.NonPersonalized(ctx, repos.SearchSpec{
 		BBox: spec.BBox, Keyword: spec.Keyword, OrderBy: "hotness", Limit: spec.Limit,
 	})
 	if err != nil {

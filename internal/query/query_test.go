@@ -1,6 +1,7 @@
 package query
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 	"time"
@@ -171,7 +172,7 @@ func TestPersonalizedMatchesReference(t *testing.T) {
 				FromMillis: from, ToMillis: to,
 				OrderBy: ByInterest,
 			}
-			res, err := f.engine.Run(spec)
+			res, err := f.engine.Run(context.Background(), spec)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -224,7 +225,7 @@ func TestLimitAndHotnessOrder(t *testing.T) {
 		OrderBy: ByHotness,
 		Limit:   5,
 	}
-	res, err := f.engine.Run(spec)
+	res, err := f.engine.Run(context.Background(), spec)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -253,7 +254,7 @@ func TestTimeWindowFilters(t *testing.T) {
 	f := newFixture(t, repos.SchemaReplicated, 4, 20)
 	from, _ := window()
 	// Empty window (before any data).
-	res, err := f.engine.Run(Spec{FriendIDs: friendRange(1, 20), FromMillis: 0, ToMillis: from - 1})
+	res, err := f.engine.Run(context.Background(), Spec{FriendIDs: friendRange(1, 20), FromMillis: 0, ToMillis: from - 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -276,11 +277,11 @@ func TestSchemasAgreeOnResults(t *testing.T) {
 		FromMillis: from, ToMillis: to,
 		OrderBy: ByInterest,
 	}
-	r1, err := fr.engine.Run(spec)
+	r1, err := fr.engine.Run(context.Background(), spec)
 	if err != nil {
 		t.Fatal(err)
 	}
-	r2, err := fn.engine.Run(spec)
+	r2, err := fn.engine.Run(context.Background(), spec)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -306,7 +307,7 @@ func TestFigure2Shape(t *testing.T) {
 	latency := func(nodes, friends int) float64 {
 		f := newFixtureVisits(t, repos.SchemaReplicated, nodes, users, 170)
 		from, to := window()
-		res, err := f.engine.Run(Spec{
+		res, err := f.engine.Run(context.Background(), Spec{
 			FriendIDs:  friendRange(1, int64(friends)),
 			FromMillis: from, ToMillis: to,
 		})
@@ -344,7 +345,7 @@ func TestFigure3Shape(t *testing.T) {
 				FromMillis: from, ToMillis: to,
 			}
 		}
-		results, err := f.engine.RunConcurrent(specs)
+		results, err := f.engine.RunConcurrent(context.Background(), specs)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -373,7 +374,7 @@ func TestNonPersonalizedAndTrending(t *testing.T) {
 		}
 	}
 	box := workload.GreeceBounds()
-	pois, latency, err := f.engine.NonPersonalized(repos.SearchSpec{BBox: &box, OrderBy: "hotness", Limit: 3})
+	pois, latency, err := f.engine.NonPersonalized(context.Background(), repos.SearchSpec{BBox: &box, OrderBy: "hotness", Limit: 3})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -384,7 +385,7 @@ func TestNonPersonalizedAndTrending(t *testing.T) {
 		t.Error("non-personalized latency must be positive")
 	}
 	// Trending without friends = relational path.
-	res, err := f.engine.Trending(Spec{BBox: &box, Limit: 3})
+	res, err := f.engine.Trending(context.Background(), Spec{BBox: &box, Limit: 3})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -393,7 +394,7 @@ func TestNonPersonalizedAndTrending(t *testing.T) {
 	}
 	// Trending with friends = personalized hotness path.
 	from, to := window()
-	res, err = f.engine.Trending(Spec{FriendIDs: friendRange(1, 20), FromMillis: from, ToMillis: to, Limit: 3})
+	res, err = f.engine.Trending(context.Background(), Spec{FriendIDs: friendRange(1, 20), FromMillis: from, ToMillis: to, Limit: 3})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -409,10 +410,10 @@ func TestNonPersonalizedAndTrending(t *testing.T) {
 
 func TestRunConcurrentValidation(t *testing.T) {
 	f := newFixture(t, repos.SchemaReplicated, 2, 10)
-	if _, err := f.engine.RunConcurrent(nil); err == nil {
+	if _, err := f.engine.RunConcurrent(context.Background(), nil); err == nil {
 		t.Error("empty batch must fail")
 	}
-	if _, err := f.engine.Run(Spec{}); err == nil {
+	if _, err := f.engine.Run(context.Background(), Spec{}); err == nil {
 		t.Error("invalid spec must fail")
 	}
 }
@@ -426,11 +427,11 @@ func TestRegionTopKApproximation(t *testing.T) {
 		OrderBy: ByHotness,
 		Limit:   10,
 	}
-	exact, err := f.engine.Run(exactSpec)
+	exact, err := f.engine.Run(context.Background(), exactSpec)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := f.engine.Run(Spec{FriendIDs: []int64{1}, RegionTopK: -1}); err == nil {
+	if _, err := f.engine.Run(context.Background(), Spec{FriendIDs: []int64{1}, RegionTopK: -1}); err == nil {
 		t.Error("negative top-k must fail")
 	}
 
@@ -438,7 +439,7 @@ func TestRegionTopKApproximation(t *testing.T) {
 	// candidates.
 	approxSpec := exactSpec
 	approxSpec.RegionTopK = 30
-	approx, err := f.engine.Run(approxSpec)
+	approx, err := f.engine.Run(context.Background(), approxSpec)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -466,7 +467,7 @@ func TestRegionTopKApproximation(t *testing.T) {
 	// results without error.
 	tiny := exactSpec
 	tiny.RegionTopK = 1
-	res, err := f.engine.Run(tiny)
+	res, err := f.engine.Run(context.Background(), tiny)
 	if err != nil {
 		t.Fatal(err)
 	}

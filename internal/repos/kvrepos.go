@@ -1,6 +1,7 @@
 package repos
 
 import (
+	"context"
 	"fmt"
 	"sync/atomic"
 
@@ -156,7 +157,13 @@ func (r *GPSRepo) PushBatch(fixes []model.GPSFix) error {
 
 // ScanAll streams every stored fix (the event-detection input).
 func (r *GPSRepo) ScanAll(fn func(model.GPSFix) bool) error {
-	return r.scanRange("", "", fn)
+	return r.ScanAllCtx(context.Background(), fn)
+}
+
+// ScanAllCtx is ScanAll with row-granular cancellation: it returns ctx's
+// error as soon as the context is done, even mid-region.
+func (r *GPSRepo) ScanAllCtx(ctx context.Context, fn func(model.GPSFix) bool) error {
+	return r.scanRange(ctx, "", "", fn)
 }
 
 // ScanUser streams one user's fixes within [fromMillis, toMillis] in time
@@ -164,12 +171,12 @@ func (r *GPSRepo) ScanAll(fn func(model.GPSFix) bool) error {
 func (r *GPSRepo) ScanUser(userID, fromMillis, toMillis int64, fn func(model.GPSFix) bool) error {
 	start := fmt.Sprintf("u%012d|t%013d|", userID, fromMillis)
 	stop := fmt.Sprintf("u%012d|t%013d|", userID, toMillis+1)
-	return r.scanRange(start, stop, fn)
+	return r.scanRange(context.Background(), start, stop, fn)
 }
 
-func (r *GPSRepo) scanRange(start, stop string, fn func(model.GPSFix) bool) error {
+func (r *GPSRepo) scanRange(ctx context.Context, start, stop string, fn func(model.GPSFix) bool) error {
 	var decodeErr error
-	err := r.table.Scan(kvstore.ScanOptions{StartRow: start, StopRow: stop}, func(row kvstore.RowResult) bool {
+	err := r.table.ScanCtx(ctx, kvstore.ScanOptions{StartRow: start, StopRow: stop}, func(row kvstore.RowResult) bool {
 		raw, ok := row.Get("g")
 		if !ok {
 			return true

@@ -260,7 +260,7 @@ func TestVisitsRepoRegionDistribution(t *testing.T) {
 			t.Fatal(err)
 		}
 		if count == 0 {
-			t.Errorf("region [%q,%q) is empty", region.StartKey, region.EndKey)
+			t.Errorf("region [%q,%q) is empty", region.StartKey, region.EndKey())
 		}
 	}
 }

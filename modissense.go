@@ -9,7 +9,10 @@
 //	p, err := modissense.New(modissense.DefaultConfig())
 //	...
 //	acct, token, err := p.Users.SignIn("facebook", "facebook:1")
-//	res, err := p.Search(modissense.SearchRequest{Token: token, ...})
+//	res, err := p.Search(ctx, modissense.SearchRequest{Token: token, ...})
+//
+// Query entry points take a context.Context; cancelling it (or letting the
+// configured Config.QueryTimeout expire) aborts the region scans mid-flight.
 //
 // Architecture (one package per subsystem, all under internal/):
 //
