@@ -1,10 +1,11 @@
 GO ?= go
 
-.PHONY: check fmt vet build test test-race bench
+.PHONY: check fmt vet build test test-race bench bench-smoke
 
-## check runs the tier-1 verification gate: formatting, vet, build, and the
-## full test suite under the race detector. CI and pre-merge runs use this.
-check: fmt vet build test-race
+## check runs the tier-1 verification gate: formatting, vet, build, the
+## full test suite under the race detector, and a smoke pass over the
+## read-path microbenchmarks. CI and pre-merge runs use this.
+check: fmt vet build test-race bench-smoke
 
 fmt:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
@@ -25,3 +26,10 @@ test-race:
 
 bench:
 	$(GO) run ./cmd/modissense-bench -exp all -quick
+
+## bench-smoke runs the scan-kernel and coprocessor read-path
+## microbenchmarks a fixed small number of iterations — it verifies the
+## benchmarks still build and run, not their timings.
+bench-smoke:
+	$(GO) test ./internal/kvstore -run XXX -bench 'BenchmarkScanPath' -benchmem -benchtime=100x
+	$(GO) test ./internal/query -run XXX -bench 'BenchmarkCoprocessor200' -benchmem -benchtime=100x

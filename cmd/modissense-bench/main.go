@@ -11,10 +11,12 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"path/filepath"
 	"strconv"
 	"time"
 
@@ -22,13 +24,19 @@ import (
 	"modissense/internal/exec"
 )
 
+// outDir receives the machine-readable BENCH_*.json series files next to
+// the rendered tables.
+var outDir string
+
 func main() {
 	exp := flag.String("exp", "all", "experiment: fig2 | fig3 | fig4 | accuracy | ablation-schema | ablation-regions | dbscan | ext-cnb | ext-webservers | ext-topk | all")
 	quick := flag.Bool("quick", false, "run reduced sweeps (smaller dataset, fewer points)")
 	scatterWorkers := flag.Int("scatter-workers", 0, "scatter-gather worker-pool size for real region execution (0 = GOMAXPROCS)")
+	out := flag.String("out", ".", "directory for machine-readable BENCH_*.json result files")
 	flag.Parse()
 
 	exec.SetDefaultWorkers(*scatterWorkers)
+	outDir = *out
 
 	runners := map[string]func(bool) error{
 		"fig2":             runFig2,
@@ -73,6 +81,24 @@ func timed(name string, fn func(bool) error, quick bool) error {
 func f(v float64) string  { return strconv.FormatFloat(v, 'f', 3, 64) }
 func ms(v float64) string { return strconv.FormatFloat(v*1000, 'f', 0, 64) }
 
+// writeSeriesJSON emits one experiment's points as an indented JSON array so
+// plots and regression checks can consume the run without parsing tables.
+func writeSeriesJSON(name string, v interface{}) error {
+	data, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.MkdirAll(outDir, 0o755); err != nil {
+		return err
+	}
+	path := filepath.Join(outDir, name)
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", path)
+	return nil
+}
+
 func runFig2(quick bool) error {
 	cfg := bench.DefaultFig2()
 	if quick {
@@ -94,11 +120,12 @@ func runFig2(quick bool) error {
 		rows = append(rows, []string{
 			strconv.Itoa(p.Nodes), strconv.Itoa(p.Friends),
 			ms(p.LatencySeconds), ms(p.PaperEquivalentSeconds),
+			strconv.FormatInt(p.RowsScanned, 10), strconv.FormatInt(p.BytesMerged, 10),
 		})
 	}
 	fmt.Println(bench.RenderTable(
-		[]string{"nodes", "friends", "latency(ms)", "paper-equivalent(ms)"}, rows))
-	return nil
+		[]string{"nodes", "friends", "latency(ms)", "paper-equivalent(ms)", "rows-scanned", "bytes-merged"}, rows))
+	return writeSeriesJSON("BENCH_fig2.json", points)
 }
 
 func runFig3(quick bool) error {
@@ -119,11 +146,12 @@ func runFig3(quick bool) error {
 		rows = append(rows, []string{
 			strconv.Itoa(p.Nodes), strconv.Itoa(p.Concurrent),
 			f(p.AvgLatencySeconds), f(p.PaperEquivalentSeconds),
+			strconv.FormatInt(p.RowsScanned, 10), strconv.FormatInt(p.BytesMerged, 10),
 		})
 	}
 	fmt.Println(bench.RenderTable(
-		[]string{"nodes", "concurrent", "avg-latency(s)", "paper-equivalent(s)"}, rows))
-	return nil
+		[]string{"nodes", "concurrent", "avg-latency(s)", "paper-equivalent(s)", "rows-scanned", "bytes-merged"}, rows))
+	return writeSeriesJSON("BENCH_fig3.json", points)
 }
 
 func runFig4(quick bool) error {

@@ -48,13 +48,19 @@ func DefaultFig2() Fig2Config {
 	}
 }
 
-// Fig2Point is one measured point of Figure 2.
+// Fig2Point is one measured point of Figure 2. The JSON tags define the
+// machine-readable series format cmd/modissense-bench emits (BENCH_fig2.json).
 type Fig2Point struct {
-	Nodes          int
-	Friends        int
-	LatencySeconds float64
+	Nodes          int     `json:"nodes"`
+	Friends        int     `json:"friends"`
+	LatencySeconds float64 `json:"latency_seconds"`
 	// PaperEquivalentSeconds rescales to the paper's visit volume.
-	PaperEquivalentSeconds float64
+	PaperEquivalentSeconds float64 `json:"paper_equivalent_seconds"`
+	// RowsScanned / BytesMerged are real work counters from the execution
+	// engine, averaged over the repetitions: how much the read path actually
+	// touched to serve the point.
+	RowsScanned int64 `json:"rows_scanned"`
+	BytesMerged int64 `json:"bytes_merged"`
 }
 
 // RunFig2 executes the sweep. Each (nodes) series shares one dataset; the
@@ -76,6 +82,7 @@ func RunFig2(cfg Fig2Config) ([]Fig2Point, error) {
 				return nil, fmt.Errorf("bench: friend count %d exceeds user population %d", friends, cfg.Dataset.Users)
 			}
 			var sum float64
+			var rows, bytes int64
 			for rep := 0; rep < cfg.Repetitions; rep++ {
 				spec := query.Spec{
 					FriendIDs:  ds.FriendSample(rng, friends),
@@ -89,13 +96,18 @@ func RunFig2(cfg Fig2Config) ([]Fig2Point, error) {
 					return nil, err
 				}
 				sum += res.LatencySeconds
+				rows += res.Exec.RowsScanned
+				bytes += res.Exec.BytesMerged
 			}
+			reps := int64(cfg.Repetitions)
 			avg := sum / float64(cfg.Repetitions)
 			out = append(out, Fig2Point{
 				Nodes:                  nodes,
 				Friends:                friends,
 				LatencySeconds:         avg,
 				PaperEquivalentSeconds: ds.PaperEquivalent(avg),
+				RowsScanned:            rows / reps,
+				BytesMerged:            bytes / reps,
 			})
 		}
 	}
@@ -124,12 +136,17 @@ func DefaultFig3() Fig3Config {
 	}
 }
 
-// Fig3Point is one measured point of Figure 3.
+// Fig3Point is one measured point of Figure 3, JSON-tagged for the
+// BENCH_fig3.json series file cmd/modissense-bench emits.
 type Fig3Point struct {
-	Nodes                  int
-	Concurrent             int
-	AvgLatencySeconds      float64
-	PaperEquivalentSeconds float64
+	Nodes                  int     `json:"nodes"`
+	Concurrent             int     `json:"concurrent"`
+	AvgLatencySeconds      float64 `json:"avg_latency_seconds"`
+	PaperEquivalentSeconds float64 `json:"paper_equivalent_seconds"`
+	// RowsScanned / BytesMerged total the real read-path work across the
+	// whole concurrent batch.
+	RowsScanned int64 `json:"rows_scanned"`
+	BytesMerged int64 `json:"bytes_merged"`
 }
 
 // RunFig3 executes the concurrency sweep.
@@ -161,8 +178,11 @@ func RunFig3(cfg Fig3Config) ([]Fig3Point, error) {
 				return nil, err
 			}
 			var sum float64
+			var rows, bytes int64
 			for _, r := range results {
 				sum += r.LatencySeconds
+				rows += r.Exec.RowsScanned
+				bytes += r.Exec.BytesMerged
 			}
 			avg := sum / float64(len(results))
 			out = append(out, Fig3Point{
@@ -170,6 +190,8 @@ func RunFig3(cfg Fig3Config) ([]Fig3Point, error) {
 				Concurrent:             m,
 				AvgLatencySeconds:      avg,
 				PaperEquivalentSeconds: ds.PaperEquivalent(avg),
+				RowsScanned:            rows,
+				BytesMerged:            bytes,
 			})
 		}
 	}

@@ -105,16 +105,26 @@ func (m *memtable) iterator(start *Cell) cellIterator {
 	} else {
 		n = m.seek(start)
 	}
-	return &memtableIterator{node: n}
+	return &memtableIterator{mem: m, node: n}
 }
 
 type memtableIterator struct {
+	mem  *memtable
 	node *skipNode
 }
 
 func (it *memtableIterator) valid() bool { return it.node != nil }
 func (it *memtableIterator) cell() *Cell { return &it.node.cell }
 func (it *memtableIterator) next()       { it.node = it.node.next[0] }
+
+// seek repositions the iterator at the first cell >= probe via the skiplist
+// towers. Forward-only: a probe at or behind the current cell is a no-op.
+func (it *memtableIterator) seek(probe *Cell) {
+	if it.node == nil || compareCells(&it.node.cell, probe) >= 0 {
+		return
+	}
+	it.node = it.mem.seek(probe)
+}
 
 // snapshot drains the memtable into a sorted slice for flushing.
 func (m *memtable) snapshot() []Cell {

@@ -1,0 +1,87 @@
+package kvstore
+
+import (
+	"context"
+	"fmt"
+	"testing"
+)
+
+// benchScanStore builds a store with nRows rows spread over several
+// segments plus a memtable tail, and K sorted disjoint single-user-style
+// ranges — the shape of a personalized query's per-region read.
+func benchScanStore(b *testing.B, nRows, nRanges int) (*Store, []ScanRange) {
+	b.Helper()
+	opts := DefaultStoreOptions()
+	opts.FlushThresholdBytes = 1 << 30
+	opts.CompactionTrigger = 100
+	s, err := NewStore(opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < nRows; i++ {
+		if err := s.Put(fmt.Sprintf("r%07d", i), "q", 1, []byte("0123456789abcdef")); err != nil {
+			b.Fatal(err)
+		}
+		if i%(nRows/4+1) == nRows/8 {
+			if err := s.Flush(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	ranges := make([]ScanRange, 0, nRanges)
+	stride := nRows / nRanges
+	for i := 0; i < nRanges; i++ {
+		lo := i * stride
+		ranges = append(ranges, ScanRange{
+			Start: fmt.Sprintf("r%07d", lo),
+			Stop:  fmt.Sprintf("r%07d", lo+stride/4+1),
+		})
+	}
+	return s, ranges
+}
+
+// BenchmarkScanPathNScan is the retained baseline: one ScanCtx per range,
+// each paying lock acquisition and full iterator construction.
+func BenchmarkScanPathNScan(b *testing.B) {
+	s, ranges := benchScanStore(b, 20000, 500)
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rows := 0
+		for _, rg := range ranges {
+			err := s.ScanCtx(ctx, ScanOptions{StartRow: rg.Start, StopRow: rg.Stop}, func(RowResult) bool {
+				rows++
+				return true
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+		if rows == 0 {
+			b.Fatal("no rows scanned")
+		}
+	}
+}
+
+// BenchmarkScanPathMulti is the multi-range kernel serving the same ranges
+// with one lock, one iterator set and seeks between ranges.
+func BenchmarkScanPathMulti(b *testing.B) {
+	s, ranges := benchScanStore(b, 20000, 500)
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rows := 0
+		err := s.MultiScanCtx(ctx, ranges, 0, func(RowResult) bool {
+			rows++
+			return true
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if rows == 0 {
+			b.Fatal("no rows scanned")
+		}
+	}
+}

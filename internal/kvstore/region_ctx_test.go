@@ -234,8 +234,11 @@ func TestScanCtxCancellationMidScan(t *testing.T) {
 	if !errors.Is(err, context.Canceled) {
 		t.Fatalf("ScanCtx after mid-scan cancel: err = %v, want context.Canceled", err)
 	}
-	if seen < 10 || seen > 11 {
-		t.Errorf("scan delivered %d rows after cancellation at row 10", seen)
+	// Cancellation is polled every ctxPollInterval rows (promptly, not
+	// instantly), so at most one interval's worth of rows may still be
+	// delivered after cancel fires.
+	if seen < 10 || seen > 10+ctxPollInterval {
+		t.Errorf("scan delivered %d rows after cancellation at row 10, want within %d", seen, 10+ctxPollInterval)
 	}
 	// Cancellation also propagates through a coprocessor fan-out.
 	ctx2, cancel2 := context.WithCancel(context.Background())

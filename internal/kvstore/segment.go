@@ -16,6 +16,10 @@ type segment struct {
 	// bloom indexes the segment's row keys so point reads can skip
 	// segments that cannot contain the probed row.
 	bloom *bloomFilter
+	// minRow/maxRow bound the segment's row keys so range scans can skip
+	// segments disjoint from the requested ranges — the range-read analogue
+	// of the point-read Bloom filter.
+	minRow, maxRow string
 }
 
 // newSegment wraps a cell slice that must already be sorted by compareCells.
@@ -26,6 +30,10 @@ func newSegment(id uint64, cells []Cell) (*segment, error) {
 		}
 	}
 	seg := &segment{id: id, cells: cells}
+	if len(cells) > 0 {
+		seg.minRow = cells[0].Row
+		seg.maxRow = cells[len(cells)-1].Row
+	}
 	distinctRows := 0
 	for i := range cells {
 		if i == 0 || cells[i].Row != cells[i-1].Row {
@@ -74,12 +82,28 @@ func (it *segmentIterator) valid() bool { return it.idx < len(it.seg.cells) }
 func (it *segmentIterator) cell() *Cell { return &it.seg.cells[it.idx] }
 func (it *segmentIterator) next()       { it.idx++ }
 
+// seek repositions the iterator at the first cell >= probe. Forward-only:
+// the binary search starts at the current position, so a probe behind the
+// cursor is a no-op.
+func (it *segmentIterator) seek(probe *Cell) {
+	cells := it.seg.cells
+	if it.idx >= len(cells) {
+		return
+	}
+	it.idx += sort.Search(len(cells)-it.idx, func(i int) bool {
+		return compareCells(&cells[it.idx+i], probe) >= 0
+	})
+}
+
 // cellIterator is the common forward-iteration interface over sorted cell
-// sources (memtable, segments, merged views).
+// sources (memtable, segments, merged views). seek repositions the iterator
+// at the first cell >= probe and is forward-only: probes behind the current
+// position leave the iterator where it is.
 type cellIterator interface {
 	valid() bool
 	cell() *Cell
 	next()
+	seek(probe *Cell)
 }
 
 // mergeIterator performs an ordered merge across several cellIterators.
@@ -113,6 +137,19 @@ func (m *mergeIterator) findSmallest() {
 func (m *mergeIterator) valid() bool { return m.cur >= 0 }
 
 func (m *mergeIterator) cell() *Cell { return m.sources[m.cur].cell() }
+
+// seek advances every source to its first cell >= probe and re-selects the
+// smallest. Forward-only, like the source seeks it delegates to: the merged
+// view never moves backwards, which is what lets a multi-range scan reuse
+// one iterator set across ranges instead of rebuilding it per range.
+func (m *mergeIterator) seek(probe *Cell) {
+	for _, src := range m.sources {
+		if src.valid() {
+			src.seek(probe)
+		}
+	}
+	m.findSmallest()
+}
 
 func (m *mergeIterator) next() {
 	cur := m.sources[m.cur].cell()

@@ -1,0 +1,109 @@
+package model
+
+import (
+	"math"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func sampleVisit() Visit {
+	return Visit{
+		UserID:  4211,
+		Time:    1356912000123,
+		Grade:   4.5,
+		Network: "foursquare",
+		POI: POI{
+			ID:       991,
+			Name:     "Acropolis Museum",
+			Lat:      37.9684,
+			Lon:      23.7285,
+			Keywords: []string{"museum", "history", "athens"},
+			Hotness:  0.83,
+			Interest: 4.1,
+		},
+	}
+}
+
+func TestVisitBinaryRoundTripReplicated(t *testing.T) {
+	v := sampleVisit()
+	b := EncodeVisitBinary(&v)
+	if !IsVisitBinary(b) {
+		t.Fatal("encoded payload not recognized as binary")
+	}
+	got, err := DecodeVisitBinary(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, v) {
+		t.Errorf("round trip mismatch:\ngot  %+v\nwant %+v", got, v)
+	}
+	// Edge values: negatives, NaN-free extremes, empty strings and keywords.
+	edge := Visit{UserID: 1, Time: -5, Grade: math.MaxFloat64, POI: POI{ID: -7, Lat: -90, Lon: 180}}
+	got, err = DecodeVisitBinary(EncodeVisitBinary(&edge))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, edge) {
+		t.Errorf("edge round trip mismatch:\ngot  %+v\nwant %+v", got, edge)
+	}
+}
+
+func TestVisitBinaryRoundTripNormalized(t *testing.T) {
+	v := sampleVisit()
+	b := EncodeVisitBinaryNormalized(&v)
+	if !IsVisitBinary(b) {
+		t.Fatal("encoded payload not recognized as binary")
+	}
+	got, err := DecodeVisitBinary(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Visit{UserID: v.UserID, Time: v.Time, Grade: v.Grade, Network: v.Network, POI: POI{ID: v.POI.ID}}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("normalized round trip:\ngot  %+v\nwant %+v", got, want)
+	}
+}
+
+func TestVisitBinaryRejectsCorruptPayloads(t *testing.T) {
+	v := sampleVisit()
+	full := EncodeVisitBinary(&v)
+	// Every strict prefix must fail cleanly, never panic or half-decode.
+	for i := 0; i < len(full); i++ {
+		if _, err := DecodeVisitBinary(full[:i]); err == nil {
+			t.Fatalf("truncation to %d/%d bytes decoded without error", i, len(full))
+		}
+	}
+	// Trailing garbage is rejected too.
+	if _, err := DecodeVisitBinary(append(append([]byte(nil), full...), 0xFF)); err == nil {
+		t.Error("trailing bytes decoded without error")
+	}
+	// Unknown version byte.
+	bad := append([]byte(nil), full...)
+	bad[1] = 99
+	if _, err := DecodeVisitBinary(bad); err == nil || !strings.Contains(err.Error(), "version") {
+		t.Errorf("unknown version: err = %v, want version error", err)
+	}
+	// Unknown tag byte.
+	bad = append([]byte(nil), full...)
+	bad[0] = 0x7F
+	if _, err := DecodeVisitBinary(bad); err == nil {
+		t.Error("unknown tag decoded without error")
+	}
+	// Absurd keyword count must not allocate or misread.
+	kw := []byte{VisitBinaryTagReplicated, visitBinaryVersion}
+	if _, err := DecodeVisitBinary(kw); err == nil {
+		t.Error("header-only payload decoded without error")
+	}
+}
+
+func TestIsVisitBinaryNeverMatchesJSON(t *testing.T) {
+	v := sampleVisit()
+	j := EncodeJSON(v)
+	if IsVisitBinary(j) {
+		t.Error("JSON payload misidentified as binary")
+	}
+	if IsVisitBinary(nil) || IsVisitBinary([]byte{}) {
+		t.Error("empty payload misidentified as binary")
+	}
+}

@@ -1,0 +1,96 @@
+package query
+
+import (
+	"context"
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+
+	"modissense/internal/repos"
+)
+
+// TestMultiRangePathMatchesNScanPath is the tentpole's end-to-end property:
+// for random query specs, the coprocessor's single multi-range scan per
+// region must produce exactly the per-region output of the retained
+// one-scan-per-friend path — same aggregates, same work counters.
+func TestMultiRangePathMatchesNScanPath(t *testing.T) {
+	for _, schema := range []repos.VisitSchema{repos.SchemaReplicated, repos.SchemaNormalized} {
+		f := newFixture(t, schema, 4, 120)
+		rng := rand.New(rand.NewSource(99))
+		from, to := window()
+		for trial := 0; trial < 8; trial++ {
+			var friends []int64
+			for len(friends) < 5+rng.Intn(40) {
+				friends = append(friends, 1+rng.Int63n(120))
+			}
+			span := to - from
+			lo := from + rng.Int63n(span/2)
+			spec := Spec{
+				FriendIDs:  friends,
+				FromMillis: lo,
+				ToMillis:   lo + rng.Int63n(span/2),
+				OrderBy:    ByInterest,
+			}
+			if err := spec.Validate(); err != nil {
+				t.Fatal(err)
+			}
+			distinct := sortedDistinctFriends(friends)
+			multiCP := &visitsCoprocessor{spec: &spec, schema: schema, friends: distinct}
+			nscanCP := &visitsCoprocessor{spec: &spec, schema: schema, friends: distinct, nScan: true}
+			for _, r := range f.visits.Table().Regions() {
+				multiOut, err := multiCP.RunRegionCtx(context.Background(), r)
+				if err != nil {
+					t.Fatal(err)
+				}
+				nscanOut, err := nscanCP.RunRegionCtx(context.Background(), r)
+				if err != nil {
+					t.Fatal(err)
+				}
+				m, n := multiOut.(*regionOutput), nscanOut.(*regionOutput)
+				// Map iteration randomizes tie order inside equal sort keys;
+				// canonicalize before comparing.
+				canon := func(o *regionOutput) {
+					sort.Slice(o.aggs, func(i, j int) bool { return o.aggs[i].poi.ID < o.aggs[j].poi.ID })
+				}
+				canon(m)
+				canon(n)
+				if !reflect.DeepEqual(m, n) {
+					t.Fatalf("schema %v trial %d region %d: multi-range output diverged\nmulti: %+v\nnscan: %+v", schema, trial, r.ID, m, n)
+				}
+			}
+		}
+	}
+}
+
+// TestSortedDistinctFriends covers the dedup the multi-range contract needs.
+func TestSortedDistinctFriends(t *testing.T) {
+	got := sortedDistinctFriends([]int64{5, 1, 5, 3, 1, 1})
+	if !reflect.DeepEqual(got, []int64{1, 3, 5}) {
+		t.Errorf("sortedDistinctFriends = %v", got)
+	}
+	if got := sortedDistinctFriends(nil); len(got) != 0 {
+		t.Errorf("empty input gave %v", got)
+	}
+}
+
+// TestRunConcurrentDuplicateFriends checks duplicate friend ids in a spec
+// count each friend's visits once and execute without range-overlap errors.
+func TestRunConcurrentDuplicateFriends(t *testing.T) {
+	f := newFixture(t, repos.SchemaReplicated, 2, 40)
+	from, to := window()
+	base := Spec{FriendIDs: friendRange(1, 20), FromMillis: from, ToMillis: to, OrderBy: ByInterest}
+	dup := base
+	dup.FriendIDs = append(append([]int64(nil), base.FriendIDs...), base.FriendIDs...)
+	want, err := f.engine.Run(context.Background(), base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := f.engine.Run(context.Background(), dup)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got.POIs, want.POIs) {
+		t.Errorf("duplicate friends changed results:\ngot  %+v\nwant %+v", got.POIs, want.POIs)
+	}
+}

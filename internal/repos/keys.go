@@ -16,25 +16,59 @@ import (
 // lead with the user id, clustering each user's history into a contiguous
 // key range — the property the per-region coprocessor gets exploit.
 
+// putPadded writes v as a fixed-width zero-padded decimal into dst. It
+// requires 0 <= v < 10^len(dst); callers fall back to fmt for values
+// outside that window (negative timestamps in hand-built specs).
+func putPadded(dst []byte, v int64) bool {
+	if v < 0 {
+		return false
+	}
+	for i := len(dst) - 1; i >= 0; i-- {
+		dst[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return v == 0
+}
+
 // UserKeyPrefix returns the key prefix of all rows of one user. Exported
 // because the query coprocessors route friends to regions with it.
 func UserKeyPrefix(userID int64) string {
-	return fmt.Sprintf("u%012d|", userID)
+	var b [14]byte
+	b[0], b[13] = 'u', '|'
+	if !putPadded(b[1:13], userID) {
+		return fmt.Sprintf("u%012d|", userID)
+	}
+	return string(b[:])
 }
 
 // visitRowKey builds a Visits row key: user, time, then a sequence number
 // to keep same-millisecond visits distinct.
 func visitRowKey(userID, timeMillis int64, seq uint32) string {
-	return fmt.Sprintf("u%012d|t%013d|%06d", userID, timeMillis, seq)
+	var b [35]byte
+	b[0], b[13], b[14], b[28] = 'u', '|', 't', '|'
+	if !putPadded(b[1:13], userID) || !putPadded(b[15:28], timeMillis) || !putPadded(b[29:35], int64(seq)) {
+		return fmt.Sprintf("u%012d|t%013d|%06d", userID, timeMillis, seq)
+	}
+	return string(b[:])
+}
+
+// visitTimeKey builds the "u<user>|t<time>|" prefix that bounds one user's
+// visits at one timestamp.
+func visitTimeKey(userID, timeMillis int64) string {
+	var b [29]byte
+	b[0], b[13], b[14], b[28] = 'u', '|', 't', '|'
+	if !putPadded(b[1:13], userID) || !putPadded(b[15:28], timeMillis) {
+		return fmt.Sprintf("u%012d|t%013d|", userID, timeMillis)
+	}
+	return string(b[:])
 }
 
 // VisitScanBounds returns the [start, stop) row range covering one user's
 // visits within [fromMillis, toMillis]. Exported for the region-local scans
-// the query coprocessors perform.
+// the query coprocessors perform — built without fmt, since the coprocessor
+// constructs one range per friend per region on the query hot path.
 func VisitScanBounds(userID, fromMillis, toMillis int64) (string, string) {
-	start := fmt.Sprintf("u%012d|t%013d|", userID, fromMillis)
-	stop := fmt.Sprintf("u%012d|t%013d|", userID, toMillis+1)
-	return start, stop
+	return visitTimeKey(userID, fromMillis), visitTimeKey(userID, toMillis+1)
 }
 
 // parseVisitRowKey decodes a Visits row key.

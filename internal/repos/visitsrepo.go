@@ -47,10 +47,17 @@ type normalizedVisit struct {
 // on the range-partitioned KV store. Under the replicated schema the visit
 // struct carries full POI info; under the normalized schema readers must
 // join against the POI repository.
+//
+// New rows are written with the compact binary visit codec (model.codec);
+// rows written by older deployments carry JSON payloads, and the decode
+// path accepts both indefinitely — a WAL replay of pre-codec data keeps
+// working. UseLegacyJSON pins a repository to JSON writes, which the
+// benchmarks use to measure the codec against its baseline.
 type VisitsRepo struct {
-	table  *kvstore.Table
-	schema VisitSchema
-	seq    atomic.Uint32
+	table      *kvstore.Table
+	schema     VisitSchema
+	seq        atomic.Uint32
+	legacyJSON bool
 }
 
 // NewVisitsRepo creates the repository over a table pre-split into
@@ -72,6 +79,12 @@ func NewVisitsRepo(schema VisitSchema, maxUser int64, regions, nodes int, opts k
 // Schema returns the storage layout.
 func (r *VisitsRepo) Schema() VisitSchema { return r.schema }
 
+// UseLegacyJSON makes future Store calls write the pre-codec JSON payloads
+// instead of the binary encoding. Reads are unaffected (both always
+// decode); this exists for the codec ablation benchmarks and for producing
+// mixed-format fixtures.
+func (r *VisitsRepo) UseLegacyJSON() { r.legacyJSON = true }
+
 // Table exposes the backing table for coprocessor fan-out.
 func (r *VisitsRepo) Table() *kvstore.Table { return r.table }
 
@@ -85,19 +98,29 @@ func (r *VisitsRepo) Store(v model.Visit) error {
 	}
 	key := visitRowKey(v.UserID, v.Time, r.seq.Add(1))
 	var payload []byte
-	if r.schema == SchemaReplicated {
+	switch {
+	case r.legacyJSON && r.schema == SchemaReplicated:
 		payload = model.EncodeJSON(v)
-	} else {
+	case r.legacyJSON:
 		payload = model.EncodeJSON(normalizedVisit{
 			UserID: v.UserID, Time: v.Time, Grade: v.Grade, Network: v.Network, POIID: v.POI.ID,
 		})
+	case r.schema == SchemaReplicated:
+		payload = model.EncodeVisitBinary(&v)
+	default:
+		payload = model.EncodeVisitBinaryNormalized(&v)
 	}
 	return r.table.Put(key, VisitQualifier, v.Time, payload)
 }
 
-// DecodeVisit decodes a stored visit row. Under the normalized schema the
-// returned Visit carries only POI.ID; the caller joins the rest.
+// DecodeVisit decodes a stored visit row, binary or legacy JSON — the tag
+// byte distinguishes the two, so mixed stores (old JSON rows replayed from
+// a WAL next to new binary rows) decode transparently. Under the normalized
+// schema the returned Visit carries only POI.ID; the caller joins the rest.
 func DecodeVisit(schema VisitSchema, value []byte) (model.Visit, error) {
+	if model.IsVisitBinary(value) {
+		return model.DecodeVisitBinary(value)
+	}
 	if schema == SchemaReplicated {
 		var v model.Visit
 		if err := model.DecodeJSON(value, &v); err != nil {
