@@ -1,11 +1,18 @@
 GO ?= go
 
-.PHONY: check fmt vet build test test-race bench bench-smoke
+.PHONY: check fmt vet lint-metrics build test test-race bench bench-smoke
 
-## check runs the tier-1 verification gate: formatting, vet, build, the
-## full test suite under the race detector, and a smoke pass over the
-## read-path microbenchmarks. CI and pre-merge runs use this.
-check: fmt vet build test-race bench-smoke
+## check runs the tier-1 verification gate: formatting, vet, the metric-
+## cardinality lint, build, the full test suite under the race detector,
+## and a smoke pass over the read-path microbenchmarks. CI and pre-merge
+## runs use this.
+check: fmt vet lint-metrics build test-race bench-smoke
+
+## lint-metrics fails when any obs.L / obs.Label value is not a
+## compile-time constant — the static half of the bounded-cardinality
+## contract (the registry's per-family series cap is the dynamic half).
+lint-metrics:
+	$(GO) run ./cmd/obs-lint ./...
 
 fmt:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
@@ -29,7 +36,10 @@ bench:
 
 ## bench-smoke runs the scan-kernel and coprocessor read-path
 ## microbenchmarks a fixed small number of iterations — it verifies the
-## benchmarks still build and run, not their timings.
+## benchmarks still build and run, not their timings — then scrapes
+## GET /metrics after live API traffic into BENCH_metrics.json so each
+## run records the observability series alongside the latency figures.
 bench-smoke:
 	$(GO) test ./internal/kvstore -run XXX -bench 'BenchmarkScanPath' -benchmem -benchtime=100x
 	$(GO) test ./internal/query -run XXX -bench 'BenchmarkCoprocessor200' -benchmem -benchtime=100x
+	$(GO) run ./cmd/modissense-bench -exp metrics -quick

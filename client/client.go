@@ -9,12 +9,15 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"io"
 	"net/http"
 	"net/url"
 	"strconv"
+	"sync"
 	"time"
 
 	"modissense/internal/model"
+	"modissense/internal/obs"
 	"modissense/internal/query"
 )
 
@@ -25,6 +28,10 @@ type Client struct {
 	http    *http.Client
 	// token is the access token of the signed-in user ("" before SignIn).
 	token string
+
+	mu sync.Mutex
+	// lastRequestID is the X-Request-ID of the most recent response.
+	lastRequestID string
 }
 
 // New creates a client for the server at baseURL (e.g.
@@ -47,10 +54,57 @@ func New(baseURL string, httpClient *http.Client) (*Client, error) {
 // Token returns the current access token.
 func (c *Client) Token() string { return c.token }
 
-// apiError mirrors the server's error envelope.
-type apiError struct {
-	Error string `json:"error"`
-	Code  string `json:"code"`
+// LastRequestID returns the X-Request-ID of the most recent response ("",
+// before the first call). Pass it to QueryTrace to fetch that request's
+// span tree.
+func (c *Client) LastRequestID() string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.lastRequestID
+}
+
+func (c *Client) setLastRequestID(id string) {
+	if id == "" {
+		return
+	}
+	c.mu.Lock()
+	c.lastRequestID = id
+	c.mu.Unlock()
+}
+
+// APIError is the server's error envelope as a typed Go error. Use
+// errors.As to inspect the failure class:
+//
+//	var apiErr *client.APIError
+//	if errors.As(err, &apiErr) && apiErr.Code == "timeout" { ... }
+type APIError struct {
+	// Status is the HTTP status code.
+	Status int
+	// Code is the machine-readable failure class ("bad_request",
+	// "unauthorized", "not_found", "internal", "timeout", "canceled").
+	Code string
+	// Message is the human-readable description.
+	Message string
+	// RequestID identifies the failing request; its trace may be
+	// retrievable via QueryTrace.
+	RequestID string
+}
+
+// Error implements the error interface.
+func (e *APIError) Error() string {
+	if e.RequestID != "" {
+		return fmt.Sprintf("%s (status %d, code %s, request %s)", e.Message, e.Status, e.Code, e.RequestID)
+	}
+	return fmt.Sprintf("%s (status %d, code %s)", e.Message, e.Status, e.Code)
+}
+
+// apiEnvelope mirrors the server's error envelope JSON.
+type apiEnvelope struct {
+	Error struct {
+		Code      string `json:"code"`
+		Message   string `json:"message"`
+		RequestID string `json:"requestId"`
+	} `json:"error"`
 }
 
 // do sends a request and decodes the JSON response into out (when non-nil).
@@ -83,15 +137,21 @@ func (c *Client) doCtx(ctx context.Context, method, path string, body, out inter
 		return fmt.Errorf("client: %s %s: %w", method, path, err)
 	}
 	defer resp.Body.Close()
+	reqID := resp.Header.Get("X-Request-ID")
+	c.setLastRequestID(reqID)
 	if resp.StatusCode/100 != 2 {
-		var e apiError
-		if json.NewDecoder(resp.Body).Decode(&e) == nil && e.Error != "" {
-			if e.Code != "" {
-				return fmt.Errorf("client: %s %s: %s (status %d, code %s)", method, path, e.Error, resp.StatusCode, e.Code)
+		apiErr := &APIError{Status: resp.StatusCode, RequestID: reqID}
+		var e apiEnvelope
+		if json.NewDecoder(resp.Body).Decode(&e) == nil && e.Error.Message != "" {
+			apiErr.Code = e.Error.Code
+			apiErr.Message = e.Error.Message
+			if e.Error.RequestID != "" {
+				apiErr.RequestID = e.Error.RequestID
 			}
-			return fmt.Errorf("client: %s %s: %s (status %d)", method, path, e.Error, resp.StatusCode)
+		} else {
+			apiErr.Message = fmt.Sprintf("status %d", resp.StatusCode)
 		}
-		return fmt.Errorf("client: %s %s: status %d", method, path, resp.StatusCode)
+		return fmt.Errorf("client: %s %s: %w", method, path, apiErr)
 	}
 	if out == nil {
 		return nil
@@ -113,7 +173,7 @@ type Session struct {
 // the access token on the client.
 func (c *Client) SignIn(network, credentials string) (Session, error) {
 	var s Session
-	err := c.do(http.MethodPost, "/api/signin", map[string]string{
+	err := c.do(http.MethodPost, "/api/v1/signin", map[string]string{
 		"network": network, "credentials": credentials,
 	}, &s)
 	if err == nil {
@@ -125,7 +185,7 @@ func (c *Client) SignIn(network, credentials string) (Session, error) {
 // Link attaches one more social network to the signed-in account.
 func (c *Client) Link(network, credentials string) (Session, error) {
 	var s Session
-	err := c.do(http.MethodPost, "/api/link", map[string]string{
+	err := c.do(http.MethodPost, "/api/v1/link", map[string]string{
 		"token": c.token, "network": network, "credentials": credentials,
 	}, &s)
 	return s, err
@@ -133,7 +193,7 @@ func (c *Client) Link(network, credentials string) (Session, error) {
 
 // Friends lists the signed-in user's friends ("" = all networks).
 func (c *Client) Friends(network string) ([]model.Friend, error) {
-	path := "/api/friends?token=" + url.QueryEscape(c.token)
+	path := "/api/v1/friends?token=" + url.QueryEscape(c.token)
 	if network != "" {
 		path += "&network=" + url.QueryEscape(network)
 	}
@@ -176,7 +236,7 @@ func (c *Client) SearchCtx(ctx context.Context, p SearchParams) (*query.Result, 
 		body["to"] = p.To.Format(time.RFC3339)
 	}
 	var out query.Result
-	if err := c.doCtx(ctx, http.MethodPost, "/api/search", body, &out); err != nil {
+	if err := c.doCtx(ctx, http.MethodPost, "/api/v1/search", body, &out); err != nil {
 		return nil, err
 	}
 	return &out, nil
@@ -200,7 +260,7 @@ func (c *Client) TrendingCtx(ctx context.Context, minLat, minLon, maxLat, maxLon
 		v.Set("until", until.Format(time.RFC3339))
 	}
 	var out query.Result
-	if err := c.doCtx(ctx, http.MethodGet, "/api/trending?"+v.Encode(), nil, &out); err != nil {
+	if err := c.doCtx(ctx, http.MethodGet, "/api/v1/trending?"+v.Encode(), nil, &out); err != nil {
 		return nil, err
 	}
 	return &out, nil
@@ -209,7 +269,7 @@ func (c *Client) TrendingCtx(ctx context.Context, minLat, minLon, maxLat, maxLon
 // POI fetches one POI by id.
 func (c *Client) POI(id int64) (model.POI, error) {
 	var out model.POI
-	err := c.do(http.MethodGet, fmt.Sprintf("/api/pois/%d", id), nil, &out)
+	err := c.do(http.MethodGet, fmt.Sprintf("/api/v1/pois/%d", id), nil, &out)
 	return out, err
 }
 
@@ -219,7 +279,7 @@ func (c *Client) PushGPS(fixes []model.GPSFix) (int, error) {
 	var out struct {
 		Stored int `json:"stored"`
 	}
-	err := c.do(http.MethodPost, "/api/gps", map[string]interface{}{
+	err := c.do(http.MethodPost, "/api/v1/gps", map[string]interface{}{
 		"token": c.token, "fixes": fixes,
 	}, &out)
 	return out.Stored, err
@@ -237,7 +297,7 @@ type Blog struct {
 // GenerateBlog builds and persists the signed-in user's blog for the day.
 func (c *Client) GenerateBlog(day time.Time) (Blog, error) {
 	var out Blog
-	err := c.do(http.MethodPost, "/api/blog/generate", map[string]string{
+	err := c.do(http.MethodPost, "/api/v1/blog/generate", map[string]string{
 		"token": c.token, "date": day.Format("2006-01-02"),
 	}, &out)
 	return out, err
@@ -249,14 +309,14 @@ func (c *Client) GetBlog(day time.Time) (Blog, error) {
 	v.Set("token", c.token)
 	v.Set("date", day.Format("2006-01-02"))
 	var out Blog
-	err := c.do(http.MethodGet, "/api/blog?"+v.Encode(), nil, &out)
+	err := c.do(http.MethodGet, "/api/v1/blog?"+v.Encode(), nil, &out)
 	return out, err
 }
 
 // AdminCollect triggers a data-collection pass (admin surface).
 func (c *Client) AdminCollect(since, until time.Time) (map[string]interface{}, error) {
 	var out map[string]interface{}
-	err := c.do(http.MethodPost, "/api/admin/collect", map[string]string{
+	err := c.do(http.MethodPost, "/api/v1/admin/collect", map[string]string{
 		"since": since.Format(time.RFC3339), "until": until.Format(time.RFC3339),
 	}, &out)
 	return out, err
@@ -265,7 +325,7 @@ func (c *Client) AdminCollect(since, until time.Time) (map[string]interface{}, e
 // AdminHotIn triggers a HotIn aggregation over the window.
 func (c *Client) AdminHotIn(from, to time.Time) (map[string]interface{}, error) {
 	var out map[string]interface{}
-	err := c.do(http.MethodPost, "/api/admin/hotin", map[string]string{
+	err := c.do(http.MethodPost, "/api/v1/admin/hotin", map[string]string{
 		"since": from.Format(time.RFC3339), "until": to.Format(time.RFC3339),
 	}, &out)
 	return out, err
@@ -274,7 +334,7 @@ func (c *Client) AdminHotIn(from, to time.Time) (map[string]interface{}, error) 
 // AdminDetectEvents triggers MR-DBSCAN event detection.
 func (c *Client) AdminDetectEvents(epsMeters float64, minPts int) (map[string]interface{}, error) {
 	var out map[string]interface{}
-	err := c.do(http.MethodPost, "/api/admin/events", map[string]interface{}{
+	err := c.do(http.MethodPost, "/api/v1/admin/events", map[string]interface{}{
 		"eps_meters": epsMeters, "min_pts": minPts,
 	}, &out)
 	return out, err
@@ -283,13 +343,43 @@ func (c *Client) AdminDetectEvents(epsMeters float64, minPts int) (map[string]in
 // Stats fetches the server's operational snapshot.
 func (c *Client) Stats() (map[string]interface{}, error) {
 	var out map[string]interface{}
-	err := c.do(http.MethodGet, "/api/stats", nil, &out)
+	err := c.do(http.MethodGet, "/api/v1/stats", nil, &out)
 	return out, err
 }
 
 // Blogs lists every blog of the signed-in user, newest first.
 func (c *Client) Blogs() ([]Blog, error) {
 	var out []Blog
-	err := c.do(http.MethodGet, "/api/blogs?token="+url.QueryEscape(c.token), nil, &out)
+	err := c.do(http.MethodGet, "/api/v1/blogs?token="+url.QueryEscape(c.token), nil, &out)
 	return out, err
+}
+
+// QueryTrace fetches the span tree of a completed request by its
+// X-Request-ID (see LastRequestID). The server keeps a bounded ring of
+// recent traces, so fetch promptly.
+func (c *Client) QueryTrace(requestID string) (obs.TraceView, error) {
+	var out obs.TraceView
+	err := c.do(http.MethodGet, "/api/v1/queries/"+url.PathEscape(requestID)+"/trace", nil, &out)
+	return out, err
+}
+
+// Metrics fetches the server's Prometheus exposition as raw text.
+func (c *Client) Metrics() (string, error) {
+	req, err := http.NewRequest(http.MethodGet, c.baseURL+"/metrics", nil)
+	if err != nil {
+		return "", fmt.Errorf("client: build request: %w", err)
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return "", fmt.Errorf("client: GET /metrics: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return "", fmt.Errorf("client: GET /metrics: status %d", resp.StatusCode)
+	}
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return "", fmt.Errorf("client: read /metrics: %w", err)
+	}
+	return string(raw), nil
 }

@@ -1,0 +1,70 @@
+package client
+
+import (
+	"errors"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+// TestClientTypedAPIError verifies server failures surface as *APIError
+// with the status, failure class and request ID parsed out of the envelope.
+func TestClientTypedAPIError(t *testing.T) {
+	c, _ := newServerAndClient(t)
+	_, err := c.SignIn("facebook", "garbage")
+	if err == nil {
+		t.Fatal("bad credentials must fail")
+	}
+	var apiErr *APIError
+	if !errors.As(err, &apiErr) {
+		t.Fatalf("error %v is not an *APIError", err)
+	}
+	if apiErr.Status != http.StatusUnauthorized || apiErr.Code != "unauthorized" {
+		t.Errorf("APIError = %+v, want 401/unauthorized", apiErr)
+	}
+	if apiErr.Message == "" || apiErr.RequestID == "" {
+		t.Errorf("APIError missing message or request id: %+v", apiErr)
+	}
+	if c.LastRequestID() != apiErr.RequestID {
+		t.Errorf("LastRequestID %q != APIError.RequestID %q", c.LastRequestID(), apiErr.RequestID)
+	}
+
+	// Unknown trace ids are typed too.
+	_, err = c.QueryTrace("no-such-request")
+	if !errors.As(err, &apiErr) || apiErr.Code != "not_found" {
+		t.Errorf("QueryTrace error = %v, want not_found APIError", err)
+	}
+}
+
+// TestClientTraceAndMetrics drives a real search and fetches its trace by
+// the captured request ID, plus the Prometheus exposition.
+func TestClientTraceAndMetrics(t *testing.T) {
+	c, _ := newServerAndClient(t)
+	if _, err := c.SignIn("facebook", "facebook:1"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Search(SearchParams{Friends: []int64{1}, Limit: 3}); err != nil {
+		t.Fatal(err)
+	}
+	reqID := c.LastRequestID()
+	if reqID == "" {
+		t.Fatal("LastRequestID empty after search")
+	}
+	view, err := c.QueryTrace(reqID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if view.RequestID != reqID || view.Root.Name != "http:search" {
+		t.Errorf("trace = %+v, want request %q rooted at http:search", view, reqID)
+	}
+
+	text, err := c.Metrics()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, series := range []string{"http_requests_total", "kvstore_rows_scanned_total", "exec_tasks_total"} {
+		if !strings.Contains(text, series) {
+			t.Errorf("metrics missing %q", series)
+		}
+	}
+}

@@ -1,0 +1,102 @@
+package main
+
+import (
+	"fmt"
+	"net/http/httptest"
+	"sort"
+	"strconv"
+	"strings"
+
+	"modissense/client"
+	"modissense/internal/core"
+)
+
+// metricPoint is one exposition series flattened for BENCH_metrics.json:
+// the full `name{labels}` series identifier and its scraped value.
+type metricPoint struct {
+	Series string  `json:"series"`
+	Value  float64 `json:"value"`
+}
+
+// runMetrics boots a platform, pushes a real personalized search through
+// the HTTP stack, then scrapes GET /metrics and persists every series to
+// BENCH_metrics.json — so a bench run captures the observability layer's
+// output (rows scanned, coprocessor latency buckets, per-route HTTP
+// counters) alongside the latency figures, and regressions in the
+// instrumentation itself show up in the series diff.
+func runMetrics(quick bool) error {
+	cfg := core.DefaultConfig()
+	if quick {
+		cfg.POIs = 200
+		cfg.NetworkPopulation = 300
+		cfg.MeanFriends = 12
+		cfg.ClassifierTrainDocs = 300
+	}
+	fmt.Println("== Observability: /metrics scrape after live API traffic ==")
+	p, err := core.New(cfg)
+	if err != nil {
+		return err
+	}
+	srv := httptest.NewServer(core.NewHandler(p))
+	defer srv.Close()
+
+	c, err := client.New(srv.URL, srv.Client())
+	if err != nil {
+		return err
+	}
+	if _, err := c.SignIn("facebook", "facebook:1"); err != nil {
+		return err
+	}
+	friends, err := c.Friends("")
+	if err != nil {
+		return err
+	}
+	ids := make([]int64, 0, len(friends))
+	for _, f := range friends {
+		ids = append(ids, f.ID)
+	}
+	res, err := c.Search(client.SearchParams{Friends: ids, Limit: 10})
+	if err != nil {
+		return err
+	}
+	tr, err := c.QueryTrace(c.LastRequestID())
+	if err != nil {
+		return err
+	}
+
+	text, err := c.Metrics()
+	if err != nil {
+		return err
+	}
+	points := parseExposition(text)
+	if len(points) == 0 {
+		return fmt.Errorf("scrape returned no series")
+	}
+	sort.Slice(points, func(i, j int) bool { return points[i].Series < points[j].Series })
+
+	fmt.Printf("search: %d results over %d friends, trace %s spans %d children, scrape %d series\n\n",
+		len(res.POIs), len(ids), tr.RequestID, len(tr.Root.Children), len(points))
+	return writeSeriesJSON("BENCH_metrics.json", points)
+}
+
+// parseExposition flattens Prometheus text format 0.0.4 into points,
+// skipping comment and blank lines.
+func parseExposition(text string) []metricPoint {
+	var points []metricPoint
+	for _, line := range strings.Split(text, "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		cut := strings.LastIndexByte(line, ' ')
+		if cut <= 0 {
+			continue
+		}
+		v, err := strconv.ParseFloat(line[cut+1:], 64)
+		if err != nil {
+			continue
+		}
+		points = append(points, metricPoint{Series: line[:cut], Value: v})
+	}
+	return points
+}

@@ -14,55 +14,50 @@ import (
 	"modissense/internal/query"
 )
 
-// NewHandler returns the platform's REST API. The JSON formats mirror the
-// request/response contract the paper's web and mobile clients use; any
-// client that speaks them integrates seamlessly (§2, "this feature enables
-// the seamless integration of more client applications").
+// apiError is the uniform error envelope of every endpoint:
 //
-// Endpoints:
+//	{"error": {"code": "timeout", "message": "...", "requestId": "..."}}
 //
-//	POST /api/signin          {network, credentials} → {user_id, token, networks}
-//	POST /api/link            {token, network, credentials} → {user_id, networks}
-//	GET  /api/friends         ?token= [&network=] → [friend]
-//	POST /api/search          SearchJSON → {pois, latency_seconds}
-//	GET  /api/trending        ?min_lat&min_lon&max_lat&max_lon&hours&limit [&token&friends] → {pois,...}
-//	GET  /api/pois/{id}       → POI
-//	POST /api/gps             {token, fixes} → {stored}
-//	POST /api/blog/generate   {token, date} → blog
-//	GET  /api/blog            ?token=&date= → blog
-//	GET  /api/blogs           ?token= → all blogs of the user, newest first
-//	POST /api/admin/collect   {since, until} → collection stats
-//	POST /api/admin/hotin     {from, to} → hotin stats
-//	POST /api/admin/events    {eps_meters, min_pts} → detection result
-//	POST /api/admin/pipeline  {date} → daily batch report
-//	GET  /api/stats           → operational snapshot
-//	GET  /api/analytics/categories  [?min_lat&min_lon&max_lat&max_lon] → per-category stats
-func NewHandler(p *Platform) http.Handler {
-	mux := http.NewServeMux()
-	mux.HandleFunc("POST /api/signin", p.handleSignIn)
-	mux.HandleFunc("POST /api/link", p.handleLink)
-	mux.HandleFunc("GET /api/friends", p.handleFriends)
-	mux.HandleFunc("POST /api/search", p.handleSearch)
-	mux.HandleFunc("GET /api/trending", p.handleTrending)
-	mux.HandleFunc("GET /api/pois/{id}", p.handlePOI)
-	mux.HandleFunc("POST /api/gps", p.handleGPS)
-	mux.HandleFunc("POST /api/blog/generate", p.handleBlogGenerate)
-	mux.HandleFunc("GET /api/blog", p.handleBlogGet)
-	mux.HandleFunc("GET /api/blogs", p.handleBlogList)
-	mux.HandleFunc("POST /api/admin/collect", p.handleCollect)
-	mux.HandleFunc("POST /api/admin/hotin", p.handleHotIn)
-	mux.HandleFunc("POST /api/admin/events", p.handleEvents)
-	mux.HandleFunc("POST /api/admin/pipeline", p.handlePipeline)
-	mux.HandleFunc("GET /api/analytics/categories", p.handleCategoryAnalytics)
-	mux.HandleFunc("GET /api/stats", p.handleStats)
-	return mux
+// Code names the machine-readable failure class (a fixed enum — see
+// API.md); RequestID echoes the X-Request-ID so the failing request's trace
+// can be fetched.
+type apiError struct {
+	Error apiErrorBody `json:"error"`
 }
 
-// apiError is the uniform error envelope. Code, when set, names the
-// machine-readable failure class ("timeout", "canceled").
-type apiError struct {
-	Error string `json:"error"`
-	Code  string `json:"code,omitempty"`
+// apiErrorBody is the payload inside the envelope.
+type apiErrorBody struct {
+	Code      string `json:"code"`
+	Message   string `json:"message"`
+	RequestID string `json:"requestId"`
+}
+
+// Error codes of the envelope — the API's failure-class enum.
+const (
+	codeBadRequest   = "bad_request"
+	codeUnauthorized = "unauthorized"
+	codeNotFound     = "not_found"
+	codeInternal     = "internal"
+	codeTimeout      = "timeout"
+	codeCanceled     = "canceled"
+)
+
+// codeForStatus maps an HTTP status onto the envelope's default code.
+func codeForStatus(status int) string {
+	switch status {
+	case http.StatusBadRequest:
+		return codeBadRequest
+	case http.StatusUnauthorized:
+		return codeUnauthorized
+	case http.StatusNotFound:
+		return codeNotFound
+	case http.StatusGatewayTimeout:
+		return codeTimeout
+	case StatusClientClosedRequest:
+		return codeCanceled
+	default:
+		return codeInternal
+	}
 }
 
 func writeJSON(w http.ResponseWriter, status int, v interface{}) {
@@ -71,8 +66,18 @@ func writeJSON(w http.ResponseWriter, status int, v interface{}) {
 	_ = json.NewEncoder(w).Encode(v)
 }
 
-func writeErr(w http.ResponseWriter, status int, err error) {
-	writeJSON(w, status, apiError{Error: err.Error()})
+// writeErrCode emits the error envelope with an explicit code.
+func writeErrCode(w http.ResponseWriter, r *http.Request, status int, code, message string) {
+	writeJSON(w, status, apiError{Error: apiErrorBody{
+		Code:      code,
+		Message:   message,
+		RequestID: requestIDFrom(r.Context()),
+	}})
+}
+
+// writeErr emits the error envelope, deriving the code from the status.
+func writeErr(w http.ResponseWriter, r *http.Request, status int, err error) {
+	writeErrCode(w, r, status, codeForStatus(status), err.Error())
 }
 
 // StatusClientClosedRequest is the de-facto status (nginx's 499) reported
@@ -92,14 +97,14 @@ func (p *Platform) requestContext(r *http.Request) (context.Context, context.Can
 // writeQueryErr maps a query-path failure onto the API contract: deadline
 // expiry answers 504 with code "timeout", client cancellation answers 499
 // with code "canceled", anything else is a plain 400.
-func writeQueryErr(w http.ResponseWriter, err error) {
+func writeQueryErr(w http.ResponseWriter, r *http.Request, err error) {
 	switch {
 	case errors.Is(err, context.DeadlineExceeded):
-		writeJSON(w, http.StatusGatewayTimeout, apiError{Error: err.Error(), Code: "timeout"})
+		writeErrCode(w, r, http.StatusGatewayTimeout, codeTimeout, err.Error())
 	case errors.Is(err, context.Canceled):
-		writeJSON(w, StatusClientClosedRequest, apiError{Error: err.Error(), Code: "canceled"})
+		writeErrCode(w, r, StatusClientClosedRequest, codeCanceled, err.Error())
 	default:
-		writeErr(w, http.StatusBadRequest, err)
+		writeErr(w, r, http.StatusBadRequest, err)
 	}
 }
 
@@ -126,12 +131,12 @@ type signInResponse struct {
 func (p *Platform) handleSignIn(w http.ResponseWriter, r *http.Request) {
 	var req signInRequest
 	if err := decodeBody(r, &req); err != nil {
-		writeErr(w, http.StatusBadRequest, err)
+		writeErr(w, r, http.StatusBadRequest, err)
 		return
 	}
 	acct, token, err := p.Users.SignIn(req.Network, req.Credentials)
 	if err != nil {
-		writeErr(w, http.StatusUnauthorized, err)
+		writeErr(w, r, http.StatusUnauthorized, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, signInResponse{UserID: acct.UserID, Token: token, Networks: acct.Networks()})
@@ -146,12 +151,12 @@ type linkRequest struct {
 func (p *Platform) handleLink(w http.ResponseWriter, r *http.Request) {
 	var req linkRequest
 	if err := decodeBody(r, &req); err != nil {
-		writeErr(w, http.StatusBadRequest, err)
+		writeErr(w, r, http.StatusBadRequest, err)
 		return
 	}
 	acct, err := p.Users.Link(req.Token, req.Network, req.Credentials)
 	if err != nil {
-		writeErr(w, http.StatusUnauthorized, err)
+		writeErr(w, r, http.StatusUnauthorized, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, signInResponse{UserID: acct.UserID, Networks: acct.Networks()})
@@ -160,12 +165,12 @@ func (p *Platform) handleLink(w http.ResponseWriter, r *http.Request) {
 func (p *Platform) handleFriends(w http.ResponseWriter, r *http.Request) {
 	uid, err := p.Users.Authenticate(r.URL.Query().Get("token"))
 	if err != nil {
-		writeErr(w, http.StatusUnauthorized, err)
+		writeErr(w, r, http.StatusUnauthorized, err)
 		return
 	}
 	friends, err := p.Users.Friends(uid)
 	if err != nil {
-		writeErr(w, http.StatusInternalServerError, err)
+		writeErr(w, r, http.StatusInternalServerError, err)
 		return
 	}
 	if network := r.URL.Query().Get("network"); network != "" {
@@ -206,17 +211,17 @@ func parseTimeOr(s string, fallback time.Time) (time.Time, error) {
 func (p *Platform) handleSearch(w http.ResponseWriter, r *http.Request) {
 	var req searchJSON
 	if err := decodeBody(r, &req); err != nil {
-		writeErr(w, http.StatusBadRequest, err)
+		writeErr(w, r, http.StatusBadRequest, err)
 		return
 	}
 	from, err := parseTimeOr(req.From, time.Unix(0, 0).UTC())
 	if err != nil {
-		writeErr(w, http.StatusBadRequest, err)
+		writeErr(w, r, http.StatusBadRequest, err)
 		return
 	}
 	to, err := parseTimeOr(req.To, time.Date(2100, 1, 1, 0, 0, 0, 0, time.UTC))
 	if err != nil {
-		writeErr(w, http.StatusBadRequest, err)
+		writeErr(w, r, http.StatusBadRequest, err)
 		return
 	}
 	var bbox *geo.Rect
@@ -237,7 +242,7 @@ func (p *Platform) handleSearch(w http.ResponseWriter, r *http.Request) {
 		Limit:   req.Limit,
 	})
 	if err != nil {
-		writeQueryErr(w, err)
+		writeQueryErr(w, r, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, res)
@@ -261,7 +266,7 @@ func (p *Platform) handleTrending(w http.ResponseWriter, r *http.Request) {
 	if h := q.Get("hours"); h != "" {
 		v, err := strconv.Atoi(h)
 		if err != nil || v < 1 {
-			writeErr(w, http.StatusBadRequest, fmt.Errorf("core: invalid hours %q", h))
+			writeErr(w, r, http.StatusBadRequest, fmt.Errorf("core: invalid hours %q", h))
 			return
 		}
 		hours = v
@@ -270,7 +275,7 @@ func (p *Platform) handleTrending(w http.ResponseWriter, r *http.Request) {
 	if l := q.Get("limit"); l != "" {
 		v, err := strconv.Atoi(l)
 		if err != nil || v < 1 {
-			writeErr(w, http.StatusBadRequest, fmt.Errorf("core: invalid limit %q", l))
+			writeErr(w, r, http.StatusBadRequest, fmt.Errorf("core: invalid limit %q", l))
 			return
 		}
 		limit = v
@@ -279,7 +284,7 @@ func (p *Platform) handleTrending(w http.ResponseWriter, r *http.Request) {
 	for _, f := range q["friends"] {
 		id, err := strconv.ParseInt(f, 10, 64)
 		if err != nil {
-			writeErr(w, http.StatusBadRequest, fmt.Errorf("core: invalid friend id %q", f))
+			writeErr(w, r, http.StatusBadRequest, fmt.Errorf("core: invalid friend id %q", f))
 			return
 		}
 		friends = append(friends, id)
@@ -291,7 +296,7 @@ func (p *Platform) handleTrending(w http.ResponseWriter, r *http.Request) {
 	if u := q.Get("until"); u != "" {
 		t, err := time.Parse(time.RFC3339, u)
 		if err != nil {
-			writeErr(w, http.StatusBadRequest, err)
+			writeErr(w, r, http.StatusBadRequest, err)
 			return
 		}
 		until = t
@@ -300,7 +305,7 @@ func (p *Platform) handleTrending(w http.ResponseWriter, r *http.Request) {
 	defer cancel()
 	res, err := p.Trending(ctx, bbox, friends, until.Add(-time.Duration(hours)*time.Hour), until, limit)
 	if err != nil {
-		writeQueryErr(w, err)
+		writeQueryErr(w, r, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, res)
@@ -309,12 +314,12 @@ func (p *Platform) handleTrending(w http.ResponseWriter, r *http.Request) {
 func (p *Platform) handlePOI(w http.ResponseWriter, r *http.Request) {
 	id, err := strconv.ParseInt(r.PathValue("id"), 10, 64)
 	if err != nil {
-		writeErr(w, http.StatusBadRequest, fmt.Errorf("core: invalid POI id"))
+		writeErr(w, r, http.StatusBadRequest, fmt.Errorf("core: invalid POI id"))
 		return
 	}
 	poi, ok := p.POIs.Get(id)
 	if !ok {
-		writeErr(w, http.StatusNotFound, fmt.Errorf("core: no POI %d", id))
+		writeErr(w, r, http.StatusNotFound, fmt.Errorf("core: no POI %d", id))
 		return
 	}
 	writeJSON(w, http.StatusOK, poi)
@@ -328,12 +333,12 @@ type gpsRequest struct {
 func (p *Platform) handleGPS(w http.ResponseWriter, r *http.Request) {
 	var req gpsRequest
 	if err := decodeBody(r, &req); err != nil {
-		writeErr(w, http.StatusBadRequest, err)
+		writeErr(w, r, http.StatusBadRequest, err)
 		return
 	}
 	n, err := p.PushGPS(req.Token, req.Fixes)
 	if err != nil {
-		writeErr(w, http.StatusUnauthorized, err)
+		writeErr(w, r, http.StatusUnauthorized, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]int{"stored": n})
@@ -352,17 +357,17 @@ func parseDay(s string) (time.Time, error) {
 func (p *Platform) handleBlogGenerate(w http.ResponseWriter, r *http.Request) {
 	var req blogRequest
 	if err := decodeBody(r, &req); err != nil {
-		writeErr(w, http.StatusBadRequest, err)
+		writeErr(w, r, http.StatusBadRequest, err)
 		return
 	}
 	day, err := parseDay(req.Date)
 	if err != nil {
-		writeErr(w, http.StatusBadRequest, err)
+		writeErr(w, r, http.StatusBadRequest, err)
 		return
 	}
 	blog, err := p.GenerateBlog(req.Token, day)
 	if err != nil {
-		writeErr(w, http.StatusBadRequest, err)
+		writeErr(w, r, http.StatusBadRequest, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, blog)
@@ -371,21 +376,21 @@ func (p *Platform) handleBlogGenerate(w http.ResponseWriter, r *http.Request) {
 func (p *Platform) handleBlogGet(w http.ResponseWriter, r *http.Request) {
 	uid, err := p.Users.Authenticate(r.URL.Query().Get("token"))
 	if err != nil {
-		writeErr(w, http.StatusUnauthorized, err)
+		writeErr(w, r, http.StatusUnauthorized, err)
 		return
 	}
 	day, err := parseDay(r.URL.Query().Get("date"))
 	if err != nil {
-		writeErr(w, http.StatusBadRequest, err)
+		writeErr(w, r, http.StatusBadRequest, err)
 		return
 	}
 	blog, ok, err := p.Blogs.Get(uid, day)
 	if err != nil {
-		writeErr(w, http.StatusInternalServerError, err)
+		writeErr(w, r, http.StatusInternalServerError, err)
 		return
 	}
 	if !ok {
-		writeErr(w, http.StatusNotFound, fmt.Errorf("core: no blog for %s", r.URL.Query().Get("date")))
+		writeErr(w, r, http.StatusNotFound, fmt.Errorf("core: no blog for %s", r.URL.Query().Get("date")))
 		return
 	}
 	writeJSON(w, http.StatusOK, blog)
@@ -411,17 +416,17 @@ func (r windowRequest) parse() (time.Time, time.Time, error) {
 func (p *Platform) handleCollect(w http.ResponseWriter, r *http.Request) {
 	var req windowRequest
 	if err := decodeBody(r, &req); err != nil {
-		writeErr(w, http.StatusBadRequest, err)
+		writeErr(w, r, http.StatusBadRequest, err)
 		return
 	}
 	since, until, err := req.parse()
 	if err != nil {
-		writeErr(w, http.StatusBadRequest, err)
+		writeErr(w, r, http.StatusBadRequest, err)
 		return
 	}
 	stats, err := p.Collect(since, until)
 	if err != nil {
-		writeErr(w, http.StatusInternalServerError, err)
+		writeErr(w, r, http.StatusInternalServerError, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, stats)
@@ -430,17 +435,17 @@ func (p *Platform) handleCollect(w http.ResponseWriter, r *http.Request) {
 func (p *Platform) handleHotIn(w http.ResponseWriter, r *http.Request) {
 	var req windowRequest
 	if err := decodeBody(r, &req); err != nil {
-		writeErr(w, http.StatusBadRequest, err)
+		writeErr(w, r, http.StatusBadRequest, err)
 		return
 	}
 	from, to, err := req.parse()
 	if err != nil {
-		writeErr(w, http.StatusBadRequest, err)
+		writeErr(w, r, http.StatusBadRequest, err)
 		return
 	}
 	stats, err := p.UpdateHotIn(from, to)
 	if err != nil {
-		writeErr(w, http.StatusInternalServerError, err)
+		writeErr(w, r, http.StatusInternalServerError, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, stats)
@@ -455,7 +460,7 @@ type eventsRequest struct {
 func (p *Platform) handleEvents(w http.ResponseWriter, r *http.Request) {
 	var req eventsRequest
 	if err := decodeBody(r, &req); err != nil {
-		writeErr(w, http.StatusBadRequest, err)
+		writeErr(w, r, http.StatusBadRequest, err)
 		return
 	}
 	ctx, cancel := p.requestContext(r)
@@ -466,7 +471,7 @@ func (p *Platform) handleEvents(w http.ResponseWriter, r *http.Request) {
 		Partitions: req.Partitions,
 	})
 	if err != nil {
-		writeQueryErr(w, err)
+		writeQueryErr(w, r, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, res)
@@ -475,7 +480,7 @@ func (p *Platform) handleEvents(w http.ResponseWriter, r *http.Request) {
 func (p *Platform) handleStats(w http.ResponseWriter, r *http.Request) {
 	stats, err := p.Stats()
 	if err != nil {
-		writeErr(w, http.StatusInternalServerError, err)
+		writeErr(w, r, http.StatusInternalServerError, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, stats)
@@ -491,12 +496,12 @@ type pipelineRequest struct {
 func (p *Platform) handlePipeline(w http.ResponseWriter, r *http.Request) {
 	var req pipelineRequest
 	if err := decodeBody(r, &req); err != nil {
-		writeErr(w, http.StatusBadRequest, err)
+		writeErr(w, r, http.StatusBadRequest, err)
 		return
 	}
 	day, err := parseDay(req.Date)
 	if err != nil {
-		writeErr(w, http.StatusBadRequest, err)
+		writeErr(w, r, http.StatusBadRequest, err)
 		return
 	}
 	opts := PipelineOptions{}
@@ -508,10 +513,10 @@ func (p *Platform) handlePipeline(w http.ResponseWriter, r *http.Request) {
 	report, err := p.RunDailyPipeline(ctx, day, opts)
 	if err != nil {
 		if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
-			writeQueryErr(w, err)
+			writeQueryErr(w, r, err)
 			return
 		}
-		writeErr(w, http.StatusInternalServerError, err)
+		writeErr(w, r, http.StatusInternalServerError, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, report)
@@ -527,7 +532,7 @@ func (p *Platform) handleCategoryAnalytics(w http.ResponseWriter, r *http.Reques
 		maxLat, e3 := parseF("max_lat")
 		maxLon, e4 := parseF("max_lon")
 		if e1 != nil || e2 != nil || e3 != nil || e4 != nil {
-			writeErr(w, http.StatusBadRequest, fmt.Errorf("core: invalid bounding box"))
+			writeErr(w, r, http.StatusBadRequest, fmt.Errorf("core: invalid bounding box"))
 			return
 		}
 		b := geo.NewRect(geo.Point{Lat: minLat, Lon: minLon}, geo.Point{Lat: maxLat, Lon: maxLon})
@@ -535,7 +540,7 @@ func (p *Platform) handleCategoryAnalytics(w http.ResponseWriter, r *http.Reques
 	}
 	stats, err := p.POIs.CategoryStats(bbox)
 	if err != nil {
-		writeErr(w, http.StatusInternalServerError, err)
+		writeErr(w, r, http.StatusInternalServerError, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, stats)
@@ -544,12 +549,12 @@ func (p *Platform) handleCategoryAnalytics(w http.ResponseWriter, r *http.Reques
 func (p *Platform) handleBlogList(w http.ResponseWriter, r *http.Request) {
 	uid, err := p.Users.Authenticate(r.URL.Query().Get("token"))
 	if err != nil {
-		writeErr(w, http.StatusUnauthorized, err)
+		writeErr(w, r, http.StatusUnauthorized, err)
 		return
 	}
 	blogs, err := p.Blogs.ListUser(uid)
 	if err != nil {
-		writeErr(w, http.StatusInternalServerError, err)
+		writeErr(w, r, http.StatusInternalServerError, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, blogs)

@@ -23,7 +23,7 @@ func TestAPIQueryTimeout(t *testing.T) {
 	if code != http.StatusGatewayTimeout {
 		t.Fatalf("expired-deadline search status = %d, want %d", code, http.StatusGatewayTimeout)
 	}
-	if apiErr.Code != "timeout" || apiErr.Error == "" {
+	if apiErr.Error.Code != "timeout" || apiErr.Error.Message == "" {
 		t.Errorf("error envelope = %+v, want code %q and a message", apiErr, "timeout")
 	}
 
@@ -32,7 +32,7 @@ func TestAPIQueryTimeout(t *testing.T) {
 	if code := c.get("/api/trending?min_lat=37&min_lon=23&max_lat=39&max_lon=24&hours=24&limit=3", &apiErr); code != http.StatusGatewayTimeout {
 		t.Fatalf("expired-deadline trending status = %d, want %d", code, http.StatusGatewayTimeout)
 	}
-	if apiErr.Code != "timeout" {
+	if apiErr.Error.Code != "timeout" {
 		t.Errorf("trending error envelope = %+v, want code %q", apiErr, "timeout")
 	}
 
@@ -72,7 +72,7 @@ func TestAPIQueryClientCancel(t *testing.T) {
 	if err := json.NewDecoder(rec.Body).Decode(&apiErr); err != nil {
 		t.Fatal(err)
 	}
-	if apiErr.Code != "canceled" || apiErr.Error == "" {
+	if apiErr.Error.Code != "canceled" || apiErr.Error.Message == "" {
 		t.Errorf("error envelope = %+v, want code %q and a message", apiErr, "canceled")
 	}
 }

@@ -83,8 +83,8 @@ func TestAPISignInLinkFriends(t *testing.T) {
 	if code := c.post("/api/signin", signInRequest{Network: "facebook", Credentials: "nope"}, &apiErr); code != http.StatusUnauthorized {
 		t.Errorf("bad creds status = %d", code)
 	}
-	if apiErr.Error == "" {
-		t.Error("error envelope empty")
+	if apiErr.Error.Message == "" || apiErr.Error.Code != "unauthorized" {
+		t.Errorf("error envelope = %+v", apiErr)
 	}
 	// Link twitter.
 	var linked signInResponse

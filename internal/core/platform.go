@@ -17,6 +17,7 @@ import (
 	"modissense/internal/hotin"
 	"modissense/internal/kvstore"
 	"modissense/internal/model"
+	"modissense/internal/obs"
 	"modissense/internal/query"
 	"modissense/internal/relstore"
 	"modissense/internal/repos"
@@ -124,6 +125,9 @@ type Platform struct {
 	Collector  *social.Collector
 	Classifier *textproc.NaiveBayes
 	Query      *query.Engine
+	// Traces keeps the most recent request traces, keyed by X-Request-ID and
+	// served by GET /api/v1/queries/{id}/trace.
+	Traces *obs.TraceStore
 
 	catalog []model.POI
 }
@@ -134,7 +138,7 @@ func New(cfg Config) (*Platform, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	p := &Platform{cfg: cfg}
+	p := &Platform{cfg: cfg, Traces: obs.NewTraceStore(0)}
 	rng := rand.New(rand.NewSource(cfg.Seed))
 
 	// Cluster.

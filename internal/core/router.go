@@ -1,0 +1,182 @@
+package core
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"net/http"
+	"time"
+
+	"modissense/internal/obs"
+)
+
+// The REST API is a single versioned route table. Every endpoint lives
+// under /api/v1/; the pre-versioning /api/... paths are kept as deprecated
+// aliases that serve the same handler and announce their replacement with a
+// Deprecation header. API.md documents the table.
+//
+// Every request is wrapped in one middleware stack: an X-Request-ID is
+// propagated (or generated), a trace is recorded into Platform.Traces keyed
+// by that ID, and per-route request counts, status classes and latency land
+// in the shared obs registry. Route names are the fixed enum below — label
+// values never come from user input.
+
+// route is one row of the API route table.
+type route struct {
+	method string
+	// path is the route's pattern suffix under /api/v1 (and under /api for
+	// the deprecated alias).
+	path string
+	// label names the route in metrics; values are compile-time constants.
+	label obs.Label
+	// v1Only suppresses the deprecated /api alias (new v1 endpoints never
+	// had a legacy path).
+	v1Only bool
+	// noTrace keeps the route out of the trace store (introspection
+	// endpoints would otherwise evict real query traces).
+	noTrace bool
+	handler func(p *Platform) http.HandlerFunc
+}
+
+// routeTable is the API surface. Adding an endpoint means adding one row.
+var routeTable = []route{
+	{method: "POST", path: "/signin", label: obs.L("route", "signin"), handler: func(p *Platform) http.HandlerFunc { return p.handleSignIn }},
+	{method: "POST", path: "/link", label: obs.L("route", "link"), handler: func(p *Platform) http.HandlerFunc { return p.handleLink }},
+	{method: "GET", path: "/friends", label: obs.L("route", "friends"), handler: func(p *Platform) http.HandlerFunc { return p.handleFriends }},
+	{method: "POST", path: "/search", label: obs.L("route", "search"), handler: func(p *Platform) http.HandlerFunc { return p.handleSearch }},
+	{method: "GET", path: "/trending", label: obs.L("route", "trending"), handler: func(p *Platform) http.HandlerFunc { return p.handleTrending }},
+	{method: "GET", path: "/pois/{id}", label: obs.L("route", "poi"), handler: func(p *Platform) http.HandlerFunc { return p.handlePOI }},
+	{method: "POST", path: "/gps", label: obs.L("route", "gps"), handler: func(p *Platform) http.HandlerFunc { return p.handleGPS }},
+	{method: "POST", path: "/blog/generate", label: obs.L("route", "blog_generate"), handler: func(p *Platform) http.HandlerFunc { return p.handleBlogGenerate }},
+	{method: "GET", path: "/blog", label: obs.L("route", "blog_get"), handler: func(p *Platform) http.HandlerFunc { return p.handleBlogGet }},
+	{method: "GET", path: "/blogs", label: obs.L("route", "blog_list"), handler: func(p *Platform) http.HandlerFunc { return p.handleBlogList }},
+	{method: "POST", path: "/admin/collect", label: obs.L("route", "collect"), handler: func(p *Platform) http.HandlerFunc { return p.handleCollect }},
+	{method: "POST", path: "/admin/hotin", label: obs.L("route", "hotin"), handler: func(p *Platform) http.HandlerFunc { return p.handleHotIn }},
+	{method: "POST", path: "/admin/events", label: obs.L("route", "events"), handler: func(p *Platform) http.HandlerFunc { return p.handleEvents }},
+	{method: "POST", path: "/admin/pipeline", label: obs.L("route", "pipeline"), handler: func(p *Platform) http.HandlerFunc { return p.handlePipeline }},
+	{method: "GET", path: "/analytics/categories", label: obs.L("route", "categories"), handler: func(p *Platform) http.HandlerFunc { return p.handleCategoryAnalytics }},
+	{method: "GET", path: "/stats", label: obs.L("route", "stats"), handler: func(p *Platform) http.HandlerFunc { return p.handleStats }},
+	{method: "GET", path: "/queries/{id}/trace", label: obs.L("route", "query_trace"), v1Only: true, noTrace: true,
+		handler: func(p *Platform) http.HandlerFunc { return p.handleQueryTrace }},
+}
+
+// NewHandler returns the platform's REST API: the versioned route table
+// under /api/v1/, deprecated /api/ aliases, and the Prometheus exposition
+// at /metrics. The JSON formats mirror the request/response contract the
+// paper's web and mobile clients use; any client that speaks them
+// integrates seamlessly (§2, "this feature enables the seamless integration
+// of more client applications"). See API.md for the full route table.
+func NewHandler(p *Platform) http.Handler {
+	mux := http.NewServeMux()
+	for _, rt := range routeTable {
+		h := p.instrument(rt, rt.handler(p))
+		mux.HandleFunc(rt.method+" /api/v1"+rt.path, h(false))
+		if !rt.v1Only {
+			mux.HandleFunc(rt.method+" /api"+rt.path, h(true))
+		}
+	}
+	mux.HandleFunc("GET /metrics", p.handleMetrics)
+	return mux
+}
+
+// statusWriter captures the response status for metrics.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(status int) {
+	w.status = status
+	w.ResponseWriter.WriteHeader(status)
+}
+
+// instrument builds the middleware stack of one route: request-ID
+// propagation, tracing, per-route metrics and (for legacy aliases) the
+// deprecation headers. Metric handles resolve once per route at handler
+// construction; the request path touches only atomics.
+func (p *Platform) instrument(rt route, h http.HandlerFunc) func(deprecated bool) http.HandlerFunc {
+	reg := obs.Default()
+	classCounters := map[int]*obs.Counter{
+		1: reg.Counter("http_requests_total", "Requests served by route and status class.", rt.label, obs.L("class", "1xx")),
+		2: reg.Counter("http_requests_total", "Requests served by route and status class.", rt.label, obs.L("class", "2xx")),
+		3: reg.Counter("http_requests_total", "Requests served by route and status class.", rt.label, obs.L("class", "3xx")),
+		4: reg.Counter("http_requests_total", "Requests served by route and status class.", rt.label, obs.L("class", "4xx")),
+		5: reg.Counter("http_requests_total", "Requests served by route and status class.", rt.label, obs.L("class", "5xx")),
+	}
+	latency := reg.Histogram("http_request_seconds", "Request latency by route.", obs.LatencyBuckets(), rt.label)
+	legacyHits := reg.Counter("http_legacy_requests_total", "Requests served through a deprecated /api alias.", rt.label)
+	routeName := "http:" + rt.label.Value
+	return func(deprecated bool) http.HandlerFunc {
+		return func(w http.ResponseWriter, r *http.Request) {
+			start := time.Now()
+			reqID := r.Header.Get(requestIDHeader)
+			if reqID == "" {
+				reqID = newRequestID()
+			}
+			w.Header().Set(requestIDHeader, reqID)
+			if deprecated {
+				legacyHits.Inc()
+				w.Header().Set("Deprecation", "true")
+				w.Header().Set("Link", "</api/v1"+rt.path+`>; rel="successor-version"`)
+			}
+			ctx := context.WithValue(r.Context(), requestIDKey{}, reqID)
+			var tr *obs.Trace
+			if !rt.noTrace {
+				tr = obs.NewTrace(reqID, routeName)
+				ctx = obs.ContextWithSpan(ctx, tr.Root())
+			}
+			sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+			h(sw, r.WithContext(ctx))
+			if tr != nil {
+				tr.Finish()
+				p.Traces.Put(tr)
+			}
+			latency.ObserveDuration(time.Since(start))
+			if c := classCounters[sw.status/100]; c != nil {
+				c.Inc()
+			}
+		}
+	}
+}
+
+// requestIDHeader carries the request ID end to end; responses always echo
+// it so a client can fetch the request's trace afterwards.
+const requestIDHeader = "X-Request-ID"
+
+type requestIDKey struct{}
+
+// requestIDFrom returns the request ID the middleware stored in the context
+// ("" outside an instrumented request).
+func requestIDFrom(ctx context.Context) string {
+	id, _ := ctx.Value(requestIDKey{}).(string)
+	return id
+}
+
+// newRequestID returns a fresh 16-hex-digit request ID.
+func newRequestID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// crypto/rand failing means the platform is in much deeper trouble;
+		// a constant ID keeps the request serviceable.
+		return "0000000000000000"
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// handleMetrics serves the shared registry in Prometheus text format.
+func (p *Platform) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", obs.TextContentType)
+	_ = obs.Default().WritePrometheus(w)
+}
+
+// handleQueryTrace serves the span tree of a completed request by its
+// X-Request-ID.
+func (p *Platform) handleQueryTrace(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	tr, ok := p.Traces.Get(id)
+	if !ok {
+		writeErrCode(w, r, http.StatusNotFound, "not_found", "core: no trace for request "+id)
+		return
+	}
+	writeJSON(w, http.StatusOK, tr.View())
+}

@@ -18,6 +18,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"modissense/internal/obs"
 )
 
 // Task is one unit of scatter work. Tasks must be safe to run concurrently
@@ -77,92 +79,24 @@ func SetDefaultWorkers(n int) {
 	defaultPool.Store(NewPool(n))
 }
 
-// Stats accumulates one query's execution statistics. All methods are safe
-// for concurrent use and tolerate a nil receiver, so code paths that execute
-// outside a query (background jobs, tests) need no special-casing.
-type Stats struct {
-	tasks      atomic.Int64
-	goroutines atomic.Int64
-	rows       atomic.Int64
-	bytes      atomic.Int64
-	wallNanos  atomic.Int64
-}
+// Stats is the per-query statistics collector. It lives in internal/obs as
+// QueryStats so storage code can report into it without importing the
+// execution engine; the aliases below keep the historical exec API intact.
+type Stats = obs.QueryStats
 
 // Snapshot is an immutable copy of Stats for reporting.
-type Snapshot struct {
-	// Tasks is the number of tasks executed (or cancelled before running).
-	Tasks int64 `json:"tasks"`
-	// Goroutines counts the worker goroutines that ran at least one task —
-	// the observed scatter parallelism.
-	Goroutines int64 `json:"goroutines"`
-	// RowsScanned is the number of store rows the tasks visited.
-	RowsScanned int64 `json:"rows_scanned"`
-	// BytesMerged is the (estimated) wire size of the partial aggregates the
-	// gather stage combined.
-	BytesMerged int64 `json:"bytes_merged"`
-	// WallSeconds is the real elapsed time spent in Gather calls.
-	WallSeconds float64 `json:"wall_seconds"`
-}
-
-// AddRows records n scanned rows.
-func (s *Stats) AddRows(n int64) {
-	if s != nil {
-		s.rows.Add(n)
-	}
-}
-
-// AddBytes records n merged bytes.
-func (s *Stats) AddBytes(n int64) {
-	if s != nil {
-		s.bytes.Add(n)
-	}
-}
-
-func (s *Stats) addTask() {
-	if s != nil {
-		s.tasks.Add(1)
-	}
-}
-
-func (s *Stats) addGoroutine() {
-	if s != nil {
-		s.goroutines.Add(1)
-	}
-}
-
-func (s *Stats) addWall(d time.Duration) {
-	if s != nil {
-		s.wallNanos.Add(int64(d))
-	}
-}
-
-// Snapshot returns a copy of the counters. Safe on a nil receiver.
-func (s *Stats) Snapshot() Snapshot {
-	if s == nil {
-		return Snapshot{}
-	}
-	return Snapshot{
-		Tasks:       s.tasks.Load(),
-		Goroutines:  s.goroutines.Load(),
-		RowsScanned: s.rows.Load(),
-		BytesMerged: s.bytes.Load(),
-		WallSeconds: float64(s.wallNanos.Load()) / 1e9,
-	}
-}
-
-type statsKey struct{}
+type Snapshot = obs.QuerySnapshot
 
 // WithStats attaches a Stats collector to the context; Gather and
 // cancellation-aware scans report into it.
 func WithStats(ctx context.Context, s *Stats) context.Context {
-	return context.WithValue(ctx, statsKey{}, s)
+	return obs.WithQueryStats(ctx, s)
 }
 
 // StatsFrom returns the context's Stats collector, or nil when none is
 // attached (nil is safe to use with every Stats method).
 func StatsFrom(ctx context.Context) *Stats {
-	s, _ := ctx.Value(statsKey{}).(*Stats)
-	return s
+	return obs.QueryStatsFrom(ctx)
 }
 
 // Gather runs every task on the pool and returns their results in task
@@ -197,23 +131,35 @@ func (p *Pool) Gather(ctx context.Context, tasks []Task) ([]Result, error) {
 				if i >= n {
 					return
 				}
+				mQueueDepth.Add(1)
+				waitStart := time.Now()
 				p.sem <- struct{}{}
+				mQueueDepth.Add(-1)
+				mTaskWait.ObserveDuration(time.Since(waitStart))
+				mWorkersBusy.Add(1)
 				if !counted {
-					st.addGoroutine()
+					st.AddGoroutine()
 					counted = true
 				}
+				runStart := time.Now()
 				if err := ctx.Err(); err != nil {
 					res[i].Err = err
 				} else {
 					res[i].Value, res[i].Err = runTask(ctx, tasks[i])
 				}
-				st.addTask()
+				mTaskRun.ObserveDuration(time.Since(runStart))
+				mTasks.Inc()
+				st.AddTask()
+				mWorkersBusy.Add(-1)
 				<-p.sem
 			}
 		}()
 	}
 	wg.Wait()
-	st.addWall(time.Since(start))
+	wall := time.Since(start)
+	st.AddWall(wall)
+	mGathers.Inc()
+	mGatherWall.ObserveDuration(wall)
 	var errs []error
 	for i := range res {
 		if res[i].Err != nil {

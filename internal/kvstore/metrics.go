@@ -1,0 +1,37 @@
+package kvstore
+
+import "modissense/internal/obs"
+
+// Store-level series in the shared registry. Handles resolve once at package
+// init; hot paths batch into locals and flush with one atomic add per scan,
+// matching the ctxPollInterval discipline (no per-row registry traffic).
+var (
+	mPuts        = obs.Default().Counter("kvstore_puts_total", "Cells applied to a memtable (puts and tombstones).")
+	mFlushes     = obs.Default().Counter("kvstore_memtable_flushes_total", "Memtable flushes into immutable segments.")
+	mCompactions = obs.Default().Counter("kvstore_compactions_total", "Segment compactions.")
+
+	mRowsScanned  = obs.Default().Counter("kvstore_rows_scanned_total", "Rows delivered by scans.")
+	mBytesScanned = obs.Default().Counter("kvstore_bytes_scanned_total", "Approximate bytes of cells delivered by scans.")
+	mScanLatency  = obs.Default().Histogram("kvstore_scan_seconds", "Latency of one store-level scan.", obs.LatencyBuckets(),
+		obs.L("op", "scan"))
+	mMultiScanLatency = obs.Default().Histogram("kvstore_scan_seconds", "Latency of one store-level scan.", obs.LatencyBuckets(),
+		obs.L("op", "multiscan"))
+
+	mBloomHits   = obs.Default().Counter("kvstore_bloom_hits_total", "Point reads where a segment Bloom filter admitted the row.")
+	mBloomMisses = obs.Default().Counter("kvstore_bloom_misses_total", "Point reads where a segment Bloom filter excluded the row.")
+	mSegsPruned  = obs.Default().Counter("kvstore_multiscan_segments_pruned_total", "Segments skipped by multi-range span pruning.")
+
+	mWALAppends = obs.Default().Counter("kvstore_wal_appends_total", "Records appended to a file-backed WAL.")
+	mWALSyncs   = obs.Default().Counter("kvstore_wal_syncs_total", "File-backed WAL syncs to stable storage.")
+)
+
+// approxRowBytes estimates the wire footprint of one delivered row: key,
+// qualifiers, values, plus a fixed per-cell overhead for the timestamp and
+// framing. Mirrors the memtable's footprint accounting.
+func approxRowBytes(res *RowResult) int64 {
+	n := int64(len(res.Row))
+	for i := range res.Cells {
+		n += int64(len(res.Cells[i].Qualifier)+len(res.Cells[i].Value)) + 16
+	}
+	return n
+}

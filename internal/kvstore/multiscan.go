@@ -4,8 +4,9 @@ import (
 	"context"
 	"fmt"
 	"sort"
+	"time"
 
-	"modissense/internal/exec"
+	"modissense/internal/obs"
 )
 
 // Multi-range scan kernel. A personalized query's coprocessor reads one
@@ -88,8 +89,9 @@ func (s *Store) multiScanIteratorsLocked(ranges []ScanRange, start *Cell) ([]cel
 // between ranges; asOf hides versions newer than that timestamp (0 = no
 // bound). The RowResult passed to fn reuses one backing cell slice across
 // rows — callbacks must copy anything they retain past their return.
-// Cancellation is polled every ctxPollInterval rows; delivered rows are
-// counted into the context's exec.Stats in one batch.
+// Cancellation is polled every ctxPollInterval rows; delivered rows and
+// bytes are counted into the context's obs.QueryStats and the shared
+// registry in one batch at scan end.
 func (s *Store) MultiScanCtx(ctx context.Context, ranges []ScanRange, asOf int64, fn func(RowResult) bool) error {
 	if fn == nil {
 		return fmt.Errorf("kvstore: nil scan callback")
@@ -100,7 +102,8 @@ func (s *Store) MultiScanCtx(ctx context.Context, ranges []ScanRange, asOf int64
 	if len(ranges) == 0 {
 		return nil
 	}
-	st := exec.StatsFrom(ctx)
+	st := obs.QueryStatsFrom(ctx)
+	scanStart := time.Now()
 	done := ctx.Done()
 	if asOf == 0 {
 		asOf = int64(1) << 62
@@ -111,10 +114,16 @@ func (s *Store) MultiScanCtx(ctx context.Context, ranges []ScanRange, asOf int64
 	if ranges[0].Start != "" {
 		start = &Cell{Row: ranges[0].Start, Timestamp: int64(1) << 62, Tombstone: true}
 	}
-	its, _ := s.multiScanIteratorsLocked(ranges, start)
+	its, pruned := s.multiScanIteratorsLocked(ranges, start)
 	merged := newMergeIterator(its)
-	var delivered int64
-	defer func() { st.AddRows(delivered) }()
+	var delivered, deliveredBytes int64
+	defer func() {
+		st.AddRows(delivered)
+		mRowsScanned.Add(delivered)
+		mBytesScanned.Add(deliveredBytes)
+		mSegsPruned.Add(int64(pruned))
+		mMultiScanLatency.ObserveDuration(time.Since(scanStart))
+	}()
 	res := RowResult{}
 	probe := Cell{Timestamp: int64(1) << 62, Tombstone: true}
 	iter := 0
@@ -144,6 +153,7 @@ func (s *Store) MultiScanCtx(ctx context.Context, ranges []ScanRange, asOf int64
 			resolveRowVersions(merged, row, asOf, &res)
 			if !res.Empty() {
 				delivered++
+				deliveredBytes += approxRowBytes(&res)
 				if !fn(res) {
 					return nil
 				}

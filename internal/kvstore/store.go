@@ -4,8 +4,9 @@ import (
 	"context"
 	"fmt"
 	"sync"
+	"time"
 
-	"modissense/internal/exec"
+	"modissense/internal/obs"
 )
 
 // StoreOptions tune a single store (one region's backing storage).
@@ -84,6 +85,7 @@ func (s *Store) apply(c Cell) error {
 	}
 	s.mem.add(c)
 	s.puts++
+	mPuts.Inc()
 	if s.mem.sizeBytes() >= s.opts.FlushThresholdBytes {
 		if err := s.flushLocked(); err != nil {
 			return err
@@ -112,6 +114,7 @@ func (s *Store) flushLocked() error {
 	s.segments = append(s.segments, seg)
 	s.mem = newMemtable(s.opts.Seed + int64(s.nextSeg))
 	s.flushes++
+	mFlushes.Inc()
 	if len(s.segments) >= s.opts.CompactionTrigger {
 		return s.compactLocked()
 	}
@@ -144,6 +147,7 @@ func (s *Store) compactLocked() error {
 	s.nextSeg++
 	s.segments = []*segment{seg}
 	s.compacts++
+	mCompactions.Inc()
 	return nil
 }
 
@@ -214,12 +218,17 @@ func (s *Store) GetVersions(row, qualifier string, max int) ([]Cell, error) {
 func (s *Store) pointIteratorsLocked(row string, start *Cell) []cellIterator {
 	its := make([]cellIterator, 0, len(s.segments)+1)
 	its = append(its, s.mem.iterator(start))
+	var hits, misses int64
 	for i := len(s.segments) - 1; i >= 0; i-- {
 		if !s.segments[i].mayContainRow(row) {
+			misses++
 			continue
 		}
+		hits++
 		its = append(its, s.segments[i].iterator(start))
 	}
+	mBloomHits.Add(hits)
+	mBloomMisses.Add(misses)
 	return its
 }
 
@@ -280,13 +289,15 @@ const ctxPollInterval = 64
 // ScanCtx is Scan with row-granular cancellation: it polls ctx every
 // ctxPollInterval rows and returns ctx.Err() soon after the context is
 // done, so a cancelled query releases the store read lock promptly instead
-// of finishing a large scan it no longer needs. Rows delivered to fn are
-// counted into the context's exec.Stats when one is attached.
+// of finishing a large scan it no longer needs. Rows and bytes delivered to
+// fn are counted into the context's obs.QueryStats (when one is attached)
+// and the shared registry in one batch at scan end.
 func (s *Store) ScanCtx(ctx context.Context, opts ScanOptions, fn func(RowResult) bool) error {
 	if fn == nil {
 		return fmt.Errorf("kvstore: nil scan callback")
 	}
-	st := exec.StatsFrom(ctx)
+	st := obs.QueryStatsFrom(ctx)
+	scanStart := time.Now()
 	done := ctx.Done()
 	asOf := opts.AsOf
 	if asOf == 0 {
@@ -300,8 +311,13 @@ func (s *Store) ScanCtx(ctx context.Context, opts ScanOptions, fn func(RowResult
 	}
 	merged := newMergeIterator(s.iteratorsLocked(start))
 	rows := 0
-	var delivered int64
-	defer func() { st.AddRows(delivered) }()
+	var delivered, deliveredBytes int64
+	defer func() {
+		st.AddRows(delivered)
+		mRowsScanned.Add(delivered)
+		mBytesScanned.Add(deliveredBytes)
+		mScanLatency.ObserveDuration(time.Since(scanStart))
+	}()
 	for iter := 0; merged.valid(); iter++ {
 		if done != nil && iter%ctxPollInterval == 0 {
 			select {
@@ -319,6 +335,7 @@ func (s *Store) ScanCtx(ctx context.Context, opts ScanOptions, fn func(RowResult
 		if !res.Empty() {
 			rows++
 			delivered++
+			deliveredBytes += approxRowBytes(&res)
 			if !fn(res) {
 				return nil
 			}

@@ -67,8 +67,11 @@ func (w *FileWAL) Append(c Cell) error {
 	if _, err := w.w.Write(hdr[:]); err != nil {
 		return err
 	}
-	_, err := w.w.Write(body)
-	return err
+	if _, err := w.w.Write(body); err != nil {
+		return err
+	}
+	mWALAppends.Inc()
+	return nil
 }
 
 // Sync implements WAL.
@@ -76,7 +79,11 @@ func (w *FileWAL) Sync() error {
 	if err := w.w.Flush(); err != nil {
 		return err
 	}
-	return w.f.Sync()
+	if err := w.f.Sync(); err != nil {
+		return err
+	}
+	mWALSyncs.Inc()
+	return nil
 }
 
 // Close implements WAL.

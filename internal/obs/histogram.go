@@ -1,0 +1,89 @@
+package obs
+
+import (
+	"math"
+	"sync/atomic"
+	"time"
+)
+
+// Histogram is a fixed-bucket histogram: cumulative counts per upper bound
+// plus an exact sum and count. Observations are lock-free (one atomic add
+// on the bucket, one on the count, a CAS loop on the float sum); bucket
+// search is a linear walk over a handful of bounds, cheaper than binary
+// search at these sizes.
+type Histogram struct {
+	bounds  []float64 // ascending upper bounds; +Inf implicit
+	buckets []atomic.Int64
+	count   atomic.Int64
+	sumBits atomic.Uint64 // float64 bits
+}
+
+func newHistogram(bounds []float64) *Histogram {
+	return &Histogram{
+		bounds:  append([]float64(nil), bounds...),
+		buckets: make([]atomic.Int64, len(bounds)+1),
+	}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.buckets[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sumBits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// ObserveDuration records a duration in seconds.
+func (h *Histogram) ObserveDuration(d time.Duration) {
+	h.Observe(d.Seconds())
+}
+
+// Count returns the total number of observations.
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of observed values.
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return math.Float64frombits(h.sumBits.Load())
+}
+
+// snapshot copies the per-bucket counts (non-cumulative).
+func (h *Histogram) snapshot() []int64 {
+	out := make([]int64, len(h.buckets))
+	for i := range h.buckets {
+		out[i] = h.buckets[i].Load()
+	}
+	return out
+}
+
+// LatencyBuckets is the shared latency bucket layout (seconds): 100µs to
+// ~30s, roughly ×3 per step. One layout everywhere keeps histograms
+// comparable across layers.
+func LatencyBuckets() []float64 {
+	return []float64{0.0001, 0.0003, 0.001, 0.003, 0.01, 0.03, 0.1, 0.3, 1, 3, 10, 30}
+}
+
+// SizeBuckets is the shared size/count bucket layout: 1 to 10^7, decades
+// with a half-decade step.
+func SizeBuckets() []float64 {
+	return []float64{1, 3, 10, 30, 100, 300, 1000, 3000, 10000, 30000, 100000, 1e6, 1e7}
+}

@@ -1,0 +1,197 @@
+package obs
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("test_ops_total", "ops")
+	c.Inc()
+	c.Add(4)
+	c.Add(-3) // ignored: counters are monotonic
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	// Same name+labels returns the same handle.
+	if r.Counter("test_ops_total", "ops") != c {
+		t.Fatal("re-registration returned a different handle")
+	}
+	g := r.Gauge("test_depth", "depth")
+	g.Set(7)
+	g.Add(-2)
+	if got := g.Value(); got != 5 {
+		t.Fatalf("gauge = %d, want 5", got)
+	}
+	// Nil handles are no-ops.
+	var nc *Counter
+	nc.Inc()
+	var ng *Gauge
+	ng.Add(1)
+	var nh *Histogram
+	nh.Observe(1)
+	if nc.Value() != 0 || ng.Value() != 0 || nh.Count() != 0 {
+		t.Fatal("nil metrics must read zero")
+	}
+}
+
+func TestLabelledSeriesAreDistinct(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("test_reqs_total", "reqs", L("route", "search"))
+	b := r.Counter("test_reqs_total", "reqs", L("route", "trending"))
+	if a == b {
+		t.Fatal("different labels must give different series")
+	}
+	a.Add(2)
+	b.Inc()
+	// Label order must not matter.
+	c := r.Counter("test_multi_total", "m", L("x", "1"), L("a", "2"))
+	d := r.Counter("test_multi_total", "m", L("a", "2"), L("x", "1"))
+	if c != d {
+		t.Fatal("label order changed series identity")
+	}
+}
+
+func TestTypeMismatchPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("test_thing", "")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("registering the same name as a gauge must panic")
+		}
+	}()
+	r.Gauge("test_thing", "")
+}
+
+func TestCardinalityCapPanics(t *testing.T) {
+	r := NewRegistry()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("exceeding MaxSeriesPerFamily must panic")
+		}
+	}()
+	// Deliberately unbounded label values: the runtime guard must trip.
+	vals := make([]string, MaxSeriesPerFamily+1)
+	for i := range vals {
+		vals[i] = strings.Repeat("x", 1+i%50) + string(rune('a'+i%26))
+	}
+	for i, v := range vals {
+		_ = i
+		r.Counter("test_unbounded_total", "", Label{Key: "id", Value: v})
+	}
+}
+
+func TestInvalidNamePanics(t *testing.T) {
+	r := NewRegistry()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("invalid metric name must panic")
+		}
+	}()
+	r.Counter("Bad-Name", "")
+}
+
+func TestHistogramBucketsAndSum(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("test_latency_seconds", "lat", []float64{0.01, 0.1, 1})
+	for _, v := range []float64{0.005, 0.05, 0.5, 5} {
+		h.Observe(v)
+	}
+	if h.Count() != 4 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if math.Abs(h.Sum()-5.555) > 1e-9 {
+		t.Fatalf("sum = %v", h.Sum())
+	}
+	counts := h.snapshot()
+	want := []int64{1, 1, 1, 1}
+	for i := range want {
+		if counts[i] != want[i] {
+			t.Fatalf("bucket %d = %d, want %d", i, counts[i], want[i])
+		}
+	}
+	h.ObserveDuration(50 * time.Millisecond)
+	if h.Count() != 5 {
+		t.Fatal("ObserveDuration did not record")
+	}
+}
+
+func TestHistogramConcurrentObserve(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("test_conc_seconds", "", LatencyBuckets())
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				h.Observe(0.001)
+			}
+		}()
+	}
+	wg.Wait()
+	if h.Count() != 8000 {
+		t.Fatalf("count = %d, want 8000", h.Count())
+	}
+	if math.Abs(h.Sum()-8.0) > 1e-6 {
+		t.Fatalf("sum = %v, want 8.0", h.Sum())
+	}
+}
+
+func TestPrometheusExposition(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("test_reqs_total", "requests served", L("route", "search")).Add(3)
+	r.Gauge("test_depth", "queue depth").Set(2)
+	h := r.Histogram("test_lat_seconds", "latency", []float64{0.1, 1})
+	h.Observe(0.05)
+	h.Observe(0.5)
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"# TYPE test_reqs_total counter",
+		`test_reqs_total{route="search"} 3`,
+		"# TYPE test_depth gauge",
+		"test_depth 2",
+		"# TYPE test_lat_seconds histogram",
+		`test_lat_seconds_bucket{le="0.1"} 1`,
+		`test_lat_seconds_bucket{le="1"} 2`,
+		`test_lat_seconds_bucket{le="+Inf"} 2`,
+		"test_lat_seconds_count 2",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	// Families must be sorted by name.
+	if strings.Index(out, "test_depth") > strings.Index(out, "test_reqs_total") {
+		t.Error("families not sorted")
+	}
+}
+
+func TestQueryStats(t *testing.T) {
+	var s *QueryStats
+	s.AddRows(5) // nil-safe
+	if s.Snapshot() != (QuerySnapshot{}) {
+		t.Fatal("nil snapshot not zero")
+	}
+	qs := &QueryStats{}
+	qs.AddRows(10)
+	qs.AddBytes(100)
+	qs.AddTask()
+	qs.AddGoroutine()
+	qs.AddWall(2 * time.Second)
+	snap := qs.Snapshot()
+	if snap.RowsScanned != 10 || snap.BytesMerged != 100 || snap.Tasks != 1 || snap.Goroutines != 1 {
+		t.Fatalf("snapshot = %+v", snap)
+	}
+	if math.Abs(snap.WallSeconds-2) > 1e-9 {
+		t.Fatalf("wall = %v", snap.WallSeconds)
+	}
+}

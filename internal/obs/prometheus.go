@@ -1,0 +1,100 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Prometheus text-format exposition (version 0.0.4): the format every
+// scraper speaks. Families are emitted in name order, series in label-key
+// order, histograms as cumulative _bucket/_sum/_count series.
+
+// TextContentType is the Content-Type of the exposition format.
+const TextContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// WritePrometheus renders the registry in Prometheus text format.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.Lock()
+	names := make([]string, 0, len(r.families))
+	for name := range r.families {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	fams := make([]*family, len(names))
+	for i, name := range names {
+		fams[i] = r.families[name]
+	}
+	r.mu.Unlock()
+
+	var sb strings.Builder
+	for _, f := range fams {
+		f.writeTo(&sb)
+	}
+	_, err := io.WriteString(w, sb.String())
+	return err
+}
+
+func (f *family) writeTo(sb *strings.Builder) {
+	if f.help != "" {
+		fmt.Fprintf(sb, "# HELP %s %s\n", f.name, escapeHelp(f.help))
+	}
+	fmt.Fprintf(sb, "# TYPE %s %s\n", f.name, f.typ)
+	ordered := append([]*series(nil), f.series...)
+	sort.Slice(ordered, func(i, j int) bool { return ordered[i].key < ordered[j].key })
+	for _, s := range ordered {
+		switch m := s.metric.(type) {
+		case *Counter:
+			writeSample(sb, f.name, s.labels, nil, float64(m.Value()))
+		case *Gauge:
+			writeSample(sb, f.name, s.labels, nil, float64(m.Value()))
+		case *Histogram:
+			counts := m.snapshot()
+			cum := int64(0)
+			for i, c := range counts {
+				cum += c
+				le := "+Inf"
+				if i < len(m.bounds) {
+					le = formatFloat(m.bounds[i])
+				}
+				writeSample(sb, f.name+"_bucket", s.labels, &Label{Key: "le", Value: le}, float64(cum))
+			}
+			writeSample(sb, f.name+"_sum", s.labels, nil, m.Sum())
+			writeSample(sb, f.name+"_count", s.labels, nil, float64(m.Count()))
+		}
+	}
+}
+
+func writeSample(sb *strings.Builder, name string, labels []Label, extra *Label, v float64) {
+	sb.WriteString(name)
+	if len(labels) > 0 || extra != nil {
+		sb.WriteByte('{')
+		for i, l := range labels {
+			if i > 0 {
+				sb.WriteByte(',')
+			}
+			fmt.Fprintf(sb, "%s=%q", l.Key, l.Value)
+		}
+		if extra != nil {
+			if len(labels) > 0 {
+				sb.WriteByte(',')
+			}
+			fmt.Fprintf(sb, "%s=%q", extra.Key, extra.Value)
+		}
+		sb.WriteByte('}')
+	}
+	sb.WriteByte(' ')
+	sb.WriteString(formatFloat(v))
+	sb.WriteByte('\n')
+}
+
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}

@@ -1,0 +1,103 @@
+package obs
+
+import (
+	"context"
+	"sync/atomic"
+	"time"
+)
+
+// QueryStats accumulates one query's execution statistics — the per-request
+// companion of the registry's global series. It rides the context through
+// the scatter-gather pool and the kvstore scans; all methods are safe for
+// concurrent use and tolerate a nil receiver, so code paths that execute
+// outside a query (background jobs, tests) need no special-casing.
+//
+// This is the platform-wide per-query collector (it started life as
+// exec.Stats; internal/exec aliases it for compatibility).
+type QueryStats struct {
+	tasks      atomic.Int64
+	goroutines atomic.Int64
+	rows       atomic.Int64
+	bytes      atomic.Int64
+	wallNanos  atomic.Int64
+}
+
+// QuerySnapshot is an immutable copy of QueryStats for reporting.
+type QuerySnapshot struct {
+	// Tasks is the number of tasks executed (or cancelled before running).
+	Tasks int64 `json:"tasks"`
+	// Goroutines counts the worker goroutines that ran at least one task —
+	// the observed scatter parallelism.
+	Goroutines int64 `json:"goroutines"`
+	// RowsScanned is the number of store rows the tasks visited.
+	RowsScanned int64 `json:"rows_scanned"`
+	// BytesMerged is the (estimated) wire size of the partial aggregates the
+	// gather stage combined.
+	BytesMerged int64 `json:"bytes_merged"`
+	// WallSeconds is the real elapsed time spent in Gather calls.
+	WallSeconds float64 `json:"wall_seconds"`
+}
+
+// AddRows records n scanned rows.
+func (s *QueryStats) AddRows(n int64) {
+	if s != nil {
+		s.rows.Add(n)
+	}
+}
+
+// AddBytes records n merged bytes.
+func (s *QueryStats) AddBytes(n int64) {
+	if s != nil {
+		s.bytes.Add(n)
+	}
+}
+
+// AddTask records one executed (or cancelled) task.
+func (s *QueryStats) AddTask() {
+	if s != nil {
+		s.tasks.Add(1)
+	}
+}
+
+// AddGoroutine records one worker goroutine that served this query.
+func (s *QueryStats) AddGoroutine() {
+	if s != nil {
+		s.goroutines.Add(1)
+	}
+}
+
+// AddWall records elapsed gather wall time.
+func (s *QueryStats) AddWall(d time.Duration) {
+	if s != nil {
+		s.wallNanos.Add(int64(d))
+	}
+}
+
+// Snapshot returns a copy of the counters. Safe on a nil receiver.
+func (s *QueryStats) Snapshot() QuerySnapshot {
+	if s == nil {
+		return QuerySnapshot{}
+	}
+	return QuerySnapshot{
+		Tasks:       s.tasks.Load(),
+		Goroutines:  s.goroutines.Load(),
+		RowsScanned: s.rows.Load(),
+		BytesMerged: s.bytes.Load(),
+		WallSeconds: float64(s.wallNanos.Load()) / 1e9,
+	}
+}
+
+type queryStatsKey struct{}
+
+// WithQueryStats attaches a QueryStats collector to the context; the
+// scatter-gather pool and cancellation-aware scans report into it.
+func WithQueryStats(ctx context.Context, s *QueryStats) context.Context {
+	return context.WithValue(ctx, queryStatsKey{}, s)
+}
+
+// QueryStatsFrom returns the context's QueryStats collector, or nil when
+// none is attached (nil is safe to use with every QueryStats method).
+func QueryStatsFrom(ctx context.Context) *QueryStats {
+	s, _ := ctx.Value(queryStatsKey{}).(*QueryStats)
+	return s
+}

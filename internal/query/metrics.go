@@ -1,0 +1,21 @@
+package query
+
+import "modissense/internal/obs"
+
+// Query-layer series in the shared registry. The path label is a fixed
+// enum — "personalized" fans out coprocessors, "relational" serves the
+// PostgreSQL-style repository — never derived from user input.
+var (
+	mQueriesPersonalized = obs.Default().Counter("query_queries_total", "Queries executed by path.",
+		obs.L("path", "personalized"))
+	mQueriesRelational = obs.Default().Counter("query_queries_total", "Queries executed by path.",
+		obs.L("path", "relational"))
+	mCoprocLatency = obs.Default().Histogram("query_coprocessor_seconds",
+		"Real execution time of one region's coprocessor.", obs.LatencyBuckets())
+	mMergeLatency = obs.Default().Histogram("query_merge_seconds",
+		"Real time of the web-server merge of per-region aggregates.", obs.LatencyBuckets())
+	mMergeCandidates = obs.Default().Histogram("query_merge_candidates",
+		"Partial aggregates entering one merge.", obs.SizeBuckets())
+	mTopKEvictions = obs.Default().Counter("query_topk_evictions_total",
+		"Aggregates displaced from the bounded top-k merge heap.")
+)

@@ -17,12 +17,14 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"time"
 
 	"modissense/internal/cluster"
 	"modissense/internal/exec"
 	"modissense/internal/geo"
 	"modissense/internal/kvstore"
 	"modissense/internal/model"
+	"modissense/internal/obs"
 	"modissense/internal/repos"
 )
 
@@ -182,6 +184,14 @@ func (cp *visitsCoprocessor) RunRegion(r *kvstore.Region) (interface{}, error) {
 // RunRegionCtx implements kvstore.CoprocessorCtx: the region scan honors
 // cancellation at row granularity.
 func (cp *visitsCoprocessor) RunRegionCtx(ctx context.Context, r *kvstore.Region) (interface{}, error) {
+	regionStart := time.Now()
+	span := obs.SpanFromContext(ctx).Child("coprocessor")
+	span.SetAttrInt("region", int64(r.ID))
+	span.SetAttrInt("node", int64(r.NodeID))
+	defer func() {
+		mCoprocLatency.ObserveDuration(time.Since(regionStart))
+		span.End()
+	}()
 	out := &regionOutput{}
 	aggs := map[int64]*poiAgg{}
 	// visitRow aggregates one scanned visit row; shared verbatim by the
@@ -252,6 +262,9 @@ func (cp *visitsCoprocessor) RunRegionCtx(ctx context.Context, r *kvstore.Region
 		out.aggs = out.aggs[:k]
 	}
 	out.work.CandidatePOIs = len(out.aggs)
+	span.SetAttrInt("rows", int64(out.work.RowsScanned))
+	span.SetAttrInt("friends", int64(out.work.Friends))
+	span.SetAttrInt("candidates", int64(out.work.CandidatePOIs))
 	return out, nil
 }
 
@@ -333,6 +346,7 @@ func (h *boundedAggHeap) offer(a poiAgg) {
 	if aggLess(h.order, &a, &h.items[0]) {
 		h.items[0] = a
 		heap.Fix(h, 0)
+		mTopKEvictions.Inc()
 	}
 }
 
@@ -399,9 +413,12 @@ func (e *Engine) RunConcurrent(ctx context.Context, specs []Spec) ([]*Result, er
 		}
 		friends := sortedDistinctFriends(spec.FriendIDs)
 		cp := &visitsCoprocessor{spec: &spec, schema: e.visits.Schema(), friends: friends}
-		stats := &exec.Stats{}
-		qctx := exec.WithStats(ctx, stats)
-		regionResults, err := e.visits.Table().ExecCoprocessorCtx(qctx, cp)
+		stats := &obs.QueryStats{}
+		qctx := obs.WithQueryStats(ctx, stats)
+		mQueriesPersonalized.Inc()
+		scatterSpan := obs.SpanFromContext(ctx).Child("scatter")
+		regionResults, err := e.visits.Table().ExecCoprocessorCtx(obs.ContextWithSpan(qctx, scatterSpan), cp)
+		scatterSpan.End()
 		if err != nil {
 			return nil, err
 		}
@@ -416,7 +433,14 @@ func (e *Engine) RunConcurrent(ctx context.Context, specs []Spec) ([]*Result, er
 		plans[qi] = plan
 
 		// Merge (real): combine per-region aggregates.
+		mergeSpan := obs.SpanFromContext(ctx).Child("merge")
+		mergeStart := time.Now()
 		merged, totalWork := e.merge(plan, stats)
+		mMergeLatency.ObserveDuration(time.Since(mergeStart))
+		mMergeCandidates.Observe(float64(totalWork.CandidatePOIs))
+		mergeSpan.SetAttrInt("candidates", int64(totalWork.CandidatePOIs))
+		mergeSpan.SetAttrInt("results", int64(len(merged)))
+		mergeSpan.End()
 		results[qi] = &Result{POIs: merged, Work: totalWork, Regions: len(plan.regions), Exec: stats.Snapshot()}
 	}
 
@@ -577,6 +601,7 @@ func (e *Engine) NonPersonalized(ctx context.Context, spec repos.SearchSpec) ([]
 	if err != nil {
 		return nil, 0, err
 	}
+	mQueriesRelational.Inc()
 	cost := e.clus.Config().Cost
 	var latency float64
 	var schedErr error
