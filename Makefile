@@ -1,18 +1,23 @@
 GO ?= go
 
-.PHONY: check fmt vet lint-metrics build test test-race bench bench-smoke
+.PHONY: check fmt vet lint-metrics lint-docs build test test-race bench bench-smoke
 
 ## check runs the tier-1 verification gate: formatting, vet, the metric-
-## cardinality lint, build, the full test suite under the race detector,
-## and a smoke pass over the read-path microbenchmarks. CI and pre-merge
-## runs use this.
-check: fmt vet lint-metrics build test-race bench-smoke
+## cardinality lint, the exported-godoc lint, build, the full test suite
+## under the race detector, and a smoke pass over the read-path
+## microbenchmarks. CI and pre-merge runs use this.
+check: fmt vet lint-metrics lint-docs build test-race bench-smoke
 
 ## lint-metrics fails when any obs.L / obs.Label value is not a
 ## compile-time constant — the static half of the bounded-cardinality
 ## contract (the registry's per-family series cap is the dynamic half).
 lint-metrics:
 	$(GO) run ./cmd/obs-lint ./...
+
+## lint-docs fails when an exported identifier in the core engine packages
+## (exec, query, obs, faultinject) lacks a doc comment.
+lint-docs:
+	$(GO) run ./cmd/doc-lint ./internal/exec ./internal/query ./internal/obs ./internal/faultinject
 
 fmt:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
@@ -37,9 +42,11 @@ bench:
 ## bench-smoke runs the scan-kernel and coprocessor read-path
 ## microbenchmarks a fixed small number of iterations — it verifies the
 ## benchmarks still build and run, not their timings — then scrapes
-## GET /metrics after live API traffic into BENCH_metrics.json so each
-## run records the observability series alongside the latency figures.
+## GET /metrics after live API traffic into BENCH_metrics.json, and runs
+## the seeded fault-injection workload into BENCH_faults.json so each run
+## records the fault-tolerance gates alongside the latency figures.
 bench-smoke:
 	$(GO) test ./internal/kvstore -run XXX -bench 'BenchmarkScanPath' -benchmem -benchtime=100x
 	$(GO) test ./internal/query -run XXX -bench 'BenchmarkCoprocessor200' -benchmem -benchtime=100x
 	$(GO) run ./cmd/modissense-bench -exp metrics -quick
+	$(GO) run ./cmd/modissense-bench -exp faults -quick

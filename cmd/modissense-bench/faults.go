@@ -1,0 +1,76 @@
+package main
+
+import (
+	"fmt"
+	"strconv"
+
+	"modissense/internal/bench"
+)
+
+// faultSchedule optionally overrides the experiment's fault DSL (the
+// -faults flag).
+var faultSchedule string
+
+// runFaults measures the fault-tolerant read path: the Figure 2 workload
+// against a replicated dataset under a seeded fault schedule, in three
+// modes — fault-free baseline, hedged+replicated, and mechanism-disabled.
+func runFaults(quick bool) error {
+	cfg := bench.DefaultFaults()
+	if quick {
+		cfg.Dataset.Users = 1500
+		cfg.Queries = 40
+		cfg.UnprotectedQueries = 10
+		cfg.Friends = 400
+	}
+	if faultSchedule != "" {
+		cfg.Schedule = faultSchedule
+	}
+	fmt.Println("== Fault tolerance: hedged replicated reads under an injected region-server stall ==")
+	fmt.Printf("schedule: %q, %d replicas, %s query deadline\n\n", cfg.Schedule, cfg.Replicas, cfg.QueryTimeout)
+	modes, err := bench.RunFaults(cfg)
+	if err != nil {
+		return err
+	}
+	rows := make([][]string, 0, len(modes))
+	for _, m := range modes {
+		rows = append(rows, []string{
+			m.Mode, strconv.Itoa(m.Queries),
+			fmt.Sprintf("%.1f%%", m.SuccessRate*100),
+			fmt.Sprintf("%.1f%%", m.DegradedRate*100),
+			strconv.Itoa(m.Timeouts), strconv.Itoa(m.Errors),
+			fmt.Sprintf("%.1f", m.P50Millis), fmt.Sprintf("%.1f", m.P99Millis),
+			strconv.FormatInt(m.Hedges, 10), strconv.FormatInt(m.Retries, 10),
+			strconv.FormatInt(m.ReplicaReads, 10),
+		})
+	}
+	fmt.Println(bench.RenderTable(
+		[]string{"mode", "queries", "non-5xx", "degraded", "timeouts", "errors", "p50(ms)", "p99(ms)", "hedges", "retries", "replica-reads"}, rows))
+
+	// Acceptance gates: the protected run must stay ≥99% non-5xx within
+	// twice the fault-free p99; the unprotected run must demonstrably fail.
+	var free, hedged, unprot *bench.FaultsMode
+	for i := range modes {
+		switch modes[i].Mode {
+		case "fault-free":
+			free = &modes[i]
+		case "hedged":
+			hedged = &modes[i]
+		case "unprotected":
+			unprot = &modes[i]
+		}
+	}
+	if free != nil && hedged != nil && unprot != nil {
+		gate := func(name string, ok bool) {
+			verdict := "PASS"
+			if !ok {
+				verdict = "FAIL"
+			}
+			fmt.Printf("gate %-34s %s\n", name+":", verdict)
+		}
+		gate("hedged non-5xx >= 99%", hedged.SuccessRate >= 0.99)
+		gate("hedged p99 <= 2x fault-free p99", hedged.P99Millis <= 2*free.P99Millis)
+		gate("unprotected demonstrably fails", unprot.SuccessRate < 0.99 || unprot.P99Millis > 2*free.P99Millis)
+		fmt.Println()
+	}
+	return writeSeriesJSON("BENCH_faults.json", modes)
+}

@@ -29,14 +29,16 @@ import (
 var outDir string
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: fig2 | fig3 | fig4 | accuracy | ablation-schema | ablation-regions | dbscan | ext-cnb | ext-webservers | ext-topk | metrics | all")
+	exp := flag.String("exp", "all", "experiment: fig2 | fig3 | fig4 | accuracy | ablation-schema | ablation-regions | dbscan | ext-cnb | ext-webservers | ext-topk | metrics | faults | all")
 	quick := flag.Bool("quick", false, "run reduced sweeps (smaller dataset, fewer points)")
 	scatterWorkers := flag.Int("scatter-workers", 0, "scatter-gather worker-pool size for real region execution (0 = GOMAXPROCS)")
 	out := flag.String("out", ".", "directory for machine-readable BENCH_*.json result files")
+	faults := flag.String("faults", "", "fault schedule DSL for the faults experiment (e.g. \"stall:node=1,dur=400ms\"; empty = the experiment's default)")
 	flag.Parse()
 
 	exec.SetDefaultWorkers(*scatterWorkers)
 	outDir = *out
+	faultSchedule = *faults
 
 	runners := map[string]func(bool) error{
 		"fig2":             runFig2,
@@ -50,8 +52,9 @@ func main() {
 		"ext-webservers":   runWebServers,
 		"ext-topk":         runTopK,
 		"metrics":          runMetrics,
+		"faults":           runFaults,
 	}
-	order := []string{"fig2", "fig3", "fig4", "accuracy", "ablation-schema", "ablation-regions", "dbscan", "ext-cnb", "ext-webservers", "ext-topk", "metrics"}
+	order := []string{"fig2", "fig3", "fig4", "accuracy", "ablation-schema", "ablation-regions", "dbscan", "ext-cnb", "ext-webservers", "ext-topk", "metrics", "faults"}
 
 	if *exp == "all" {
 		for _, name := range order {

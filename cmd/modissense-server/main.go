@@ -32,6 +32,11 @@ func main() {
 	normalized := flag.Bool("normalized-schema", false, "use the normalized (join-at-query-time) visits schema")
 	queryTimeout := flag.Duration("query-timeout", 30*time.Second, "per-request query deadline (0 = none); expiry answers 504")
 	scatterWorkers := flag.Int("scatter-workers", 0, "scatter-gather worker-pool size (0 = GOMAXPROCS)")
+	readReplicas := flag.Int("read-replicas", 0, "read-only replicas per visits region (0 = no replication)")
+	readAttempts := flag.Int("read-attempts", 0, "per-region read attempt budget (0 = plain fail-fast reads)")
+	readBackoff := flag.Duration("read-backoff", 0, "base retry backoff of the fault-tolerant read path (0 = 2ms default)")
+	readHedgeAfter := flag.Duration("read-hedge-after", 0, "enable latency hedging, capped at this threshold (0 = no hedging)")
+	allowDegraded := flag.Bool("allow-degraded", false, "answer partial results when a region exhausts its read attempts")
 	flag.Parse()
 
 	exec.SetDefaultWorkers(*scatterWorkers)
@@ -43,6 +48,11 @@ func main() {
 	cfg.NetworkPopulation = *population
 	cfg.Seed = *seed
 	cfg.QueryTimeout = *queryTimeout
+	cfg.ReadReplicas = *readReplicas
+	cfg.ReadMaxAttempts = *readAttempts
+	cfg.ReadBackoff = *readBackoff
+	cfg.ReadHedgeAfter = *readHedgeAfter
+	cfg.AllowDegraded = *allowDegraded
 	if *normalized {
 		cfg.VisitSchema = repos.SchemaNormalized
 	}

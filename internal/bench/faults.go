@@ -1,0 +1,196 @@
+package bench
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+
+	"modissense/internal/faultinject"
+	"modissense/internal/query"
+)
+
+// FaultsConfig parameterizes the fault-tolerance experiment: the Figure 2
+// workload replayed against a replicated dataset while a seeded fault
+// schedule stalls one region server, measured with and without the hedged
+// read path.
+type FaultsConfig struct {
+	Dataset DatasetConfig
+	Nodes   int
+	// Replicas is the read-replica count per region.
+	Replicas int
+	// Queries is the per-mode query count of the fault-free and hedged
+	// runs.
+	Queries int
+	// UnprotectedQueries bounds the mechanism-disabled run separately —
+	// each of its failures burns a full query timeout of wall clock.
+	UnprotectedQueries int
+	// Friends is the friend-list size of every query.
+	Friends int
+	// QueryTimeout is the per-query deadline; schedules that stall longer
+	// than this make unprotected queries time out.
+	QueryTimeout time.Duration
+	// Schedule is the fault DSL (see faultinject.ParseSchedule) applied in
+	// the faulted modes.
+	Schedule string
+	Seed     int64
+}
+
+// DefaultFaults stalls every read served by node 1 for longer than the
+// query deadline: only replica reads on other nodes can answer in time.
+func DefaultFaults() FaultsConfig {
+	ds := DefaultDataset()
+	ds.Users = 4000
+	return FaultsConfig{
+		Dataset:            ds,
+		Nodes:              4,
+		Replicas:           2,
+		Queries:            120,
+		UnprotectedQueries: 25,
+		Friends:            1000,
+		QueryTimeout:       250 * time.Millisecond,
+		Schedule:           "stall:node=1,dur=400ms",
+		Seed:               51,
+	}
+}
+
+// FaultsMode is one mode's measurement, JSON-tagged for BENCH_faults.json.
+// Modes: "fault-free" (hedged path, no faults — the latency baseline),
+// "hedged" (faults + replicas + retries + hedging) and "unprotected"
+// (faults with the mechanism disabled: one attempt, no hedge, no
+// degradation).
+type FaultsMode struct {
+	Mode    string `json:"mode"`
+	Queries int    `json:"queries"`
+	// OK counts non-5xx answers (complete and degraded).
+	OK int `json:"ok"`
+	// Degraded counts answers missing at least one region.
+	Degraded int `json:"degraded"`
+	// Timeouts counts queries that hit the deadline (the API's 504).
+	Timeouts int `json:"timeouts"`
+	// Errors counts other failures (the API's 500).
+	Errors       int     `json:"errors"`
+	SuccessRate  float64 `json:"success_rate"`
+	DegradedRate float64 `json:"degraded_rate"`
+	// P50Millis/P99Millis are real wall-clock per-query latencies over every
+	// query of the mode, timeouts included at the full deadline.
+	P50Millis    float64 `json:"p50_ms"`
+	P99Millis    float64 `json:"p99_ms"`
+	Hedges       int64   `json:"hedges"`
+	Retries      int64   `json:"retries"`
+	ReplicaReads int64   `json:"replica_reads"`
+}
+
+// RunFaults executes the three modes on one replicated dataset and returns
+// them in order: fault-free, hedged, unprotected. Every mode replays the
+// identical query sequence (same seed), so the comparison isolates the
+// fault handling.
+func RunFaults(cfg FaultsConfig) ([]FaultsMode, error) {
+	if cfg.Replicas < 1 {
+		return nil, fmt.Errorf("bench: faults experiment needs replicas")
+	}
+	if cfg.Queries < 1 || cfg.UnprotectedQueries < 1 {
+		return nil, fmt.Errorf("bench: faults experiment needs positive query counts")
+	}
+	if cfg.QueryTimeout <= 0 {
+		return nil, fmt.Errorf("bench: faults experiment needs a query timeout")
+	}
+	sched, err := faultinject.ParseSchedule(cfg.Schedule, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	ds, err := BuildDataset(cfg.Dataset, cfg.Nodes)
+	if err != nil {
+		return nil, err
+	}
+	if err := ds.Visits.Table().EnableReplication(cfg.Replicas, 0); err != nil {
+		return nil, err
+	}
+	if err := ds.Visits.Table().CatchUpReplication(); err != nil {
+		return nil, err
+	}
+
+	hedged := query.DefaultReadPolicy()
+	hedged.JitterSeed = cfg.Seed
+	unprotected := query.ReadPolicy{MaxAttempts: 1, AllowDegraded: false}
+
+	var out []FaultsMode
+	for _, m := range []struct {
+		name    string
+		queries int
+		pol     *query.ReadPolicy
+		inj     *faultinject.Injector
+	}{
+		{"fault-free", cfg.Queries, &hedged, nil},
+		{"hedged", cfg.Queries, &hedged, faultinject.New(sched)},
+		{"unprotected", cfg.UnprotectedQueries, &unprotected, faultinject.New(sched)},
+	} {
+		mode, err := runFaultsMode(ds, cfg, m.name, m.queries, m.pol, m.inj)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, mode)
+	}
+	ds.Engine.SetFaultInjector(nil)
+	ds.Engine.SetReadPolicy(nil)
+	return out, nil
+}
+
+// runFaultsMode replays the query sequence under one policy/injector pair.
+func runFaultsMode(ds *Dataset, cfg FaultsConfig, name string, queries int, pol *query.ReadPolicy, inj *faultinject.Injector) (FaultsMode, error) {
+	ds.Engine.SetReadPolicy(pol)
+	ds.Engine.SetFaultInjector(inj)
+	from, to := ds.Window()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	m := FaultsMode{Mode: name, Queries: queries}
+	lats := make([]float64, 0, queries)
+	for i := 0; i < queries; i++ {
+		spec := query.Spec{
+			FriendIDs:  ds.FriendSample(rng, cfg.Friends),
+			FromMillis: from,
+			ToMillis:   to,
+			OrderBy:    query.ByInterest,
+			Limit:      10,
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), cfg.QueryTimeout)
+		start := time.Now()
+		res, err := ds.Engine.Run(ctx, spec)
+		wall := time.Since(start).Seconds()
+		cancel()
+		lats = append(lats, wall)
+		switch {
+		case err == nil:
+			m.OK++
+			if res.Degraded {
+				m.Degraded++
+			}
+			m.Hedges += res.Exec.Hedges
+			m.Retries += res.Exec.Retries
+			m.ReplicaReads += res.Exec.ReplicaReads
+		case errors.Is(err, context.DeadlineExceeded):
+			m.Timeouts++
+		default:
+			m.Errors++
+		}
+	}
+	sort.Float64s(lats)
+	m.P50Millis = 1000 * percentile(lats, 0.50)
+	m.P99Millis = 1000 * percentile(lats, 0.99)
+	m.SuccessRate = float64(m.OK) / float64(queries)
+	m.DegradedRate = float64(m.Degraded) / float64(queries)
+	return m, nil
+}
+
+// percentile reads the p-th quantile from an ascending-sorted sample.
+func percentile(sorted []float64, p float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(p * float64(len(sorted)))
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}

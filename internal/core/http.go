@@ -9,6 +9,7 @@ import (
 	"strconv"
 	"time"
 
+	"modissense/internal/exec"
 	"modissense/internal/geo"
 	"modissense/internal/model"
 	"modissense/internal/query"
@@ -96,13 +97,17 @@ func (p *Platform) requestContext(r *http.Request) (context.Context, context.Can
 
 // writeQueryErr maps a query-path failure onto the API contract: deadline
 // expiry answers 504 with code "timeout", client cancellation answers 499
-// with code "canceled", anything else is a plain 400.
+// with code "canceled", an exhausted read-attempt budget (a region
+// unavailable with degradation off) answers 500 with code "internal", and
+// anything else is a plain 400.
 func writeQueryErr(w http.ResponseWriter, r *http.Request, err error) {
 	switch {
 	case errors.Is(err, context.DeadlineExceeded):
 		writeErrCode(w, r, http.StatusGatewayTimeout, codeTimeout, err.Error())
 	case errors.Is(err, context.Canceled):
 		writeErrCode(w, r, StatusClientClosedRequest, codeCanceled, err.Error())
+	case errors.Is(err, exec.ErrAttemptsExhausted):
+		writeErrCode(w, r, http.StatusInternalServerError, codeInternal, err.Error())
 	default:
 		writeErr(w, r, http.StatusBadRequest, err)
 	}

@@ -63,6 +63,23 @@ type Config struct {
 	// with this deadline and answers 504 when it fires. Zero disables the
 	// deadline.
 	QueryTimeout time.Duration
+	// ReadReplicas enables N read-only replicas per Visits region, kept
+	// consistent via WAL shipping (0 = no replication).
+	ReadReplicas int
+	// ReadMaxAttempts, when > 0, routes the personalized scatter through the
+	// fault-tolerant read path with this per-region attempt budget (hedges
+	// included). Zero keeps the plain fail-fast path.
+	ReadMaxAttempts int
+	// ReadBackoff overrides the base retry backoff of the fault-tolerant
+	// path (0 keeps the 2ms default).
+	ReadBackoff time.Duration
+	// ReadHedgeAfter, when > 0, enables latency hedging and caps the hedge
+	// threshold at this duration. Zero disables hedging.
+	ReadHedgeAfter time.Duration
+	// AllowDegraded answers partial results (degraded: true plus the missing
+	// region ids) when a region exhausts its read attempts, instead of
+	// failing the query.
+	AllowDegraded bool
 }
 
 // DefaultConfig returns a demo-scale platform: big enough to exercise
@@ -105,6 +122,15 @@ func (c Config) Validate() error {
 	}
 	if c.QueryTimeout < 0 {
 		return fmt.Errorf("core: negative query timeout")
+	}
+	if c.ReadReplicas < 0 {
+		return fmt.Errorf("core: negative read replicas")
+	}
+	if c.ReadMaxAttempts < 0 {
+		return fmt.Errorf("core: negative read attempts")
+	}
+	if c.ReadBackoff < 0 || c.ReadHedgeAfter < 0 {
+		return fmt.Errorf("core: negative read backoff/hedge threshold")
 	}
 	return nil
 }
@@ -224,6 +250,27 @@ func New(cfg Config) (*Platform, error) {
 	// Query answering.
 	if p.Query, err = query.NewEngine(p.Visits, p.POIs, clus); err != nil {
 		return nil, err
+	}
+
+	// Fault-tolerant read path (off by default; see OPERATIONS.md).
+	if cfg.ReadReplicas > 0 {
+		if err := p.Visits.Table().EnableReplication(cfg.ReadReplicas, 0); err != nil {
+			return nil, err
+		}
+	}
+	if cfg.ReadMaxAttempts > 0 {
+		pol := query.DefaultReadPolicy()
+		pol.MaxAttempts = cfg.ReadMaxAttempts
+		pol.JitterSeed = cfg.Seed
+		if cfg.ReadBackoff > 0 {
+			pol.BaseBackoff = cfg.ReadBackoff
+		}
+		pol.HedgeEnabled = cfg.ReadHedgeAfter > 0
+		if cfg.ReadHedgeAfter > 0 {
+			pol.HedgeMax = cfg.ReadHedgeAfter
+		}
+		pol.AllowDegraded = cfg.AllowDegraded
+		p.Query.SetReadPolicy(&pol)
 	}
 	return p, nil
 }

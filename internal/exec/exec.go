@@ -142,10 +142,19 @@ func (p *Pool) Gather(ctx context.Context, tasks []Task) ([]Result, error) {
 					counted = true
 				}
 				runStart := time.Now()
+				// Cancellation accounting is exactly once per task: either
+				// the task was skipped here before running, or it ran and
+				// returned the cancellation itself — never both, and a task
+				// that completed despite a late cancel counts zero times.
 				if err := ctx.Err(); err != nil {
 					res[i].Err = err
+					st.AddCancel()
 				} else {
 					res[i].Value, res[i].Err = runTask(ctx, tasks[i])
+					if res[i].Err != nil && ctx.Err() != nil &&
+						(errors.Is(res[i].Err, context.Canceled) || errors.Is(res[i].Err, context.DeadlineExceeded)) {
+						st.AddCancel()
+					}
 				}
 				mTaskRun.ObserveDuration(time.Since(runStart))
 				mTasks.Inc()

@@ -12,4 +12,15 @@ var (
 	mTaskWait    = obs.Default().Histogram("exec_task_wait_seconds", "Time a task waited for a worker slot.", obs.LatencyBuckets())
 	mTaskRun     = obs.Default().Histogram("exec_task_run_seconds", "Time a task spent running.", obs.LatencyBuckets())
 	mGatherWall  = obs.Default().Histogram("exec_gather_seconds", "Wall time of one full Gather call.", obs.LatencyBuckets())
+
+	mRetries = obs.Default().Counter("exec_read_retries_total",
+		"Hedged-read attempts relaunched after a failed predecessor.")
+	mHedges = obs.Default().Counter("exec_read_hedges_total",
+		"Latency hedges fired (second attempt racing a slow outstanding one).")
+	mHedgeWins = obs.Default().Counter("exec_read_hedge_wins_total",
+		"Hedged reads won by an attempt other than the first.")
+	mHedgeLoserCanceled = obs.Default().Counter("exec_read_losers_canceled_total",
+		"Losing attempts cancelled mid-task by first-success-wins.")
+	mHedgeLoserCompleted = obs.Default().Counter("exec_read_losers_completed_total",
+		"Losing attempts that completed before observing the cancel (not counted as cancellations).")
 )

@@ -1,0 +1,181 @@
+package faultinject
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestDecideMatchesSelectors(t *testing.T) {
+	inj := New(Schedule{Seed: 7, Rules: []Rule{
+		{Fault: Crash, Node: 1, Region: Any, Replica: Any},
+	}})
+	if d := inj.Decide(Op{Node: 0, Region: 3, Replica: 0}); d.Err != nil {
+		t.Fatalf("node 0 should be healthy, got %v", d.Err)
+	}
+	d := inj.Decide(Op{Node: 1, Region: 3, Replica: 0})
+	if !errors.Is(d.Err, ErrInjectedCrash) {
+		t.Fatalf("node 1 should crash, got %v", d.Err)
+	}
+}
+
+func TestDecideOpWindow(t *testing.T) {
+	inj := New(Schedule{Seed: 1, Rules: []Rule{
+		{Fault: ScanError, Node: Any, Region: 2, Replica: Any, FromOp: 1, ToOp: 3},
+	}})
+	op := Op{Node: 0, Region: 2, Replica: 0}
+	want := []bool{false, true, true, false, false}
+	for i, w := range want {
+		d := inj.Decide(op)
+		if got := d.Err != nil; got != w {
+			t.Fatalf("op %d: injected=%v, want %v", i, got, w)
+		}
+	}
+}
+
+func TestDecideDeterministicAcrossInjectors(t *testing.T) {
+	sched := Schedule{Seed: 42, Rules: []Rule{
+		{Fault: ScanError, Node: Any, Region: Any, Replica: Any, Prob: 0.4},
+	}}
+	a, b := New(sched), New(sched)
+	op := Op{Node: 2, Region: 5, Replica: 1}
+	hits := 0
+	for i := 0; i < 200; i++ {
+		da, db := a.Decide(op), b.Decide(op)
+		if (da.Err == nil) != (db.Err == nil) {
+			t.Fatalf("op %d: injectors disagree", i)
+		}
+		if da.Err != nil {
+			hits++
+		}
+	}
+	if hits < 40 || hits > 160 {
+		t.Fatalf("prob 0.4 over 200 ops injected %d times — hash badly skewed", hits)
+	}
+}
+
+func TestDecideIndependentTargets(t *testing.T) {
+	// Interleaving ops on target B must not change target A's sequence.
+	sched := Schedule{Seed: 9, Rules: []Rule{
+		{Fault: Crash, Node: Any, Region: Any, Replica: Any, Prob: 0.5},
+	}}
+	opA := Op{Node: 0, Region: 0, Replica: 0}
+	opB := Op{Node: 1, Region: 1, Replica: 1}
+
+	plain := New(sched)
+	var seqA []bool
+	for i := 0; i < 50; i++ {
+		seqA = append(seqA, plain.Decide(opA).Err != nil)
+	}
+	mixed := New(sched)
+	for i := 0; i < 50; i++ {
+		mixed.Decide(opB)
+		if got := mixed.Decide(opA).Err != nil; got != seqA[i] {
+			t.Fatalf("op %d: interleaving changed target A's fault sequence", i)
+		}
+	}
+}
+
+func TestDecideMergesRules(t *testing.T) {
+	inj := New(Schedule{Seed: 3, Rules: []Rule{
+		{Fault: Stall, Node: Any, Region: Any, Replica: Any, Duration: 10 * time.Millisecond},
+		{Fault: Stall, Node: Any, Region: Any, Replica: Any, Duration: 30 * time.Millisecond},
+		{Fault: SlowScan, Node: Any, Region: Any, Replica: Any, Factor: 4},
+	}})
+	d := inj.Decide(Op{})
+	if d.Stall != 30*time.Millisecond {
+		t.Fatalf("stall = %v, want max 30ms", d.Stall)
+	}
+	if d.SlowFactor != 4 {
+		t.Fatalf("slow factor = %v, want 4", d.SlowFactor)
+	}
+	if d.Err != nil {
+		t.Fatalf("unexpected error %v", d.Err)
+	}
+}
+
+func TestNilInjectorNeverInjects(t *testing.T) {
+	var inj *Injector
+	d := inj.Decide(Op{Node: 1, Region: 2, Replica: 3})
+	if d.Err != nil || d.Stall != 0 || d.SlowFactor != 0 {
+		t.Fatalf("nil injector produced %+v", d)
+	}
+}
+
+func TestDecideConcurrentUse(t *testing.T) {
+	inj := New(Schedule{Seed: 11, Rules: []Rule{
+		{Fault: ScanError, Node: Any, Region: Any, Replica: Any, Prob: 0.5},
+	}})
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				inj.Decide(Op{Node: g, Region: i % 4, Replica: i % 2})
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func TestSleepHonorsContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := Sleep(ctx, time.Hour); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Sleep on cancelled ctx = %v, want Canceled", err)
+	}
+	if err := Sleep(context.Background(), time.Microsecond); err != nil {
+		t.Fatalf("Sleep = %v", err)
+	}
+}
+
+func TestParseSchedule(t *testing.T) {
+	sched, err := ParseSchedule("stall:node=1,dur=400ms; slow:region=3,factor=5,prob=0.5;crash:replica=2,from=1,to=9;scanerr:", 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sched.Seed != 99 || len(sched.Rules) != 4 {
+		t.Fatalf("parsed %+v", sched)
+	}
+	r := sched.Rules[0]
+	if r.Fault != Stall || r.Node != 1 || r.Region != Any || r.Duration != 400*time.Millisecond {
+		t.Fatalf("rule 0 = %+v", r)
+	}
+	r = sched.Rules[1]
+	if r.Fault != SlowScan || r.Region != 3 || r.Factor != 5 || r.Prob != 0.5 {
+		t.Fatalf("rule 1 = %+v", r)
+	}
+	r = sched.Rules[2]
+	if r.Fault != Crash || r.Replica != 2 || r.FromOp != 1 || r.ToOp != 9 {
+		t.Fatalf("rule 2 = %+v", r)
+	}
+	if sched.Rules[3].Fault != ScanError {
+		t.Fatalf("rule 3 = %+v", sched.Rules[3])
+	}
+
+	for _, bad := range []string{
+		"explode:node=1",
+		"stall:node=1",           // missing dur
+		"slow:factor=0.5",        // factor must exceed 1
+		"crash:prob=2",           // prob out of range
+		"crash:node=x",           // non-numeric selector
+		"stall:dur=400ms,oops=1", // unknown key
+		"stall:dur",              // malformed option
+	} {
+		if _, err := ParseSchedule(bad, 1); err == nil {
+			t.Fatalf("ParseSchedule(%q) accepted invalid input", bad)
+		}
+	}
+}
+
+func TestKindString(t *testing.T) {
+	for k, want := range map[Kind]string{Crash: "crash", Stall: "stall", SlowScan: "slow", ScanError: "scanerr"} {
+		if k.String() != want {
+			t.Fatalf("Kind(%d).String() = %q, want %q", int(k), k.String(), want)
+		}
+	}
+}

@@ -23,6 +23,15 @@ var (
 
 	mWALAppends = obs.Default().Counter("kvstore_wal_appends_total", "Records appended to a file-backed WAL.")
 	mWALSyncs   = obs.Default().Counter("kvstore_wal_syncs_total", "File-backed WAL syncs to stable storage.")
+
+	mReplicationLag = obs.Default().Gauge("kvstore_replication_lag_entries",
+		"Primary mutations not yet WAL-shipped to region read replicas (all tables).")
+	mReplicationShipped = obs.Default().Counter("kvstore_replication_shipped_total",
+		"Mutations WAL-shipped to region read replicas.")
+	mReplicaReads = obs.Default().Counter("kvstore_replica_reads_total",
+		"Coprocessor attempts served by a read replica instead of the primary.")
+	mReadAttempts = obs.Default().Counter("kvstore_read_attempts_total",
+		"Per-region coprocessor read attempts (first tries, retries and hedges).")
 )
 
 // approxRowBytes estimates the wire footprint of one delivered row: key,

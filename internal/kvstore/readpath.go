@@ -1,0 +1,145 @@
+package kvstore
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"modissense/internal/exec"
+	"modissense/internal/faultinject"
+	"modissense/internal/obs"
+)
+
+// ReadOptions configures the fault-tolerant coprocessor fan-out of
+// ExecCoprocessorHedged: the per-region retry budget/backoff, the hedge
+// policy and an optional fault injector intercepting every attempt.
+type ReadOptions struct {
+	// Retry budgets the attempts of each region's read.
+	Retry exec.RetryPolicy
+	// Hedge decides when an outstanding attempt gets raced by a replica.
+	Hedge exec.HedgePolicy
+	// Injector, when non-nil, intercepts every read attempt with the
+	// deterministic fault harness (tests and the -faults bench flag).
+	Injector *faultinject.Injector
+}
+
+// ExecCoprocessorHedged fans the coprocessor out across all regions like
+// ExecCoprocessorCtx, but executes each region's read through the
+// tail-tolerant exec.RunHedged primitive: failed attempts are retried with
+// jittered exponential backoff, slow attempts are hedged to a read replica
+// after the policy's latency threshold, and the first success wins (losers
+// are cancelled). Every attempt passes the interception point where
+// ReadOptions.Injector may inject crash/stall/slow/scan faults, and every
+// attempt is recorded as a child span of the scatter span, so the query
+// trace shows exactly which replica answered.
+//
+// Unlike ExecCoprocessorCtx the returned error reports only invalid
+// arguments: per-region outcomes — including exhausted attempt budgets
+// (errors matching exec.ErrAttemptsExhausted) — land solely in
+// RegionResult.Err, leaving the served-regions/missing-regions split to the
+// caller's degradation policy.
+func (t *Table) ExecCoprocessorHedged(ctx context.Context, cp Coprocessor, ro ReadOptions) ([]RegionResult, error) {
+	if cp == nil {
+		return nil, fmt.Errorf("kvstore: nil coprocessor")
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	cpCtx, _ := cp.(CoprocessorCtx)
+	regions := t.frozenRegions()
+	tasks := make([]exec.Task, len(regions))
+	for i, r := range regions {
+		r := r
+		tasks[i] = func(tctx context.Context) (interface{}, error) {
+			v, meta, err := exec.RunHedged(tctx, int64(r.ID), r.Replicas(), ro.Retry, ro.Hedge,
+				func(actx context.Context, attempt, replica int) (interface{}, error) {
+					return t.runReadAttempt(actx, cp, cpCtx, r, attempt, replica, ro.Injector)
+				})
+			if err != nil {
+				return nil, err
+			}
+			return &hedgedValue{v: v, meta: meta, node: r.ReadView(meta.Replica).NodeID}, nil
+		}
+	}
+	results, _ := exec.Default().Gather(ctx, tasks)
+	out := make([]RegionResult, len(regions))
+	for i, r := range regions {
+		out[i] = RegionResult{Region: r, ServedNode: r.NodeID}
+		if results[i].Err != nil {
+			out[i].Err = results[i].Err
+			continue
+		}
+		hv := results[i].Value.(*hedgedValue)
+		out[i].Value, out[i].Meta, out[i].ServedNode = hv.v, hv.meta, hv.node
+	}
+	return out, nil
+}
+
+// hedgedValue carries one region's winning attempt through the pool.
+type hedgedValue struct {
+	v    interface{}
+	meta exec.ReadMeta
+	node int
+}
+
+// runReadAttempt executes one per-replica coprocessor attempt: resolve the
+// replica's read view, pass the fault-injection interception point, run the
+// coprocessor, and record the attempt as a span with its outcome.
+func (t *Table) runReadAttempt(ctx context.Context, cp Coprocessor, cpCtx CoprocessorCtx, r *Region, attempt, replica int, inj *faultinject.Injector) (interface{}, error) {
+	view := r.ReadView(replica)
+	mReadAttempts.Inc()
+	if replica > 0 {
+		mReplicaReads.Inc()
+		obs.QueryStatsFrom(ctx).AddReplicaRead()
+	}
+	span := obs.SpanFromContext(ctx).Child("attempt")
+	span.SetAttrInt("region", int64(r.ID))
+	span.SetAttrInt("attempt", int64(attempt))
+	span.SetAttrInt("replica", int64(replica))
+	span.SetAttrInt("node", int64(view.NodeID))
+	defer span.End()
+
+	d := inj.Decide(faultinject.Op{Node: view.NodeID, Region: r.ID, Replica: replica})
+	if errors.Is(d.Err, faultinject.ErrInjectedCrash) {
+		span.SetAttr("outcome", "injected-crash")
+		return nil, d.Err
+	}
+	if d.Stall > 0 {
+		span.SetAttrInt("stall_ms", d.Stall.Milliseconds())
+		if err := faultinject.Sleep(ctx, d.Stall); err != nil {
+			span.SetAttr("outcome", "canceled")
+			return nil, err
+		}
+	}
+	start := time.Now()
+	var v interface{}
+	var err error
+	if cpCtx != nil {
+		v, err = cpCtx.RunRegionCtx(ctx, view)
+	} else {
+		v, err = cp.RunRegion(view)
+	}
+	if err == nil && d.SlowFactor > 1 {
+		// Stretch the measured service time to the injected multiplier.
+		extra := time.Duration(float64(time.Since(start)) * (d.SlowFactor - 1))
+		span.SetAttrInt("slow_extra_us", extra.Microseconds())
+		if serr := faultinject.Sleep(ctx, extra); serr != nil {
+			span.SetAttr("outcome", "canceled")
+			return nil, serr
+		}
+	}
+	if err == nil && d.Err != nil {
+		// ScanError decisions fail the attempt after the work ran.
+		err = d.Err
+	}
+	switch {
+	case err == nil:
+		span.SetAttr("outcome", "ok")
+	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+		span.SetAttr("outcome", "canceled")
+	default:
+		span.SetAttr("outcome", "error")
+	}
+	return v, err
+}

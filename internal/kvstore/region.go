@@ -23,6 +23,9 @@ type Region struct {
 	mu     sync.RWMutex
 	endKey string
 	store  *Store
+	// repl holds the region's read replicas and WAL-shipping state when
+	// Table.EnableReplication is on (nil otherwise). See replication.go.
+	repl *replicaSet
 }
 
 // EndKey returns the region's exclusive upper bound ("" = unbounded). A
@@ -67,6 +70,10 @@ func (r *Region) frozen() *Region {
 		NodeID:   r.NodeID,
 		endKey:   r.endKey,
 		store:    r.store,
+		// The replica stores are never rewritten by a split (splits build
+		// fresh replica sets), so a frozen view's replicas stay consistent
+		// with its frozen primary store.
+		repl: r.repl,
 	}
 }
 
@@ -109,6 +116,10 @@ type Table struct {
 	// wal, when non-nil, logs every mutation before it applies (durable
 	// tables; see OpenDurableTable).
 	wal *tableWAL
+	// replicas/shipBatch are the read-replication settings; zero replicas
+	// means replication is off (see EnableReplication).
+	replicas  int
+	shipBatch int
 }
 
 // NewTable creates a table pre-split at the given keys (may be empty for a
@@ -228,7 +239,11 @@ func (t *Table) Put(row, qualifier string, timestamp int64, value []byte) error 
 			return fmt.Errorf("kvstore: table wal: %w", err)
 		}
 	}
-	return t.regionFor(row).store.Put(row, qualifier, timestamp, value)
+	r := t.regionFor(row)
+	if err := r.store.Put(row, qualifier, timestamp, value); err != nil {
+		return err
+	}
+	return r.shipMutation(Cell{Row: row, Qualifier: qualifier, Timestamp: timestamp, Value: value})
 }
 
 // Delete routes a tombstone to the owning region, logging it first on
@@ -244,7 +259,11 @@ func (t *Table) Delete(row, qualifier string, timestamp int64) error {
 			return fmt.Errorf("kvstore: table wal: %w", err)
 		}
 	}
-	return t.regionFor(row).store.Delete(row, qualifier, timestamp)
+	r := t.regionFor(row)
+	if err := r.store.Delete(row, qualifier, timestamp); err != nil {
+		return err
+	}
+	return r.shipMutation(Cell{Row: row, Qualifier: qualifier, Timestamp: timestamp, Tombstone: true})
 }
 
 // Get reads the newest live view of a row.
@@ -305,6 +324,12 @@ type RegionResult struct {
 	Region *Region
 	Value  interface{}
 	Err    error
+	// Meta describes the hedged read that produced Value; it stays zero on
+	// the plain (non-hedged) execution paths.
+	Meta exec.ReadMeta
+	// ServedNode is the simulated node that served the winning attempt —
+	// a replica's node when a hedge won, otherwise the primary's.
+	ServedNode int
 }
 
 // ExecCoprocessor runs the coprocessor on every region sequentially and
@@ -319,7 +344,7 @@ func (t *Table) ExecCoprocessor(cp Coprocessor) ([]RegionResult, error) {
 	out := make([]RegionResult, 0, len(regions))
 	for _, r := range regions {
 		v, err := cp.RunRegion(r)
-		out = append(out, RegionResult{Region: r, Value: v, Err: err})
+		out = append(out, RegionResult{Region: r, Value: v, Err: err, ServedNode: r.NodeID})
 	}
 	return out, nil
 }
@@ -354,7 +379,7 @@ func (t *Table) ExecCoprocessorCtx(ctx context.Context, cp Coprocessor) ([]Regio
 	results, err := exec.Default().Gather(ctx, tasks)
 	out := make([]RegionResult, len(regions))
 	for i, r := range regions {
-		out[i] = RegionResult{Region: r, Value: results[i].Value, Err: results[i].Err}
+		out[i] = RegionResult{Region: r, Value: results[i].Value, Err: results[i].Err, ServedNode: r.NodeID}
 	}
 	if err != nil {
 		return out, fmt.Errorf("kvstore: coprocessor %q: %w", cp.Name(), err)
@@ -406,9 +431,28 @@ func (t *Table) SplitRegion(splitKey string) error {
 		store:    upper,
 	}
 	t.nextID++
+	// A replicated table rebuilds both halves' replica sets from the fresh
+	// post-split stores (unshipped WAL-tail entries are already inside the
+	// rewritten cells, so they are dropped rather than double-applied). The
+	// old replica stores stay untouched: frozen views that captured them
+	// keep a consistent pre-split snapshot.
+	var lowerRepl, upperRepl *replicaSet
+	if t.replicas > 0 {
+		if lowerRepl, err = t.newReplicaSet(r.ID, r.NodeID, lower); err != nil {
+			return err
+		}
+		if upperRepl, err = t.newReplicaSet(newRegion.ID, newRegion.NodeID, upper); err != nil {
+			return err
+		}
+		newRegion.repl = upperRepl
+	}
 	r.mu.Lock()
+	if old := r.repl; old != nil {
+		old.dropPending()
+	}
 	r.endKey = splitKey
 	r.store = lower
+	r.repl = lowerRepl
 	r.mu.Unlock()
 	// Insert newRegion right after r.
 	idx := sort.Search(len(t.regions), func(i int) bool {

@@ -1,0 +1,236 @@
+package kvstore
+
+import (
+	"fmt"
+	"sync"
+)
+
+// replicaState is one read-only replica of a region: a full copy of the
+// region's store pinned to a different simulated node.
+type replicaState struct {
+	store  *Store
+	nodeID int
+}
+
+// replicaSet tracks a region's read replicas plus the WAL-shipping state
+// that keeps them consistent with the primary. Every primary mutation is
+// appended to pending (the in-memory WAL tail awaiting shipment) and
+// shipped to every replica once the batch fills — mirroring HBase's async
+// WAL replication, where replicas trail the primary by the unshipped edits.
+//
+// seq counts mutations appended on the primary, shipped counts mutations
+// applied to every replica; seq - shipped is the replication-lag watermark.
+// The replicas slice is immutable after construction; pending/seq/shipped
+// are guarded by mu.
+type replicaSet struct {
+	replicas []*replicaState
+
+	mu      sync.Mutex
+	pending []Cell
+	seq     uint64
+	shipped uint64
+	batch   int
+}
+
+// append records one primary mutation into the shipping log, shipping the
+// batch when it is full.
+func (rs *replicaSet) append(c Cell) error {
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	rs.pending = append(rs.pending, c)
+	rs.seq++
+	mReplicationLag.Add(1)
+	if len(rs.pending) < rs.batch {
+		return nil
+	}
+	return rs.shipLocked()
+}
+
+// shipLocked applies every pending mutation to every replica and advances
+// the shipped watermark. Caller holds rs.mu.
+func (rs *replicaSet) shipLocked() error {
+	n := len(rs.pending)
+	if n == 0 {
+		return nil
+	}
+	for _, rep := range rs.replicas {
+		for i := range rs.pending {
+			if err := rep.store.Apply(rs.pending[i]); err != nil {
+				return fmt.Errorf("kvstore: ship to replica: %w", err)
+			}
+		}
+	}
+	rs.shipped += uint64(n)
+	rs.pending = rs.pending[:0]
+	mReplicationLag.Add(-int64(n))
+	mReplicationShipped.Add(int64(n))
+	return nil
+}
+
+// lag returns the unshipped-mutation count (the replication-lag watermark).
+func (rs *replicaSet) lag() uint64 {
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	return rs.seq - rs.shipped
+}
+
+// dropPending abandons unshipped mutations (used when a split rebuilds the
+// replica set from the post-split stores, which already contain them),
+// keeping the global lag gauge consistent.
+func (rs *replicaSet) dropPending() {
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	if n := len(rs.pending); n > 0 {
+		mReplicationLag.Add(-int64(n))
+		rs.pending = nil
+	}
+}
+
+// replicaSet returns the region's replica set, or nil when replication is
+// not enabled.
+func (r *Region) replicaSet() *replicaSet {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.repl
+}
+
+// Replicas returns the region's read-replica count (0 without replication).
+func (r *Region) Replicas() int {
+	if rs := r.replicaSet(); rs != nil {
+		return len(rs.replicas)
+	}
+	return 0
+}
+
+// ReplicationLag returns the region's unshipped-mutation count: how many
+// primary writes its replicas have not yet observed.
+func (r *Region) ReplicationLag() uint64 {
+	if rs := r.replicaSet(); rs != nil {
+		return rs.lag()
+	}
+	return 0
+}
+
+// ReadView returns a frozen view of the region served by the given replica
+// index: 0 is the primary, 1..Replicas() are the read replicas (the view's
+// NodeID is the node hosting that copy). Out-of-range indexes fall back to
+// the primary. Replica views may lag the primary by up to the unshipped WAL
+// tail — see ReplicationLag.
+func (r *Region) ReadView(replica int) *Region {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if replica > 0 && r.repl != nil && replica <= len(r.repl.replicas) {
+		rep := r.repl.replicas[replica-1]
+		return &Region{
+			ID:       r.ID,
+			StartKey: r.StartKey,
+			NodeID:   rep.nodeID,
+			endKey:   r.endKey,
+			store:    rep.store,
+		}
+	}
+	return &Region{
+		ID:       r.ID,
+		StartKey: r.StartKey,
+		NodeID:   r.NodeID,
+		endKey:   r.endKey,
+		store:    r.store,
+	}
+}
+
+// EnableReplication equips every region with n read-only replicas hosted on
+// the next n nodes after the primary (modulo the cluster size), seeded from
+// a snapshot of the primary's cells. Subsequent mutations are WAL-shipped
+// in batches of shipBatch (values < 1 ship every mutation immediately);
+// CatchUpReplication force-ships the tail. Replicas created by a later
+// SplitRegion inherit the same settings. Call once per table, after which
+// reads may be served by ReadView / ExecCoprocessorHedged.
+func (t *Table) EnableReplication(n, shipBatch int) error {
+	if n < 1 {
+		return fmt.Errorf("kvstore: replication needs at least 1 replica, got %d", n)
+	}
+	if shipBatch < 1 {
+		shipBatch = 1
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.replicas > 0 {
+		return fmt.Errorf("kvstore: replication already enabled on table %q", t.name)
+	}
+	t.replicas, t.shipBatch = n, shipBatch
+	for _, r := range t.regions {
+		rs, err := t.newReplicaSet(r.ID, r.NodeID, r.store)
+		if err != nil {
+			return err
+		}
+		r.mu.Lock()
+		r.repl = rs
+		r.mu.Unlock()
+	}
+	return nil
+}
+
+// newReplicaSet builds a replica set seeded from the given primary store.
+// Caller holds t.mu, so the store cannot be swapped mid-copy. Replica
+// stores never write the table WAL: the primary's log is the durable one,
+// and replicas rebuild from it (here: from the primary's cells) on boot.
+func (t *Table) newReplicaSet(regionID, primaryNode int, primary *Store) (*replicaSet, error) {
+	cells := primary.rawCells()
+	rs := &replicaSet{batch: t.shipBatch}
+	for i := 0; i < t.replicas; i++ {
+		opts := storeOptsForRegion(t.opts, regionID)
+		opts.WAL = NopWAL{}
+		st, err := NewStore(opts)
+		if err != nil {
+			return nil, err
+		}
+		for ci := range cells {
+			if err := st.Apply(cells[ci]); err != nil {
+				return nil, fmt.Errorf("kvstore: seed replica: %w", err)
+			}
+		}
+		rs.replicas = append(rs.replicas, &replicaState{
+			store:  st,
+			nodeID: (primaryNode + 1 + i) % t.nodes,
+		})
+	}
+	return rs, nil
+}
+
+// CatchUpReplication force-ships every region's pending WAL tail so all
+// replicas observe every write issued so far (lag returns to zero). Tests
+// and benchmarks call it after bulk loads to start from a converged state.
+func (t *Table) CatchUpReplication() error {
+	for _, r := range t.Regions() {
+		rs := r.replicaSet()
+		if rs == nil {
+			continue
+		}
+		rs.mu.Lock()
+		err := rs.shipLocked()
+		rs.mu.Unlock()
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ReplicationLag sums the unshipped-mutation counts across all regions —
+// the table-wide replication-lag watermark exported on /metrics.
+func (t *Table) ReplicationLag() uint64 {
+	var total uint64
+	for _, r := range t.Regions() {
+		total += r.ReplicationLag()
+	}
+	return total
+}
+
+// shipMutation forwards one applied primary mutation into the owning
+// region's shipping log. Called with t.mu read-held from Put/Delete.
+func (r *Region) shipMutation(c Cell) error {
+	if rs := r.replicaSet(); rs != nil {
+		return rs.append(c)
+	}
+	return nil
+}

@@ -1,0 +1,194 @@
+package kvstore
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+func newReplTable(t *testing.T, splits []string, nodes int) *Table {
+	t.Helper()
+	tbl, err := NewTable("repl-test", splits, nodes, DefaultStoreOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tbl
+}
+
+func scanRows(t *testing.T, st *Store) []string {
+	t.Helper()
+	var rows []string
+	err := st.Scan(ScanOptions{}, func(res RowResult) bool {
+		for _, c := range res.Cells {
+			rows = append(rows, res.Row+"="+string(c.Value))
+		}
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rows
+}
+
+func TestEnableReplicationSeedsExistingData(t *testing.T) {
+	tbl := newReplTable(t, []string{"m"}, 4)
+	for i := 0; i < 10; i++ {
+		if err := tbl.Put(fmt.Sprintf("k%02d", i), "q", 1, []byte("v")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tbl.EnableReplication(2, 4); err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range tbl.Regions() {
+		if r.Replicas() != 2 {
+			t.Fatalf("region %d has %d replicas, want 2", r.ID, r.Replicas())
+		}
+		primary := scanRows(t, r.ReadView(0).Store())
+		for i := 1; i <= 2; i++ {
+			view := r.ReadView(i)
+			if view.NodeID == r.NodeID {
+				t.Fatalf("region %d replica %d placed on the primary's node %d", r.ID, i, r.NodeID)
+			}
+			got := scanRows(t, view.Store())
+			if strings.Join(got, ",") != strings.Join(primary, ",") {
+				t.Fatalf("region %d replica %d diverges from primary:\n%v\n%v", r.ID, i, got, primary)
+			}
+		}
+	}
+	if err := tbl.EnableReplication(2, 4); err == nil {
+		t.Fatal("double EnableReplication should fail")
+	}
+}
+
+func TestReplicationLagAndCatchUp(t *testing.T) {
+	tbl := newReplTable(t, nil, 3)
+	if err := tbl.EnableReplication(1, 100); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if err := tbl.Put(fmt.Sprintf("k%d", i), "q", 1, []byte("v")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if lag := tbl.ReplicationLag(); lag != 5 {
+		t.Fatalf("lag = %d, want 5 (batch 100 never filled)", lag)
+	}
+	r := tbl.Regions()[0]
+	if rows := scanRows(t, r.ReadView(1).Store()); len(rows) != 0 {
+		t.Fatalf("replica observed unshipped writes: %v", rows)
+	}
+	if err := tbl.CatchUpReplication(); err != nil {
+		t.Fatal(err)
+	}
+	if lag := tbl.ReplicationLag(); lag != 0 {
+		t.Fatalf("lag after catch-up = %d, want 0", lag)
+	}
+	if rows := scanRows(t, r.ReadView(1).Store()); len(rows) != 5 {
+		t.Fatalf("replica has %d rows after catch-up, want 5", len(rows))
+	}
+}
+
+func TestReplicationBatchShipping(t *testing.T) {
+	tbl := newReplTable(t, nil, 2)
+	if err := tbl.EnableReplication(1, 2); err != nil {
+		t.Fatal(err)
+	}
+	mustPut := func(k string) {
+		t.Helper()
+		if err := tbl.Put(k, "q", 1, []byte("v")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mustPut("a")
+	if lag := tbl.ReplicationLag(); lag != 1 {
+		t.Fatalf("lag = %d, want 1", lag)
+	}
+	mustPut("b") // fills the batch of 2: ships both
+	if lag := tbl.ReplicationLag(); lag != 0 {
+		t.Fatalf("lag = %d after batch fill, want 0", lag)
+	}
+	r := tbl.Regions()[0]
+	if rows := scanRows(t, r.ReadView(1).Store()); len(rows) != 2 {
+		t.Fatalf("replica rows = %v, want 2", rows)
+	}
+}
+
+func TestReplicationShipsTombstones(t *testing.T) {
+	tbl := newReplTable(t, nil, 2)
+	if err := tbl.EnableReplication(1, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := tbl.Put("a", "q", 1, []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	if err := tbl.Delete("a", "q", 2); err != nil {
+		t.Fatal(err)
+	}
+	r := tbl.Regions()[0]
+	if rows := scanRows(t, r.ReadView(1).Store()); len(rows) != 0 {
+		t.Fatalf("replica should observe the tombstone, got %v", rows)
+	}
+}
+
+func TestSplitRebuildsReplicas(t *testing.T) {
+	tbl := newReplTable(t, nil, 3)
+	if err := tbl.EnableReplication(2, 100); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if err := tbl.Put(fmt.Sprintf("k%02d", i), "q", 1, []byte("v")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Lag is nonzero (batch never filled); the split must fold the pending
+	// tail into the fresh replica stores without double-applying.
+	if err := tbl.SplitRegion("k05"); err != nil {
+		t.Fatal(err)
+	}
+	if lag := tbl.ReplicationLag(); lag != 0 {
+		t.Fatalf("lag after split = %d, want 0 (fresh replicas start converged)", lag)
+	}
+	total := 0
+	for _, r := range tbl.Regions() {
+		if r.Replicas() != 2 {
+			t.Fatalf("post-split region %d has %d replicas, want 2", r.ID, r.Replicas())
+		}
+		primary := scanRows(t, r.ReadView(0).Store())
+		for i := 1; i <= 2; i++ {
+			got := scanRows(t, r.ReadView(i).Store())
+			if strings.Join(got, ",") != strings.Join(primary, ",") {
+				t.Fatalf("post-split region %d replica %d diverges:\n%v\n%v", r.ID, i, got, primary)
+			}
+		}
+		total += len(primary)
+	}
+	if total != 10 {
+		t.Fatalf("post-split rows = %d, want 10", total)
+	}
+}
+
+func TestReadViewFallsBackToPrimary(t *testing.T) {
+	tbl := newReplTable(t, nil, 2)
+	if err := tbl.Put("a", "q", 1, []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	r := tbl.Regions()[0]
+	// No replication: any index serves the primary.
+	for _, idx := range []int{0, 1, 5} {
+		view := r.ReadView(idx)
+		if view.NodeID != r.NodeID || len(scanRows(t, view.Store())) != 1 {
+			t.Fatalf("ReadView(%d) without replication should serve the primary", idx)
+		}
+	}
+	if err := tbl.EnableReplication(1, 1); err != nil {
+		t.Fatal(err)
+	}
+	// Out-of-range replica index also falls back.
+	if view := r.ReadView(9); view.NodeID != r.NodeID {
+		t.Fatalf("out-of-range ReadView should serve the primary")
+	}
+	if r.ReplicationLag() != 0 {
+		t.Fatalf("fresh replication lag = %d", r.ReplicationLag())
+	}
+}

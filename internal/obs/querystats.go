@@ -15,11 +15,16 @@ import (
 // This is the platform-wide per-query collector (it started life as
 // exec.Stats; internal/exec aliases it for compatibility).
 type QueryStats struct {
-	tasks      atomic.Int64
-	goroutines atomic.Int64
-	rows       atomic.Int64
-	bytes      atomic.Int64
-	wallNanos  atomic.Int64
+	tasks        atomic.Int64
+	goroutines   atomic.Int64
+	rows         atomic.Int64
+	bytes        atomic.Int64
+	wallNanos    atomic.Int64
+	retries      atomic.Int64
+	hedges       atomic.Int64
+	replicaReads atomic.Int64
+	cancels      atomic.Int64
+	hedgeCancels atomic.Int64
 }
 
 // QuerySnapshot is an immutable copy of QueryStats for reporting.
@@ -36,6 +41,22 @@ type QuerySnapshot struct {
 	BytesMerged int64 `json:"bytes_merged"`
 	// WallSeconds is the real elapsed time spent in Gather calls.
 	WallSeconds float64 `json:"wall_seconds"`
+	// Retries counts read attempts relaunched after a failed predecessor.
+	Retries int64 `json:"retries"`
+	// Hedges counts latency hedges fired (a second attempt racing a slow
+	// outstanding one).
+	Hedges int64 `json:"hedges"`
+	// ReplicaReads counts attempts served by a region read replica instead
+	// of the primary.
+	ReplicaReads int64 `json:"replica_reads"`
+	// Cancels counts tasks that observed the query's own cancellation —
+	// exactly once per task, whether the task was skipped before running
+	// or interrupted mid-flight.
+	Cancels int64 `json:"cancels"`
+	// HedgeCancels counts losing hedge attempts cancelled mid-task by
+	// first-success-wins (attempts that completed before noticing the
+	// cancel are not counted anywhere).
+	HedgeCancels int64 `json:"hedge_cancels"`
 }
 
 // AddRows records n scanned rows.
@@ -73,17 +94,59 @@ func (s *QueryStats) AddWall(d time.Duration) {
 	}
 }
 
+// AddRetry records one read attempt relaunched after a failure.
+func (s *QueryStats) AddRetry() {
+	if s != nil {
+		s.retries.Add(1)
+	}
+}
+
+// AddHedge records one latency hedge fired.
+func (s *QueryStats) AddHedge() {
+	if s != nil {
+		s.hedges.Add(1)
+	}
+}
+
+// AddReplicaRead records one attempt served by a read replica.
+func (s *QueryStats) AddReplicaRead() {
+	if s != nil {
+		s.replicaReads.Add(1)
+	}
+}
+
+// AddCancel records one task that observed the query's cancellation. Call
+// it exactly once per cancelled task (see QuerySnapshot.Cancels).
+func (s *QueryStats) AddCancel() {
+	if s != nil {
+		s.cancels.Add(1)
+	}
+}
+
+// AddHedgeCancel records one losing hedge attempt cancelled mid-task by
+// first-success-wins.
+func (s *QueryStats) AddHedgeCancel() {
+	if s != nil {
+		s.hedgeCancels.Add(1)
+	}
+}
+
 // Snapshot returns a copy of the counters. Safe on a nil receiver.
 func (s *QueryStats) Snapshot() QuerySnapshot {
 	if s == nil {
 		return QuerySnapshot{}
 	}
 	return QuerySnapshot{
-		Tasks:       s.tasks.Load(),
-		Goroutines:  s.goroutines.Load(),
-		RowsScanned: s.rows.Load(),
-		BytesMerged: s.bytes.Load(),
-		WallSeconds: float64(s.wallNanos.Load()) / 1e9,
+		Tasks:        s.tasks.Load(),
+		Goroutines:   s.goroutines.Load(),
+		RowsScanned:  s.rows.Load(),
+		BytesMerged:  s.bytes.Load(),
+		WallSeconds:  float64(s.wallNanos.Load()) / 1e9,
+		Retries:      s.retries.Load(),
+		Hedges:       s.hedges.Load(),
+		ReplicaReads: s.replicaReads.Load(),
+		Cancels:      s.cancels.Load(),
+		HedgeCancels: s.hedgeCancels.Load(),
 	}
 }
 

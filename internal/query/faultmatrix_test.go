@@ -1,0 +1,191 @@
+package query
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"modissense/internal/faultinject"
+	"modissense/internal/repos"
+)
+
+// faultOutcome is what one fault-matrix cell expects from the query.
+type faultOutcome int
+
+const (
+	wantOK faultOutcome = iota
+	wantDegraded
+	wantTimeout
+)
+
+// TestFaultMatrix drives the fault-tolerant read path through the fault ×
+// replica-availability grid: every cell must either serve the exact
+// fault-free answer, degrade with precisely the failed region listed, or
+// surface the deadline (the HTTP layer's 504) — never a wrong answer.
+func TestFaultMatrix(t *testing.T) {
+	const stall = 300 * time.Millisecond
+	cases := []struct {
+		name     string
+		replicas int
+		rule     func(target int) faultinject.Rule
+		policy   func(p *ReadPolicy)
+		timeout  time.Duration
+		want     faultOutcome
+		// wantHedge additionally demands that a latency hedge fired.
+		wantHedge bool
+	}{
+		{
+			name:     "crash/primary-with-replica",
+			replicas: 1,
+			rule: func(target int) faultinject.Rule {
+				return faultinject.Rule{Fault: faultinject.Crash, Node: faultinject.Any, Region: target, Replica: 0, Prob: 1}
+			},
+			want: wantOK,
+		},
+		{
+			name:     "crash/no-replica-degrades",
+			replicas: 0,
+			rule: func(target int) faultinject.Rule {
+				return faultinject.Rule{Fault: faultinject.Crash, Node: faultinject.Any, Region: target, Replica: faultinject.Any, Prob: 1}
+			},
+			want: wantDegraded,
+		},
+		{
+			name:     "crash/all-copies-degrades",
+			replicas: 2,
+			rule: func(target int) faultinject.Rule {
+				return faultinject.Rule{Fault: faultinject.Crash, Node: faultinject.Any, Region: target, Replica: faultinject.Any, Prob: 1}
+			},
+			want: wantDegraded,
+		},
+		{
+			name:     "scanerr/primary-with-replica",
+			replicas: 1,
+			rule: func(target int) faultinject.Rule {
+				return faultinject.Rule{Fault: faultinject.ScanError, Node: faultinject.Any, Region: target, Replica: 0, Prob: 1}
+			},
+			want: wantOK,
+		},
+		{
+			name:     "scanerr/no-replica-degrades",
+			replicas: 0,
+			rule: func(target int) faultinject.Rule {
+				return faultinject.Rule{Fault: faultinject.ScanError, Node: faultinject.Any, Region: target, Replica: faultinject.Any, Prob: 1}
+			},
+			want: wantDegraded,
+		},
+		{
+			name:     "stall/primary-hedges-to-replica",
+			replicas: 1,
+			rule: func(target int) faultinject.Rule {
+				return faultinject.Rule{Fault: faultinject.Stall, Node: faultinject.Any, Region: target, Replica: 0, Prob: 1, Duration: stall}
+			},
+			policy: func(p *ReadPolicy) {
+				p.HedgeEnabled = true
+				p.HedgeMax = 5 * time.Millisecond
+				p.HedgeMin = time.Millisecond
+			},
+			want:      wantOK,
+			wantHedge: true,
+		},
+		{
+			name:     "stall/no-replica-times-out",
+			replicas: 0,
+			rule: func(target int) faultinject.Rule {
+				return faultinject.Rule{Fault: faultinject.Stall, Node: faultinject.Any, Region: target, Replica: faultinject.Any, Prob: 1, Duration: stall}
+			},
+			timeout: 100 * time.Millisecond,
+			want:    wantTimeout,
+		},
+		{
+			name:     "slow/no-replica-still-answers",
+			replicas: 0,
+			rule: func(target int) faultinject.Rule {
+				return faultinject.Rule{Fault: faultinject.SlowScan, Node: faultinject.Any, Region: target, Replica: faultinject.Any, Prob: 1, Factor: 4}
+			},
+			want: wantOK,
+		},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			f := newFixture(t, repos.SchemaReplicated, 2, 10)
+			from, to := window()
+			spec := Spec{FriendIDs: friendRange(1, 10), FromMillis: from, ToMillis: to, Limit: 5}
+
+			// Fault-free baseline on the plain path: the oracle every
+			// successful cell must reproduce exactly.
+			baseline, err := f.engine.Run(context.Background(), spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			if tc.replicas > 0 {
+				if err := f.visits.Table().EnableReplication(tc.replicas, 0); err != nil {
+					t.Fatal(err)
+				}
+				if err := f.visits.Table().CatchUpReplication(); err != nil {
+					t.Fatal(err)
+				}
+			}
+			pol := DefaultReadPolicy()
+			pol.MaxAttempts = 3
+			pol.HedgeEnabled = false
+			pol.BaseBackoff = time.Millisecond
+			if tc.policy != nil {
+				tc.policy(&pol)
+			}
+			f.engine.SetReadPolicy(&pol)
+			target := f.visits.Table().Regions()[0].ID
+			f.engine.SetFaultInjector(faultinject.New(faultinject.Schedule{
+				Seed:  42,
+				Rules: []faultinject.Rule{tc.rule(target)},
+			}))
+
+			ctx := context.Background()
+			if tc.timeout > 0 {
+				var cancel context.CancelFunc
+				ctx, cancel = context.WithTimeout(ctx, tc.timeout)
+				defer cancel()
+			}
+			res, err := f.engine.Run(ctx, spec)
+
+			switch tc.want {
+			case wantTimeout:
+				if !errors.Is(err, context.DeadlineExceeded) {
+					t.Fatalf("err = %v, want deadline exceeded", err)
+				}
+				return
+			case wantDegraded:
+				if err != nil {
+					t.Fatalf("degradable query failed outright: %v", err)
+				}
+				if !res.Degraded {
+					t.Error("query not flagged degraded")
+				}
+				if len(res.MissingRegions) != 1 || res.MissingRegions[0] != target {
+					t.Errorf("missing regions = %v, want [%d]", res.MissingRegions, target)
+				}
+			case wantOK:
+				if err != nil {
+					t.Fatalf("query failed: %v", err)
+				}
+				if res.Degraded || len(res.MissingRegions) != 0 {
+					t.Fatalf("healthy-path query degraded: missing %v", res.MissingRegions)
+				}
+				if len(res.POIs) != len(baseline.POIs) {
+					t.Fatalf("got %d POIs, baseline %d", len(res.POIs), len(baseline.POIs))
+				}
+				for i := range res.POIs {
+					if res.POIs[i].POI.ID != baseline.POIs[i].POI.ID || res.POIs[i].Visits != baseline.POIs[i].Visits {
+						t.Fatalf("POI %d = %+v, baseline %+v", i, res.POIs[i], baseline.POIs[i])
+					}
+				}
+				if tc.wantHedge && res.Exec.Hedges == 0 {
+					t.Error("expected a latency hedge to fire")
+				}
+			}
+		})
+	}
+}

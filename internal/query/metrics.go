@@ -18,4 +18,8 @@ var (
 		"Partial aggregates entering one merge.", obs.SizeBuckets())
 	mTopKEvictions = obs.Default().Counter("query_topk_evictions_total",
 		"Aggregates displaced from the bounded top-k merge heap.")
+	mQueriesDegraded = obs.Default().Counter("query_queries_degraded_total",
+		"Personalized queries answered without every region (partial results).")
+	mRegionsMissing = obs.Default().Counter("query_regions_missing_total",
+		"Regions dropped from a degraded answer after exhausting their read attempts.")
 )

@@ -17,10 +17,12 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"sync/atomic"
 	"time"
 
 	"modissense/internal/cluster"
 	"modissense/internal/exec"
+	"modissense/internal/faultinject"
 	"modissense/internal/geo"
 	"modissense/internal/kvstore"
 	"modissense/internal/model"
@@ -110,6 +112,12 @@ type Result struct {
 	Work cluster.CoprocessorWork `json:"-"`
 	// Regions is the number of regions that participated.
 	Regions int `json:"-"`
+	// Degraded reports a partial answer: at least one region exhausted its
+	// read attempts and was dropped under ReadPolicy.AllowDegraded.
+	Degraded bool `json:"degraded"`
+	// MissingRegions lists the ids of the regions dropped from a degraded
+	// answer (empty on a complete one).
+	MissingRegions []int `json:"missing_regions,omitempty"`
 }
 
 // Engine wires the stores and the simulated cluster.
@@ -117,6 +125,15 @@ type Engine struct {
 	visits *repos.VisitsRepo
 	pois   *repos.POIRepo
 	clus   *cluster.Cluster
+	// readPolicy, when set, routes the personalized scatter through the
+	// hedged/retried read path; nil keeps the plain fail-fast path.
+	readPolicy atomic.Pointer[ReadPolicy]
+	// injector intercepts read attempts with deterministic faults (tests
+	// and the -faults benchmark).
+	injector atomic.Pointer[faultinject.Injector]
+	// hedgeTracker feeds the observed attempt-latency distribution into the
+	// adaptive hedge threshold, shared across queries.
+	hedgeTracker *exec.LatencyTracker
 }
 
 // NewEngine builds the query engine.
@@ -124,7 +141,7 @@ func NewEngine(visits *repos.VisitsRepo, pois *repos.POIRepo, clus *cluster.Clus
 	if visits == nil || pois == nil || clus == nil {
 		return nil, fmt.Errorf("query: engine dependencies must be non-nil")
 	}
-	return &Engine{visits: visits, pois: pois, clus: clus}, nil
+	return &Engine{visits: visits, pois: pois, clus: clus, hedgeTracker: exec.NewLatencyTracker(0)}, nil
 }
 
 // poiAgg is one POI's partial aggregate inside a region.
@@ -156,6 +173,10 @@ type queryPlan struct {
 	spec    *Spec
 	outputs []*regionOutput
 	regions []*kvstore.Region
+	// nodes[i] is the simulated node that served outputs[i] — the primary's
+	// node, or a replica's when a hedge won — so the timing simulation
+	// charges the node that actually did the work.
+	nodes []int
 }
 
 // visitsCoprocessor executes one query against one region, HBase-style:
@@ -416,19 +437,42 @@ func (e *Engine) RunConcurrent(ctx context.Context, specs []Spec) ([]*Result, er
 		stats := &obs.QueryStats{}
 		qctx := obs.WithQueryStats(ctx, stats)
 		mQueriesPersonalized.Inc()
+		pol := e.readPolicy.Load()
 		scatterSpan := obs.SpanFromContext(ctx).Child("scatter")
-		regionResults, err := e.visits.Table().ExecCoprocessorCtx(obs.ContextWithSpan(qctx, scatterSpan), cp)
+		sctx := obs.ContextWithSpan(qctx, scatterSpan)
+		var regionResults []kvstore.RegionResult
+		var err error
+		if pol == nil {
+			regionResults, err = e.visits.Table().ExecCoprocessorCtx(sctx, cp)
+		} else {
+			regionResults, err = e.visits.Table().ExecCoprocessorHedged(sctx, cp, e.readOptions(pol))
+		}
 		scatterSpan.End()
 		if err != nil {
 			return nil, err
 		}
 		plan := &queryPlan{spec: &spec}
+		var missing []int
 		for _, rr := range regionResults {
 			if rr.Err != nil {
+				// The caller's own cancellation is always fatal: a timed-out
+				// query must surface the deadline, not a degraded answer.
+				if cerr := ctx.Err(); cerr != nil {
+					return nil, cerr
+				}
+				if pol != nil && pol.AllowDegraded {
+					missing = append(missing, rr.Region.ID)
+					mRegionsMissing.Inc()
+					continue
+				}
 				return nil, rr.Err
 			}
 			plan.outputs = append(plan.outputs, rr.Value.(*regionOutput))
 			plan.regions = append(plan.regions, rr.Region)
+			plan.nodes = append(plan.nodes, rr.ServedNode)
+		}
+		if len(missing) > 0 {
+			mQueriesDegraded.Inc()
 		}
 		plans[qi] = plan
 
@@ -441,7 +485,10 @@ func (e *Engine) RunConcurrent(ctx context.Context, specs []Spec) ([]*Result, er
 		mergeSpan.SetAttrInt("candidates", int64(totalWork.CandidatePOIs))
 		mergeSpan.SetAttrInt("results", int64(len(merged)))
 		mergeSpan.End()
-		results[qi] = &Result{POIs: merged, Work: totalWork, Regions: len(plan.regions), Exec: stats.Snapshot()}
+		results[qi] = &Result{
+			POIs: merged, Work: totalWork, Regions: len(plan.regions), Exec: stats.Snapshot(),
+			Degraded: len(missing) > 0, MissingRegions: missing,
+		}
 	}
 
 	// Phase 2: schedule all queries as simultaneous arrivals at the current
@@ -464,10 +511,21 @@ func (e *Engine) RunConcurrent(ctx context.Context, specs []Spec) ([]*Result, er
 		// region; each region's coprocessor runs on its node's cores; when
 		// the last region returns, the web server merges and responds.
 		_, err := web.Submit(base, cost.WebParse, func(parseDone float64) {
+			if len(plan.outputs) == 0 {
+				// Fully-degraded answer: every region was dropped, so the web
+				// server replies with the empty merge straight after parsing.
+				_, err := web.Submit(parseDone, cost.MergeServiceTime(0, 0), func(done float64) {
+					results[qi].LatencySeconds = done - base
+				})
+				if err != nil {
+					fail(fmt.Errorf("query %d: schedule empty merge: %w", qi, err))
+				}
+				return
+			}
 			remaining := len(plan.outputs)
 			var lastRegion float64
 			for ri, out := range plan.outputs {
-				node := e.clus.Node(plan.regions[ri].NodeID)
+				node := e.clus.Node(plan.nodes[ri])
 				service := cost.CoprocessorServiceTime(out.work)
 				_, err := node.Submit(parseDone+cost.RPC, service, func(at float64) {
 					if at > lastRegion {

@@ -1,0 +1,109 @@
+package query
+
+import (
+	"time"
+
+	"modissense/internal/exec"
+	"modissense/internal/faultinject"
+	"modissense/internal/kvstore"
+)
+
+// ReadPolicy configures the fault-tolerant scatter path of the personalized
+// query: the per-region attempt budget with backoff, the latency-hedging
+// thresholds, and whether a query may be answered without every region.
+// A nil policy on the engine keeps the plain fail-fast scatter path.
+type ReadPolicy struct {
+	// MaxAttempts is each region's total attempt budget per query, hedges
+	// included (< 1 means a single attempt: no retries, no hedging).
+	MaxAttempts int
+	// BaseBackoff is the delay before a region's first retry; each further
+	// retry doubles it.
+	BaseBackoff time.Duration
+	// MaxBackoff caps the exponential growth (0 = uncapped).
+	MaxBackoff time.Duration
+	// JitterSeed drives the deterministic backoff jitter (see
+	// exec.RetryPolicy.JitterSeed).
+	JitterSeed int64
+	// HedgeEnabled races a slow outstanding attempt with a replica read once
+	// it exceeds the observed latency percentile below.
+	HedgeEnabled bool
+	// HedgeQuantile is the attempt-latency percentile after which the hedge
+	// fires (0 defaults to 0.95).
+	HedgeQuantile float64
+	// HedgeMin/HedgeMax clamp the hedge threshold; HedgeMax also bounds the
+	// wait before any latency has been observed.
+	HedgeMin time.Duration
+	HedgeMax time.Duration
+	// AllowDegraded answers with partial results when a region exhausts its
+	// attempt budget — the query reports Degraded plus the missing region
+	// ids instead of failing. Off, an exhausted region fails the query.
+	AllowDegraded bool
+}
+
+// DefaultReadPolicy is the recommended fault-tolerant configuration: three
+// attempts with a 2ms..50ms jittered backoff, p95 hedging clamped to
+// [1ms, 100ms], and graceful degradation on.
+func DefaultReadPolicy() ReadPolicy {
+	return ReadPolicy{
+		MaxAttempts:   3,
+		BaseBackoff:   2 * time.Millisecond,
+		MaxBackoff:    50 * time.Millisecond,
+		HedgeEnabled:  true,
+		HedgeQuantile: 0.95,
+		HedgeMin:      time.Millisecond,
+		HedgeMax:      100 * time.Millisecond,
+		AllowDegraded: true,
+	}
+}
+
+// SetReadPolicy installs (or, with nil, removes) the engine's fault-tolerant
+// read policy. Queries in flight keep the policy they started with; the
+// plain fail-fast scatter path serves while no policy is set.
+func (e *Engine) SetReadPolicy(p *ReadPolicy) {
+	if p == nil {
+		e.readPolicy.Store(nil)
+		return
+	}
+	cp := *p
+	e.readPolicy.Store(&cp)
+}
+
+// CurrentReadPolicy returns a copy of the installed read policy, or nil when
+// the engine runs the plain scatter path.
+func (e *Engine) CurrentReadPolicy() *ReadPolicy {
+	p := e.readPolicy.Load()
+	if p == nil {
+		return nil
+	}
+	cp := *p
+	return &cp
+}
+
+// SetFaultInjector installs (or, with nil, removes) the deterministic fault
+// injector intercepting every read attempt. It only takes effect on reads
+// executed under a ReadPolicy — the plain scatter path has no interception
+// point. Tests and the -faults benchmark drive this.
+func (e *Engine) SetFaultInjector(inj *faultinject.Injector) {
+	e.injector.Store(inj)
+}
+
+// readOptions assembles the kvstore fan-out options from the policy, the
+// engine-wide latency tracker and the installed injector.
+func (e *Engine) readOptions(p *ReadPolicy) kvstore.ReadOptions {
+	return kvstore.ReadOptions{
+		Retry: exec.RetryPolicy{
+			MaxAttempts: p.MaxAttempts,
+			BaseBackoff: p.BaseBackoff,
+			MaxBackoff:  p.MaxBackoff,
+			JitterSeed:  p.JitterSeed,
+		},
+		Hedge: exec.HedgePolicy{
+			Enabled:  p.HedgeEnabled,
+			Quantile: p.HedgeQuantile,
+			Min:      p.HedgeMin,
+			Max:      p.HedgeMax,
+			Tracker:  e.hedgeTracker,
+		},
+		Injector: e.injector.Load(),
+	}
+}
