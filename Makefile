@@ -1,12 +1,13 @@
 GO ?= go
 
-.PHONY: check fmt vet lint-metrics lint-docs build test test-race bench bench-smoke
+.PHONY: check fmt vet lint-metrics lint-docs build test test-race bench bench-smoke fuzz-smoke
 
 ## check runs the tier-1 verification gate: formatting, vet, the metric-
 ## cardinality lint, the exported-godoc lint, build, the full test suite
-## under the race detector, and a smoke pass over the read-path
-## microbenchmarks. CI and pre-merge runs use this.
-check: fmt vet lint-metrics lint-docs build test-race bench-smoke
+## under the race detector, a short fuzz pass over the WAL replay contract,
+## and a smoke pass over the read-path microbenchmarks. CI and pre-merge
+## runs use this.
+check: fmt vet lint-metrics lint-docs build test-race fuzz-smoke bench-smoke
 
 ## lint-metrics fails when any obs.L / obs.Label value is not a
 ## compile-time constant — the static half of the bounded-cardinality
@@ -15,9 +16,9 @@ lint-metrics:
 	$(GO) run ./cmd/obs-lint ./...
 
 ## lint-docs fails when an exported identifier in the core engine packages
-## (exec, query, obs, faultinject) lacks a doc comment.
+## (exec, query, obs, faultinject, admit) lacks a doc comment.
 lint-docs:
-	$(GO) run ./cmd/doc-lint ./internal/exec ./internal/query ./internal/obs ./internal/faultinject
+	$(GO) run ./cmd/doc-lint ./internal/exec ./internal/query ./internal/obs ./internal/faultinject ./internal/admit
 
 fmt:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
@@ -36,17 +37,26 @@ test:
 test-race:
 	$(GO) test -race ./...
 
+## fuzz-smoke runs the WAL-replay fuzzer for a short, bounded burst: long
+## enough to shake out regressions in the torn-tail / mid-log corruption
+## contract, short enough for every pre-merge run.
+fuzz-smoke:
+	$(GO) test ./internal/kvstore -run FuzzReplayWAL -fuzz FuzzReplayWAL -fuzztime=10s
+
 bench:
 	$(GO) run ./cmd/modissense-bench -exp all -quick
 
 ## bench-smoke runs the scan-kernel and coprocessor read-path
 ## microbenchmarks a fixed small number of iterations — it verifies the
 ## benchmarks still build and run, not their timings — then scrapes
-## GET /metrics after live API traffic into BENCH_metrics.json, and runs
-## the seeded fault-injection workload into BENCH_faults.json so each run
-## records the fault-tolerance gates alongside the latency figures.
+## GET /metrics after live API traffic into BENCH_metrics.json, runs the
+## seeded fault-injection workload into BENCH_faults.json, and runs the
+## overload-protection stall-storm workload into BENCH_overload.json so
+## each run records the fault-tolerance and shedding gates alongside the
+## latency figures.
 bench-smoke:
 	$(GO) test ./internal/kvstore -run XXX -bench 'BenchmarkScanPath' -benchmem -benchtime=100x
 	$(GO) test ./internal/query -run XXX -bench 'BenchmarkCoprocessor200' -benchmem -benchtime=100x
 	$(GO) run ./cmd/modissense-bench -exp metrics -quick
 	$(GO) run ./cmd/modissense-bench -exp faults -quick
+	$(GO) run ./cmd/modissense-bench -exp overload -quick

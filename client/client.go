@@ -8,8 +8,10 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
 	"net/url"
 	"strconv"
@@ -32,6 +34,47 @@ type Client struct {
 	mu sync.Mutex
 	// lastRequestID is the X-Request-ID of the most recent response.
 	lastRequestID string
+
+	// retry holds the overload-retry state: the per-call policy plus the
+	// client-wide token budget that stops a storm of 429/503 answers from
+	// being amplified by every caller retrying at once.
+	retry struct {
+		mu     sync.Mutex
+		policy RetryPolicy
+		tokens float64
+		rng    *rand.Rand
+	}
+}
+
+// RetryPolicy tunes the client's automatic retry of overload answers
+// (HTTP 429/503 with the "overloaded" envelope). See SetRetryPolicy.
+type RetryPolicy struct {
+	// MaxRetries is the per-call retry cap (0 disables retrying).
+	MaxRetries int
+	// MaxWait clamps how long a server Retry-After hint is honored; with no
+	// hint the client waits ~25ms. The actual wait is jittered downward to
+	// desynchronize competing clients.
+	MaxWait time.Duration
+	// Budget is the client-wide retry-token cap: each retry spends one
+	// token, each successful request earns half a token back (gRPC-style
+	// retry throttling). When the budget is drained the overload error is
+	// returned immediately.
+	Budget float64
+}
+
+// DefaultRetryPolicy is the policy installed by New: up to two retries per
+// call, Retry-After honored up to 2s, and a 10-token client-wide budget.
+func DefaultRetryPolicy() RetryPolicy {
+	return RetryPolicy{MaxRetries: 2, MaxWait: 2 * time.Second, Budget: 10}
+}
+
+// SetRetryPolicy replaces the overload-retry policy (and refills the budget
+// to the new cap). A zero policy disables retrying entirely.
+func (c *Client) SetRetryPolicy(p RetryPolicy) {
+	c.retry.mu.Lock()
+	defer c.retry.mu.Unlock()
+	c.retry.policy = p
+	c.retry.tokens = p.Budget
 }
 
 // New creates a client for the server at baseURL (e.g.
@@ -48,7 +91,11 @@ func New(baseURL string, httpClient *http.Client) (*Client, error) {
 	if httpClient == nil {
 		httpClient = &http.Client{Timeout: 30 * time.Second}
 	}
-	return &Client{baseURL: u.String(), http: httpClient}, nil
+	c := &Client{baseURL: u.String(), http: httpClient}
+	c.retry.policy = DefaultRetryPolicy()
+	c.retry.tokens = c.retry.policy.Budget
+	c.retry.rng = rand.New(rand.NewSource(time.Now().UnixNano()))
+	return c, nil
 }
 
 // Token returns the current access token.
@@ -81,13 +128,30 @@ type APIError struct {
 	// Status is the HTTP status code.
 	Status int
 	// Code is the machine-readable failure class ("bad_request",
-	// "unauthorized", "not_found", "internal", "timeout", "canceled").
+	// "unauthorized", "not_found", "internal", "timeout", "canceled",
+	// "overloaded").
 	Code string
 	// Message is the human-readable description.
 	Message string
 	// RequestID identifies the failing request; its trace may be
 	// retrievable via QueryTrace.
 	RequestID string
+	// RetryAfter is the server's parsed Retry-After hint on overload
+	// answers (0 when absent).
+	RetryAfter time.Duration
+}
+
+// CodeOverloaded is the envelope code of a 429/503 overload rejection:
+// admission said no, the exec queue shed the query, the retry budget
+// drained, or every replica sat behind an open breaker.
+const CodeOverloaded = "overloaded"
+
+// IsOverloaded reports whether err is an overload rejection the caller may
+// retry after backing off (the client has already retried per its policy).
+func IsOverloaded(err error) bool {
+	var apiErr *APIError
+	return errors.As(err, &apiErr) &&
+		(apiErr.Status == http.StatusTooManyRequests || apiErr.Status == http.StatusServiceUnavailable)
 }
 
 // Error implements the error interface.
@@ -113,23 +177,83 @@ func (c *Client) do(method, path string, body, out interface{}) error {
 }
 
 // doCtx is do bound to a caller context: cancelling ctx aborts the request
-// (and, server-side, the query it carries).
+// (and, server-side, the query it carries). Overload answers (429/503) are
+// retried per the client's RetryPolicy, honoring the server's Retry-After
+// hint with downward jitter; every other failure returns immediately.
 func (c *Client) doCtx(ctx context.Context, method, path string, body, out interface{}) error {
-	var reqBody *bytes.Reader
+	var raw []byte
 	if body != nil {
-		raw, err := json.Marshal(body)
-		if err != nil {
+		var err error
+		if raw, err = json.Marshal(body); err != nil {
 			return fmt.Errorf("client: marshal request: %w", err)
 		}
-		reqBody = bytes.NewReader(raw)
-	} else {
-		reqBody = bytes.NewReader(nil)
 	}
+	for attempt := 0; ; attempt++ {
+		err := c.doOnce(ctx, method, path, raw, body != nil, out)
+		if err == nil {
+			c.earnRetryToken()
+			return err
+		}
+		var apiErr *APIError
+		if !errors.As(err, &apiErr) || !IsOverloaded(err) {
+			return err
+		}
+		wait, ok := c.nextRetryWait(attempt, apiErr.RetryAfter)
+		if !ok {
+			return err
+		}
+		t := time.NewTimer(wait)
+		select {
+		case <-t.C:
+		case <-ctx.Done():
+			t.Stop()
+			return err
+		}
+	}
+}
+
+// nextRetryWait decides whether one more retry may run (per-call cap and
+// client-wide budget) and how long to sleep first.
+func (c *Client) nextRetryWait(attempt int, hint time.Duration) (time.Duration, bool) {
+	c.retry.mu.Lock()
+	defer c.retry.mu.Unlock()
+	p := c.retry.policy
+	if attempt >= p.MaxRetries || c.retry.tokens < 1 {
+		return 0, false
+	}
+	c.retry.tokens--
+	wait := 25 * time.Millisecond
+	if hint > 0 {
+		wait = hint
+	}
+	if p.MaxWait > 0 && wait > p.MaxWait {
+		wait = p.MaxWait
+	}
+	// Jitter downward into [wait/2, wait): competing clients retrying the
+	// same overload hint should not stampede back in lockstep.
+	if c.retry.rng != nil {
+		wait = wait/2 + time.Duration(c.retry.rng.Int63n(int64(wait/2)+1))
+	}
+	return wait, true
+}
+
+// earnRetryToken refills half a retry token on success, up to the budget.
+func (c *Client) earnRetryToken() {
+	c.retry.mu.Lock()
+	defer c.retry.mu.Unlock()
+	if c.retry.tokens += 0.5; c.retry.tokens > c.retry.policy.Budget {
+		c.retry.tokens = c.retry.policy.Budget
+	}
+}
+
+// doOnce runs a single HTTP attempt.
+func (c *Client) doOnce(ctx context.Context, method, path string, raw []byte, hasBody bool, out interface{}) error {
+	reqBody := bytes.NewReader(raw)
 	req, err := http.NewRequestWithContext(ctx, method, c.baseURL+path, reqBody)
 	if err != nil {
 		return fmt.Errorf("client: build request: %w", err)
 	}
-	if body != nil {
+	if hasBody {
 		req.Header.Set("Content-Type", "application/json")
 	}
 	resp, err := c.http.Do(req)
@@ -141,6 +265,9 @@ func (c *Client) doCtx(ctx context.Context, method, path string, body, out inter
 	c.setLastRequestID(reqID)
 	if resp.StatusCode/100 != 2 {
 		apiErr := &APIError{Status: resp.StatusCode, RequestID: reqID}
+		if secs, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && secs > 0 {
+			apiErr.RetryAfter = time.Duration(secs) * time.Second
+		}
 		var e apiEnvelope
 		if json.NewDecoder(resp.Body).Decode(&e) == nil && e.Error.Message != "" {
 			apiErr.Code = e.Error.Code

@@ -1,0 +1,133 @@
+package client
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// overloadServer answers 429 (with Retry-After and the overloaded envelope)
+// for the first `fails` requests, then 200.
+func overloadServer(t *testing.T, fails int64, status int) (*httptest.Server, *atomic.Int64) {
+	t.Helper()
+	var hits atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		n := hits.Add(1)
+		if n <= fails {
+			w.Header().Set("Retry-After", "1")
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(status)
+			_ = json.NewEncoder(w).Encode(map[string]map[string]string{
+				"error": {"code": "overloaded", "message": "server overloaded", "requestId": "r1"},
+			})
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(map[string]interface{}{"pois": []interface{}{}})
+	}))
+	t.Cleanup(srv.Close)
+	return srv, &hits
+}
+
+func TestClientRetriesOverload(t *testing.T) {
+	srv, hits := overloadServer(t, 2, http.StatusTooManyRequests)
+	c, err := New(srv.URL, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Short MaxWait keeps the test fast while still exercising the
+	// Retry-After parse + clamp path (hint is 1s, clamped to 10ms).
+	c.SetRetryPolicy(RetryPolicy{MaxRetries: 2, MaxWait: 10 * time.Millisecond, Budget: 10})
+
+	start := time.Now()
+	if _, err := c.Search(SearchParams{Limit: 1}); err != nil {
+		t.Fatalf("search after retries failed: %v", err)
+	}
+	if got := hits.Load(); got != 3 {
+		t.Fatalf("server saw %d requests, want 3 (1 primary + 2 retries)", got)
+	}
+	// Two jittered waits in [5ms, 10ms): well under the raw 2×1s hint.
+	if el := time.Since(start); el > time.Second {
+		t.Fatalf("retries slept %v; Retry-After clamp not applied", el)
+	}
+}
+
+func TestClientOverloadErrorTyped(t *testing.T) {
+	srv, hits := overloadServer(t, 1<<30, http.StatusServiceUnavailable)
+	c, err := New(srv.URL, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.SetRetryPolicy(RetryPolicy{MaxRetries: 1, MaxWait: 5 * time.Millisecond, Budget: 10})
+
+	_, err = c.Search(SearchParams{Limit: 1})
+	if err == nil {
+		t.Fatal("expected overload error")
+	}
+	var apiErr *APIError
+	if !errors.As(err, &apiErr) {
+		t.Fatalf("error %v is not an *APIError", err)
+	}
+	if apiErr.Status != http.StatusServiceUnavailable || apiErr.Code != CodeOverloaded {
+		t.Errorf("apiErr = %+v", apiErr)
+	}
+	if apiErr.RetryAfter != time.Second {
+		t.Errorf("RetryAfter = %v, want 1s", apiErr.RetryAfter)
+	}
+	if !IsOverloaded(err) {
+		t.Error("IsOverloaded must report true")
+	}
+	if got := hits.Load(); got != 2 {
+		t.Fatalf("server saw %d requests, want 2 (retry cap respected)", got)
+	}
+}
+
+func TestClientRetryBudgetDrains(t *testing.T) {
+	srv, hits := overloadServer(t, 1<<30, http.StatusServiceUnavailable)
+	c, err := New(srv.URL, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two tokens total: the first call retries twice, the second call finds
+	// the budget empty and fails without retrying.
+	c.SetRetryPolicy(RetryPolicy{MaxRetries: 2, MaxWait: 5 * time.Millisecond, Budget: 2})
+
+	if _, err := c.Search(SearchParams{Limit: 1}); !IsOverloaded(err) {
+		t.Fatalf("first call err = %v", err)
+	}
+	if got := hits.Load(); got != 3 {
+		t.Fatalf("first call: server saw %d requests, want 3", got)
+	}
+	if _, err := c.Search(SearchParams{Limit: 1}); !IsOverloaded(err) {
+		t.Fatalf("second call err = %v", err)
+	}
+	if got := hits.Load(); got != 4 {
+		t.Fatalf("budget drained: server saw %d requests, want 4 (no retries left)", got)
+	}
+}
+
+func TestClientNonOverloadErrorsNotRetried(t *testing.T) {
+	var hits atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+		w.WriteHeader(http.StatusBadRequest)
+		_ = json.NewEncoder(w).Encode(map[string]map[string]string{
+			"error": {"code": "bad_request", "message": "nope"},
+		})
+	}))
+	defer srv.Close()
+	c, err := New(srv.URL, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Search(SearchParams{Limit: 1}); err == nil || IsOverloaded(err) {
+		t.Fatalf("err = %v, want non-overload failure", err)
+	}
+	if got := hits.Load(); got != 1 {
+		t.Fatalf("server saw %d requests, want 1 (400s are not retried)", got)
+	}
+}

@@ -37,6 +37,13 @@ func main() {
 	readBackoff := flag.Duration("read-backoff", 0, "base retry backoff of the fault-tolerant read path (0 = 2ms default)")
 	readHedgeAfter := flag.Duration("read-hedge-after", 0, "enable latency hedging, capped at this threshold (0 = no hedging)")
 	allowDegraded := flag.Bool("allow-degraded", false, "answer partial results when a region exhausts its read attempts")
+	admitQPS := flag.Float64("admit-qps", 0, "interactive admission rate in requests/s; batch routes get half (0 = no rate limiting)")
+	admitBurst := flag.Int("admit-burst", 0, "interactive admission token-bucket depth (0 = derived from -admit-qps)")
+	execQueueCap := flag.Int("exec-queue-cap", 0, "bound on the exec pool's waiter queue; enables deadline-aware admission (0 = unbounded)")
+	retryBudget := flag.Float64("retry-budget", 0, "retries+hedges allowed per primary read attempt, e.g. 0.1 (0 = unthrottled)")
+	breakerFailures := flag.Int("breaker-failures", 0, "consecutive node failures that trip a circuit breaker (0 = breakers off)")
+	breakerOpenFor := flag.Duration("breaker-open-for", 0, "base breaker open interval before the first half-open probe (0 = 500ms default)")
+	breakerSlowAfter := flag.Duration("breaker-slow-after", 0, "charge read attempts still running after this duration as failures (0 = off)")
 	flag.Parse()
 
 	exec.SetDefaultWorkers(*scatterWorkers)
@@ -53,6 +60,13 @@ func main() {
 	cfg.ReadBackoff = *readBackoff
 	cfg.ReadHedgeAfter = *readHedgeAfter
 	cfg.AllowDegraded = *allowDegraded
+	cfg.AdmitQPS = *admitQPS
+	cfg.AdmitBurst = *admitBurst
+	cfg.ExecQueueCap = *execQueueCap
+	cfg.RetryBudgetRatio = *retryBudget
+	cfg.BreakerFailures = *breakerFailures
+	cfg.BreakerOpenFor = *breakerOpenFor
+	cfg.BreakerSlowAfter = *breakerSlowAfter
 	if *normalized {
 		cfg.VisitSchema = repos.SchemaNormalized
 	}

@@ -1,0 +1,216 @@
+// Package admit is the platform's overload-protection layer: token-bucket
+// admission per priority class, deadline-aware rejection driven by the exec
+// pool's live queue depth and observed task run times, and per-node circuit
+// breakers with deterministic seeded probe scheduling.
+//
+// The layering composes with (rather than fights) the fault-tolerant read
+// path of internal/exec: admission says "no" at the HTTP edge before any
+// work is queued, the bounded exec queue sheds the newest lowest-priority
+// work when admission was too optimistic, breakers steer hedged scatter
+// attempts away from nodes that keep failing or stalling, and the global
+// retry budget (exec.RetryBudget) stops retries from amplifying an
+// overload into a metastable failure.
+package admit
+
+import (
+	"sync"
+	"time"
+
+	"modissense/internal/exec"
+)
+
+// Rejection reasons reported in Decision.Reason and on the
+// admit_rejected_total metric.
+const (
+	// ReasonRate marks a token-bucket rejection (the class is over its
+	// configured request rate); the API maps it to 429.
+	ReasonRate = "rate"
+	// ReasonDeadline marks a deadline-aware rejection (the predicted queue
+	// wait exceeds the request's remaining deadline); the API maps it
+	// to 503.
+	ReasonDeadline = "deadline"
+)
+
+// Class partitions admission by traffic type. Interactive traffic (search)
+// gets its own token bucket and is shed last; batch traffic (trending,
+// events, pipelines) is the first to go under pressure.
+type Class int
+
+const (
+	// Interactive is latency-sensitive user-facing traffic.
+	Interactive Class = iota
+	// Batch is throughput-oriented analytical traffic.
+	Batch
+)
+
+// String names the class; the values double as metric label values.
+func (c Class) String() string {
+	if c == Batch {
+		return "batch"
+	}
+	return "interactive"
+}
+
+// Priority maps the admission class onto the exec pool's shedding priority.
+func (c Class) Priority() exec.Priority {
+	if c == Batch {
+		return exec.PriorityBatch
+	}
+	return exec.PriorityInteractive
+}
+
+// Decision is the outcome of one admission check.
+type Decision struct {
+	// OK reports whether the request may proceed.
+	OK bool
+	// Reason is ReasonRate or ReasonDeadline when OK is false.
+	Reason string
+	// RetryAfter hints how long the client should back off before
+	// retrying; the API rounds it up into a Retry-After header.
+	RetryAfter time.Duration
+}
+
+// Config parameterizes a Controller. QPS values <= 0 disable the class's
+// token bucket; a nil QueueLen or RunTime disables deadline-aware
+// admission.
+type Config struct {
+	// InteractiveQPS/InteractiveBurst shape the interactive bucket.
+	InteractiveQPS   float64
+	InteractiveBurst int
+	// BatchQPS/BatchBurst shape the batch bucket.
+	BatchQPS   float64
+	BatchBurst int
+	// QueueLen reports the exec pool's live queue depth.
+	QueueLen func() int
+	// Workers is the exec pool's concurrency bound.
+	Workers int
+	// RunTime observes completed task run times; its p95 scales the
+	// predicted queue wait.
+	RunTime *exec.LatencyTracker
+	// MinSamples gates the deadline predictor until the run-time tracker
+	// has warmed up (< 1 defaults to 16).
+	MinSamples int
+	// Now is the clock; nil uses time.Now. Tests inject a fake.
+	Now func() time.Time
+}
+
+// Controller applies rate and deadline admission. A nil controller admits
+// everything, so callers can thread it unconditionally.
+type Controller struct {
+	cfg         Config
+	interactive *bucket
+	batch       *bucket
+}
+
+// NewController builds a controller from the config.
+func NewController(cfg Config) *Controller {
+	if cfg.MinSamples < 1 {
+		cfg.MinSamples = 16
+	}
+	return &Controller{
+		cfg:         cfg,
+		interactive: newBucket(cfg.InteractiveQPS, cfg.InteractiveBurst),
+		batch:       newBucket(cfg.BatchQPS, cfg.BatchBurst),
+	}
+}
+
+// now reads the configured clock.
+func (c *Controller) now() time.Time {
+	if c.cfg.Now != nil {
+		return c.cfg.Now()
+	}
+	return time.Now()
+}
+
+// Admit decides whether a request of the given class may start.
+// remaining is the request's remaining deadline budget (<= 0 means
+// unbounded, which skips the deadline check). The rate check runs first:
+// a rate-rejected request spends no prediction work at all.
+func (c *Controller) Admit(class Class, remaining time.Duration) Decision {
+	if c == nil {
+		return Decision{OK: true}
+	}
+	b := c.interactive
+	if class == Batch {
+		b = c.batch
+	}
+	if b != nil {
+		if ok, wait := b.take(c.now()); !ok {
+			countRejected(class, ReasonRate)
+			return Decision{Reason: ReasonRate, RetryAfter: wait}
+		}
+	}
+	if remaining > 0 {
+		if wait, ok := c.PredictedWait(); ok {
+			mWaitPredicted.ObserveDuration(wait)
+			if wait > remaining {
+				countRejected(class, ReasonDeadline)
+				return Decision{Reason: ReasonDeadline, RetryAfter: wait - remaining}
+			}
+		}
+	}
+	countAllowed(class)
+	return Decision{OK: true}
+}
+
+// PredictedWait estimates how long a newly queued task would wait for a
+// worker slot: ceil(queueLen/workers) waves of the observed p95 task run
+// time. The second return is false while the predictor lacks inputs or
+// warmup samples; an empty queue predicts zero wait.
+func (c *Controller) PredictedWait() (time.Duration, bool) {
+	if c == nil || c.cfg.QueueLen == nil || c.cfg.RunTime == nil || c.cfg.Workers < 1 {
+		return 0, false
+	}
+	if c.cfg.RunTime.Len() < c.cfg.MinSamples {
+		return 0, false
+	}
+	q := c.cfg.QueueLen()
+	if q <= 0 {
+		return 0, true
+	}
+	waves := (q + c.cfg.Workers - 1) / c.cfg.Workers
+	return time.Duration(waves) * c.cfg.RunTime.Quantile(0.95), true
+}
+
+// bucket is a token bucket refilled continuously at rate tokens/second up
+// to burst. A nil bucket (rate disabled) admits everything.
+type bucket struct {
+	mu     sync.Mutex
+	rate   float64
+	burst  float64
+	tokens float64
+	last   time.Time
+}
+
+// newBucket returns nil when qps <= 0 (bucket disabled); burst < 1 is
+// clamped to 1.
+func newBucket(qps float64, burst int) *bucket {
+	if qps <= 0 {
+		return nil
+	}
+	if burst < 1 {
+		burst = 1
+	}
+	return &bucket{rate: qps, burst: float64(burst), tokens: float64(burst)}
+}
+
+// take withdraws one token, reporting how long until one would be
+// available when denied.
+func (b *bucket) take(now time.Time) (bool, time.Duration) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if !b.last.IsZero() {
+		if el := now.Sub(b.last).Seconds(); el > 0 {
+			b.tokens += el * b.rate
+			if b.tokens > b.burst {
+				b.tokens = b.burst
+			}
+		}
+	}
+	b.last = now
+	if b.tokens >= 1 {
+		b.tokens--
+		return true, 0
+	}
+	return false, time.Duration((1 - b.tokens) / b.rate * float64(time.Second))
+}

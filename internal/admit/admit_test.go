@@ -1,0 +1,118 @@
+package admit
+
+import (
+	"testing"
+	"time"
+
+	"modissense/internal/exec"
+)
+
+// fakeClock is a manually advanced time source.
+type fakeClock struct{ t time.Time }
+
+func (c *fakeClock) now() time.Time          { return c.t }
+func (c *fakeClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+func (c *fakeClock) fn() func() time.Time    { return c.now }
+func newFakeClock() *fakeClock               { return &fakeClock{t: time.Unix(1700000000, 0)} }
+
+func TestControllerRateLimitPerClass(t *testing.T) {
+	clk := newFakeClock()
+	c := NewController(Config{
+		InteractiveQPS: 10, InteractiveBurst: 2,
+		BatchQPS: 5, BatchBurst: 1,
+		Now: clk.fn(),
+	})
+	// Interactive burst of 2, then rejected with a retry hint.
+	for i := 0; i < 2; i++ {
+		if d := c.Admit(Interactive, 0); !d.OK {
+			t.Fatalf("interactive %d rejected: %+v", i, d)
+		}
+	}
+	d := c.Admit(Interactive, 0)
+	if d.OK || d.Reason != ReasonRate || d.RetryAfter <= 0 {
+		t.Fatalf("expected rate rejection with retry hint, got %+v", d)
+	}
+	// The batch bucket is independent.
+	if d := c.Admit(Batch, 0); !d.OK {
+		t.Fatalf("batch rejected: %+v", d)
+	}
+	if d := c.Admit(Batch, 0); d.OK || d.Reason != ReasonRate {
+		t.Fatalf("expected batch rate rejection, got %+v", d)
+	}
+	// 100ms at 10 qps refills one interactive token.
+	clk.advance(100 * time.Millisecond)
+	if d := c.Admit(Interactive, 0); !d.OK {
+		t.Fatalf("interactive after refill rejected: %+v", d)
+	}
+}
+
+func TestControllerDeadlineAwareAdmission(t *testing.T) {
+	tracker := exec.NewLatencyTracker(64)
+	for i := 0; i < 32; i++ {
+		tracker.Observe(10 * time.Millisecond)
+	}
+	queue := 0
+	c := NewController(Config{
+		QueueLen:   func() int { return queue },
+		Workers:    4,
+		RunTime:    tracker,
+		MinSamples: 16,
+		Now:        newFakeClock().fn(),
+	})
+	// Empty queue: predicted wait 0, everything admitted.
+	if d := c.Admit(Interactive, 5*time.Millisecond); !d.OK {
+		t.Fatalf("empty queue rejected: %+v", d)
+	}
+	// 40 queued tasks / 4 workers = 10 waves × 10ms = 100ms predicted.
+	queue = 40
+	if w, ok := c.PredictedWait(); !ok || w != 100*time.Millisecond {
+		t.Fatalf("predicted wait = %v, %v; want 100ms, true", w, ok)
+	}
+	d := c.Admit(Interactive, 50*time.Millisecond)
+	if d.OK || d.Reason != ReasonDeadline {
+		t.Fatalf("expected deadline rejection, got %+v", d)
+	}
+	if d.RetryAfter != 50*time.Millisecond {
+		t.Fatalf("RetryAfter = %v, want predicted-remaining = 50ms", d.RetryAfter)
+	}
+	// A generous deadline clears the same queue.
+	if d := c.Admit(Interactive, 500*time.Millisecond); !d.OK {
+		t.Fatalf("generous deadline rejected: %+v", d)
+	}
+	// No deadline skips the check entirely.
+	if d := c.Admit(Interactive, 0); !d.OK {
+		t.Fatalf("unbounded request rejected: %+v", d)
+	}
+}
+
+func TestControllerPredictorNeedsWarmup(t *testing.T) {
+	tracker := exec.NewLatencyTracker(64)
+	c := NewController(Config{
+		QueueLen:   func() int { return 1000 },
+		Workers:    1,
+		RunTime:    tracker,
+		MinSamples: 16,
+	})
+	if _, ok := c.PredictedWait(); ok {
+		t.Fatal("cold tracker must disable the predictor")
+	}
+	if d := c.Admit(Interactive, time.Millisecond); !d.OK {
+		t.Fatalf("cold predictor must admit, got %+v", d)
+	}
+}
+
+func TestControllerNilAdmitsEverything(t *testing.T) {
+	var c *Controller
+	if d := c.Admit(Batch, time.Nanosecond); !d.OK {
+		t.Fatalf("nil controller rejected: %+v", d)
+	}
+}
+
+func TestClassPriorityMapping(t *testing.T) {
+	if Interactive.Priority() != exec.PriorityInteractive || Batch.Priority() != exec.PriorityBatch {
+		t.Fatal("class/priority mapping broken")
+	}
+	if Interactive.String() != "interactive" || Batch.String() != "batch" {
+		t.Fatal("class names broken")
+	}
+}

@@ -1,0 +1,62 @@
+package admit
+
+import "modissense/internal/obs"
+
+// Admission and breaker series in the shared registry, resolved once at
+// package init so the hot path touches only atomics.
+var (
+	mAllowedInteractive = obs.Default().Counter("admit_allowed_total",
+		"Requests admitted, by priority class.", obs.L("class", "interactive"))
+	mAllowedBatch = obs.Default().Counter("admit_allowed_total",
+		"Requests admitted, by priority class.", obs.L("class", "batch"))
+
+	mRejectedInteractiveRate = obs.Default().Counter("admit_rejected_total",
+		"Requests rejected at admission, by class and reason.",
+		obs.L("class", "interactive"), obs.L("reason", "rate"))
+	mRejectedInteractiveDeadline = obs.Default().Counter("admit_rejected_total",
+		"Requests rejected at admission, by class and reason.",
+		obs.L("class", "interactive"), obs.L("reason", "deadline"))
+	mRejectedBatchRate = obs.Default().Counter("admit_rejected_total",
+		"Requests rejected at admission, by class and reason.",
+		obs.L("class", "batch"), obs.L("reason", "rate"))
+	mRejectedBatchDeadline = obs.Default().Counter("admit_rejected_total",
+		"Requests rejected at admission, by class and reason.",
+		obs.L("class", "batch"), obs.L("reason", "deadline"))
+
+	mWaitPredicted = obs.Default().Histogram("admit_queue_wait_predicted_seconds",
+		"Predicted exec-pool queue wait at admission time.", obs.LatencyBuckets())
+
+	mBreakersOpen = obs.Default().Gauge("admit_breakers_open",
+		"Circuit breakers currently open or half-open.")
+	mBreakerTrips = obs.Default().Counter("admit_breaker_trips_total",
+		"Circuit breaker transitions into the open state.")
+	mBreakerProbes = obs.Default().Counter("admit_breaker_probes_total",
+		"Half-open probe attempts admitted through a breaker.")
+	mBreakerRejects = obs.Default().Counter("admit_breaker_rejects_total",
+		"Read attempts rejected fast by an open breaker.")
+	mBreakerCloses = obs.Default().Counter("admit_breaker_closes_total",
+		"Circuit breakers re-closed after a successful probe.")
+)
+
+// countAllowed bumps the per-class admission counter.
+func countAllowed(c Class) {
+	if c == Batch {
+		mAllowedBatch.Inc()
+	} else {
+		mAllowedInteractive.Inc()
+	}
+}
+
+// countRejected bumps the per-class, per-reason rejection counter.
+func countRejected(c Class, reason string) {
+	switch {
+	case c == Batch && reason == ReasonRate:
+		mRejectedBatchRate.Inc()
+	case c == Batch:
+		mRejectedBatchDeadline.Inc()
+	case reason == ReasonRate:
+		mRejectedInteractiveRate.Inc()
+	default:
+		mRejectedInteractiveDeadline.Inc()
+	}
+}

@@ -1,0 +1,359 @@
+package bench
+
+import (
+	"errors"
+	"fmt"
+	"net/http/httptest"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"modissense/client"
+	"modissense/internal/core"
+	"modissense/internal/exec"
+	"modissense/internal/faultinject"
+)
+
+// OverloadConfig parameterizes the overload experiment: a small platform
+// behind the real HTTP stack, a deliberately tiny exec pool, concurrent
+// interactive (search) and batch (trending) clients, and a seeded stall
+// storm on one node — run once with the full protection stack (admission,
+// bounded queue, breakers, retry budget) and once with every layer off.
+type OverloadConfig struct {
+	// POIs/Population/MeanFriends size the platform.
+	POIs       int
+	Population int
+	// Clients is the number of concurrent load generators; each issues
+	// RequestsPerClient requests back to back.
+	Clients           int
+	RequestsPerClient int
+	// BatchEvery makes every Nth request a batch trending query (the rest
+	// are interactive searches).
+	BatchEvery int
+	// Workers bounds the shared exec pool — small enough that concurrent
+	// scatters queue.
+	Workers int
+	// QueryTimeout is the per-request deadline (the HTTP layer's 504).
+	QueryTimeout time.Duration
+	// Schedule is the fault DSL of the storm (see faultinject.ParseSchedule).
+	Schedule string
+	// AdmitQPS/AdmitBurst shape the protected run's interactive admission
+	// bucket (batch gets half).
+	AdmitQPS   float64
+	AdmitBurst int
+	// ExecQueueCap bounds the protected run's exec waiter queue.
+	ExecQueueCap int
+	// RetryBudgetRatio caps retries+hedges per primary attempt.
+	RetryBudgetRatio float64
+	// BreakerFailures/BreakerOpenFor/BreakerSlowAfter configure the
+	// protected run's per-node breakers.
+	BreakerFailures  int
+	BreakerOpenFor   time.Duration
+	BreakerSlowAfter time.Duration
+	// HedgeAfter caps the hedge threshold of the fault-tolerant read path.
+	HedgeAfter time.Duration
+	// LatencyBudget is the served-interactive p99 gate of the protected run.
+	LatencyBudget time.Duration
+	Seed          int64
+}
+
+// DefaultOverload is a storm that stalls every read on node 1 for longer
+// than the hedge threshold while eight clients hammer the API through a
+// four-worker pool.
+func DefaultOverload() OverloadConfig {
+	return OverloadConfig{
+		POIs:              400,
+		Population:        800,
+		Clients:           8,
+		RequestsPerClient: 15,
+		BatchEvery:        4,
+		Workers:           4,
+		QueryTimeout:      600 * time.Millisecond,
+		Schedule:          "stall:node=1,dur=400ms",
+		AdmitQPS:          60,
+		AdmitBurst:        20,
+		ExecQueueCap:      16,
+		RetryBudgetRatio:  0.2,
+		BreakerFailures:   2,
+		BreakerOpenFor:    5 * time.Second,
+		BreakerSlowAfter:  10 * time.Millisecond,
+		HedgeAfter:        50 * time.Millisecond,
+		LatencyBudget:     500 * time.Millisecond,
+		Seed:              73,
+	}
+}
+
+// OverloadClassStats is one traffic class's outcome tally in one mode.
+type OverloadClassStats struct {
+	Class string `json:"class"`
+	Sent  int    `json:"sent"`
+	// OK counts 200 answers.
+	OK int `json:"ok"`
+	// Rejected429/Rejected503 count well-formed overload answers.
+	Rejected429 int `json:"rejected_429"`
+	Rejected503 int `json:"rejected_503"`
+	// Timeouts counts 504s; Errors counts 500s and transport failures.
+	Timeouts int `json:"timeouts"`
+	Errors   int `json:"errors"`
+	// Malformed counts 429/503 answers missing the Retry-After hint or the
+	// "overloaded" envelope code — contract violations, gated to zero.
+	Malformed int `json:"malformed_overloads"`
+	// ServedP50Millis/ServedP99Millis are wall-clock latencies over the OK
+	// answers only (rejections are not service).
+	ServedP50Millis float64 `json:"served_p50_ms"`
+	ServedP99Millis float64 `json:"served_p99_ms"`
+}
+
+// OverloadMode is one mode's full measurement, JSON-tagged for
+// BENCH_overload.json.
+type OverloadMode struct {
+	Mode        string             `json:"mode"`
+	Interactive OverloadClassStats `json:"interactive"`
+	Batch       OverloadClassStats `json:"batch"`
+	// Tasks/Retries/Hedges sum the exec snapshots of every OK answer.
+	Tasks   int64 `json:"tasks"`
+	Retries int64 `json:"retries"`
+	Hedges  int64 `json:"hedges"`
+	// BudgetAttempts/BudgetSpent/BudgetDenied are the retry budget's own
+	// lifetime counters (zero in the unprotected mode).
+	BudgetAttempts int64 `json:"budget_attempts"`
+	BudgetSpent    int64 `json:"budget_spent"`
+	BudgetDenied   int64 `json:"budget_denied"`
+	// BreakersOpen is the number of node breakers open when the load ends.
+	BreakersOpen int `json:"breakers_open"`
+	// FinalQueueDepth is the exec pool's waiter count after the load drains
+	// (gated to zero: no stuck queue entries).
+	FinalQueueDepth int `json:"final_queue_depth"`
+	// GoroutineDelta is the goroutine-count change across the mode after a
+	// settling pause (gated small: no leaked scatter workers).
+	GoroutineDelta int `json:"goroutine_delta"`
+}
+
+// RunOverload executes the protected and unprotected modes and returns them
+// in that order.
+func RunOverload(cfg OverloadConfig) ([]OverloadMode, error) {
+	if cfg.Clients < 1 || cfg.RequestsPerClient < 1 {
+		return nil, fmt.Errorf("bench: overload experiment needs positive load")
+	}
+	if _, err := faultinject.ParseSchedule(cfg.Schedule, cfg.Seed); err != nil {
+		return nil, err
+	}
+	protected, err := runOverloadMode(cfg, true)
+	if err != nil {
+		return nil, err
+	}
+	unprotected, err := runOverloadMode(cfg, false)
+	if err != nil {
+		return nil, err
+	}
+	return []OverloadMode{*protected, *unprotected}, nil
+}
+
+// runOverloadMode boots one platform (with or without the protection
+// stack), ingests the dataset, arms the storm and drives the concurrent
+// load through the real HTTP handler.
+func runOverloadMode(cfg OverloadConfig, protect bool) (*OverloadMode, error) {
+	// A fresh default pool per mode: the unprotected run must not inherit
+	// the protected run's queue cap or run tracker, and vice versa.
+	exec.SetDefaultWorkers(cfg.Workers)
+	defer exec.SetDefaultWorkers(0)
+
+	pcfg := core.DefaultConfig()
+	pcfg.POIs = cfg.POIs
+	pcfg.NetworkPopulation = cfg.Population
+	pcfg.MeanFriends = 12
+	pcfg.ClassifierTrainDocs = 300
+	pcfg.Seed = cfg.Seed
+	pcfg.QueryTimeout = cfg.QueryTimeout
+	pcfg.ReadReplicas = 1
+	if protect {
+		pcfg.ReadMaxAttempts = 3
+		pcfg.ReadHedgeAfter = cfg.HedgeAfter
+		pcfg.AllowDegraded = false
+		pcfg.AdmitQPS = cfg.AdmitQPS
+		pcfg.AdmitBurst = cfg.AdmitBurst
+		pcfg.ExecQueueCap = cfg.ExecQueueCap
+		pcfg.RetryBudgetRatio = cfg.RetryBudgetRatio
+		pcfg.BreakerFailures = cfg.BreakerFailures
+		pcfg.BreakerOpenFor = cfg.BreakerOpenFor
+		pcfg.BreakerSlowAfter = cfg.BreakerSlowAfter
+	} else {
+		// A single attempt keeps the read on the injectable policy path (the
+		// plain scatter has no interception point, so the storm would miss it
+		// entirely) while disabling every protection: no retries, no hedging,
+		// no admission, no queue cap, no budget, no breakers.
+		pcfg.ReadMaxAttempts = 1
+		pcfg.AllowDegraded = false
+	}
+	p, err := core.New(pcfg)
+	if err != nil {
+		return nil, err
+	}
+	since := time.Date(2015, 5, 1, 0, 0, 0, 0, time.UTC)
+	until := time.Date(2015, 5, 8, 0, 0, 0, 0, time.UTC)
+	if _, err := p.Collect(since, until); err != nil {
+		return nil, err
+	}
+	if err := p.Visits.Table().CatchUpReplication(); err != nil {
+		return nil, err
+	}
+	sched, err := faultinject.ParseSchedule(cfg.Schedule, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	p.Query.SetFaultInjector(faultinject.New(sched))
+
+	srv := httptest.NewServer(core.NewHandler(p))
+	defer srv.Close()
+
+	mode := &OverloadMode{Mode: "unprotected"}
+	if protect {
+		mode.Mode = "protected"
+	}
+	mode.Interactive.Class = "interactive"
+	mode.Batch.Class = "batch"
+
+	baseGoroutines := runtime.NumGoroutine()
+
+	type sample struct {
+		batch   bool
+		wall    time.Duration
+		status  int // 0 = transport error
+		ok      bool
+		malform bool
+		tasks   int64
+		retries int64
+		hedges  int64
+	}
+	var (
+		mu      sync.Mutex
+		samples []sample
+		wg      sync.WaitGroup
+	)
+	for ci := 0; ci < cfg.Clients; ci++ {
+		wg.Add(1)
+		go func(ci int) {
+			defer wg.Done()
+			cl, err := client.New(srv.URL, srv.Client())
+			if err != nil {
+				return
+			}
+			// The benchmark measures the server's raw answers; client-side
+			// retries would mask the 429/503s under test.
+			cl.SetRetryPolicy(client.RetryPolicy{})
+			if _, err := cl.SignIn("facebook", fmt.Sprintf("facebook:%d", ci+1)); err != nil {
+				return
+			}
+			friends, err := cl.Friends("")
+			if err != nil {
+				return
+			}
+			ids := make([]int64, 0, len(friends))
+			for _, f := range friends {
+				ids = append(ids, f.ID)
+			}
+			for ri := 0; ri < cfg.RequestsPerClient; ri++ {
+				s := sample{batch: cfg.BatchEvery > 0 && ri%cfg.BatchEvery == cfg.BatchEvery-1}
+				start := time.Now()
+				var res interface {
+					execCounts() (int64, int64, int64)
+				}
+				var callErr error
+				if s.batch {
+					r, err := cl.Trending(0, 0, 0, 0, 168, 5, until)
+					callErr = err
+					if r != nil {
+						res = overloadResult{r.Exec.Tasks, r.Exec.Retries, r.Exec.Hedges}
+					}
+				} else {
+					r, err := cl.Search(client.SearchParams{Friends: ids, From: since, To: until, Limit: 5})
+					callErr = err
+					if r != nil {
+						res = overloadResult{r.Exec.Tasks, r.Exec.Retries, r.Exec.Hedges}
+					}
+				}
+				s.wall = time.Since(start)
+				if callErr == nil {
+					s.ok = true
+					if res != nil {
+						s.tasks, s.retries, s.hedges = res.execCounts()
+					}
+					s.status = 200
+				} else {
+					var apiErr *client.APIError
+					if errors.As(callErr, &apiErr) {
+						s.status = apiErr.Status
+						if apiErr.Status == 429 || apiErr.Status == 503 {
+							s.malform = apiErr.RetryAfter <= 0 || apiErr.Code != client.CodeOverloaded
+						}
+					}
+				}
+				mu.Lock()
+				samples = append(samples, s)
+				mu.Unlock()
+			}
+		}(ci)
+	}
+	wg.Wait()
+
+	// Let storm-stalled losers and breaker probes wind down, then check for
+	// leaks: the bounded queue must be empty and the scatter goroutines gone.
+	time.Sleep(500 * time.Millisecond)
+	mode.FinalQueueDepth = exec.Default().QueueLen()
+	mode.GoroutineDelta = runtime.NumGoroutine() - baseGoroutines
+
+	var servedInteractive, servedBatch []float64
+	for _, s := range samples {
+		st := &mode.Interactive
+		if s.batch {
+			st = &mode.Batch
+		}
+		st.Sent++
+		switch {
+		case s.ok:
+			st.OK++
+			mode.Tasks += s.tasks
+			mode.Retries += s.retries
+			mode.Hedges += s.hedges
+			if s.batch {
+				servedBatch = append(servedBatch, s.wall.Seconds())
+			} else {
+				servedInteractive = append(servedInteractive, s.wall.Seconds())
+			}
+		case s.status == 429:
+			st.Rejected429++
+		case s.status == 503:
+			st.Rejected503++
+		case s.status == 504:
+			st.Timeouts++
+		default:
+			st.Errors++
+		}
+		if s.malform {
+			st.Malformed++
+		}
+	}
+	sort.Float64s(servedInteractive)
+	sort.Float64s(servedBatch)
+	mode.Interactive.ServedP50Millis = 1000 * percentile(servedInteractive, 0.50)
+	mode.Interactive.ServedP99Millis = 1000 * percentile(servedInteractive, 0.99)
+	mode.Batch.ServedP50Millis = 1000 * percentile(servedBatch, 0.50)
+	mode.Batch.ServedP99Millis = 1000 * percentile(servedBatch, 0.99)
+
+	if b := p.Query.RetryBudget(); b != nil {
+		mode.BudgetAttempts = b.Attempts()
+		mode.BudgetSpent = b.Spent()
+		mode.BudgetDenied = b.Denied()
+	}
+	if bs := p.Query.Breakers(); bs != nil {
+		mode.BreakersOpen = bs.OpenCount()
+	}
+	p.Query.SetFaultInjector(nil)
+	return mode, nil
+}
+
+// overloadResult adapts a query result's exec snapshot for tallying.
+type overloadResult struct{ tasks, retries, hedges int64 }
+
+func (r overloadResult) execCounts() (int64, int64, int64) { return r.tasks, r.retries, r.hedges }

@@ -9,6 +9,7 @@ import (
 	"strconv"
 	"time"
 
+	"modissense/internal/admit"
 	"modissense/internal/exec"
 	"modissense/internal/geo"
 	"modissense/internal/model"
@@ -41,6 +42,7 @@ const (
 	codeInternal     = "internal"
 	codeTimeout      = "timeout"
 	codeCanceled     = "canceled"
+	codeOverloaded   = "overloaded"
 )
 
 // codeForStatus maps an HTTP status onto the envelope's default code.
@@ -56,6 +58,8 @@ func codeForStatus(status int) string {
 		return codeTimeout
 	case StatusClientClosedRequest:
 		return codeCanceled
+	case http.StatusTooManyRequests, http.StatusServiceUnavailable:
+		return codeOverloaded
 	default:
 		return codeInternal
 	}
@@ -95,17 +99,39 @@ func (p *Platform) requestContext(r *http.Request) (context.Context, context.Can
 	return context.WithCancel(r.Context())
 }
 
+// defaultRetryAfter is the Retry-After hint on overload answers that carry
+// no better estimate (queue sheds, drained retry budgets, open breakers).
+const defaultRetryAfter = time.Second
+
+// writeOverloaded emits an overload rejection: the given 429/503 status,
+// a Retry-After header (whole seconds, rounded up, at least 1) and the
+// "overloaded" envelope.
+func writeOverloaded(w http.ResponseWriter, r *http.Request, status int, retryAfter time.Duration, message string) {
+	secs := int64((retryAfter + time.Second - 1) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	w.Header().Set("Retry-After", strconv.FormatInt(secs, 10))
+	writeErrCode(w, r, status, codeOverloaded, message)
+}
+
 // writeQueryErr maps a query-path failure onto the API contract: deadline
 // expiry answers 504 with code "timeout", client cancellation answers 499
-// with code "canceled", an exhausted read-attempt budget (a region
-// unavailable with degradation off) answers 500 with code "internal", and
-// anything else is a plain 400.
+// with code "canceled", overload signals — a scatter task shed by the
+// bounded exec queue, a drained retry budget, or every copy behind an open
+// breaker — answer 503 with code "overloaded" and a Retry-After, an
+// exhausted read-attempt budget (a region unavailable with degradation
+// off) answers 500 with code "internal", and anything else is a plain 400.
 func writeQueryErr(w http.ResponseWriter, r *http.Request, err error) {
 	switch {
 	case errors.Is(err, context.DeadlineExceeded):
 		writeErrCode(w, r, http.StatusGatewayTimeout, codeTimeout, err.Error())
 	case errors.Is(err, context.Canceled):
 		writeErrCode(w, r, StatusClientClosedRequest, codeCanceled, err.Error())
+	case errors.Is(err, exec.ErrShed),
+		errors.Is(err, exec.ErrRetryBudgetExhausted),
+		errors.Is(err, admit.ErrBreakerOpen):
+		writeOverloaded(w, r, http.StatusServiceUnavailable, defaultRetryAfter, err.Error())
 	case errors.Is(err, exec.ErrAttemptsExhausted):
 		writeErrCode(w, r, http.StatusInternalServerError, codeInternal, err.Error())
 	default:

@@ -8,11 +8,14 @@ package core
 import (
 	"context"
 	"fmt"
+	"math"
 	"math/rand"
 	"time"
 
+	"modissense/internal/admit"
 	"modissense/internal/cluster"
 	"modissense/internal/dbscan"
+	"modissense/internal/exec"
 	"modissense/internal/geo"
 	"modissense/internal/hotin"
 	"modissense/internal/kvstore"
@@ -80,6 +83,37 @@ type Config struct {
 	// region ids) when a region exhausts its read attempts, instead of
 	// failing the query.
 	AllowDegraded bool
+	// AdmitQPS, when > 0, enables token-bucket admission on the exec-heavy
+	// API routes: interactive traffic (search) is admitted at this rate,
+	// batch traffic (trending, events, pipeline) at half of it, so batch is
+	// the first to shed under pressure. Over-rate requests answer 429 with
+	// a Retry-After hint.
+	AdmitQPS float64
+	// AdmitBurst is the interactive token-bucket depth (0 derives it from
+	// AdmitQPS); the batch bucket gets half.
+	AdmitBurst int
+	// ExecQueueCap, when > 0, bounds the shared exec pool's waiter queue:
+	// beyond the cap the newest lowest-priority task is shed (503). It also
+	// arms deadline-aware admission — requests whose predicted queue wait
+	// exceeds their remaining deadline are rejected up front. Note the exec
+	// pool is process-wide, so the cap outlives this Platform.
+	ExecQueueCap int
+	// RetryBudgetRatio, when > 0, caps the engine's retries+hedges at this
+	// fraction of primary read attempts (gRPC-style retry throttling), so
+	// retry amplification cannot turn an overload metastable.
+	RetryBudgetRatio float64
+	// BreakerFailures, when > 0, enables per-node circuit breakers on the
+	// fault-tolerant read path: a node tripping this many consecutive
+	// failures is fast-failed until a half-open probe succeeds.
+	BreakerFailures int
+	// BreakerOpenFor is the breaker's base open interval before the first
+	// probe (0 keeps the 500ms default).
+	BreakerOpenFor time.Duration
+	// BreakerSlowAfter, when > 0, also charges attempts still running after
+	// this duration as failures (fail-slow detection). Keep it below the
+	// hedge threshold or stalled attempts are canceled before they are
+	// charged.
+	BreakerSlowAfter time.Duration
 }
 
 // DefaultConfig returns a demo-scale platform: big enough to exercise
@@ -132,6 +166,18 @@ func (c Config) Validate() error {
 	if c.ReadBackoff < 0 || c.ReadHedgeAfter < 0 {
 		return fmt.Errorf("core: negative read backoff/hedge threshold")
 	}
+	if c.AdmitQPS < 0 || c.AdmitBurst < 0 {
+		return fmt.Errorf("core: negative admission rate/burst")
+	}
+	if c.ExecQueueCap < 0 {
+		return fmt.Errorf("core: negative exec queue cap")
+	}
+	if c.RetryBudgetRatio < 0 {
+		return fmt.Errorf("core: negative retry-budget ratio")
+	}
+	if c.BreakerFailures < 0 || c.BreakerOpenFor < 0 || c.BreakerSlowAfter < 0 {
+		return fmt.Errorf("core: negative breaker parameters")
+	}
 	return nil
 }
 
@@ -154,6 +200,9 @@ type Platform struct {
 	// Traces keeps the most recent request traces, keyed by X-Request-ID and
 	// served by GET /api/v1/queries/{id}/trace.
 	Traces *obs.TraceStore
+	// Admission is the overload-admission controller consulted by the API
+	// middleware on exec-heavy routes; nil (the default) admits everything.
+	Admission *admit.Controller
 
 	catalog []model.POI
 }
@@ -271,6 +320,46 @@ func New(cfg Config) (*Platform, error) {
 		}
 		pol.AllowDegraded = cfg.AllowDegraded
 		p.Query.SetReadPolicy(&pol)
+	}
+
+	// Overload protection (off by default; see OPERATIONS.md "Overload &
+	// shedding"). The exec pool is process-wide, so the queue cap and run
+	// tracker installed here outlive the platform instance.
+	pool := exec.Default()
+	if cfg.ExecQueueCap > 0 {
+		pool.SetQueueCap(cfg.ExecQueueCap)
+	}
+	if cfg.AdmitQPS > 0 || cfg.ExecQueueCap > 0 {
+		runTimes := exec.NewLatencyTracker(0)
+		pool.SetRunTracker(runTimes)
+		burst := cfg.AdmitBurst
+		if burst < 1 {
+			burst = int(math.Ceil(cfg.AdmitQPS))
+		}
+		p.Admission = admit.NewController(admit.Config{
+			InteractiveQPS:   cfg.AdmitQPS,
+			InteractiveBurst: burst,
+			// Batch runs at half the interactive rate: under pressure the
+			// analytical routes are the first to be shed.
+			BatchQPS:   cfg.AdmitQPS / 2,
+			BatchBurst: max(1, burst/2),
+			QueueLen:   pool.QueueLen,
+			Workers:    pool.Workers(),
+			RunTime:    runTimes,
+		})
+	}
+	if cfg.RetryBudgetRatio > 0 {
+		// Burst of 10 lets short failure blips retry freely; only a
+		// sustained failure rate above the ratio is throttled.
+		p.Query.SetRetryBudget(exec.NewRetryBudget(cfg.RetryBudgetRatio, 10))
+	}
+	if cfg.BreakerFailures > 0 {
+		p.Query.SetBreakers(admit.NewBreakerSet(admit.BreakerConfig{
+			Failures:  cfg.BreakerFailures,
+			OpenFor:   cfg.BreakerOpenFor,
+			SlowAfter: cfg.BreakerSlowAfter,
+			Seed:      cfg.Seed,
+		}))
 	}
 	return p, nil
 }

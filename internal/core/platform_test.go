@@ -46,6 +46,12 @@ func TestConfigValidate(t *testing.T) {
 		func(c *Config) { c.MeanFriends = 0 },
 		func(c *Config) { c.CheckinsPerDay = 0 },
 		func(c *Config) { c.ClassifierTrainDocs = 5 },
+		func(c *Config) { c.AdmitQPS = -1 },
+		func(c *Config) { c.AdmitBurst = -1 },
+		func(c *Config) { c.ExecQueueCap = -1 },
+		func(c *Config) { c.RetryBudgetRatio = -0.5 },
+		func(c *Config) { c.BreakerFailures = -1 },
+		func(c *Config) { c.BreakerOpenFor = -time.Second },
 	}
 	for i, mut := range muts {
 		cfg := testConfig()

@@ -7,6 +7,8 @@ import (
 	"net/http"
 	"time"
 
+	"modissense/internal/admit"
+	"modissense/internal/exec"
 	"modissense/internal/obs"
 )
 
@@ -35,6 +37,12 @@ type route struct {
 	// noTrace keeps the route out of the trace store (introspection
 	// endpoints would otherwise evict real query traces).
 	noTrace bool
+	// admitted routes pass the overload-admission controller before their
+	// handler runs and tag their context with the class's exec priority;
+	// cheap CRUD/introspection routes bypass admission entirely.
+	admitted bool
+	// class is the admission priority class of an admitted route.
+	class   admit.Class
 	handler func(p *Platform) http.HandlerFunc
 }
 
@@ -43,8 +51,10 @@ var routeTable = []route{
 	{method: "POST", path: "/signin", label: obs.L("route", "signin"), handler: func(p *Platform) http.HandlerFunc { return p.handleSignIn }},
 	{method: "POST", path: "/link", label: obs.L("route", "link"), handler: func(p *Platform) http.HandlerFunc { return p.handleLink }},
 	{method: "GET", path: "/friends", label: obs.L("route", "friends"), handler: func(p *Platform) http.HandlerFunc { return p.handleFriends }},
-	{method: "POST", path: "/search", label: obs.L("route", "search"), handler: func(p *Platform) http.HandlerFunc { return p.handleSearch }},
-	{method: "GET", path: "/trending", label: obs.L("route", "trending"), handler: func(p *Platform) http.HandlerFunc { return p.handleTrending }},
+	{method: "POST", path: "/search", label: obs.L("route", "search"), admitted: true, class: admit.Interactive,
+		handler: func(p *Platform) http.HandlerFunc { return p.handleSearch }},
+	{method: "GET", path: "/trending", label: obs.L("route", "trending"), admitted: true, class: admit.Batch,
+		handler: func(p *Platform) http.HandlerFunc { return p.handleTrending }},
 	{method: "GET", path: "/pois/{id}", label: obs.L("route", "poi"), handler: func(p *Platform) http.HandlerFunc { return p.handlePOI }},
 	{method: "POST", path: "/gps", label: obs.L("route", "gps"), handler: func(p *Platform) http.HandlerFunc { return p.handleGPS }},
 	{method: "POST", path: "/blog/generate", label: obs.L("route", "blog_generate"), handler: func(p *Platform) http.HandlerFunc { return p.handleBlogGenerate }},
@@ -52,8 +62,10 @@ var routeTable = []route{
 	{method: "GET", path: "/blogs", label: obs.L("route", "blog_list"), handler: func(p *Platform) http.HandlerFunc { return p.handleBlogList }},
 	{method: "POST", path: "/admin/collect", label: obs.L("route", "collect"), handler: func(p *Platform) http.HandlerFunc { return p.handleCollect }},
 	{method: "POST", path: "/admin/hotin", label: obs.L("route", "hotin"), handler: func(p *Platform) http.HandlerFunc { return p.handleHotIn }},
-	{method: "POST", path: "/admin/events", label: obs.L("route", "events"), handler: func(p *Platform) http.HandlerFunc { return p.handleEvents }},
-	{method: "POST", path: "/admin/pipeline", label: obs.L("route", "pipeline"), handler: func(p *Platform) http.HandlerFunc { return p.handlePipeline }},
+	{method: "POST", path: "/admin/events", label: obs.L("route", "events"), admitted: true, class: admit.Batch,
+		handler: func(p *Platform) http.HandlerFunc { return p.handleEvents }},
+	{method: "POST", path: "/admin/pipeline", label: obs.L("route", "pipeline"), admitted: true, class: admit.Batch,
+		handler: func(p *Platform) http.HandlerFunc { return p.handlePipeline }},
 	{method: "GET", path: "/analytics/categories", label: obs.L("route", "categories"), handler: func(p *Platform) http.HandlerFunc { return p.handleCategoryAnalytics }},
 	{method: "GET", path: "/stats", label: obs.L("route", "stats"), handler: func(p *Platform) http.HandlerFunc { return p.handleStats }},
 	{method: "GET", path: "/queries/{id}/trace", label: obs.L("route", "query_trace"), v1Only: true, noTrace: true,
@@ -120,13 +132,30 @@ func (p *Platform) instrument(rt route, h http.HandlerFunc) func(deprecated bool
 				w.Header().Set("Link", "</api/v1"+rt.path+`>; rel="successor-version"`)
 			}
 			ctx := context.WithValue(r.Context(), requestIDKey{}, reqID)
+			if rt.admitted {
+				ctx = exec.WithPriority(ctx, rt.class.Priority())
+			}
 			var tr *obs.Trace
 			if !rt.noTrace {
 				tr = obs.NewTrace(reqID, routeName)
 				ctx = obs.ContextWithSpan(ctx, tr.Root())
 			}
 			sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
-			h(sw, r.WithContext(ctx))
+			rr := r.WithContext(ctx)
+			if dec, rejected := p.admitCheck(rt, rr); rejected {
+				// Shed up front: the handler never runs, no query work is
+				// queued, and the client gets a well-formed overload answer
+				// with a Retry-After hint.
+				obs.SpanFromContext(ctx).SetAttr("admit", dec.Reason)
+				status := http.StatusServiceUnavailable
+				if dec.Reason == admit.ReasonRate {
+					status = http.StatusTooManyRequests
+				}
+				writeOverloaded(sw, rr, status, dec.RetryAfter,
+					"core: overloaded: admission rejected ("+dec.Reason+")")
+			} else {
+				h(sw, rr)
+			}
 			if tr != nil {
 				tr.Finish()
 				p.Traces.Put(tr)
@@ -137,6 +166,25 @@ func (p *Platform) instrument(rt route, h http.HandlerFunc) func(deprecated bool
 			}
 		}
 	}
+}
+
+// admitCheck consults the admission controller for admitted routes. The
+// remaining-deadline budget handed to the controller is the tighter of the
+// configured query timeout and the request's own deadline, so the
+// deadline-aware check predicts against the same budget the handler will
+// run under.
+func (p *Platform) admitCheck(rt route, r *http.Request) (admit.Decision, bool) {
+	if !rt.admitted || p.Admission == nil {
+		return admit.Decision{OK: true}, false
+	}
+	remaining := p.cfg.QueryTimeout
+	if dl, ok := r.Context().Deadline(); ok {
+		if d := time.Until(dl); remaining <= 0 || d < remaining {
+			remaining = d
+		}
+	}
+	dec := p.Admission.Admit(rt.class, remaining)
+	return dec, !dec.OK
 }
 
 // requestIDHeader carries the request ID end to end; responses always echo

@@ -37,6 +37,11 @@ type RetryPolicy struct {
 	// concurrent regions never retry in lockstep yet every run replays the
 	// same schedule.
 	JitterSeed int64
+	// Budget, when non-nil, throttles retries and hedges globally: each
+	// primary attempt earns fractional tokens, each retry/hedge spends one.
+	// A denied hedge is skipped silently; a denied retry fails the read with
+	// ErrRetryBudgetExhausted joined into the exhaustion error.
+	Budget *RetryBudget
 }
 
 // backoff returns the jittered delay before the retry-th retry (0-based)
@@ -267,18 +272,26 @@ func RunHedged(ctx context.Context, salt int64, replicas int, rp RetryPolicy, hp
 	}
 
 	launch(0)
+	rp.Budget.OnAttempt()
 	launched, outstanding := 1, 1
 	hedged := false
+	budgetDenied := false
 	var lastErr error
 	for {
 		var hedgeCh <-chan time.Time
 		var hedgeTimer *time.Timer
-		if hp.Enabled && !hedged && outstanding > 0 && launched < maxAttempts {
+		if hp.Enabled && !hedged && !budgetDenied && outstanding > 0 && launched < maxAttempts {
 			hedgeTimer = time.NewTimer(hp.threshold())
 			hedgeCh = hedgeTimer.C
 		}
 		select {
 		case <-hedgeCh:
+			if !rp.Budget.Spend() {
+				// The global retry budget is drained: suppress hedging for
+				// the rest of this read instead of amplifying overload.
+				budgetDenied = true
+				continue
+			}
 			hedged = true
 			st.AddHedge()
 			mHedges.Inc()
@@ -317,6 +330,13 @@ func RunHedged(ctx context.Context, salt int64, replicas int, rp RetryPolicy, hp
 				meta.Attempts = launched
 				meta.Hedged = hedged
 				return nil, meta, errors.Join(ErrAttemptsExhausted, lastErr)
+			}
+			if !rp.Budget.Spend() {
+				// Out of retry budget: give up now rather than queue a
+				// backoff for an attempt that may not be afforded.
+				meta.Attempts = launched
+				meta.Hedged = hedged
+				return nil, meta, errors.Join(ErrAttemptsExhausted, ErrRetryBudgetExhausted, lastErr)
 			}
 			retry := launched - 1 // 0-based retry index
 			if d := rp.backoff(salt, retry); d > 0 {

@@ -13,6 +13,13 @@ var (
 	mTaskRun     = obs.Default().Histogram("exec_task_run_seconds", "Time a task spent running.", obs.LatencyBuckets())
 	mGatherWall  = obs.Default().Histogram("exec_gather_seconds", "Wall time of one full Gather call.", obs.LatencyBuckets())
 
+	mShedInteractive = obs.Default().Counter("exec_queue_shed_total",
+		"Tasks shed by the bounded queue, by priority class.", obs.L("class", "interactive"))
+	mShedBatch = obs.Default().Counter("exec_queue_shed_total",
+		"Tasks shed by the bounded queue, by priority class.", obs.L("class", "batch"))
+	mBudgetDenied = obs.Default().Counter("exec_retry_budget_denied_total",
+		"Retries and hedges refused because the global retry budget was exhausted.")
+
 	mRetries = obs.Default().Counter("exec_read_retries_total",
 		"Hedged-read attempts relaunched after a failed predecessor.")
 	mHedges = obs.Default().Counter("exec_read_hedges_total",

@@ -1,0 +1,55 @@
+package exec
+
+import (
+	"context"
+	"errors"
+)
+
+// ErrShed marks work rejected by the pool's bounded queue: the queue was at
+// capacity and this task was (or became) the newest lowest-priority waiter.
+// Shedding is an overload signal, never a data fault — callers must surface
+// it (the API answers 503) instead of degrading the result.
+var ErrShed = errors.New("exec: task shed by bounded queue")
+
+// Priority classifies work for queue shedding. When the bounded queue is
+// full the pool evicts the newest waiter of the lowest waiting priority, so
+// interactive traffic rides out bursts at the expense of batch work.
+type Priority int
+
+const (
+	// PriorityBatch marks throughput-oriented work (trending, events,
+	// pipeline) that is shed first under overload.
+	PriorityBatch Priority = iota
+	// PriorityInteractive marks latency-sensitive work (search); it is also
+	// the default when a context carries no priority.
+	PriorityInteractive
+)
+
+// String names the priority class; the values double as metric label values.
+func (p Priority) String() string {
+	if p == PriorityBatch {
+		return "batch"
+	}
+	return "interactive"
+}
+
+// priorityKey is the context key carrying the task priority.
+type priorityKey struct{}
+
+// WithPriority tags the context's work with a shedding priority; Gather
+// reads it when the bounded queue must pick a victim.
+func WithPriority(ctx context.Context, p Priority) context.Context {
+	return context.WithValue(ctx, priorityKey{}, p)
+}
+
+// PriorityFrom returns the context's priority, defaulting to
+// PriorityInteractive so untagged internal work is never shed before tagged
+// batch work.
+func PriorityFrom(ctx context.Context) Priority {
+	if ctx != nil {
+		if p, ok := ctx.Value(priorityKey{}).(Priority); ok {
+			return p
+		}
+	}
+	return PriorityInteractive
+}

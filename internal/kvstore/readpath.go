@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"time"
 
+	"modissense/internal/admit"
 	"modissense/internal/exec"
 	"modissense/internal/faultinject"
 	"modissense/internal/obs"
@@ -22,6 +23,11 @@ type ReadOptions struct {
 	// Injector, when non-nil, intercepts every read attempt with the
 	// deterministic fault harness (tests and the -faults bench flag).
 	Injector *faultinject.Injector
+	// Breakers, when non-nil, gates every attempt on the target node's
+	// circuit breaker: attempts to open nodes fail fast with
+	// admit.ErrBreakerOpen (so the hedged rotation moves to another
+	// replica), and each attempt's outcome feeds the breaker back.
+	Breakers *admit.BreakerSet
 }
 
 // ExecCoprocessorHedged fans the coprocessor out across all regions like
@@ -54,7 +60,7 @@ func (t *Table) ExecCoprocessorHedged(ctx context.Context, cp Coprocessor, ro Re
 		tasks[i] = func(tctx context.Context) (interface{}, error) {
 			v, meta, err := exec.RunHedged(tctx, int64(r.ID), r.Replicas(), ro.Retry, ro.Hedge,
 				func(actx context.Context, attempt, replica int) (interface{}, error) {
-					return t.runReadAttempt(actx, cp, cpCtx, r, attempt, replica, ro.Injector)
+					return t.runReadAttempt(actx, cp, cpCtx, r, attempt, replica, ro)
 				})
 			if err != nil {
 				return nil, err
@@ -84,10 +90,19 @@ type hedgedValue struct {
 }
 
 // runReadAttempt executes one per-replica coprocessor attempt: resolve the
-// replica's read view, pass the fault-injection interception point, run the
-// coprocessor, and record the attempt as a span with its outcome.
-func (t *Table) runReadAttempt(ctx context.Context, cp Coprocessor, cpCtx CoprocessorCtx, r *Region, attempt, replica int, inj *faultinject.Injector) (interface{}, error) {
+// replica's read view, consult the node's circuit breaker, pass the
+// fault-injection interception point, run the coprocessor, and record the
+// attempt as a span with its outcome.
+//
+// Breaker feedback is deliberately conservative: a clean completion records
+// a success, a non-cancellation error records a failure, and a fail-slow
+// timer records a failure when the attempt is still running after the
+// breaker's SlowAfter threshold — so a stalled node trips its breaker even
+// when a winning hedge later cancels the stalled attempt (which would
+// otherwise end as a neutral context.Canceled).
+func (t *Table) runReadAttempt(ctx context.Context, cp Coprocessor, cpCtx CoprocessorCtx, r *Region, attempt, replica int, ro ReadOptions) (interface{}, error) {
 	view := r.ReadView(replica)
+	br := ro.Breakers.For(view.NodeID)
 	mReadAttempts.Inc()
 	if replica > 0 {
 		mReplicaReads.Inc()
@@ -100,9 +115,19 @@ func (t *Table) runReadAttempt(ctx context.Context, cp Coprocessor, cpCtx Coproc
 	span.SetAttrInt("node", int64(view.NodeID))
 	defer span.End()
 
-	d := inj.Decide(faultinject.Op{Node: view.NodeID, Region: r.ID, Replica: replica})
+	if !br.Allow() {
+		span.SetAttr("outcome", "breaker-open")
+		return nil, admit.ErrBreakerOpen
+	}
+	if slowAfter := br.SlowAfter(); slowAfter > 0 {
+		slow := time.AfterFunc(slowAfter, br.RecordFailure)
+		defer slow.Stop()
+	}
+
+	d := ro.Injector.Decide(faultinject.Op{Node: view.NodeID, Region: r.ID, Replica: replica})
 	if errors.Is(d.Err, faultinject.ErrInjectedCrash) {
 		span.SetAttr("outcome", "injected-crash")
+		br.RecordFailure()
 		return nil, d.Err
 	}
 	if d.Stall > 0 {
@@ -136,10 +161,15 @@ func (t *Table) runReadAttempt(ctx context.Context, cp Coprocessor, cpCtx Coproc
 	switch {
 	case err == nil:
 		span.SetAttr("outcome", "ok")
+		br.RecordSuccess()
 	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+		// Cancellation is neutral for the breaker: losing a hedge race or
+		// the caller going away says nothing about the node (the fail-slow
+		// timer above already charged genuinely stalled attempts).
 		span.SetAttr("outcome", "canceled")
 	default:
 		span.SetAttr("outcome", "error")
+		br.RecordFailure()
 	}
 	return v, err
 }

@@ -6,6 +6,7 @@ import (
 	"testing"
 	"time"
 
+	"modissense/internal/admit"
 	"modissense/internal/faultinject"
 	"modissense/internal/repos"
 )
@@ -187,5 +188,103 @@ func TestFaultMatrix(t *testing.T) {
 				}
 			}
 		})
+	}
+}
+
+// TestFaultMatrixStallStorm is the matrix's storm row: every attempt served
+// by one node stalls far past the hedge threshold. The first query must
+// still answer exactly (hedges win via replicas on other nodes) while the
+// fail-slow timers trip the stalled node's breaker; the second query must
+// route around the open breaker — fast-failed primary attempts retried on
+// replicas — again reproducing the fault-free answer with zero degradation.
+func TestFaultMatrixStallStorm(t *testing.T) {
+	f := newFixture(t, repos.SchemaReplicated, 2, 10)
+	from, to := window()
+	spec := Spec{FriendIDs: friendRange(1, 10), FromMillis: from, ToMillis: to, Limit: 5}
+
+	baseline, err := f.engine.Run(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.visits.Table().EnableReplication(1, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.visits.Table().CatchUpReplication(); err != nil {
+		t.Fatal(err)
+	}
+
+	pol := DefaultReadPolicy()
+	pol.MaxAttempts = 3
+	pol.BaseBackoff = time.Millisecond
+	pol.HedgeEnabled = true
+	// Pin the hedge threshold well above the fail-slow threshold so the
+	// stalled attempt is charged as slow before the winning hedge cancels
+	// it.
+	pol.HedgeMin = 50 * time.Millisecond
+	pol.HedgeMax = 50 * time.Millisecond
+	f.engine.SetReadPolicy(&pol)
+	f.engine.SetBreakers(admit.NewBreakerSet(admit.BreakerConfig{
+		Failures:  1,
+		OpenFor:   10 * time.Second, // stays open for the whole test
+		SlowAfter: 10 * time.Millisecond,
+		Seed:      42,
+	}))
+
+	stormNode := f.visits.Table().Regions()[0].NodeID
+	f.engine.SetFaultInjector(faultinject.New(faultinject.Schedule{
+		Seed: 42,
+		Rules: []faultinject.Rule{{
+			Fault: faultinject.Stall, Node: stormNode,
+			Region: faultinject.Any, Replica: faultinject.Any,
+			Prob: 1, Duration: 300 * time.Millisecond,
+		}},
+	}))
+
+	checkExact := func(res *Result) {
+		t.Helper()
+		if res.Degraded || len(res.MissingRegions) != 0 {
+			t.Fatalf("storm query degraded: missing %v", res.MissingRegions)
+		}
+		if len(res.POIs) != len(baseline.POIs) {
+			t.Fatalf("got %d POIs, baseline %d", len(res.POIs), len(baseline.POIs))
+		}
+		for i := range res.POIs {
+			if res.POIs[i].POI.ID != baseline.POIs[i].POI.ID || res.POIs[i].Visits != baseline.POIs[i].Visits {
+				t.Fatalf("POI %d = %+v, baseline %+v", i, res.POIs[i], baseline.POIs[i])
+			}
+		}
+	}
+
+	res1, err := f.engine.Run(context.Background(), spec)
+	if err != nil {
+		t.Fatalf("storm query 1 failed: %v", err)
+	}
+	checkExact(res1)
+	if res1.Exec.Hedges == 0 {
+		t.Error("storm query 1: expected hedges to mask the stall")
+	}
+
+	// The fail-slow timers fired mid-query; the breaker must now be open.
+	br := f.engine.Breakers().For(stormNode)
+	deadline := time.Now().Add(2 * time.Second)
+	for br.State() != admit.StateOpen {
+		if time.Now().After(deadline) {
+			t.Fatalf("breaker for node %d = %v, want open", stormNode, br.State())
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	res2, err := f.engine.Run(context.Background(), spec)
+	if err != nil {
+		t.Fatalf("storm query 2 failed: %v", err)
+	}
+	checkExact(res2)
+	// Routed around the open breaker: primary attempts fast-failed and the
+	// replicas answered without waiting out another stall.
+	if res2.Exec.Retries == 0 {
+		t.Error("storm query 2: expected fast retries around the open breaker")
+	}
+	if res2.Exec.Hedges != 0 {
+		t.Errorf("storm query 2 hedged %d times; breaker fast-fail should beat the hedge timer", res2.Exec.Hedges)
 	}
 }

@@ -20,6 +20,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"modissense/internal/admit"
 	"modissense/internal/cluster"
 	"modissense/internal/exec"
 	"modissense/internal/faultinject"
@@ -131,6 +132,12 @@ type Engine struct {
 	// injector intercepts read attempts with deterministic faults (tests
 	// and the -faults benchmark).
 	injector atomic.Pointer[faultinject.Injector]
+	// breakers gates read attempts on per-node circuit breakers (nil =
+	// breakers off).
+	breakers atomic.Pointer[admit.BreakerSet]
+	// retryBudget throttles retries+hedges across all concurrent queries
+	// (nil = unthrottled).
+	retryBudget atomic.Pointer[exec.RetryBudget]
 	// hedgeTracker feeds the observed attempt-latency distribution into the
 	// adaptive hedge threshold, shared across queries.
 	hedgeTracker *exec.LatencyTracker
@@ -459,6 +466,12 @@ func (e *Engine) RunConcurrent(ctx context.Context, specs []Spec) ([]*Result, er
 				// query must surface the deadline, not a degraded answer.
 				if cerr := ctx.Err(); cerr != nil {
 					return nil, cerr
+				}
+				// Shedding is an overload verdict, not a region fault: a
+				// shed scatter must surface 503 instead of masquerading as
+				// a degraded-but-OK answer.
+				if errors.Is(rr.Err, exec.ErrShed) {
+					return nil, rr.Err
 				}
 				if pol != nil && pol.AllowDegraded {
 					missing = append(missing, rr.Region.ID)

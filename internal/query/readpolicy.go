@@ -3,6 +3,7 @@ package query
 import (
 	"time"
 
+	"modissense/internal/admit"
 	"modissense/internal/exec"
 	"modissense/internal/faultinject"
 	"modissense/internal/kvstore"
@@ -87,6 +88,31 @@ func (e *Engine) SetFaultInjector(inj *faultinject.Injector) {
 	e.injector.Store(inj)
 }
 
+// SetBreakers installs (or, with nil, removes) the per-node circuit
+// breakers gating every hedged read attempt. Like the injector it only
+// applies to reads executed under a ReadPolicy.
+func (e *Engine) SetBreakers(s *admit.BreakerSet) {
+	e.breakers.Store(s)
+}
+
+// Breakers returns the installed breaker set (nil when breakers are off) —
+// ops surface for the benchmark and tests.
+func (e *Engine) Breakers() *admit.BreakerSet {
+	return e.breakers.Load()
+}
+
+// SetRetryBudget installs (or, with nil, removes) the engine-wide retry
+// budget throttling retries+hedges across all concurrent queries.
+func (e *Engine) SetRetryBudget(b *exec.RetryBudget) {
+	e.retryBudget.Store(b)
+}
+
+// RetryBudget returns the installed engine-wide retry budget (nil when
+// unthrottled) — ops surface for the overload benchmark and tests.
+func (e *Engine) RetryBudget() *exec.RetryBudget {
+	return e.retryBudget.Load()
+}
+
 // readOptions assembles the kvstore fan-out options from the policy, the
 // engine-wide latency tracker and the installed injector.
 func (e *Engine) readOptions(p *ReadPolicy) kvstore.ReadOptions {
@@ -96,6 +122,7 @@ func (e *Engine) readOptions(p *ReadPolicy) kvstore.ReadOptions {
 			BaseBackoff: p.BaseBackoff,
 			MaxBackoff:  p.MaxBackoff,
 			JitterSeed:  p.JitterSeed,
+			Budget:      e.retryBudget.Load(),
 		},
 		Hedge: exec.HedgePolicy{
 			Enabled:  p.HedgeEnabled,
@@ -105,5 +132,6 @@ func (e *Engine) readOptions(p *ReadPolicy) kvstore.ReadOptions {
 			Tracker:  e.hedgeTracker,
 		},
 		Injector: e.injector.Load(),
+		Breakers: e.breakers.Load(),
 	}
 }
