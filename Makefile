@@ -16,9 +16,9 @@ lint-metrics:
 	$(GO) run ./cmd/obs-lint ./...
 
 ## lint-docs fails when an exported identifier in the core engine packages
-## (exec, query, obs, faultinject, admit) lacks a doc comment.
+## (exec, query, obs, faultinject, admit, kvstore) lacks a doc comment.
 lint-docs:
-	$(GO) run ./cmd/doc-lint ./internal/exec ./internal/query ./internal/obs ./internal/faultinject ./internal/admit
+	$(GO) run ./cmd/doc-lint ./internal/exec ./internal/query ./internal/obs ./internal/faultinject ./internal/admit ./internal/kvstore
 
 fmt:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
@@ -51,12 +51,14 @@ bench:
 ## benchmarks still build and run, not their timings — then scrapes
 ## GET /metrics after live API traffic into BENCH_metrics.json, runs the
 ## seeded fault-injection workload into BENCH_faults.json, and runs the
-## overload-protection stall-storm workload into BENCH_overload.json so
-## each run records the fault-tolerance and shedding gates alongside the
-## latency figures.
+## overload-protection stall-storm workload into BENCH_overload.json, and
+## finishes with the write-path ingest workload into BENCH_ingest.json so
+## each run records the fault-tolerance, shedding and group-commit gates
+## alongside the latency figures.
 bench-smoke:
 	$(GO) test ./internal/kvstore -run XXX -bench 'BenchmarkScanPath' -benchmem -benchtime=100x
 	$(GO) test ./internal/query -run XXX -bench 'BenchmarkCoprocessor200' -benchmem -benchtime=100x
 	$(GO) run ./cmd/modissense-bench -exp metrics -quick
 	$(GO) run ./cmd/modissense-bench -exp faults -quick
 	$(GO) run ./cmd/modissense-bench -exp overload -quick
+	$(GO) run ./cmd/modissense-bench -exp ingest -quick

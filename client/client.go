@@ -412,6 +412,54 @@ func (c *Client) PushGPS(fixes []model.GPSFix) (int, error) {
 	return out.Stored, err
 }
 
+// Checkin is one check-in in a batched ingest push.
+type Checkin struct {
+	// POIID references the visited catalog POI.
+	POIID int64 `json:"poi_id"`
+	// Time is the check-in timestamp in milliseconds since epoch.
+	Time int64 `json:"time"`
+	// Grade is the optional sentiment grade on the 1–5 scale (0 = ungraded).
+	Grade float64 `json:"grade,omitempty"`
+	// Network names the social network the check-in came from.
+	Network string `json:"network,omitempty"`
+}
+
+// CheckinError is one rejected item of a batched check-in push: Index is the
+// item's position in the pushed slice, Code the envelope failure class.
+type CheckinError struct {
+	Index   int    `json:"index"`
+	Code    string `json:"code"`
+	Message string `json:"message"`
+}
+
+// BatchResult reports a batched check-in push: how many items the server
+// stored, plus per-item errors for the rejected ones. A partially rejected
+// batch is NOT an error — inspect Errors.
+type BatchResult struct {
+	Stored int            `json:"stored"`
+	Errors []CheckinError `json:"errors"`
+}
+
+// PushCheckins uploads a batch of check-ins for the signed-in user through
+// the batched ingest endpoint (one group-committed store write server-side).
+// Write-class overload answers (503 + Retry-After when the server's memtable
+// pressure is at the stall point, 429 when over the write rate) are retried
+// per the client's RetryPolicy; a still-overloaded error satisfies
+// IsOverloaded, so callers can back off and retry the whole batch safely —
+// the server stored nothing when it shed the request.
+func (c *Client) PushCheckins(checkins []Checkin) (BatchResult, error) {
+	return c.PushCheckinsCtx(context.Background(), checkins)
+}
+
+// PushCheckinsCtx is PushCheckins bound to a caller context.
+func (c *Client) PushCheckinsCtx(ctx context.Context, checkins []Checkin) (BatchResult, error) {
+	var out BatchResult
+	err := c.doCtx(ctx, http.MethodPost, "/api/v1/checkins", map[string]interface{}{
+		"token": c.token, "checkins": checkins,
+	}, &out)
+	return out, err
+}
+
 // Blog is the client view of a stored daily blog.
 type Blog struct {
 	ID       int64  `json:"id"`

@@ -1,0 +1,77 @@
+package main
+
+import (
+	"fmt"
+	"strconv"
+
+	"modissense/internal/bench"
+)
+
+// runIngest drives the write-path experiment: the group-commit WAL against
+// the per-put fsync baseline at equal durability, then a sustained batched
+// check-in stream with concurrent readers against a durable platform whose
+// memtables are shrunk so flush and background compaction run mid-load.
+func runIngest(quick bool) error {
+	cfg := bench.DefaultIngest()
+	if quick {
+		cfg.WALWriters = 8
+		cfg.WALAppendsPerWriter = 40
+		cfg.POIs = 200
+		cfg.Population = 400
+		cfg.Writers = 4
+		cfg.BatchesPerWriter = 8
+		cfg.BatchSize = 25
+		cfg.Readers = 2
+		cfg.ReadsPerReader = 6
+	}
+	fmt.Println("== Ingest: group-commit WAL, batched check-ins, background compaction under load ==")
+	fmt.Printf("wal: %d writers x %d appends; api: %d writers x %d batches x %d check-ins, %d readers\n\n",
+		cfg.WALWriters, cfg.WALAppendsPerWriter, cfg.Writers, cfg.BatchesPerWriter, cfg.BatchSize, cfg.Readers)
+	res, err := bench.RunIngest(cfg)
+	if err != nil {
+		return err
+	}
+
+	rows := make([][]string, 0, len(res.WALModes))
+	for _, m := range res.WALModes {
+		rows = append(rows, []string{
+			m.Mode, strconv.Itoa(m.Writers), strconv.Itoa(m.Appends),
+			fmt.Sprintf("%.2f", m.Seconds), fmt.Sprintf("%.0f", m.AppendsPerSec),
+		})
+	}
+	fmt.Println(bench.RenderTable([]string{"wal-mode", "writers", "appends", "seconds", "appends/s"}, rows))
+	fmt.Printf("group-commit speedup over per-put fsync: %.1fx\n\n", res.WALSpeedup)
+
+	fmt.Println(bench.RenderTable(
+		[]string{"batches", "stored", "write-errs", "reads-ok", "read-errs",
+			"write-p50(ms)", "write-p99(ms)", "read-p50(ms)", "read-p99(ms)"},
+		[][]string{{
+			strconv.Itoa(res.BatchesSent), strconv.Itoa(res.CheckinsStored),
+			strconv.Itoa(res.WriteErrors), strconv.Itoa(res.ReadsOK), strconv.Itoa(res.ReadErrors),
+			fmt.Sprintf("%.1f", res.WriteP50Millis), fmt.Sprintf("%.1f", res.WriteP99Millis),
+			fmt.Sprintf("%.1f", res.ReadP50Millis), fmt.Sprintf("%.1f", res.ReadP99Millis),
+		}}))
+	fmt.Printf("maintenance: flushes=%d background-compactions=%d write-stalls=%d peak-debt=%dB final-debt=%dB\n\n",
+		res.Flushes, res.BackgroundCompactions, res.WriteStalls, res.PeakDebtBytes, res.FinalDebtBytes)
+
+	gate := func(name string, ok bool) {
+		verdict := "PASS"
+		if !ok {
+			verdict = "FAIL"
+		}
+		fmt.Printf("gate %-52s %s\n", name+":", verdict)
+	}
+	gate(fmt.Sprintf("wal: group-commit >= %.0fx per-put at equal durability", cfg.WALSpeedupMin),
+		res.WALSpeedup >= cfg.WALSpeedupMin)
+	gate("ingest: every batch acknowledged, no write errors",
+		res.WriteErrors == 0 && res.CheckinsStored == res.BatchesSent*cfg.BatchSize)
+	gate(fmt.Sprintf("ingest: write p99 <= %s", cfg.WriteP99Budget),
+		res.WriteP99Millis <= cfg.WriteP99Budget.Seconds()*1000)
+	gate(fmt.Sprintf("ingest: read p99 under ingest <= %s", cfg.ReadP99Budget),
+		res.ReadErrors == 0 && res.ReadP99Millis <= cfg.ReadP99Budget.Seconds()*1000)
+	gate("maintenance: flushes ran during the load", res.Flushes > 0)
+	gate("maintenance: compaction debt drained to zero", res.FinalDebtBytes == 0)
+	fmt.Println()
+
+	return writeSeriesJSON("BENCH_ingest.json", res)
+}

@@ -29,7 +29,7 @@ import (
 var outDir string
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: fig2 | fig3 | fig4 | accuracy | ablation-schema | ablation-regions | dbscan | ext-cnb | ext-webservers | ext-topk | metrics | faults | overload | all")
+	exp := flag.String("exp", "all", "experiment: fig2 | fig3 | fig4 | accuracy | ablation-schema | ablation-regions | dbscan | ext-cnb | ext-webservers | ext-topk | metrics | faults | overload | ingest | all")
 	quick := flag.Bool("quick", false, "run reduced sweeps (smaller dataset, fewer points)")
 	scatterWorkers := flag.Int("scatter-workers", 0, "scatter-gather worker-pool size for real region execution (0 = GOMAXPROCS)")
 	out := flag.String("out", ".", "directory for machine-readable BENCH_*.json result files")
@@ -54,8 +54,9 @@ func main() {
 		"metrics":          runMetrics,
 		"faults":           runFaults,
 		"overload":         runOverload,
+		"ingest":           runIngest,
 	}
-	order := []string{"fig2", "fig3", "fig4", "accuracy", "ablation-schema", "ablation-regions", "dbscan", "ext-cnb", "ext-webservers", "ext-topk", "metrics", "faults", "overload"}
+	order := []string{"fig2", "fig3", "fig4", "accuracy", "ablation-schema", "ablation-regions", "dbscan", "ext-cnb", "ext-webservers", "ext-topk", "metrics", "faults", "overload", "ingest"}
 
 	if *exp == "all" {
 		for _, name := range order {

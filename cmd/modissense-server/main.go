@@ -44,6 +44,12 @@ func main() {
 	breakerFailures := flag.Int("breaker-failures", 0, "consecutive node failures that trip a circuit breaker (0 = breakers off)")
 	breakerOpenFor := flag.Duration("breaker-open-for", 0, "base breaker open interval before the first half-open probe (0 = 500ms default)")
 	breakerSlowAfter := flag.Duration("breaker-slow-after", 0, "charge read attempts still running after this duration as failures (0 = off)")
+	walDir := flag.String("wal-dir", "", "directory for the durable visits WAL (empty = in-memory, no recovery)")
+	walSync := flag.String("wal-sync", "os", "WAL durability policy: os (buffered) or group (one fsync per commit group)")
+	compactRate := flag.Float64("compact-rate-mb", 0, "background-compaction I/O cap in MB/s (0 = unlimited)")
+	memtableFlush := flag.Int("memtable-flush-bytes", 0, "per-region memtable size that triggers rotation and background flush (0 = engine default)")
+	writeQPS := flag.Float64("write-qps", 0, "write-class admission rate in requests/s for batched check-ins (0 = no rate limiting)")
+	writeBurst := flag.Int("write-burst", 0, "write-class token-bucket depth (0 = derived from -write-qps)")
 	flag.Parse()
 
 	exec.SetDefaultWorkers(*scatterWorkers)
@@ -67,12 +73,18 @@ func main() {
 	cfg.BreakerFailures = *breakerFailures
 	cfg.BreakerOpenFor = *breakerOpenFor
 	cfg.BreakerSlowAfter = *breakerSlowAfter
+	cfg.WALDir = *walDir
+	cfg.WALSync = *walSync
+	cfg.CompactRateMBps = *compactRate
+	cfg.MemtableFlushBytes = *memtableFlush
+	cfg.WriteQPS = *writeQPS
+	cfg.WriteBurst = *writeBurst
 	if *normalized {
 		cfg.VisitSchema = repos.SchemaNormalized
 	}
 
-	log.Printf("booting platform: %d nodes × %d regions, %d POIs, %d users/network, schema=%s",
-		cfg.Nodes, cfg.RegionsPerNode, cfg.POIs, cfg.NetworkPopulation, cfg.VisitSchema)
+	log.Printf("booting platform: %d nodes × %d regions, %d POIs, %d users/network, schema=%s, wal=%q (sync=%s)",
+		cfg.Nodes, cfg.RegionsPerNode, cfg.POIs, cfg.NetworkPopulation, cfg.VisitSchema, cfg.WALDir, cfg.WALSync)
 	p, err := core.New(cfg)
 	if err != nil {
 		log.Fatalf("boot: %v", err)

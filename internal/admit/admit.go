@@ -29,6 +29,10 @@ const (
 	// wait exceeds the request's remaining deadline); the API maps it
 	// to 503.
 	ReasonDeadline = "deadline"
+	// ReasonPressure marks a write rejected because the store's memtable
+	// pressure is at the stall point (flushing lags ingest); the API maps it
+	// to 503 with a Retry-After so clients back off while flushes drain.
+	ReasonPressure = "pressure"
 )
 
 // Class partitions admission by traffic type. Interactive traffic (search)
@@ -41,19 +45,29 @@ const (
 	Interactive Class = iota
 	// Batch is throughput-oriented analytical traffic.
 	Batch
+	// Write is ingest traffic (check-ins). It has its own token bucket and
+	// is additionally gated on store memtable pressure, so a flush-lagged
+	// store sheds writers at the edge instead of stalling them inside the
+	// write lock.
+	Write
 )
 
 // String names the class; the values double as metric label values.
 func (c Class) String() string {
-	if c == Batch {
+	switch c {
+	case Batch:
 		return "batch"
+	case Write:
+		return "write"
 	}
 	return "interactive"
 }
 
 // Priority maps the admission class onto the exec pool's shedding priority.
+// Writes shed with batch priority: an overloaded service keeps answering
+// interactive searches while ingest backs off and retries.
 func (c Class) Priority() exec.Priority {
-	if c == Batch {
+	if c == Batch || c == Write {
 		return exec.PriorityBatch
 	}
 	return exec.PriorityInteractive
@@ -80,6 +94,21 @@ type Config struct {
 	// BatchQPS/BatchBurst shape the batch bucket.
 	BatchQPS   float64
 	BatchBurst int
+	// WriteQPS/WriteBurst shape the write (ingest) bucket. Burst counts
+	// requests, not cells: a batched check-in push spends one token.
+	WriteQPS   float64
+	WriteBurst int
+	// MemPressure reports the store's write pressure in [0, 1] (1 = the
+	// memtable write path is stalled on flushing); nil disables pressure
+	// admission. Write-class requests are rejected with ReasonPressure when
+	// the reading reaches PressureThreshold.
+	MemPressure func() float64
+	// PressureThreshold is the MemPressure level at which writes shed
+	// (<= 0 defaults to 1: reject only when the store would stall).
+	PressureThreshold float64
+	// PressureRetryAfter is the backoff hint on pressure rejections
+	// (<= 0 defaults to 1s, roughly a background-flush cycle).
+	PressureRetryAfter time.Duration
 	// QueueLen reports the exec pool's live queue depth.
 	QueueLen func() int
 	// Workers is the exec pool's concurrency bound.
@@ -100,6 +129,7 @@ type Controller struct {
 	cfg         Config
 	interactive *bucket
 	batch       *bucket
+	write       *bucket
 }
 
 // NewController builds a controller from the config.
@@ -107,10 +137,17 @@ func NewController(cfg Config) *Controller {
 	if cfg.MinSamples < 1 {
 		cfg.MinSamples = 16
 	}
+	if cfg.PressureThreshold <= 0 {
+		cfg.PressureThreshold = 1
+	}
+	if cfg.PressureRetryAfter <= 0 {
+		cfg.PressureRetryAfter = time.Second
+	}
 	return &Controller{
 		cfg:         cfg,
 		interactive: newBucket(cfg.InteractiveQPS, cfg.InteractiveBurst),
 		batch:       newBucket(cfg.BatchQPS, cfg.BatchBurst),
+		write:       newBucket(cfg.WriteQPS, cfg.WriteBurst),
 	}
 }
 
@@ -125,20 +162,37 @@ func (c *Controller) now() time.Time {
 // Admit decides whether a request of the given class may start.
 // remaining is the request's remaining deadline budget (<= 0 means
 // unbounded, which skips the deadline check). The rate check runs first:
-// a rate-rejected request spends no prediction work at all.
+// a rate-rejected request spends no prediction work at all. Write-class
+// requests skip the deadline predictor (writes do not queue on the exec
+// pool) and are instead gated on memtable pressure.
 func (c *Controller) Admit(class Class, remaining time.Duration) Decision {
 	if c == nil {
 		return Decision{OK: true}
 	}
 	b := c.interactive
-	if class == Batch {
+	switch class {
+	case Batch:
 		b = c.batch
+	case Write:
+		b = c.write
 	}
 	if b != nil {
 		if ok, wait := b.take(c.now()); !ok {
 			countRejected(class, ReasonRate)
 			return Decision{Reason: ReasonRate, RetryAfter: wait}
 		}
+	}
+	if class == Write {
+		if c.cfg.MemPressure != nil {
+			p := c.cfg.MemPressure()
+			mMemPressureX100.Set(int64(p * 100))
+			if p >= c.cfg.PressureThreshold {
+				countRejected(class, ReasonPressure)
+				return Decision{Reason: ReasonPressure, RetryAfter: c.cfg.PressureRetryAfter}
+			}
+		}
+		countAllowed(class)
+		return Decision{OK: true}
 	}
 	if remaining > 0 {
 		if wait, ok := c.PredictedWait(); ok {

@@ -112,7 +112,70 @@ func TestClassPriorityMapping(t *testing.T) {
 	if Interactive.Priority() != exec.PriorityInteractive || Batch.Priority() != exec.PriorityBatch {
 		t.Fatal("class/priority mapping broken")
 	}
-	if Interactive.String() != "interactive" || Batch.String() != "batch" {
+	if Write.Priority() != exec.PriorityBatch {
+		t.Fatal("write class must shed with batch priority")
+	}
+	if Interactive.String() != "interactive" || Batch.String() != "batch" || Write.String() != "write" {
 		t.Fatal("class names broken")
+	}
+}
+
+func TestControllerWriteClass(t *testing.T) {
+	clk := newFakeClock()
+	pressure := 0.0
+	c := NewController(Config{
+		WriteQPS: 10, WriteBurst: 2,
+		MemPressure:        func() float64 { return pressure },
+		PressureRetryAfter: 2 * time.Second,
+		Now:                clk.fn(),
+	})
+	// Write bucket is independent of the (disabled) interactive/batch ones.
+	for i := 0; i < 2; i++ {
+		if d := c.Admit(Write, 0); !d.OK {
+			t.Fatalf("write %d rejected: %+v", i, d)
+		}
+	}
+	if d := c.Admit(Write, 0); d.OK || d.Reason != ReasonRate || d.RetryAfter <= 0 {
+		t.Fatalf("expected write rate rejection, got %+v", d)
+	}
+	clk.advance(time.Second)
+
+	// Below the stall threshold writes pass; at it they shed with the
+	// configured Retry-After.
+	pressure = 0.6
+	if d := c.Admit(Write, 0); !d.OK {
+		t.Fatalf("write under partial pressure rejected: %+v", d)
+	}
+	pressure = 1.0
+	d := c.Admit(Write, 0)
+	if d.OK || d.Reason != ReasonPressure {
+		t.Fatalf("expected pressure rejection, got %+v", d)
+	}
+	if d.RetryAfter != 2*time.Second {
+		t.Fatalf("pressure RetryAfter = %v, want the configured 2s", d.RetryAfter)
+	}
+	// Pressure never gates the other classes.
+	if d := c.Admit(Interactive, 0); !d.OK {
+		t.Fatalf("interactive gated by write pressure: %+v", d)
+	}
+	pressure = 0
+	clk.advance(time.Second) // the pressure-shed request still spent its rate token
+	if d := c.Admit(Write, 0); !d.OK {
+		t.Fatalf("write after pressure drained rejected: %+v", d)
+	}
+}
+
+func TestControllerWriteCustomThreshold(t *testing.T) {
+	c := NewController(Config{
+		MemPressure:       func() float64 { return 0.75 },
+		PressureThreshold: 0.7,
+		Now:               newFakeClock().fn(),
+	})
+	d := c.Admit(Write, 0)
+	if d.OK || d.Reason != ReasonPressure {
+		t.Fatalf("0.75 pressure with 0.7 threshold must shed, got %+v", d)
+	}
+	if d.RetryAfter != time.Second {
+		t.Fatalf("default pressure RetryAfter = %v, want 1s", d.RetryAfter)
 	}
 }

@@ -23,6 +23,18 @@ var (
 		"Requests rejected at admission, by class and reason.",
 		obs.L("class", "batch"), obs.L("reason", "deadline"))
 
+	mAllowedWrite = obs.Default().Counter("admit_allowed_total",
+		"Requests admitted, by priority class.", obs.L("class", "write"))
+	mRejectedWriteRate = obs.Default().Counter("admit_rejected_total",
+		"Requests rejected at admission, by class and reason.",
+		obs.L("class", "write"), obs.L("reason", "rate"))
+	mRejectedWritePressure = obs.Default().Counter("admit_rejected_total",
+		"Requests rejected at admission, by class and reason.",
+		obs.L("class", "write"), obs.L("reason", "pressure"))
+
+	mMemPressureX100 = obs.Default().Gauge("admit_mem_pressure_x100",
+		"Last store write-pressure reading observed at write admission (x100).")
+
 	mWaitPredicted = obs.Default().Histogram("admit_queue_wait_predicted_seconds",
 		"Predicted exec-pool queue wait at admission time.", obs.LatencyBuckets())
 
@@ -40,9 +52,12 @@ var (
 
 // countAllowed bumps the per-class admission counter.
 func countAllowed(c Class) {
-	if c == Batch {
+	switch c {
+	case Batch:
 		mAllowedBatch.Inc()
-	} else {
+	case Write:
+		mAllowedWrite.Inc()
+	default:
 		mAllowedInteractive.Inc()
 	}
 }
@@ -50,6 +65,10 @@ func countAllowed(c Class) {
 // countRejected bumps the per-class, per-reason rejection counter.
 func countRejected(c Class, reason string) {
 	switch {
+	case c == Write && reason == ReasonRate:
+		mRejectedWriteRate.Inc()
+	case c == Write:
+		mRejectedWritePressure.Inc()
 	case c == Batch && reason == ReasonRate:
 		mRejectedBatchRate.Inc()
 	case c == Batch:

@@ -1,0 +1,415 @@
+package bench
+
+import (
+	"bytes"
+	"fmt"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"modissense/client"
+	"modissense/internal/core"
+	"modissense/internal/kvstore"
+)
+
+// IngestConfig parameterizes the write-path experiment. Phase A measures the
+// group-commit WAL against the seed's per-put fsync discipline at equal
+// durability (every acknowledged append is fsynced before its writer
+// returns). Phase B drives a sustained batched check-in stream through the
+// real HTTP stack — durable WAL, small memtables so rotation, flush and
+// size-tiered compaction all run mid-load — with concurrent readers, and
+// checks that the write and read tails stay inside budget and that the
+// compaction debt the load built up drains to zero afterwards.
+type IngestConfig struct {
+	// WALWriters concurrent appenders each append WALAppendsPerWriter cells
+	// of WALValueBytes payload in both durability modes.
+	WALWriters          int
+	WALAppendsPerWriter int
+	WALValueBytes       int
+	// WALSpeedupMin gates group-commit throughput against the per-put
+	// fsync baseline (the issue's >= 5x claim).
+	WALSpeedupMin float64
+
+	// POIs/Population size the platform behind the ingest stream.
+	POIs       int
+	Population int
+	// Writers concurrent clients each push BatchesPerWriter batches of
+	// BatchSize check-ins through POST /api/v1/checkins.
+	Writers          int
+	BatchesPerWriter int
+	BatchSize        int
+	// Readers concurrent clients each run ReadsPerReader personalized
+	// searches while the ingest stream is live.
+	Readers        int
+	ReadsPerReader int
+	// MemtableFlushBytes shrinks the per-region memtable so rotations and
+	// background flushes happen constantly; CompactRateMBps caps the
+	// background merges so the rate limiter is exercised too.
+	MemtableFlushBytes int
+	CompactRateMBps    float64
+	// WriteP99Budget/ReadP99Budget gate the latency tails under ingest.
+	WriteP99Budget time.Duration
+	ReadP99Budget  time.Duration
+	Seed           int64
+}
+
+// DefaultIngest sizes the experiment so flushes and background compactions
+// demonstrably run during the load while the whole thing stays under a
+// minute on a laptop.
+func DefaultIngest() IngestConfig {
+	return IngestConfig{
+		WALWriters:          16,
+		WALAppendsPerWriter: 150,
+		WALValueBytes:       128,
+		WALSpeedupMin:       5,
+		POIs:                300,
+		Population:          600,
+		Writers:             6,
+		BatchesPerWriter:    20,
+		BatchSize:           40,
+		Readers:             4,
+		ReadsPerReader:      15,
+		MemtableFlushBytes:  16 << 10,
+		CompactRateMBps:     8,
+		WriteP99Budget:      300 * time.Millisecond,
+		ReadP99Budget:       750 * time.Millisecond,
+		Seed:                91,
+	}
+}
+
+// IngestWALMode is one durability mode's phase-A measurement.
+type IngestWALMode struct {
+	Mode          string  `json:"mode"`
+	Writers       int     `json:"writers"`
+	Appends       int     `json:"appends"`
+	Seconds       float64 `json:"seconds"`
+	AppendsPerSec float64 `json:"appends_per_sec"`
+}
+
+// IngestResult is the full experiment outcome, JSON-tagged for
+// BENCH_ingest.json.
+type IngestResult struct {
+	// WALModes holds the per-put baseline and the group-commit run;
+	// WALSpeedup is group throughput over per-put throughput.
+	WALModes   []IngestWALMode `json:"wal_equal_durability"`
+	WALSpeedup float64         `json:"wal_group_speedup"`
+
+	// Phase-B tallies. BatchesSent x BatchSize check-ins are pushed;
+	// CheckinsStored counts the server's acknowledgements.
+	BatchesSent    int `json:"batches_sent"`
+	CheckinsStored int `json:"checkins_stored"`
+	WriteErrors    int `json:"write_errors"`
+	ReadsOK        int `json:"reads_ok"`
+	ReadErrors     int `json:"read_errors"`
+	// Latency tails over the successful calls, wall-clock through HTTP.
+	WriteP50Millis float64 `json:"write_p50_ms"`
+	WriteP99Millis float64 `json:"write_p99_ms"`
+	ReadP50Millis  float64 `json:"read_p50_ms"`
+	ReadP99Millis  float64 `json:"read_p99_ms"`
+	// Maintenance counters summed across the Visits table's regions.
+	Flushes               uint64 `json:"flushes"`
+	BackgroundCompactions uint64 `json:"background_compactions"`
+	WriteStalls           uint64 `json:"write_stalls"`
+	// PeakDebtBytes is the largest compaction debt sampled during the load;
+	// FinalDebtBytes is the debt after WaitMaintenance (gated to zero).
+	PeakDebtBytes  int64 `json:"peak_compaction_debt_bytes"`
+	FinalDebtBytes int64 `json:"final_compaction_debt_bytes"`
+}
+
+// RunIngest executes both phases and returns the combined result.
+func RunIngest(cfg IngestConfig) (*IngestResult, error) {
+	if cfg.WALWriters < 1 || cfg.Writers < 1 || cfg.BatchSize < 1 {
+		return nil, fmt.Errorf("bench: ingest experiment needs positive load")
+	}
+	res := &IngestResult{}
+	if err := runIngestWAL(cfg, res); err != nil {
+		return nil, err
+	}
+	if err := runIngestPlatform(cfg, res); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// runIngestWAL measures phase A: the same concurrent append load against a
+// per-put-fsync FileWAL (the seed write path's durability discipline,
+// serialized exactly as the store lock serialized it) and against the
+// group-commit WAL under SyncGroup, where the leader's single fsync covers
+// every writer in the commit group.
+func runIngestWAL(cfg IngestConfig, res *IngestResult) error {
+	dir, err := os.MkdirTemp("", "modissense-ingest-wal")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+
+	value := bytes.Repeat([]byte{'v'}, cfg.WALValueBytes)
+	cell := func(writer, i int) kvstore.Cell {
+		return kvstore.Cell{
+			Row:       fmt.Sprintf("w%03d-%06d", writer, i),
+			Qualifier: "v",
+			Timestamp: int64(i + 1),
+			Value:     value,
+		}
+	}
+	total := cfg.WALWriters * cfg.WALAppendsPerWriter
+
+	// Per-put baseline: one record + one fsync per acknowledged append,
+	// writers serialized by a mutex like the seed's store write lock.
+	perput, err := kvstore.OpenFileWAL(filepath.Join(dir, "perput.wal"))
+	if err != nil {
+		return err
+	}
+	var mu sync.Mutex
+	var firstErr atomic.Value
+	record := func(err error) {
+		if err != nil {
+			firstErr.CompareAndSwap(nil, err)
+		}
+	}
+	start := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < cfg.WALWriters; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < cfg.WALAppendsPerWriter; i++ {
+				mu.Lock()
+				err := perput.Append(cell(w, i))
+				if err == nil {
+					err = perput.Sync()
+				}
+				mu.Unlock()
+				record(err)
+			}
+		}(w)
+	}
+	wg.Wait()
+	perputSec := time.Since(start).Seconds()
+	if err := perput.Close(); err != nil {
+		return err
+	}
+
+	// Group commit at the same durability: Append returns only after the
+	// group's fsync, but concurrent writers share that fsync.
+	group, err := kvstore.OpenGroupCommitWAL(filepath.Join(dir, "group.wal"), kvstore.SyncGroup)
+	if err != nil {
+		return err
+	}
+	start = time.Now()
+	for w := 0; w < cfg.WALWriters; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < cfg.WALAppendsPerWriter; i++ {
+				record(group.Append(cell(w, i)))
+			}
+		}(w)
+	}
+	wg.Wait()
+	groupSec := time.Since(start).Seconds()
+	if err := group.Close(); err != nil {
+		return err
+	}
+	if err, _ := firstErr.Load().(error); err != nil {
+		return err
+	}
+
+	res.WALModes = []IngestWALMode{
+		{Mode: "perput-fsync", Writers: cfg.WALWriters, Appends: total,
+			Seconds: perputSec, AppendsPerSec: float64(total) / perputSec},
+		{Mode: "group-commit", Writers: cfg.WALWriters, Appends: total,
+			Seconds: groupSec, AppendsPerSec: float64(total) / groupSec},
+	}
+	res.WALSpeedup = res.WALModes[1].AppendsPerSec / res.WALModes[0].AppendsPerSec
+	return nil
+}
+
+// runIngestPlatform measures phase B: concurrent batched check-in writers
+// and search readers against one durable platform, then drains maintenance.
+func runIngestPlatform(cfg IngestConfig, res *IngestResult) error {
+	walDir, err := os.MkdirTemp("", "modissense-ingest-plat")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(walDir)
+
+	pcfg := core.DefaultConfig()
+	pcfg.POIs = cfg.POIs
+	pcfg.NetworkPopulation = cfg.Population
+	pcfg.MeanFriends = 12
+	pcfg.ClassifierTrainDocs = 300
+	pcfg.Seed = cfg.Seed
+	pcfg.WALDir = walDir
+	pcfg.WALSync = "group"
+	pcfg.MemtableFlushBytes = cfg.MemtableFlushBytes
+	pcfg.CompactRateMBps = cfg.CompactRateMBps
+	// A high write-QPS ceiling keeps the admission layer (and its
+	// memtable-pressure hook) on the request path without rate-shaping the
+	// load we are trying to measure.
+	pcfg.WriteQPS = 100_000
+	p, err := core.New(pcfg)
+	if err != nil {
+		return err
+	}
+	defer p.Close()
+	since := time.Date(2015, 5, 1, 0, 0, 0, 0, time.UTC)
+	until := time.Date(2015, 5, 8, 0, 0, 0, 0, time.UTC)
+	if _, err := p.Collect(since, until); err != nil {
+		return err
+	}
+	catalog := p.Catalog()
+
+	srv := httptest.NewServer(core.NewHandler(p))
+	defer srv.Close()
+
+	// Sample compaction debt while the load runs.
+	table := p.Visits.Table()
+	stopSampling := make(chan struct{})
+	var samplerDone sync.WaitGroup
+	samplerDone.Add(1)
+	go func() {
+		defer samplerDone.Done()
+		for {
+			select {
+			case <-stopSampling:
+				return
+			case <-time.After(10 * time.Millisecond):
+				if d := tableDebtBytes(table); d > res.PeakDebtBytes {
+					res.PeakDebtBytes = d
+				}
+			}
+		}
+	}()
+
+	var (
+		mu              sync.Mutex
+		writeWall       []float64
+		readWall        []float64
+		stored, wErrors int64
+		readsOK, rErrs  int64
+		wg              sync.WaitGroup
+	)
+	baseMillis := until.UnixMilli()
+	for wi := 0; wi < cfg.Writers; wi++ {
+		wg.Add(1)
+		go func(wi int) {
+			defer wg.Done()
+			cl, err := client.New(srv.URL, srv.Client())
+			if err != nil {
+				atomic.AddInt64(&wErrors, int64(cfg.BatchesPerWriter))
+				return
+			}
+			// Writers honor Retry-After on pressure sheds (capped well below
+			// the server's hint so the bench doesn't stall for seconds).
+			cl.SetRetryPolicy(client.RetryPolicy{MaxRetries: 3, MaxWait: 50 * time.Millisecond, Budget: 64})
+			if _, err := cl.SignIn("facebook", fmt.Sprintf("facebook:%d", wi+1)); err != nil {
+				atomic.AddInt64(&wErrors, int64(cfg.BatchesPerWriter))
+				return
+			}
+			for bi := 0; bi < cfg.BatchesPerWriter; bi++ {
+				batch := make([]client.Checkin, cfg.BatchSize)
+				for i := range batch {
+					poi := catalog[(wi*7919+bi*131+i)%len(catalog)]
+					batch[i] = client.Checkin{
+						POIID:   poi.ID,
+						Time:    baseMillis + int64(bi*cfg.BatchSize+i+1),
+						Grade:   float64((i % 5) + 1),
+						Network: "facebook",
+					}
+				}
+				start := time.Now()
+				r, err := cl.PushCheckins(batch)
+				wall := time.Since(start).Seconds()
+				if err != nil {
+					atomic.AddInt64(&wErrors, 1)
+					continue
+				}
+				atomic.AddInt64(&stored, int64(r.Stored))
+				mu.Lock()
+				writeWall = append(writeWall, wall)
+				mu.Unlock()
+			}
+		}(wi)
+	}
+	for ri := 0; ri < cfg.Readers; ri++ {
+		wg.Add(1)
+		go func(ri int) {
+			defer wg.Done()
+			cl, err := client.New(srv.URL, srv.Client())
+			if err != nil {
+				atomic.AddInt64(&rErrs, int64(cfg.ReadsPerReader))
+				return
+			}
+			if _, err := cl.SignIn("facebook", fmt.Sprintf("facebook:%d", cfg.Writers+ri+1)); err != nil {
+				atomic.AddInt64(&rErrs, int64(cfg.ReadsPerReader))
+				return
+			}
+			friends, err := cl.Friends("")
+			if err != nil {
+				atomic.AddInt64(&rErrs, int64(cfg.ReadsPerReader))
+				return
+			}
+			ids := make([]int64, 0, len(friends))
+			for _, f := range friends {
+				ids = append(ids, f.ID)
+			}
+			for i := 0; i < cfg.ReadsPerReader; i++ {
+				start := time.Now()
+				_, err := cl.Search(client.SearchParams{Friends: ids, From: since, To: until, Limit: 5})
+				wall := time.Since(start).Seconds()
+				if err != nil {
+					atomic.AddInt64(&rErrs, 1)
+					continue
+				}
+				atomic.AddInt64(&readsOK, 1)
+				mu.Lock()
+				readWall = append(readWall, wall)
+				mu.Unlock()
+			}
+		}(ri)
+	}
+	wg.Wait()
+	close(stopSampling)
+	samplerDone.Wait()
+
+	// Drain every queued flush and background compaction, then read the
+	// final debt: the maintenance the load deferred must actually complete.
+	if err := table.WaitMaintenance(); err != nil {
+		return err
+	}
+	res.FinalDebtBytes = tableDebtBytes(table)
+	for _, r := range table.Regions() {
+		st := r.Store().Stats()
+		res.Flushes += st.Flushes
+		res.BackgroundCompactions += st.BackgroundCompactions
+		res.WriteStalls += st.WriteStalls
+	}
+
+	res.BatchesSent = cfg.Writers * cfg.BatchesPerWriter
+	res.CheckinsStored = int(stored)
+	res.WriteErrors = int(wErrors)
+	res.ReadsOK = int(readsOK)
+	res.ReadErrors = int(rErrs)
+	sort.Float64s(writeWall)
+	sort.Float64s(readWall)
+	res.WriteP50Millis = 1000 * percentile(writeWall, 0.50)
+	res.WriteP99Millis = 1000 * percentile(writeWall, 0.99)
+	res.ReadP50Millis = 1000 * percentile(readWall, 0.50)
+	res.ReadP99Millis = 1000 * percentile(readWall, 0.99)
+	return nil
+}
+
+// tableDebtBytes sums the size-tiered compaction debt across a table's
+// regions.
+func tableDebtBytes(t *kvstore.Table) int64 {
+	var debt int64
+	for _, r := range t.Regions() {
+		debt += r.Store().Stats().CompactionDebtBytes
+	}
+	return debt
+}

@@ -375,6 +375,43 @@ func (p *Platform) handleGPS(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]int{"stored": n})
 }
 
+// checkinsRequest is the batched ingest form: one authenticated user pushing
+// many check-ins in a single request.
+type checkinsRequest struct {
+	Token    string        `json:"token"`
+	Checkins []CheckinPush `json:"checkins"`
+}
+
+// checkinsResponse reports a batched push: how many items were stored plus a
+// per-item error list for the rejected ones (absent when every item landed).
+type checkinsResponse struct {
+	Stored int                `json:"stored"`
+	Errors []CheckinItemError `json:"errors,omitempty"`
+}
+
+func (p *Platform) handleCheckins(w http.ResponseWriter, r *http.Request) {
+	var req checkinsRequest
+	if err := decodeBody(r, &req); err != nil {
+		writeErr(w, r, http.StatusBadRequest, err)
+		return
+	}
+	if len(req.Checkins) == 0 {
+		writeErr(w, r, http.StatusBadRequest, fmt.Errorf("core: empty check-in batch"))
+		return
+	}
+	if _, err := p.Users.Authenticate(req.Token); err != nil {
+		writeErr(w, r, http.StatusUnauthorized, err)
+		return
+	}
+	stored, itemErrs, err := p.PushCheckins(req.Token, req.Checkins)
+	if err != nil {
+		// The batch validated but could not be persisted (store failure).
+		writeErr(w, r, http.StatusInternalServerError, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, checkinsResponse{Stored: stored, Errors: itemErrs})
+}
+
 type blogRequest struct {
 	Token string `json:"token"`
 	// Date is a YYYY-MM-DD day.

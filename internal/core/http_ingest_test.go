@@ -1,0 +1,212 @@
+package core
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"modissense/internal/admit"
+	"modissense/internal/model"
+)
+
+// newIngestClient boots a platform with a mutated config and wraps it in the
+// API test client.
+func newIngestClient(t *testing.T, mutate func(*Config)) (*apiClient, *Platform) {
+	t.Helper()
+	cfg := testConfig()
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	p, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { p.Close() })
+	srv := httptest.NewServer(NewHandler(p))
+	t.Cleanup(srv.Close)
+	return &apiClient{t: t, srv: srv}, p
+}
+
+func mustJSON(t *testing.T, v interface{}) string {
+	t.Helper()
+	b, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+func decodeJSONBody(t *testing.T, resp *http.Response, out interface{}) {
+	t.Helper()
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestAPICheckinsBatch drives the batched ingest endpoint: valid items are
+// stored through one batch write, invalid items come back as per-item errors
+// with their batch index, and the usual envelope contract covers the
+// request-level failures.
+func TestAPICheckinsBatch(t *testing.T) {
+	c, p := newIngestClient(t, nil)
+	in := c.signIn("facebook", "facebook:3")
+	poi := p.Catalog()[0]
+
+	var res checkinsResponse
+	code := c.post("/api/v1/checkins", checkinsRequest{
+		Token: in.Token,
+		Checkins: []CheckinPush{
+			{POIID: poi.ID, Time: 1000, Grade: 4, Network: "facebook"},
+			{POIID: 999999, Time: 2000, Network: "facebook"},
+			{POIID: poi.ID, Time: 3000, Grade: 3.5, Network: "twitter"},
+			{POIID: poi.ID, Time: -5, Network: "facebook"},
+			{POIID: poi.ID, Time: 4000, Grade: 9, Network: "facebook"},
+		},
+	}, &res)
+	if code != http.StatusOK {
+		t.Fatalf("checkins status = %d, want 200", code)
+	}
+	if res.Stored != 2 {
+		t.Errorf("stored = %d, want 2", res.Stored)
+	}
+	if len(res.Errors) != 3 {
+		t.Fatalf("item errors = %+v, want 3", res.Errors)
+	}
+	wantErrs := map[int]string{1: "not_found", 3: "bad_request", 4: "bad_request"}
+	for _, e := range res.Errors {
+		if wantErrs[e.Index] != e.Code {
+			t.Errorf("item %d error code = %q (%s), want %q", e.Index, e.Code, e.Message, wantErrs[e.Index])
+		}
+		if e.Message == "" {
+			t.Errorf("item %d error has no message", e.Index)
+		}
+	}
+
+	// The stored items are immediately visible on the user's visit scan.
+	var got []model.Visit
+	if err := p.Visits.ScanUser(in.UserID, 0, 10_000, func(v model.Visit) bool {
+		got = append(got, v)
+		return true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("scanned %d visits, want the 2 stored check-ins", len(got))
+	}
+	for _, v := range got {
+		if v.POI.ID != poi.ID || v.UserID != in.UserID {
+			t.Errorf("stored visit = %+v, want poi %d / user %d", v, poi.ID, in.UserID)
+		}
+	}
+
+	// Request-level failures keep the envelope contract.
+	var env apiError
+	if code := c.post("/api/v1/checkins", checkinsRequest{Token: "bogus",
+		Checkins: []CheckinPush{{POIID: poi.ID, Time: 1}}}, &env); code != http.StatusUnauthorized {
+		t.Errorf("bad token status = %d, want 401", code)
+	}
+	if code := c.post("/api/v1/checkins", checkinsRequest{Token: in.Token}, &env); code != http.StatusBadRequest {
+		t.Errorf("empty batch status = %d, want 400", code)
+	}
+	resp, err := http.Post(c.srv.URL+"/api/v1/checkins", "application/json", strings.NewReader("{broken"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("malformed body status = %d, want 400", resp.StatusCode)
+	}
+	// The endpoint is v1-only: no deprecated /api alias.
+	if code := c.post("/api/checkins", checkinsRequest{Token: in.Token,
+		Checkins: []CheckinPush{{POIID: poi.ID, Time: 1}}}, nil); code != http.StatusNotFound {
+		t.Errorf("legacy alias status = %d, want 404", code)
+	}
+}
+
+// TestAPICheckinsShedsOnPressure pins the backpressure contract: when the
+// store's write pressure is at the stall point, the write class answers 503
+// with code "overloaded" and a Retry-After hint, before any work runs.
+func TestAPICheckinsShedsOnPressure(t *testing.T) {
+	c, p := newIngestClient(t, nil)
+	in := c.signIn("facebook", "facebook:3")
+	poi := p.Catalog()[0]
+
+	pressure := 1.0
+	p.Admission = admit.NewController(admit.Config{
+		MemPressure: func() float64 { return pressure },
+	})
+	body := checkinsRequest{Token: in.Token, Checkins: []CheckinPush{{POIID: poi.ID, Time: 1000}}}
+
+	resp, err := http.Post(c.srv.URL+"/api/v1/checkins", "application/json", strings.NewReader(mustJSON(t, body)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("pressured checkins status = %d, want 503", resp.StatusCode)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra == "" || ra == "0" {
+		t.Errorf("Retry-After = %q, want a positive backoff hint", ra)
+	}
+	var env apiError
+	decodeJSONBody(t, resp, &env)
+	if env.Error.Code != "overloaded" || !strings.Contains(env.Error.Message, admit.ReasonPressure) {
+		t.Errorf("envelope = %+v, want overloaded/pressure", env)
+	}
+
+	// Pressure gates only the write class; a search still runs.
+	var out apiError
+	if code := c.post("/api/v1/search", searchJSON{Token: in.Token, Limit: 1}, &out); code != http.StatusOK {
+		t.Errorf("search under write pressure status = %d, want 200", code)
+	}
+
+	// Draining pressure reopens ingest.
+	pressure = 0
+	var res checkinsResponse
+	if code := c.post("/api/v1/checkins", body, &res); code != http.StatusOK || res.Stored != 1 {
+		t.Errorf("post-drain checkins = %d/%+v, want 200 with 1 stored", code, res)
+	}
+}
+
+// TestDurableCheckinsSurviveReboot: a platform booted with a WAL dir replays
+// pushed check-ins after a restart.
+func TestDurableCheckinsSurviveReboot(t *testing.T) {
+	walDir := t.TempDir()
+	mutate := func(cfg *Config) {
+		cfg.WALDir = walDir
+		cfg.WALSync = "group"
+	}
+	c, p := newIngestClient(t, mutate)
+	in := c.signIn("facebook", "facebook:3")
+	poi := p.Catalog()[0]
+	var res checkinsResponse
+	if code := c.post("/api/v1/checkins", checkinsRequest{Token: in.Token, Checkins: []CheckinPush{
+		{POIID: poi.ID, Time: 1000, Grade: 5, Network: "facebook"},
+		{POIID: poi.ID, Time: 2000, Grade: 4, Network: "facebook"},
+	}}, &res); code != http.StatusOK || res.Stored != 2 {
+		t.Fatalf("checkins = %d/%+v", code, res)
+	}
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	cfg := testConfig()
+	mutate(&cfg)
+	re, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	count := 0
+	if err := re.Visits.ScanUser(in.UserID, 0, 10_000, func(v model.Visit) bool {
+		count++
+		return true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if count != 2 {
+		t.Fatalf("replayed %d check-ins after reboot, want 2", count)
+	}
+}

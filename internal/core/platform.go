@@ -10,6 +10,8 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"os"
+	"path/filepath"
 	"time"
 
 	"modissense/internal/admit"
@@ -114,6 +116,26 @@ type Config struct {
 	// hedge threshold or stalled attempts are canceled before they are
 	// charged.
 	BreakerSlowAfter time.Duration
+	// WALDir, when non-empty, makes the Visits table durable: every write is
+	// group-committed to WALDir/visits.wal before it applies, and booting
+	// over an existing log replays it. Empty keeps the seed's in-memory
+	// behaviour.
+	WALDir string
+	// WALSync picks the WAL durability policy: "os" (default; buffered
+	// writes) or "group" (one fsync per commit group).
+	WALSync string
+	// CompactRateMBps caps background-compaction I/O across the Visits
+	// regions in MB/s (0 = unlimited).
+	CompactRateMBps float64
+	// MemtableFlushBytes overrides the per-region memtable flush threshold
+	// (0 keeps the kvstore default).
+	MemtableFlushBytes int
+	// WriteQPS, when > 0, rate-limits the write class (the batched check-in
+	// endpoint) at admission; tokens are per request, not per cell.
+	WriteQPS float64
+	// WriteBurst is the write token-bucket depth (0 derives it from
+	// WriteQPS).
+	WriteBurst int
 }
 
 // DefaultConfig returns a demo-scale platform: big enough to exercise
@@ -178,6 +200,15 @@ func (c Config) Validate() error {
 	if c.BreakerFailures < 0 || c.BreakerOpenFor < 0 || c.BreakerSlowAfter < 0 {
 		return fmt.Errorf("core: negative breaker parameters")
 	}
+	if _, err := kvstore.ParseSyncPolicy(c.WALSync); err != nil {
+		return err
+	}
+	if c.CompactRateMBps < 0 || c.MemtableFlushBytes < 0 {
+		return fmt.Errorf("core: negative compaction rate/flush threshold")
+	}
+	if c.WriteQPS < 0 || c.WriteBurst < 0 {
+		return fmt.Errorf("core: negative write admission rate/burst")
+	}
 	return nil
 }
 
@@ -233,9 +264,25 @@ func New(cfg Config) (*Platform, error) {
 	}
 	kvOpts := kvstore.DefaultStoreOptions()
 	kvOpts.Seed = cfg.Seed
-	maxUser := int64(cfg.NetworkPopulation) * 4 // headroom for platform accounts
+	if cfg.MemtableFlushBytes > 0 {
+		kvOpts.FlushThresholdBytes = cfg.MemtableFlushBytes
+	}
+	if cfg.CompactRateMBps > 0 {
+		kvOpts.CompactionRate = kvstore.NewRateLimiter(int(cfg.CompactRateMBps * 1e6))
+	}
+	kvOpts.WALSyncPolicy, _ = kvstore.ParseSyncPolicy(cfg.WALSync) // Validate already vetted it
+	maxUser := int64(cfg.NetworkPopulation) * 4                    // headroom for platform accounts
 	regions := cfg.Nodes * cfg.RegionsPerNode
-	if p.Visits, err = repos.NewVisitsRepo(cfg.VisitSchema, maxUser, regions, cfg.Nodes, kvOpts); err != nil {
+	if cfg.WALDir != "" {
+		if err := os.MkdirAll(cfg.WALDir, 0o755); err != nil {
+			return nil, fmt.Errorf("core: wal dir: %w", err)
+		}
+		p.Visits, err = repos.NewDurableVisitsRepo(cfg.VisitSchema, maxUser, regions, cfg.Nodes, kvOpts,
+			filepath.Join(cfg.WALDir, "visits.wal"))
+	} else {
+		p.Visits, err = repos.NewVisitsRepo(cfg.VisitSchema, maxUser, regions, cfg.Nodes, kvOpts)
+	}
+	if err != nil {
 		return nil, err
 	}
 	if p.SocialInfo, err = repos.NewSocialInfoRepo(maxUser, regions, cfg.Nodes, kvOpts); err != nil {
@@ -329,24 +376,37 @@ func New(cfg Config) (*Platform, error) {
 	if cfg.ExecQueueCap > 0 {
 		pool.SetQueueCap(cfg.ExecQueueCap)
 	}
-	if cfg.AdmitQPS > 0 || cfg.ExecQueueCap > 0 {
-		runTimes := exec.NewLatencyTracker(0)
-		pool.SetRunTracker(runTimes)
-		burst := cfg.AdmitBurst
-		if burst < 1 {
-			burst = int(math.Ceil(cfg.AdmitQPS))
+	if cfg.AdmitQPS > 0 || cfg.ExecQueueCap > 0 || cfg.WriteQPS > 0 {
+		writeBurst := cfg.WriteBurst
+		if writeBurst < 1 {
+			writeBurst = int(math.Ceil(cfg.WriteQPS))
 		}
-		p.Admission = admit.NewController(admit.Config{
-			InteractiveQPS:   cfg.AdmitQPS,
-			InteractiveBurst: burst,
+		acfg := admit.Config{
+			WriteQPS:   cfg.WriteQPS,
+			WriteBurst: writeBurst,
+			// Write admission watches the Visits table's hottest region: when
+			// flushing lags ingest to the stall point, check-in pushes answer
+			// 503 + Retry-After instead of blocking inside the write lock.
+			MemPressure: p.Visits.Table().WritePressure,
+		}
+		if cfg.AdmitQPS > 0 || cfg.ExecQueueCap > 0 {
+			runTimes := exec.NewLatencyTracker(0)
+			pool.SetRunTracker(runTimes)
+			burst := cfg.AdmitBurst
+			if burst < 1 {
+				burst = int(math.Ceil(cfg.AdmitQPS))
+			}
+			acfg.InteractiveQPS = cfg.AdmitQPS
+			acfg.InteractiveBurst = burst
 			// Batch runs at half the interactive rate: under pressure the
 			// analytical routes are the first to be shed.
-			BatchQPS:   cfg.AdmitQPS / 2,
-			BatchBurst: max(1, burst/2),
-			QueueLen:   pool.QueueLen,
-			Workers:    pool.Workers(),
-			RunTime:    runTimes,
-		})
+			acfg.BatchQPS = cfg.AdmitQPS / 2
+			acfg.BatchBurst = max(1, burst/2)
+			acfg.QueueLen = pool.QueueLen
+			acfg.Workers = pool.Workers()
+			acfg.RunTime = runTimes
+		}
+		p.Admission = admit.NewController(acfg)
 	}
 	if cfg.RetryBudgetRatio > 0 {
 		// Burst of 10 lets short failure blips retry freely; only a
@@ -366,6 +426,20 @@ func New(cfg Config) (*Platform, error) {
 
 // Config returns the boot configuration.
 func (p *Platform) Config() Config { return p.cfg }
+
+// Close drains the Visits table's background maintenance and releases its
+// WAL (a no-op for non-durable platforms). The platform must not serve
+// requests afterwards.
+func (p *Platform) Close() error {
+	if p.Visits == nil {
+		return nil
+	}
+	if err := p.Visits.Table().WaitMaintenance(); err != nil {
+		p.Visits.Table().Close()
+		return err
+	}
+	return p.Visits.Table().Close()
+}
 
 // Catalog returns the generated POI catalog.
 func (p *Platform) Catalog() []model.POI { return p.catalog }
@@ -436,6 +510,72 @@ func (p *Platform) Trending(ctx context.Context, bbox *geo.Rect, friends []int64
 		ToMillis:   model.Millis(to),
 		Limit:      limit,
 	})
+}
+
+// CheckinPush is one check-in in a batched ingest request.
+type CheckinPush struct {
+	// POIID references the visited catalog POI.
+	POIID int64 `json:"poi_id"`
+	// Time is the check-in timestamp in milliseconds since epoch.
+	Time int64 `json:"time"`
+	// Grade is the optional sentiment grade on the 1–5 scale (0 = ungraded).
+	Grade float64 `json:"grade"`
+	// Network names the social network the check-in came from.
+	Network string `json:"network"`
+}
+
+// CheckinItemError reports one rejected item of a batched check-in push.
+type CheckinItemError struct {
+	// Index is the item's position in the request batch.
+	Index int `json:"index"`
+	// Code is the envelope failure-class enum value for this item.
+	Code string `json:"code"`
+	// Message is the human-readable reason.
+	Message string `json:"message"`
+}
+
+// PushCheckins ingests a batch of check-ins for the authenticated user
+// through one batched store write (one WAL commit-group slot for the whole
+// batch). Invalid items — unknown POI, non-positive timestamp, out-of-range
+// grade — are reported per item and do not fail the rest of the batch; the
+// returned count covers stored items only. A store-level failure (the batch
+// could not be persisted) is returned as the error.
+func (p *Platform) PushCheckins(token string, items []CheckinPush) (int, []CheckinItemError, error) {
+	uid, err := p.Users.Authenticate(token)
+	if err != nil {
+		return 0, nil, err
+	}
+	visits := make([]model.Visit, 0, len(items))
+	var itemErrs []CheckinItemError
+	for i, it := range items {
+		poi, ok := p.POIs.Get(it.POIID)
+		if !ok {
+			itemErrs = append(itemErrs, CheckinItemError{Index: i, Code: codeNotFound,
+				Message: fmt.Sprintf("core: no POI %d", it.POIID)})
+			continue
+		}
+		if it.Time <= 0 {
+			itemErrs = append(itemErrs, CheckinItemError{Index: i, Code: codeBadRequest,
+				Message: fmt.Sprintf("core: non-positive timestamp %d", it.Time)})
+			continue
+		}
+		if it.Grade < 0 || it.Grade > 5 {
+			itemErrs = append(itemErrs, CheckinItemError{Index: i, Code: codeBadRequest,
+				Message: fmt.Sprintf("core: grade %g out of the 0-5 range", it.Grade)})
+			continue
+		}
+		visits = append(visits, model.Visit{
+			UserID:  uid,
+			Time:    it.Time,
+			Grade:   it.Grade,
+			Network: it.Network,
+			POI:     poi,
+		})
+	}
+	if err := p.Visits.StoreBatch(visits); err != nil {
+		return 0, itemErrs, err
+	}
+	return len(visits), itemErrs, nil
 }
 
 // PushGPS ingests GPS fixes for the authenticated user (overriding the

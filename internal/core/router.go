@@ -57,6 +57,8 @@ var routeTable = []route{
 		handler: func(p *Platform) http.HandlerFunc { return p.handleTrending }},
 	{method: "GET", path: "/pois/{id}", label: obs.L("route", "poi"), handler: func(p *Platform) http.HandlerFunc { return p.handlePOI }},
 	{method: "POST", path: "/gps", label: obs.L("route", "gps"), handler: func(p *Platform) http.HandlerFunc { return p.handleGPS }},
+	{method: "POST", path: "/checkins", label: obs.L("route", "checkins"), v1Only: true, admitted: true, class: admit.Write,
+		handler: func(p *Platform) http.HandlerFunc { return p.handleCheckins }},
 	{method: "POST", path: "/blog/generate", label: obs.L("route", "blog_generate"), handler: func(p *Platform) http.HandlerFunc { return p.handleBlogGenerate }},
 	{method: "GET", path: "/blog", label: obs.L("route", "blog_get"), handler: func(p *Platform) http.HandlerFunc { return p.handleBlogGet }},
 	{method: "GET", path: "/blogs", label: obs.L("route", "blog_list"), handler: func(p *Platform) http.HandlerFunc { return p.handleBlogList }},

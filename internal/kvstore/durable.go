@@ -1,8 +1,8 @@
 package kvstore
 
 import (
+	"errors"
 	"fmt"
-	"sync"
 )
 
 // Durable tables: a table-level write-ahead log shared by all regions.
@@ -11,18 +11,11 @@ import (
 // routing on startup — so recovery is correct across any pre-split layout
 // and even across region splits (replayed cells simply route to whatever
 // region owns the key now).
-
-// tableWAL serializes appends from concurrent region writers.
-type tableWAL struct {
-	mu  sync.Mutex
-	wal *FileWAL
-}
-
-func (w *tableWAL) append(c Cell) error {
-	w.mu.Lock()
-	defer w.mu.Unlock()
-	return w.wal.Append(c)
-}
+//
+// The log is a GroupCommitWAL: concurrent writers share commit groups, so
+// the table pays one buffered write (and, under SyncGroup, one fsync) per
+// group rather than per put. StoreOptions.WALSyncPolicy picks the policy;
+// the default SyncOS matches the seed FileWAL durability.
 
 // OpenDurableTable opens (creating if absent) the WAL at walPath, builds a
 // table with the given pre-splits, replays every logged mutation into it,
@@ -45,11 +38,11 @@ func OpenDurableTable(name string, splitKeys []string, nodes int, opts StoreOpti
 	if err != nil {
 		return nil, fmt.Errorf("kvstore: replay %q: %w", walPath, err)
 	}
-	w, err := OpenFileWAL(walPath)
+	w, err := OpenGroupCommitWAL(walPath, opts.WALSyncPolicy)
 	if err != nil {
 		return nil, err
 	}
-	t.wal = &tableWAL{wal: w}
+	t.wal = w
 	return t, nil
 }
 
@@ -61,20 +54,29 @@ func (t *Table) Close() error {
 	if t.wal == nil {
 		return nil
 	}
-	err := t.wal.wal.Close()
+	err := t.wal.Close()
 	t.wal = nil
 	return err
 }
 
-// Sync flushes buffered WAL appends to stable storage (no-op for
-// non-durable tables).
+// Sync flushes buffered WAL appends to stable storage and surfaces any
+// pending background-flush failure from the region stores — a put whose
+// memtable later failed to flush is not durable in segment form, and a Sync
+// that ignored that would report clean when data is at risk. Both error
+// sources are joined; non-durable tables only report flush errors.
 func (t *Table) Sync() error {
 	t.mu.RLock()
 	defer t.mu.RUnlock()
-	if t.wal == nil {
-		return nil
+	var errs []error
+	for _, r := range t.regions {
+		if err := r.Store().FlushError(); err != nil {
+			errs = append(errs, fmt.Errorf("kvstore: region %d: %w", r.ID, err))
+		}
 	}
-	t.wal.mu.Lock()
-	defer t.wal.mu.Unlock()
-	return t.wal.wal.Sync()
+	if t.wal != nil {
+		if err := t.wal.Sync(); err != nil {
+			errs = append(errs, err)
+		}
+	}
+	return errors.Join(errs...)
 }

@@ -24,6 +24,28 @@ var (
 	mWALAppends = obs.Default().Counter("kvstore_wal_appends_total", "Records appended to a file-backed WAL.")
 	mWALSyncs   = obs.Default().Counter("kvstore_wal_syncs_total", "File-backed WAL syncs to stable storage.")
 
+	mWALBatchRecords = obs.Default().Counter("kvstore_wal_batch_records_total",
+		"Batched records written to a file-backed WAL (one per multi-cell batch or commit group).")
+	mWALGroupCommits = obs.Default().Counter("kvstore_wal_group_commits_total",
+		"Commit groups written by group-commit WALs.")
+	mWALGroupCells = obs.Default().Counter("kvstore_wal_group_cells_total",
+		"Cells carried by group-commit groups (divide by group commits for the mean group size).")
+
+	mWriteStalls = obs.Default().Counter("kvstore_write_stalls_total",
+		"Writes that blocked because the immutable-memtable backlog was full (flush lagging ingest).")
+	mBgCompactions = obs.Default().Counter("kvstore_background_compactions_total",
+		"Size-tiered background compactions (majors are counted by kvstore_compactions_total).")
+	mCompactionDebt = obs.Default().Gauge("kvstore_compaction_debt_bytes",
+		"Bytes in segment tiers currently eligible for background compaction (all stores).")
+	mWriteAmp = obs.Default().Gauge("kvstore_write_amplification_x100",
+		"Bytes written by flushes and compactions per byte ingested, ×100 (all stores).")
+	mBytesIngested = obs.Default().Counter("kvstore_bytes_ingested_total",
+		"Approximate bytes of cells applied to memtables.")
+	mBytesFlushed = obs.Default().Counter("kvstore_bytes_flushed_total",
+		"Approximate bytes of cells written into segments by memtable flushes.")
+	mBytesCompacted = obs.Default().Counter("kvstore_bytes_compacted_total",
+		"Approximate bytes of cells rewritten by compactions (background and major).")
+
 	mReplicationLag = obs.Default().Gauge("kvstore_replication_lag_entries",
 		"Primary mutations not yet WAL-shipped to region read replicas (all tables).")
 	mReplicationShipped = obs.Default().Counter("kvstore_replication_shipped_total",

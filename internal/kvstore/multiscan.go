@@ -69,8 +69,11 @@ func (s *segment) overlapsRanges(ranges []ScanRange) bool {
 // iterators and the number of segments pruned (observability for tests and
 // benchmarks). Caller holds s.mu.
 func (s *Store) multiScanIteratorsLocked(ranges []ScanRange, start *Cell) ([]cellIterator, int) {
-	its := make([]cellIterator, 0, len(s.segments)+1)
+	its := make([]cellIterator, 0, len(s.segments)+len(s.imm)+1)
 	its = append(its, s.mem.iterator(start))
+	for i := len(s.imm) - 1; i >= 0; i-- {
+		its = append(its, s.imm[i].iterator(start))
+	}
 	pruned := 0
 	for i := len(s.segments) - 1; i >= 0; i-- {
 		if !s.segments[i].overlapsRanges(ranges) {

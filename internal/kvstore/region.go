@@ -114,8 +114,9 @@ type Table struct {
 	nextID  int
 	nodes   int
 	// wal, when non-nil, logs every mutation before it applies (durable
-	// tables; see OpenDurableTable).
-	wal *tableWAL
+	// tables; see OpenDurableTable). Group commit batches the concurrent
+	// region writers' appends into shared commit groups.
+	wal *GroupCommitWAL
 	// replicas/shipBatch are the read-replication settings; zero replicas
 	// means replication is off (see EnableReplication).
 	replicas  int
@@ -235,7 +236,7 @@ func (t *Table) Put(row, qualifier string, timestamp int64, value []byte) error 
 	t.mu.RLock()
 	defer t.mu.RUnlock()
 	if t.wal != nil {
-		if err := t.wal.append(Cell{Row: row, Qualifier: qualifier, Timestamp: timestamp, Value: value}); err != nil {
+		if err := t.wal.Append(Cell{Row: row, Qualifier: qualifier, Timestamp: timestamp, Value: value}); err != nil {
 			return fmt.Errorf("kvstore: table wal: %w", err)
 		}
 	}
@@ -244,6 +245,69 @@ func (t *Table) Put(row, qualifier string, timestamp int64, value []byte) error 
 		return err
 	}
 	return r.shipMutation(Cell{Row: row, Qualifier: qualifier, Timestamp: timestamp, Value: value})
+}
+
+// PutBatch routes a batch of versioned writes in one pass: one WAL batch
+// append (group-commit capable — the whole batch costs one commit-group
+// slot), then runs of cells owned by the same region apply under one store
+// lock acquisition. Cells apply in input order; on error the batch may be
+// partially applied (the WAL holds it all, so recovery replays every cell).
+// Row keys are validated before anything is logged or applied.
+func (t *Table) PutBatch(cells []Cell) error {
+	if len(cells) == 0 {
+		return nil
+	}
+	for i := range cells {
+		if cells[i].Row == "" {
+			return fmt.Errorf("kvstore: empty row key in batch item %d", i)
+		}
+	}
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	if t.wal != nil {
+		if err := t.wal.AppendBatch(cells); err != nil {
+			return fmt.Errorf("kvstore: table wal: %w", err)
+		}
+	}
+	for lo := 0; lo < len(cells); {
+		r := t.regionFor(cells[lo].Row)
+		hi := lo + 1
+		for hi < len(cells) && t.regionFor(cells[hi].Row) == r {
+			hi++
+		}
+		run := cells[lo:hi]
+		if err := r.store.ApplyBatch(run); err != nil {
+			return err
+		}
+		if err := r.shipMutations(run); err != nil {
+			return err
+		}
+		lo = hi
+	}
+	return nil
+}
+
+// WritePressure returns the table's hottest region's write pressure (0 =
+// idle, 1 = stalled) — the admission layer's memtable-pressure signal.
+func (t *Table) WritePressure() float64 {
+	p := 0.0
+	for _, r := range t.Regions() {
+		if v := r.Store().WritePressure(); v > p {
+			p = v
+		}
+	}
+	return p
+}
+
+// WaitMaintenance blocks until every region's background flush and
+// compaction work is drained (see Store.WaitMaintenance).
+func (t *Table) WaitMaintenance() error {
+	for _, r := range t.Regions() {
+		if err := r.Store().WaitMaintenance(); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // Delete routes a tombstone to the owning region, logging it first on
@@ -255,7 +319,7 @@ func (t *Table) Delete(row, qualifier string, timestamp int64) error {
 	t.mu.RLock()
 	defer t.mu.RUnlock()
 	if t.wal != nil {
-		if err := t.wal.append(Cell{Row: row, Qualifier: qualifier, Timestamp: timestamp, Tombstone: true}); err != nil {
+		if err := t.wal.Append(Cell{Row: row, Qualifier: qualifier, Timestamp: timestamp, Tombstone: true}); err != nil {
 			return fmt.Errorf("kvstore: table wal: %w", err)
 		}
 	}

@@ -46,6 +46,20 @@ func (rs *replicaSet) append(c Cell) error {
 	return rs.shipLocked()
 }
 
+// appendBatch records a batch of primary mutations into the shipping log
+// under one lock acquisition, shipping when the batch threshold is reached.
+func (rs *replicaSet) appendBatch(cells []Cell) error {
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	rs.pending = append(rs.pending, cells...)
+	rs.seq += uint64(len(cells))
+	mReplicationLag.Add(int64(len(cells)))
+	if len(rs.pending) < rs.batch {
+		return nil
+	}
+	return rs.shipLocked()
+}
+
 // shipLocked applies every pending mutation to every replica and advances
 // the shipped watermark. Caller holds rs.mu.
 func (rs *replicaSet) shipLocked() error {
@@ -231,6 +245,15 @@ func (t *Table) ReplicationLag() uint64 {
 func (r *Region) shipMutation(c Cell) error {
 	if rs := r.replicaSet(); rs != nil {
 		return rs.append(c)
+	}
+	return nil
+}
+
+// shipMutations forwards a run of applied primary mutations into the owning
+// region's shipping log. Called with t.mu read-held from PutBatch.
+func (r *Region) shipMutations(cells []Cell) error {
+	if rs := r.replicaSet(); rs != nil {
+		return rs.appendBatch(cells)
 	}
 	return nil
 }

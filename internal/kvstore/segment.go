@@ -20,6 +20,9 @@ type segment struct {
 	// segments disjoint from the requested ranges — the range-read analogue
 	// of the point-read Bloom filter.
 	minRow, maxRow string
+	// bytes is the approximate cell footprint, the size-tiered compaction
+	// policy's input (mirrors the memtable's accounting).
+	bytes int
 }
 
 // newSegment wraps a cell slice that must already be sorted by compareCells.
@@ -33,6 +36,9 @@ func newSegment(id uint64, cells []Cell) (*segment, error) {
 	if len(cells) > 0 {
 		seg.minRow = cells[0].Row
 		seg.maxRow = cells[len(cells)-1].Row
+	}
+	for i := range cells {
+		seg.bytes += len(cells[i].Row) + len(cells[i].Qualifier) + len(cells[i].Value) + 16
 	}
 	distinctRows := 0
 	for i := range cells {

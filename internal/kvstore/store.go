@@ -9,41 +9,76 @@ import (
 	"modissense/internal/obs"
 )
 
+// DefaultMaxImmutableMemtables is the rotated-memtable backlog a store
+// tolerates before writers stall waiting for the background flusher.
+const DefaultMaxImmutableMemtables = 2
+
 // StoreOptions tune a single store (one region's backing storage).
 type StoreOptions struct {
-	// FlushThresholdBytes flushes the memtable to an immutable segment once
+	// FlushThresholdBytes rotates the memtable into the flush backlog once
 	// its approximate footprint exceeds this many bytes.
 	FlushThresholdBytes int
-	// CompactionTrigger compacts all segments into one when their count
-	// reaches this value.
+	// CompactionTrigger is the run length of adjacent similar-sized segments
+	// that makes a background compaction eligible; explicit Flush also
+	// full-compacts when the total segment count reaches it.
 	CompactionTrigger int
 	// WAL receives every mutation; defaults to NopWAL.
 	WAL WAL
 	// Seed pins the memtable skiplist randomness for determinism.
 	Seed int64
+	// MaxImmutableMemtables caps the rotated-but-unflushed memtable backlog;
+	// 0 means DefaultMaxImmutableMemtables. Writers hitting the cap stall
+	// until the flusher drains (see Stats.WriteStalls and WritePressure).
+	MaxImmutableMemtables int
+	// CompactionRate throttles background compaction bandwidth; the limiter
+	// may be shared across stores (all regions of a table). Nil = unlimited.
+	CompactionRate *RateLimiter
+	// WALSyncPolicy selects the group-commit durability of a durable table's
+	// log (see OpenDurableTable); region stores themselves ignore it.
+	WALSyncPolicy SyncPolicy
 }
 
 // DefaultStoreOptions returns sensible defaults for simulation workloads.
 func DefaultStoreOptions() StoreOptions {
 	return StoreOptions{
-		FlushThresholdBytes: 8 << 20,
-		CompactionTrigger:   6,
-		WAL:                 NopWAL{},
-		Seed:                1,
+		FlushThresholdBytes:   8 << 20,
+		CompactionTrigger:     6,
+		WAL:                   NopWAL{},
+		Seed:                  1,
+		MaxImmutableMemtables: DefaultMaxImmutableMemtables,
 	}
 }
 
-// Store is one LSM tree: a mutable memtable over a stack of immutable
-// sorted segments. It is safe for concurrent use.
+// Store is one LSM tree: a mutable memtable over rotated immutable
+// memtables awaiting flush over a stack of immutable sorted segments.
+// Memtable flushes and segment compactions run on background goroutines
+// (single-flight each), so writers pay neither; a full flush backlog stalls
+// writers until the flusher catches up. Safe for concurrent use.
 type Store struct {
-	mu       sync.RWMutex
-	opts     StoreOptions
-	mem      *memtable
-	segments []*segment // newest last
-	nextSeg  uint64
-	puts     uint64
-	flushes  uint64
-	compacts uint64
+	mu   sync.RWMutex
+	cond *sync.Cond // signals flush/compaction progress to stalled writers
+	opts StoreOptions
+	mem  *memtable
+	imm  []*memtable // rotated, flush-pending memtables, oldest first
+	// segments is newest-last; flushers append, only the single-flight
+	// background compactor and the explicit majors remove entries.
+	segments   []*segment
+	nextSeg    uint64
+	rotations  uint64
+	flushing   bool // background flusher running (single-flight)
+	compacting bool // background compactor running (single-flight)
+	// flushErr is the sticky last maintenance failure; Table.Sync and
+	// WaitMaintenance surface it, the next successful flush clears it.
+	flushErr error
+	// flushHook, when set (tests only), runs before each memtable flush and
+	// can inject a failure.
+	flushHook func(*memtable) error
+	debtBytes int64
+	puts      uint64
+	flushes   uint64
+	compacts  uint64
+	bgCompact uint64
+	stalls    uint64
 }
 
 // NewStore creates an empty store.
@@ -54,10 +89,18 @@ func NewStore(opts StoreOptions) (*Store, error) {
 	if opts.CompactionTrigger < 2 {
 		return nil, fmt.Errorf("kvstore: compaction trigger must be >= 2, got %d", opts.CompactionTrigger)
 	}
+	if opts.MaxImmutableMemtables < 0 {
+		return nil, fmt.Errorf("kvstore: max immutable memtables must be >= 0, got %d", opts.MaxImmutableMemtables)
+	}
+	if opts.MaxImmutableMemtables == 0 {
+		opts.MaxImmutableMemtables = DefaultMaxImmutableMemtables
+	}
 	if opts.WAL == nil {
 		opts.WAL = NopWAL{}
 	}
-	return &Store{opts: opts, mem: newMemtable(opts.Seed)}, nil
+	s := &Store{opts: opts, mem: newMemtable(opts.Seed)}
+	s.cond = sync.NewCond(&s.mu)
+	return s, nil
 }
 
 // Put writes one versioned cell.
@@ -74,27 +117,150 @@ func (s *Store) Delete(row, qualifier string, timestamp int64) error {
 // Apply writes a pre-built cell (used by WAL replay and bulk loads).
 func (s *Store) Apply(c Cell) error { return s.apply(c) }
 
+// ApplyBatch writes several cells under one lock acquisition and one WAL
+// batch append — the region-level leg of the batched ingest path. Cells
+// apply in order; a write stall mid-batch blocks like a stalled single put.
+func (s *Store) ApplyBatch(cells []Cell) error {
+	if len(cells) == 0 {
+		return nil
+	}
+	for i := range cells {
+		if cells[i].Row == "" {
+			return fmt.Errorf("kvstore: empty row key in batch cell %d", i)
+		}
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.opts.WAL.AppendBatch(cells); err != nil {
+		return fmt.Errorf("kvstore: wal append: %w", err)
+	}
+	for i := range cells {
+		if err := s.waitWriteRoomLocked(); err != nil {
+			return err
+		}
+		s.addCellLocked(cells[i])
+	}
+	return nil
+}
+
 func (s *Store) apply(c Cell) error {
 	if c.Row == "" {
 		return fmt.Errorf("kvstore: empty row key")
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if err := s.waitWriteRoomLocked(); err != nil {
+		return err
+	}
 	if err := s.opts.WAL.Append(c); err != nil {
 		return fmt.Errorf("kvstore: wal append: %w", err)
 	}
-	s.mem.add(c)
-	s.puts++
-	mPuts.Inc()
-	if s.mem.sizeBytes() >= s.opts.FlushThresholdBytes {
-		if err := s.flushLocked(); err != nil {
-			return err
+	s.addCellLocked(c)
+	return nil
+}
+
+// waitWriteRoomLocked blocks while the memtable is full and the rotation
+// backlog is at its cap — the write-stall backpressure point. It fails only
+// when the flusher cannot make progress (a sticky flush error). Caller holds
+// s.mu; the wait releases it so the flusher can drain.
+func (s *Store) waitWriteRoomLocked() error {
+	for s.mem.sizeBytes() >= s.opts.FlushThresholdBytes && len(s.imm) >= s.opts.MaxImmutableMemtables {
+		if s.flushErr != nil && !s.flushing {
+			return fmt.Errorf("kvstore: write stalled on failed flush: %w", s.flushErr)
 		}
+		s.startFlusherLocked()
+		s.stalls++
+		mWriteStalls.Inc()
+		s.cond.Wait()
 	}
 	return nil
 }
 
-// Flush forces the memtable into a new immutable segment.
+// addCellLocked applies one cell to the memtable and rotates it into the
+// flush backlog when full. Caller holds s.mu with write room available.
+func (s *Store) addCellLocked(c Cell) {
+	s.mem.add(c)
+	s.puts++
+	mPuts.Inc()
+	mBytesIngested.Add(int64(len(c.Row)+len(c.Qualifier)+len(c.Value)) + 16)
+	if s.mem.sizeBytes() >= s.opts.FlushThresholdBytes && len(s.imm) < s.opts.MaxImmutableMemtables {
+		s.rotateLocked()
+	}
+}
+
+// rotateLocked moves the full memtable into the immutable backlog and
+// ensures the background flusher is draining it. Caller holds s.mu.
+func (s *Store) rotateLocked() {
+	s.imm = append(s.imm, s.mem)
+	s.rotations++
+	s.mem = newMemtable(s.opts.Seed + int64(s.rotations))
+	s.startFlusherLocked()
+}
+
+// startFlusherLocked launches the single-flight background flusher when
+// there is backlog and none is running. Caller holds s.mu.
+func (s *Store) startFlusherLocked() {
+	if s.flushing || len(s.imm) == 0 {
+		return
+	}
+	s.flushing = true
+	go s.flushLoop()
+}
+
+// flushLoop drains the immutable-memtable backlog, building each segment
+// off the store lock, then exits (re-launched on the next rotation). On
+// failure the backlog entry is kept and the error parks in flushErr for
+// Sync/WaitMaintenance to surface.
+func (s *Store) flushLoop() {
+	s.mu.Lock()
+	for len(s.imm) > 0 {
+		m := s.imm[0]
+		id := s.nextSeg
+		s.nextSeg++
+		hook := s.flushHook
+		s.mu.Unlock()
+		seg, err := buildSegmentFrom(id, m, hook)
+		s.mu.Lock()
+		if err != nil {
+			s.flushErr = err
+			break
+		}
+		s.flushErr = nil
+		s.imm = s.imm[1:]
+		s.installSegmentLocked(seg)
+		s.cond.Broadcast()
+	}
+	s.flushing = false
+	s.maybeCompactLocked()
+	s.cond.Broadcast()
+	s.mu.Unlock()
+}
+
+// buildSegmentFrom turns one frozen memtable into a segment; the hook is the
+// tests' flush-failure injection point.
+func buildSegmentFrom(id uint64, m *memtable, hook func(*memtable) error) (*segment, error) {
+	if hook != nil {
+		if err := hook(m); err != nil {
+			return nil, err
+		}
+	}
+	return newSegment(id, m.snapshot())
+}
+
+// installSegmentLocked appends a flushed segment and updates the flush
+// accounting and maintenance gauges. Caller holds s.mu.
+func (s *Store) installSegmentLocked(seg *segment) {
+	s.segments = append(s.segments, seg)
+	s.flushes++
+	mFlushes.Inc()
+	mBytesFlushed.Add(int64(seg.bytes))
+	s.updateDebtLocked()
+	updateWriteAmp()
+}
+
+// Flush synchronously drains the memtable and any rotated backlog into
+// segments, full-compacting when the segment count reaches the trigger —
+// the explicit administrative path, unchanged from the seed semantics.
 func (s *Store) Flush() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -102,37 +268,56 @@ func (s *Store) Flush() error {
 }
 
 func (s *Store) flushLocked() error {
-	if s.mem.len() == 0 {
+	for s.flushing {
+		s.cond.Wait()
+	}
+	if s.mem.len() == 0 && len(s.imm) == 0 {
 		return nil
 	}
-	cells := s.mem.snapshot()
-	seg, err := newSegment(s.nextSeg, cells)
-	if err != nil {
-		return err
+	if s.mem.len() > 0 {
+		s.imm = append(s.imm, s.mem)
+		s.rotations++
+		s.mem = newMemtable(s.opts.Seed + int64(s.rotations))
 	}
-	s.nextSeg++
-	s.segments = append(s.segments, seg)
-	s.mem = newMemtable(s.opts.Seed + int64(s.nextSeg))
-	s.flushes++
-	mFlushes.Inc()
+	for len(s.imm) > 0 {
+		m := s.imm[0]
+		seg, err := buildSegmentFrom(s.nextSeg, m, s.flushHook)
+		if err != nil {
+			s.flushErr = err
+			s.cond.Broadcast()
+			return err
+		}
+		s.flushErr = nil
+		s.nextSeg++
+		s.imm = s.imm[1:]
+		s.installSegmentLocked(seg)
+		s.cond.Broadcast()
+	}
 	if len(s.segments) >= s.opts.CompactionTrigger {
-		return s.compactLocked()
+		return s.compactAllLocked()
 	}
 	return nil
 }
 
 // Compact merges every segment (and implicitly drops shadowed versions and
-// tombstoned data, since all runs participate).
+// tombstoned data, since all runs participate) — the explicit major
+// compaction.
 func (s *Store) Compact() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if err := s.flushLocked(); err != nil {
 		return err
 	}
-	return s.compactLocked()
+	return s.compactAllLocked()
 }
 
-func (s *Store) compactLocked() error {
+// compactAllLocked is the major compaction: every segment merges into one
+// and tombstones drop. It waits out a running background compactor first so
+// the two never rewrite the same segments. Caller holds s.mu.
+func (s *Store) compactAllLocked() error {
+	for s.compacting {
+		s.cond.Wait()
+	}
 	if len(s.segments) <= 1 {
 		return nil
 	}
@@ -148,14 +333,61 @@ func (s *Store) compactLocked() error {
 	s.segments = []*segment{seg}
 	s.compacts++
 	mCompactions.Inc()
+	mBytesCompacted.Add(int64(seg.bytes))
+	s.updateDebtLocked()
+	updateWriteAmp()
 	return nil
 }
 
-// iteratorsLocked returns the newest-first iterator stack (memtable first,
-// then segments newest to oldest), positioned at start.
+// WaitMaintenance blocks until the flush backlog is drained and background
+// flush/compaction work is idle, returning the sticky maintenance error if
+// the flusher could not make progress. Benchmarks and tests use it to reach
+// a quiescent state after an ingest burst.
+func (s *Store) WaitMaintenance() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for s.flushing || s.compacting || (len(s.imm) > 0 && s.flushErr == nil) {
+		s.startFlusherLocked()
+		s.maybeCompactLocked()
+		s.cond.Wait()
+	}
+	return s.flushErr
+}
+
+// FlushError returns the sticky error of the last failed background flush
+// (nil after any later successful flush). Table.Sync folds this in.
+func (s *Store) FlushError() error {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.flushErr
+}
+
+// WritePressure gauges how close the store is to a write stall, from 0
+// (idle) to 1 (stalled: memtable full with a full rotation backlog, or the
+// flusher is failing). The admission layer rejects writes at 1 so clients
+// see backpressure instead of blocking.
+func (s *Store) WritePressure() float64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.flushErr != nil {
+		return 1
+	}
+	backlog := len(s.imm)
+	if s.mem.sizeBytes() >= s.opts.FlushThresholdBytes {
+		backlog++
+	}
+	return float64(backlog) / float64(s.opts.MaxImmutableMemtables+1)
+}
+
+// iteratorsLocked returns the newest-first iterator stack (memtable, then
+// rotated memtables newest to oldest, then segments newest to oldest),
+// positioned at start.
 func (s *Store) iteratorsLocked(start *Cell) []cellIterator {
-	its := make([]cellIterator, 0, len(s.segments)+1)
+	its := make([]cellIterator, 0, len(s.segments)+len(s.imm)+1)
 	its = append(its, s.mem.iterator(start))
+	for i := len(s.imm) - 1; i >= 0; i-- {
+		its = append(its, s.imm[i].iterator(start))
+	}
 	for i := len(s.segments) - 1; i >= 0; i-- {
 		its = append(its, s.segments[i].iterator(start))
 	}
@@ -216,8 +448,11 @@ func (s *Store) GetVersions(row, qualifier string, max int) ([]Cell, error) {
 // consults each segment's Bloom filter and skips segments that cannot
 // contain the row.
 func (s *Store) pointIteratorsLocked(row string, start *Cell) []cellIterator {
-	its := make([]cellIterator, 0, len(s.segments)+1)
+	its := make([]cellIterator, 0, len(s.segments)+len(s.imm)+1)
 	its = append(its, s.mem.iterator(start))
+	for i := len(s.imm) - 1; i >= 0; i-- {
+		its = append(its, s.imm[i].iterator(start))
+	}
 	var hits, misses int64
 	for i := len(s.segments) - 1; i >= 0; i-- {
 		if !s.segments[i].mayContainRow(row) {
@@ -347,22 +582,38 @@ func (s *Store) ScanCtx(ctx context.Context, opts ScanOptions, fn func(RowResult
 	return nil
 }
 
-// Stats reports store counters for tests and observability.
+// Stats reports store counters for tests and observability. Compactions
+// counts explicit majors only; size-tiered background merges are counted
+// separately in BackgroundCompactions (they keep tombstones, so their
+// read-visible effect is nil).
 type Stats struct {
 	Puts, Flushes, Compactions uint64
+	BackgroundCompactions      uint64
+	WriteStalls                uint64
 	Segments                   int
 	MemtableCells              int
+	ImmutableMemtables         int
+	CompactionDebtBytes        int64
 }
 
-// Stats returns a snapshot of the store counters.
+// Stats returns a snapshot of the store counters. MemtableCells includes
+// rotated memtables still awaiting flush.
 func (s *Store) Stats() Stats {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
+	cells := s.mem.len()
+	for _, m := range s.imm {
+		cells += m.len()
+	}
 	return Stats{
-		Puts:          s.puts,
-		Flushes:       s.flushes,
-		Compactions:   s.compacts,
-		Segments:      len(s.segments),
-		MemtableCells: s.mem.len(),
+		Puts:                  s.puts,
+		Flushes:               s.flushes,
+		Compactions:           s.compacts,
+		BackgroundCompactions: s.bgCompact,
+		WriteStalls:           s.stalls,
+		Segments:              len(s.segments),
+		MemtableCells:         cells,
+		ImmutableMemtables:    len(s.imm),
+		CompactionDebtBytes:   s.debtBytes,
 	}
 }

@@ -209,12 +209,23 @@ func TestStoreAutoFlushAndCompact(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
+	// Flushes and compactions now run behind the write path; quiesce before
+	// asserting on them.
+	if err := s.WaitMaintenance(); err != nil {
+		t.Fatal(err)
+	}
 	st := s.Stats()
 	if st.Flushes == 0 {
 		t.Error("auto flush never triggered")
 	}
-	if st.Compactions == 0 {
-		t.Error("auto compaction never triggered")
+	if st.BackgroundCompactions == 0 {
+		t.Error("background compaction never triggered")
+	}
+	if st.ImmutableMemtables != 0 {
+		t.Errorf("flush backlog not drained: %d immutable memtables", st.ImmutableMemtables)
+	}
+	if st.CompactionDebtBytes != 0 {
+		t.Errorf("compaction debt not drained: %d bytes", st.CompactionDebtBytes)
 	}
 	// All rows must remain readable.
 	count := 0

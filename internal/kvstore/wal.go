@@ -17,6 +17,10 @@ import (
 type WAL interface {
 	// Append durably records one cell.
 	Append(c Cell) error
+	// AppendBatch records several cells as one unit: a replay applies either
+	// all of them or (for a torn tail) none. Batches amortize record framing
+	// and syncs across the cells of one logical write.
+	AppendBatch(cells []Cell) error
 	// Sync flushes buffered appends to stable storage.
 	Sync() error
 	// Close releases resources; the WAL must not be used afterwards.
@@ -29,6 +33,9 @@ type NopWAL struct{}
 
 // Append implements WAL.
 func (NopWAL) Append(Cell) error { return nil }
+
+// AppendBatch implements WAL.
+func (NopWAL) AppendBatch([]Cell) error { return nil }
 
 // Sync implements WAL.
 func (NopWAL) Sync() error { return nil }
@@ -45,6 +52,27 @@ type FileWAL struct {
 
 // record layout: crc32(body) uint32 | bodyLen uint32 | body
 // body: rowLen u16 | row | qualLen u16 | qual | ts i64 | flags u8 | valLen u32 | val
+//
+// Batched records (AppendBatch, group commit) set walBatchFlag — the top bit
+// of the bodyLen word, which plain records can never carry because body
+// lengths are capped at maxWALBody. A batch body is:
+//
+//	count u32 | count × (cellLen u32 | cell body)
+//
+// where each cell body uses the per-put layout above. Replaying a batch
+// record applies exactly the cells a per-put log of the same writes would —
+// the two encodings are replay-equivalent — and a torn batch at the log tail
+// applies none of its cells (the whole record is one CRC unit).
+
+// walBatchFlag marks a record's bodyLen word as a batched record.
+const walBatchFlag = uint32(1) << 31
+
+// maxWALBody caps a single record body; larger lengths mean a corrupt log.
+const maxWALBody = 1 << 28
+
+// maxWALBatchCells caps the declared cell count of a batch record so a
+// corrupt count cannot drive a huge allocation during replay.
+const maxWALBatchCells = 1 << 20
 
 // OpenFileWAL opens (creating if needed) the WAL file at path for appending.
 func OpenFileWAL(path string) (*FileWAL, error) {
@@ -60,18 +88,44 @@ func (w *FileWAL) Append(c Cell) error {
 	if w.closed {
 		return errors.New("kvstore: append to closed wal")
 	}
-	body := encodeWALBody(c)
-	var hdr [8]byte
-	binary.LittleEndian.PutUint32(hdr[0:4], crc32.ChecksumIEEE(body))
-	binary.LittleEndian.PutUint32(hdr[4:8], uint32(len(body)))
-	if _, err := w.w.Write(hdr[:]); err != nil {
-		return err
-	}
-	if _, err := w.w.Write(body); err != nil {
+	if err := writeWALRecord(w.w, encodeWALBody(c), 0); err != nil {
 		return err
 	}
 	mWALAppends.Inc()
 	return nil
+}
+
+// AppendBatch implements WAL. A single-cell batch is written as a plain
+// per-put record, so logs produced by non-concurrent writers stay
+// byte-identical to the per-put format.
+func (w *FileWAL) AppendBatch(cells []Cell) error {
+	if w.closed {
+		return errors.New("kvstore: append to closed wal")
+	}
+	if len(cells) == 0 {
+		return nil
+	}
+	if len(cells) == 1 {
+		return w.Append(cells[0])
+	}
+	if err := writeWALRecord(w.w, encodeWALBatchBody(cells), walBatchFlag); err != nil {
+		return err
+	}
+	mWALAppends.Add(int64(len(cells)))
+	mWALBatchRecords.Inc()
+	return nil
+}
+
+// writeWALRecord frames one body (flag = 0 or walBatchFlag) onto the writer.
+func writeWALRecord(w io.Writer, body []byte, flag uint32) error {
+	var hdr [8]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], crc32.ChecksumIEEE(body))
+	binary.LittleEndian.PutUint32(hdr[4:8], uint32(len(body))|flag)
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(body)
+	return err
 }
 
 // Sync implements WAL.
@@ -176,10 +230,66 @@ func decodeWALBody(b []byte) (Cell, error) {
 	return c, nil
 }
 
+// encodeWALBatchBody renders the cells as one batch record body.
+func encodeWALBatchBody(cells []Cell) []byte {
+	n := 4
+	bodies := make([][]byte, len(cells))
+	for i := range cells {
+		bodies[i] = encodeWALBody(cells[i])
+		n += 4 + len(bodies[i])
+	}
+	b := make([]byte, 0, n)
+	var u32 [4]byte
+	binary.LittleEndian.PutUint32(u32[:], uint32(len(cells)))
+	b = append(b, u32[:]...)
+	for _, body := range bodies {
+		binary.LittleEndian.PutUint32(u32[:], uint32(len(body)))
+		b = append(b, u32[:]...)
+		b = append(b, body...)
+	}
+	return b
+}
+
+// decodeWALBatchBody parses a batch record body into its cells.
+func decodeWALBatchBody(b []byte) ([]Cell, error) {
+	if len(b) < 4 {
+		return nil, errors.New("kvstore: truncated wal batch header")
+	}
+	count := binary.LittleEndian.Uint32(b[:4])
+	b = b[4:]
+	if count > maxWALBatchCells {
+		return nil, fmt.Errorf("kvstore: wal batch of %d cells is implausible; log corrupt", count)
+	}
+	cells := make([]Cell, 0, count)
+	for i := uint32(0); i < count; i++ {
+		if len(b) < 4 {
+			return nil, errors.New("kvstore: truncated wal batch cell length")
+		}
+		n := int(binary.LittleEndian.Uint32(b[:4]))
+		b = b[4:]
+		if n > len(b) {
+			return nil, errors.New("kvstore: truncated wal batch cell body")
+		}
+		c, err := decodeWALBody(b[:n])
+		if err != nil {
+			return nil, err
+		}
+		b = b[n:]
+		cells = append(cells, c)
+	}
+	if len(b) != 0 {
+		return nil, errors.New("kvstore: trailing bytes in wal batch body")
+	}
+	return cells, nil
+}
+
 // ReplayWAL reads every valid record from the WAL file at path and passes it
-// to apply. A torn tail (truncated or corrupt final record) terminates the
-// replay cleanly, matching the usual crash-recovery contract; corruption in
-// the middle of the log is reported as an error.
+// to apply — batched records are unpacked and applied cell by cell, in the
+// order they were written, so the per-put and batched encodings replay to
+// identical stores. A torn tail (truncated or corrupt final record)
+// terminates the replay cleanly, matching the usual crash-recovery contract
+// — a torn batch applies none of its cells; corruption in the middle of the
+// log is reported as an error.
 func ReplayWAL(path string, apply func(Cell) error) error {
 	f, err := os.Open(path)
 	if err != nil {
@@ -202,8 +312,10 @@ func ReplayWAL(path string, apply func(Cell) error) error {
 			return err
 		}
 		wantCRC := binary.LittleEndian.Uint32(hdr[0:4])
-		bodyLen := binary.LittleEndian.Uint32(hdr[4:8])
-		if bodyLen > 1<<28 {
+		lenWord := binary.LittleEndian.Uint32(hdr[4:8])
+		isBatch := lenWord&walBatchFlag != 0
+		bodyLen := lenWord &^ walBatchFlag
+		if bodyLen > maxWALBody {
 			return fmt.Errorf("kvstore: wal record of %d bytes is implausible; log corrupt", bodyLen)
 		}
 		body := make([]byte, bodyLen)
@@ -221,6 +333,18 @@ func ReplayWAL(path string, apply func(Cell) error) error {
 				return nil
 			}
 			return errors.New("kvstore: wal checksum mismatch mid-log")
+		}
+		if isBatch {
+			cells, err := decodeWALBatchBody(body)
+			if err != nil {
+				return err
+			}
+			for _, c := range cells {
+				if err := apply(c); err != nil {
+					return err
+				}
+			}
+			continue
 		}
 		c, err := decodeWALBody(body)
 		if err != nil {

@@ -46,8 +46,8 @@ func fuzzWALCells(raw []byte) []Cell {
 	return cells
 }
 
-// encodeWALFile renders the cells as a well-formed WAL byte stream and the
-// cumulative end offset of each record.
+// encodeWALFile renders the cells as a well-formed per-put WAL byte stream
+// and the cumulative end offset of each record.
 func encodeWALFile(cells []Cell) ([]byte, []int) {
 	var buf bytes.Buffer
 	ends := make([]int, len(cells))
@@ -61,6 +61,39 @@ func encodeWALFile(cells []Cell) ([]byte, []int) {
 		ends[i] = buf.Len()
 	}
 	return buf.Bytes(), ends
+}
+
+// encodeWALFileBatched renders the cells as a WAL mixing per-put and batched
+// group-commit records: record k carries 1 + (pattern+k)%3 cells (single-cell
+// records use the per-put framing, exactly as the group-commit writer does).
+// It returns the stream, each record's cumulative end offset, and each
+// record's cell count.
+func encodeWALFileBatched(cells []Cell, pattern byte) ([]byte, []int, []int) {
+	var buf bytes.Buffer
+	var ends, counts []int
+	for k := 0; len(cells) > 0; k++ {
+		n := 1 + (int(pattern)+k)%3
+		if n > len(cells) {
+			n = len(cells)
+		}
+		var body []byte
+		flag := uint32(0)
+		if n == 1 {
+			body = encodeWALBody(cells[0])
+		} else {
+			body = encodeWALBatchBody(cells[:n])
+			flag = walBatchFlag
+		}
+		cells = cells[n:]
+		var hdr [8]byte
+		binary.LittleEndian.PutUint32(hdr[0:4], crc32.ChecksumIEEE(body))
+		binary.LittleEndian.PutUint32(hdr[4:8], uint32(len(body))|flag)
+		buf.Write(hdr[:])
+		buf.Write(body)
+		ends = append(ends, buf.Len())
+		counts = append(counts, n)
+	}
+	return buf.Bytes(), ends, counts
 }
 
 func replayFile(t *testing.T, data []byte) ([]Cell, error) {
@@ -84,15 +117,24 @@ func replayFile(t *testing.T, data []byte) ([]Cell, error) {
 //   - mode 2: a single byte flipped inside a non-final record's body is
 //     mid-log corruption: replay must fail with the distinct mid-log error,
 //     never silently drop or misread the record.
+//   - mode 3: a log mixing per-put and batched group-commit records,
+//     truncated at an arbitrary byte: a torn batch tail must apply NONE of
+//     the torn batch's cells (a batch is one crash-atomic unit) and every
+//     complete record before it must replay in full.
+//   - mode 4: a byte flipped inside a non-final batched record must be
+//     classed as mid-log corruption, and no cell from the corrupt batch (or
+//     anything after it) may be handed to the apply callback.
 func FuzzReplayWAL(f *testing.F) {
 	f.Add([]byte("hello world, this is wal fuzz seed data"), uint16(10), uint8(0))
 	f.Add([]byte{}, uint16(0), uint8(1))
 	f.Add([]byte("0123456789abcdef0123456789abcdef0123456789abcdef"), uint16(33), uint8(1))
 	f.Add([]byte("tombstones and empty values exercise the flag byte"), uint16(5), uint8(2))
 	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x00}, uint16(3), uint8(0))
+	f.Add([]byte("batched records share one crc so a torn batch drops whole"), uint16(41), uint8(3))
+	f.Add([]byte("corrupting one cell inside a batch poisons the whole batch"), uint16(27), uint8(4))
 
 	f.Fuzz(func(t *testing.T, raw []byte, pos uint16, mode uint8) {
-		switch mode % 3 {
+		switch mode % 5 {
 		case 0:
 			// Arbitrary bytes: any error is acceptable, panics are not.
 			_, _ = replayFile(t, raw)
@@ -149,6 +191,64 @@ func FuzzReplayWAL(f *testing.F) {
 			}
 			if len(got) > rec {
 				t.Fatalf("replay handed %d records past corruption in record %d", len(got), rec)
+			}
+
+		case 3:
+			cells := fuzzWALCells(raw)
+			data, ends, counts := encodeWALFileBatched(cells, uint8(pos))
+			cut := int(pos) % (len(data) + 1)
+			want := 0
+			for i, end := range ends {
+				if end <= cut {
+					want += counts[i]
+				}
+			}
+			got, err := replayFile(t, data[:cut])
+			if err != nil {
+				t.Fatalf("torn batched tail at %d/%d must replay cleanly, got %v", cut, len(data), err)
+			}
+			if len(got) != want {
+				t.Fatalf("replayed %d cells, want the %d from complete records before cut %d (torn batches apply nothing)", len(got), want, cut)
+			}
+			for i := range got {
+				if got[i].Row != cells[i].Row || got[i].Qualifier != cells[i].Qualifier ||
+					got[i].Timestamp != cells[i].Timestamp || got[i].Tombstone != cells[i].Tombstone ||
+					!bytes.Equal(got[i].Value, cells[i].Value) {
+					t.Fatalf("cell %d = %+v, want %+v", i, got[i], cells[i])
+				}
+			}
+
+		case 4:
+			cells := fuzzWALCells(raw)
+			data, ends, counts := encodeWALFileBatched(cells, uint8(pos))
+			if len(ends) < 2 {
+				t.Skip("need a non-final record to corrupt")
+			}
+			last := len(ends) - 1
+			rec := int(pos) % last
+			start := 8
+			if rec > 0 {
+				start = ends[rec-1] + 8
+			}
+			if start >= ends[rec] {
+				t.Skip("record has an empty body")
+			}
+			flip := start + int(pos)%(ends[rec]-start)
+			mutated := append([]byte(nil), data...)
+			mutated[flip] ^= 0x01
+			got, err := replayFile(t, mutated)
+			if err == nil {
+				t.Fatalf("mid-log corruption at byte %d (record %d) replayed cleanly with %d cells", flip, rec, len(got))
+			}
+			if !strings.Contains(err.Error(), "mid-log") {
+				t.Fatalf("mid-log corruption error = %v, want the distinct mid-log contract", err)
+			}
+			intact := 0
+			for i := 0; i < rec; i++ {
+				intact += counts[i]
+			}
+			if len(got) > intact {
+				t.Fatalf("replay handed %d cells but only %d precede the corrupt record %d", len(got), intact, rec)
 			}
 		}
 	})
