@@ -37,11 +37,14 @@ test:
 test-race:
 	$(GO) test -race ./...
 
-## fuzz-smoke runs the WAL-replay fuzzer for a short, bounded burst: long
-## enough to shake out regressions in the torn-tail / mid-log corruption
-## contract, short enough for every pre-merge run.
+## fuzz-smoke runs the WAL-replay and block-decode fuzzers for short,
+## bounded bursts: long enough to shake out regressions in the torn-tail /
+## mid-log corruption contract and the untrusted-block parsing contract,
+## short enough for every pre-merge run.
 fuzz-smoke:
 	$(GO) test ./internal/kvstore -run FuzzReplayWAL -fuzz FuzzReplayWAL -fuzztime=10s
+	$(GO) test ./internal/kvstore -run FuzzBlockDecode -fuzz FuzzBlockDecode -fuzztime=5s
+	$(GO) test ./internal/kvstore -run FuzzLZDecompress -fuzz FuzzLZDecompress -fuzztime=5s
 
 bench:
 	$(GO) run ./cmd/modissense-bench -exp all -quick
@@ -52,13 +55,16 @@ bench:
 ## GET /metrics after live API traffic into BENCH_metrics.json, runs the
 ## seeded fault-injection workload into BENCH_faults.json, and runs the
 ## overload-protection stall-storm workload into BENCH_overload.json, and
-## finishes with the write-path ingest workload into BENCH_ingest.json so
-## each run records the fault-tolerance, shedding and group-commit gates
-## alongside the latency figures.
+## the write-path ingest workload into BENCH_ingest.json, and the
+## block-format workload into BENCH_blocks.json so each run records the
+## fault-tolerance, shedding, group-commit, compression and block-cache
+## gates alongside the latency figures.
 bench-smoke:
 	$(GO) test ./internal/kvstore -run XXX -bench 'BenchmarkScanPath' -benchmem -benchtime=100x
+	$(GO) test ./internal/kvstore -run XXX -bench 'BenchmarkMergeIterator' -benchmem -benchtime=50x
 	$(GO) test ./internal/query -run XXX -bench 'BenchmarkCoprocessor200' -benchmem -benchtime=100x
 	$(GO) run ./cmd/modissense-bench -exp metrics -quick
 	$(GO) run ./cmd/modissense-bench -exp faults -quick
 	$(GO) run ./cmd/modissense-bench -exp overload -quick
 	$(GO) run ./cmd/modissense-bench -exp ingest -quick
+	$(GO) run ./cmd/modissense-bench -exp blocks -quick

@@ -1,0 +1,75 @@
+package main
+
+import (
+	"fmt"
+	"strconv"
+
+	"modissense/internal/bench"
+)
+
+// runBlocks drives the block-format experiment: resident-footprint
+// reduction from prefix + block compression, multi-scan tail latency
+// parity against the uncompressed baseline, block-cache hit rate under a
+// Zipfian re-read load, and filter-driven block skipping on pruned scans
+// and absent-row probes.
+func runBlocks(quick bool) error {
+	cfg := bench.DefaultBlocks()
+	if quick {
+		cfg.Rows = 1500
+		cfg.ScanIterations = 150
+		cfg.ZipfReads = 2500
+		cfg.ZipfWarm = 800
+		cfg.ZipfCacheBytes = 256 << 10
+		cfg.PrunedScans = 60
+		cfg.AbsentGets = 150
+	}
+	fmt.Println("== Blocks: prefix-compressed segment blocks, codec, cache, and filter pruning ==")
+	fmt.Printf("dataset: %d rows x %d quals, %dB values; block=%dB codec=%s; %d scans x %d ranges; %d zipf reads @ %dKiB cache\n\n",
+		cfg.Rows, cfg.QualsPerRow, cfg.ValueBytes, cfg.BlockSizeBytes, cfg.Compression,
+		cfg.ScanIterations, cfg.RangesPerScan, cfg.ZipfReads, cfg.ZipfCacheBytes>>10)
+	res, err := bench.RunBlocks(cfg)
+	if err != nil {
+		return err
+	}
+
+	fmt.Println(bench.RenderTable(
+		[]string{"store", "segments", "blocks", "logical-bytes", "resident-bytes", "reduction"},
+		[][]string{
+			{res.Baseline.Codec, strconv.Itoa(res.Baseline.Segments), strconv.Itoa(res.Baseline.Blocks),
+				strconv.FormatInt(res.Baseline.LogicalBytes, 10), strconv.FormatInt(res.Baseline.ResidentBytes, 10),
+				fmt.Sprintf("%.2fx", res.Baseline.Reduction)},
+			{res.Candidate.Codec, strconv.Itoa(res.Candidate.Segments), strconv.Itoa(res.Candidate.Blocks),
+				strconv.FormatInt(res.Candidate.LogicalBytes, 10), strconv.FormatInt(res.Candidate.ResidentBytes, 10),
+				fmt.Sprintf("%.2fx", res.Candidate.Reduction)},
+		}))
+
+	fmt.Println(bench.RenderTable(
+		[]string{"store", "scan-p50(ms)", "scan-p99(ms)"},
+		[][]string{
+			{"baseline", fmt.Sprintf("%.2f", res.BaselineScanP50), fmt.Sprintf("%.2f", res.BaselineScanP99)},
+			{"candidate", fmt.Sprintf("%.2f", res.CandidateScanP50), fmt.Sprintf("%.2f", res.CandidateScanP99)},
+		}))
+
+	fmt.Printf("zipf re-read: hits=%d misses=%d evictions=%d hit-rate=%.1f%%\n",
+		res.ZipfHits, res.ZipfMisses, res.Evictions, 100*res.ZipfHitRate)
+	fmt.Printf("pruned phase: blocks skipped=%d decoded=%d\n\n", res.PrunedBlocksSkipped, res.PrunedBlocksDecoded)
+
+	gate := func(name string, ok bool) {
+		verdict := "PASS"
+		if !ok {
+			verdict = "FAIL"
+		}
+		fmt.Printf("gate %-52s %s\n", name+":", verdict)
+	}
+	gate(fmt.Sprintf("blocks: resident bytes reduced >= %.0fx", cfg.ResidentReductionMin),
+		res.Candidate.Reduction >= cfg.ResidentReductionMin)
+	gate(fmt.Sprintf("blocks: compressed scan p99 <= baseline x %.2f", cfg.ScanP99NoiseFactor),
+		res.CandidateScanP99 <= res.BaselineScanP99*cfg.ScanP99NoiseFactor)
+	gate(fmt.Sprintf("blocks: zipf cache hit rate >= %.0f%%", 100*cfg.ZipfHitRateMin),
+		res.ZipfHitRate >= cfg.ZipfHitRateMin)
+	gate("blocks: pruned scans skip blocks without decoding",
+		res.PrunedBlocksSkipped > 0 && res.PrunedBlocksSkipped > res.PrunedBlocksDecoded)
+	fmt.Println()
+
+	return writeSeriesJSON("BENCH_blocks.json", res)
+}

@@ -29,7 +29,7 @@ import (
 var outDir string
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: fig2 | fig3 | fig4 | accuracy | ablation-schema | ablation-regions | dbscan | ext-cnb | ext-webservers | ext-topk | metrics | faults | overload | ingest | all")
+	exp := flag.String("exp", "all", "experiment: fig2 | fig3 | fig4 | accuracy | ablation-schema | ablation-regions | dbscan | ext-cnb | ext-webservers | ext-topk | metrics | faults | overload | ingest | blocks | all")
 	quick := flag.Bool("quick", false, "run reduced sweeps (smaller dataset, fewer points)")
 	scatterWorkers := flag.Int("scatter-workers", 0, "scatter-gather worker-pool size for real region execution (0 = GOMAXPROCS)")
 	out := flag.String("out", ".", "directory for machine-readable BENCH_*.json result files")
@@ -55,8 +55,9 @@ func main() {
 		"faults":           runFaults,
 		"overload":         runOverload,
 		"ingest":           runIngest,
+		"blocks":           runBlocks,
 	}
-	order := []string{"fig2", "fig3", "fig4", "accuracy", "ablation-schema", "ablation-regions", "dbscan", "ext-cnb", "ext-webservers", "ext-topk", "metrics", "faults", "overload", "ingest"}
+	order := []string{"fig2", "fig3", "fig4", "accuracy", "ablation-schema", "ablation-regions", "dbscan", "ext-cnb", "ext-webservers", "ext-topk", "metrics", "faults", "overload", "ingest", "blocks"}
 
 	if *exp == "all" {
 		for _, name := range order {

@@ -50,6 +50,9 @@ func main() {
 	memtableFlush := flag.Int("memtable-flush-bytes", 0, "per-region memtable size that triggers rotation and background flush (0 = engine default)")
 	writeQPS := flag.Float64("write-qps", 0, "write-class admission rate in requests/s for batched check-ins (0 = no rate limiting)")
 	writeBurst := flag.Int("write-burst", 0, "write-class token-bucket depth (0 = derived from -write-qps)")
+	blockSize := flag.Int("block-size", 0, "target encoded segment-block size in bytes (0 = engine default, 4096)")
+	blockCacheMB := flag.Int("block-cache-mb", 0, "decoded-block cache shared by all tables, in MiB (0 = process default, 64)")
+	blockCompression := flag.String("block-compression", "none", "segment block codec: none, flate or snappy")
 	flag.Parse()
 
 	exec.SetDefaultWorkers(*scatterWorkers)
@@ -79,6 +82,9 @@ func main() {
 	cfg.MemtableFlushBytes = *memtableFlush
 	cfg.WriteQPS = *writeQPS
 	cfg.WriteBurst = *writeBurst
+	cfg.BlockSizeBytes = *blockSize
+	cfg.BlockCacheMB = *blockCacheMB
+	cfg.BlockCompression = *blockCompression
 	if *normalized {
 		cfg.VisitSchema = repos.SchemaNormalized
 	}

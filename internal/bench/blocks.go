@@ -1,0 +1,335 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+
+	"modissense/internal/kvstore"
+)
+
+// BlocksConfig parameterizes the block-format experiment. Phase A builds
+// the same visit-style dataset into an uncompressed store and a
+// block-compressed store and compares the bytes each keeps resident. Phase
+// B runs identical multi-range scan loads over both and compares tail
+// latency: compression must not be paid for with scan regressions. Phase C
+// re-reads rows under a Zipfian popularity curve against a block cache far
+// smaller than the dataset and measures the hit rate. Phase D scans narrow
+// far-apart ranges and probes absent rows, checking the per-block min/max
+// and bloom filters skip blocks without decoding them.
+type BlocksConfig struct {
+	// Rows/QualsPerRow/ValueBytes size the dataset; values carry a
+	// repetitive profile-like payload so flate has something to find.
+	Rows        int
+	QualsPerRow int
+	ValueBytes  int
+	// BlockSizeBytes is the target encoded block size for both stores.
+	BlockSizeBytes int
+	// Compression names the candidate codec (the baseline always runs
+	// uncompressed).
+	Compression kvstore.BlockCompression
+
+	// ScanIterations multi-range scans run per store in phase B, each over
+	// RangesPerScan random row ranges.
+	ScanIterations int
+	RangesPerScan  int
+
+	// ZipfReads Gets run in phase C against a cache of ZipfCacheBytes
+	// (sized well under the dataset) after ZipfWarm warmup reads; ZipfS is
+	// the skew exponent. The phase-C store uses ZipfBlockSizeBytes — point
+	// reads want small blocks so the cache holds many independent units
+	// (the cache charges decoded cells at logical size, which for
+	// compressible data is several times the encoded block size).
+	ZipfReads          int
+	ZipfWarm           int
+	ZipfCacheBytes     int64
+	ZipfBlockSizeBytes int
+	ZipfS              float64
+
+	// PrunedScans narrow scans and AbsentGets missing-row probes run in
+	// phase D.
+	PrunedScans int
+	AbsentGets  int
+
+	// Gates.
+	ResidentReductionMin float64 // logical/resident on the candidate store
+	ScanP99NoiseFactor   float64 // candidate p99 <= baseline p99 * factor
+	ZipfHitRateMin       float64 // cache hit rate on the measured window
+	Seed                 int64
+}
+
+// DefaultBlocks sizes the experiment so the dataset dwarfs the phase-C
+// cache while the whole run stays in seconds.
+func DefaultBlocks() BlocksConfig {
+	return BlocksConfig{
+		Rows:                 6000,
+		QualsPerRow:          4,
+		ValueBytes:           96,
+		BlockSizeBytes:       kvstore.DefaultBlockSize,
+		Compression:          kvstore.BlockFlate,
+		ScanIterations:       300,
+		RangesPerScan:        4,
+		ZipfReads:            8000,
+		ZipfWarm:             2000,
+		ZipfCacheBytes:       512 << 10,
+		ZipfBlockSizeBytes:   512,
+		ZipfS:                1.4,
+		PrunedScans:          200,
+		AbsentGets:           500,
+		ResidentReductionMin: 2.0,
+		ScanP99NoiseFactor:   1.25,
+		ZipfHitRateMin:       0.90,
+		Seed:                 23,
+	}
+}
+
+// BlocksStoreStats is one store's footprint snapshot.
+type BlocksStoreStats struct {
+	Codec         string  `json:"codec"`
+	Segments      int     `json:"segments"`
+	Blocks        int     `json:"blocks"`
+	LogicalBytes  int64   `json:"logical_bytes"`
+	ResidentBytes int64   `json:"resident_bytes"`
+	Reduction     float64 `json:"reduction"`
+}
+
+// BlocksResult is the full experiment outcome, JSON-tagged for
+// BENCH_blocks.json.
+type BlocksResult struct {
+	Baseline  BlocksStoreStats `json:"baseline"`
+	Candidate BlocksStoreStats `json:"candidate"`
+
+	// Phase-B multi-scan latencies, milliseconds.
+	BaselineScanP50  float64 `json:"baseline_scan_p50_ms"`
+	BaselineScanP99  float64 `json:"baseline_scan_p99_ms"`
+	CandidateScanP50 float64 `json:"candidate_scan_p50_ms"`
+	CandidateScanP99 float64 `json:"candidate_scan_p99_ms"`
+	ScanRowsPerIter  int     `json:"scan_rows_per_iter"`
+
+	// Phase-C cache behaviour over the measured (post-warmup) window.
+	ZipfHits    int64   `json:"zipf_cache_hits"`
+	ZipfMisses  int64   `json:"zipf_cache_misses"`
+	ZipfHitRate float64 `json:"zipf_hit_rate"`
+	Evictions   int64   `json:"zipf_cache_evictions"`
+
+	// Phase-D pruning counters (deltas across the phase).
+	PrunedBlocksSkipped int64 `json:"pruned_blocks_skipped"`
+	PrunedBlocksDecoded int64 `json:"pruned_blocks_decoded"`
+}
+
+// buildBlocksStore fills a store with the deterministic visit dataset and
+// flushes it into segments.
+func buildBlocksStore(cfg BlocksConfig, blockSize int, codec kvstore.BlockCompression, cache *kvstore.BlockCache) (*kvstore.Store, error) {
+	opts := kvstore.DefaultStoreOptions()
+	opts.FlushThresholdBytes = 1 << 30
+	opts.BlockSizeBytes = blockSize
+	opts.BlockCompression = codec
+	opts.BlockCache = cache
+	s, err := kvstore.NewStore(opts)
+	if err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	pad := make([]byte, cfg.ValueBytes)
+	for i := range pad {
+		pad[i] = "abcdefgh"[i%8]
+	}
+	for r := 0; r < cfg.Rows; r++ {
+		row := blocksRow(r)
+		for q := 0; q < cfg.QualsPerRow; q++ {
+			val := fmt.Sprintf("poi=%06d grade=%d network=facebook text=%s", rng.Intn(2000), q%5, pad)
+			if err := s.Put(row, fmt.Sprintf("q%02d", q), int64(q+1), []byte(val)); err != nil {
+				return nil, err
+			}
+		}
+		// Several segments so scans exercise the merge path too.
+		if r%1500 == 1499 {
+			if err := s.Flush(); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if err := s.Flush(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+func blocksRow(i int) string { return fmt.Sprintf("user/%08d/profile", i) }
+
+func snapshotStore(s *kvstore.Store, codec string) BlocksStoreStats {
+	st := s.Stats()
+	out := BlocksStoreStats{
+		Codec:         codec,
+		Segments:      st.Segments,
+		Blocks:        st.SegmentBlocks,
+		LogicalBytes:  st.SegmentLogicalBytes,
+		ResidentBytes: st.SegmentResidentBytes,
+	}
+	if out.ResidentBytes > 0 {
+		out.Reduction = float64(out.LogicalBytes) / float64(out.ResidentBytes)
+	}
+	return out
+}
+
+// runBlocksScans drives the identical multi-range load over the baseline
+// and candidate stores, interleaved — each iteration times the same range
+// set against both back to back, so ambient noise (GC, scheduler) lands
+// on both distributions instead of biasing whichever store ran last.
+// Returns sorted per-iteration wall times for each store plus rows seen
+// per iteration.
+func runBlocksScans(cfg BlocksConfig, baseline, candidate *kvstore.Store) (bw, cw []float64, rowsPerIter int, err error) {
+	rng := rand.New(rand.NewSource(cfg.Seed + 1))
+	ctx := context.Background()
+	// Warm pass: touch every block once so the timed iterations measure the
+	// steady state the cache exists for, not first-read decompression.
+	for _, s := range []*kvstore.Store{baseline, candidate} {
+		if err := s.MultiScanCtx(ctx, []kvstore.ScanRange{{}}, 0, func(kvstore.RowResult) bool { return true }); err != nil {
+			return nil, nil, 0, err
+		}
+	}
+	for it := 0; it < cfg.ScanIterations; it++ {
+		ranges := make([]kvstore.ScanRange, 0, cfg.RangesPerScan)
+		starts := make([]int, cfg.RangesPerScan)
+		for i := range starts {
+			starts[i] = rng.Intn(cfg.Rows)
+		}
+		sort.Ints(starts)
+		for i, st := range starts {
+			span := 20 + rng.Intn(30)
+			stop := st + span
+			if i+1 < len(starts) && stop > starts[i+1] {
+				stop = starts[i+1]
+			}
+			if stop <= st {
+				continue
+			}
+			ranges = append(ranges, kvstore.ScanRange{Start: blocksRow(st), Stop: blocksRow(stop)})
+		}
+		// Min of three repeats per range set: a GC pause or scheduler
+		// preemption hitting one repeat does not contaminate the sample,
+		// so the p99 across range sets reflects the stores, not the noise.
+		rows := 0
+		bBest, cBest := 0.0, 0.0
+		for rep := 0; rep < 3; rep++ {
+			n := 0
+			start := time.Now()
+			err := baseline.MultiScanCtx(ctx, ranges, 0, func(kvstore.RowResult) bool {
+				n++
+				return true
+			})
+			if w := time.Since(start).Seconds(); rep == 0 || w < bBest {
+				bBest = w
+			}
+			if err != nil {
+				return nil, nil, 0, err
+			}
+			rows = n
+			start = time.Now()
+			err = candidate.MultiScanCtx(ctx, ranges, 0, func(kvstore.RowResult) bool { return true })
+			if w := time.Since(start).Seconds(); rep == 0 || w < cBest {
+				cBest = w
+			}
+			if err != nil {
+				return nil, nil, 0, err
+			}
+		}
+		bw = append(bw, bBest)
+		cw = append(cw, cBest)
+		if it == 0 {
+			rowsPerIter = rows
+		}
+	}
+	sort.Float64s(bw)
+	sort.Float64s(cw)
+	return bw, cw, rowsPerIter, nil
+}
+
+// RunBlocks executes all four phases and returns the combined result.
+func RunBlocks(cfg BlocksConfig) (*BlocksResult, error) {
+	if cfg.Rows < 1 || cfg.ScanIterations < 1 {
+		return nil, fmt.Errorf("bench: blocks experiment needs positive load")
+	}
+	res := &BlocksResult{}
+
+	// Phase A: footprint. Each store gets a private generous cache so
+	// phase-B scans measure decode + merge cost, not eviction thrash.
+	baseline, err := buildBlocksStore(cfg, cfg.BlockSizeBytes, kvstore.BlockNone, kvstore.NewBlockCache(256<<20))
+	if err != nil {
+		return nil, err
+	}
+	candidate, err := buildBlocksStore(cfg, cfg.BlockSizeBytes, cfg.Compression, kvstore.NewBlockCache(256<<20))
+	if err != nil {
+		return nil, err
+	}
+	res.Baseline = snapshotStore(baseline, "none")
+	res.Candidate = snapshotStore(candidate, string(cfg.Compression))
+
+	// Phase B: identical multi-scan load, interleaved over both stores.
+	bw, cw, rows, err := runBlocksScans(cfg, baseline, candidate)
+	if err != nil {
+		return nil, err
+	}
+	res.ScanRowsPerIter = rows
+	res.BaselineScanP50 = 1000 * percentile(bw, 0.50)
+	res.BaselineScanP99 = 1000 * percentile(bw, 0.99)
+	res.CandidateScanP50 = 1000 * percentile(cw, 0.50)
+	res.CandidateScanP99 = 1000 * percentile(cw, 0.99)
+
+	// Phase C: Zipfian point reads against a cache much smaller than the
+	// dataset. The skewed head stays resident; the tail churns through.
+	zipfCache := kvstore.NewBlockCache(cfg.ZipfCacheBytes)
+	zstore, err := buildBlocksStore(cfg, cfg.ZipfBlockSizeBytes, cfg.Compression, zipfCache)
+	if err != nil {
+		return nil, err
+	}
+	zrng := rand.New(rand.NewSource(cfg.Seed + 2))
+	zipf := rand.NewZipf(zrng, cfg.ZipfS, 1, uint64(cfg.Rows-1))
+	readRow := func() error {
+		_, err := zstore.Get(blocksRow(int(zipf.Uint64())))
+		return err
+	}
+	for i := 0; i < cfg.ZipfWarm; i++ {
+		if err := readRow(); err != nil {
+			return nil, err
+		}
+	}
+	warm := zipfCache.Stats()
+	for i := 0; i < cfg.ZipfReads; i++ {
+		if err := readRow(); err != nil {
+			return nil, err
+		}
+	}
+	after := zipfCache.Stats()
+	res.ZipfHits = after.Hits - warm.Hits
+	res.ZipfMisses = after.Misses - warm.Misses
+	res.Evictions = after.Evictions - warm.Evictions
+	if total := res.ZipfHits + res.ZipfMisses; total > 0 {
+		res.ZipfHitRate = float64(res.ZipfHits) / float64(total)
+	}
+
+	// Phase D: narrow scans far into the keyspace plus absent-row probes.
+	// Every block left of a range's start must be skipped, not decoded;
+	// absent rows must die at the filters.
+	decoded0, skipped0 := kvstore.BlockCounters()
+	prng := rand.New(rand.NewSource(cfg.Seed + 3))
+	ctx := context.Background()
+	for i := 0; i < cfg.PrunedScans; i++ {
+		start := cfg.Rows - 1 - prng.Intn(cfg.Rows/10+1)
+		r := []kvstore.ScanRange{{Start: blocksRow(start), Stop: blocksRow(start + 2)}}
+		if err := candidate.MultiScanCtx(ctx, r, 0, func(kvstore.RowResult) bool { return true }); err != nil {
+			return nil, err
+		}
+	}
+	for i := 0; i < cfg.AbsentGets; i++ {
+		if _, err := candidate.Get(fmt.Sprintf("zzz/absent/%06d", i)); err != nil {
+			return nil, err
+		}
+	}
+	decoded1, skipped1 := kvstore.BlockCounters()
+	res.PrunedBlocksDecoded = decoded1 - decoded0
+	res.PrunedBlocksSkipped = skipped1 - skipped0
+	return res, nil
+}

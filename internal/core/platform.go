@@ -136,6 +136,15 @@ type Config struct {
 	// WriteBurst is the write token-bucket depth (0 derives it from
 	// WriteQPS).
 	WriteBurst int
+	// BlockSizeBytes is the target encoded size of one kvstore segment
+	// block (0 keeps the kvstore default).
+	BlockSizeBytes int
+	// BlockCacheMB sizes one block cache shared by every table of this
+	// platform, in MiB (0 keeps the process-wide default cache).
+	BlockCacheMB int
+	// BlockCompression selects the per-block segment codec: "none"
+	// (default), "flate" or "snappy".
+	BlockCompression string
 }
 
 // DefaultConfig returns a demo-scale platform: big enough to exercise
@@ -209,6 +218,12 @@ func (c Config) Validate() error {
 	if c.WriteQPS < 0 || c.WriteBurst < 0 {
 		return fmt.Errorf("core: negative write admission rate/burst")
 	}
+	if c.BlockSizeBytes < 0 || c.BlockCacheMB < 0 {
+		return fmt.Errorf("core: negative block size/cache size")
+	}
+	if _, err := kvstore.ParseBlockCompression(c.BlockCompression); err != nil {
+		return err
+	}
 	return nil
 }
 
@@ -271,7 +286,14 @@ func New(cfg Config) (*Platform, error) {
 		kvOpts.CompactionRate = kvstore.NewRateLimiter(int(cfg.CompactRateMBps * 1e6))
 	}
 	kvOpts.WALSyncPolicy, _ = kvstore.ParseSyncPolicy(cfg.WALSync) // Validate already vetted it
-	maxUser := int64(cfg.NetworkPopulation) * 4                    // headroom for platform accounts
+	kvOpts.BlockSizeBytes = cfg.BlockSizeBytes
+	kvOpts.BlockCompression, _ = kvstore.ParseBlockCompression(cfg.BlockCompression) // ditto
+	if cfg.BlockCacheMB > 0 {
+		// One cache for all of this platform's tables, so the configured
+		// budget is a platform-wide ceiling rather than per-table.
+		kvOpts.BlockCache = kvstore.NewBlockCache(int64(cfg.BlockCacheMB) << 20)
+	}
+	maxUser := int64(cfg.NetworkPopulation) * 4 // headroom for platform accounts
 	regions := cfg.Nodes * cfg.RegionsPerNode
 	if cfg.WALDir != "" {
 		if err := os.MkdirAll(cfg.WALDir, 0o755); err != nil {

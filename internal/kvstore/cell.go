@@ -14,6 +14,14 @@ import (
 	"strings"
 )
 
+// cellOverhead is the fixed per-cell footprint charged on top of the key,
+// qualifier and value bytes everywhere the store accounts for cell sizes:
+// the memtable flush threshold, segment logical bytes (the size-tiered
+// compaction policy's input), ingest byte counters and delivered-row
+// estimates. One shared constant keeps flush-threshold and compaction-debt
+// accounting from drifting apart.
+const cellOverhead = 16
+
 // Cell is one versioned value: the unit of storage, identical to HBase's
 // KeyValue. Rows and qualifiers are ordered lexicographically; versions of
 // the same (row, qualifier) are ordered newest-first.

@@ -126,7 +126,7 @@ func (s *Store) compactLoop() {
 		for i := range inputs {
 			newestFirst[i] = inputs[len(inputs)-1-i]
 		}
-		merged, err := compactSegments(id, newestFirst, false)
+		merged, err := compactSegments(id, newestFirst, false, s.segCfg)
 
 		s.mu.Lock()
 		if err != nil {
@@ -140,6 +140,7 @@ func (s *Store) compactLoop() {
 		mBgCompactions.Inc()
 		mBytesCompacted.Add(int64(merged.bytes))
 		s.updateDebtLocked()
+		s.updateSegmentBytesLocked()
 		updateWriteAmp()
 		s.cond.Broadcast()
 	}

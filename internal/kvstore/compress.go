@@ -1,0 +1,238 @@
+package kvstore
+
+import (
+	"bytes"
+	"compress/flate"
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// Block compression codecs. Each segment block's encoded payload may be
+// compressed before it goes resident; blocks decompress lazily on first
+// read (see segment.loadBlock). Two codecs are provided on top of the
+// identity codec: stdlib DEFLATE at its fastest level, and a from-scratch
+// snappy-style LZ77 byte codec (hash-table match finder, literal/copy tag
+// stream) for workloads where flate's bit-level entropy coding costs too
+// much CPU. The snappy-style format is NOT wire-compatible with real
+// snappy — segments never leave the process, so only self-consistency
+// matters, and the decoder is fuzzed against arbitrary payloads.
+
+// BlockCompression selects the per-block compression codec of a store's
+// segments. The zero value means BlockNone.
+type BlockCompression string
+
+// Supported block codecs: identity, stdlib flate (BestSpeed), and the
+// in-repo snappy-style LZ codec.
+const (
+	BlockNone   BlockCompression = "none"
+	BlockFlate  BlockCompression = "flate"
+	BlockSnappy BlockCompression = "snappy"
+)
+
+// ParseBlockCompression maps a -block-compression flag value to a codec;
+// the empty string means BlockNone.
+func ParseBlockCompression(s string) (BlockCompression, error) {
+	switch BlockCompression(s) {
+	case "", BlockNone:
+		return BlockNone, nil
+	case BlockFlate:
+		return BlockFlate, nil
+	case BlockSnappy:
+		return BlockSnappy, nil
+	}
+	return BlockNone, fmt.Errorf("kvstore: unknown block compression %q (want none, flate or snappy)", s)
+}
+
+// blockCodec is the internal per-block codec tag stored in each block
+// handle: the builder may fall back to codecNone for incompressible blocks
+// even when the store is configured with a real codec.
+type blockCodec uint8
+
+const (
+	codecNone blockCodec = iota
+	codecFlate
+	codecSnappy
+)
+
+// codecFor maps the validated public setting to the internal tag.
+func codecFor(c BlockCompression) (blockCodec, error) {
+	switch c {
+	case "", BlockNone:
+		return codecNone, nil
+	case BlockFlate:
+		return codecFlate, nil
+	case BlockSnappy:
+		return codecSnappy, nil
+	}
+	return codecNone, fmt.Errorf("kvstore: unknown block compression %q", c)
+}
+
+// compressBlock encodes raw with the codec. codecNone returns raw itself.
+func compressBlock(c blockCodec, raw []byte) ([]byte, error) {
+	switch c {
+	case codecNone:
+		return raw, nil
+	case codecFlate:
+		var buf bytes.Buffer
+		w, err := flate.NewWriter(&buf, flate.BestSpeed)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := w.Write(raw); err != nil {
+			return nil, err
+		}
+		if err := w.Close(); err != nil {
+			return nil, err
+		}
+		return buf.Bytes(), nil
+	case codecSnappy:
+		return lzCompress(raw), nil
+	}
+	return nil, fmt.Errorf("kvstore: unknown block codec %d", c)
+}
+
+// decompressBlock inverts compressBlock; rawLen is the expected decoded
+// size recorded at build time and doubles as a decompression-bomb cap.
+func decompressBlock(c blockCodec, data []byte, rawLen int) ([]byte, error) {
+	if rawLen < 0 {
+		return nil, fmt.Errorf("kvstore: negative block raw length %d", rawLen)
+	}
+	switch c {
+	case codecNone:
+		if len(data) != rawLen {
+			return nil, fmt.Errorf("kvstore: uncompressed block is %d bytes, want %d", len(data), rawLen)
+		}
+		return data, nil
+	case codecFlate:
+		r := flate.NewReader(bytes.NewReader(data))
+		defer r.Close()
+		out := make([]byte, 0, rawLen)
+		buf := bytes.NewBuffer(out)
+		n, err := io.Copy(buf, io.LimitReader(r, int64(rawLen)+1))
+		if err != nil {
+			return nil, fmt.Errorf("kvstore: flate block: %w", err)
+		}
+		if n != int64(rawLen) {
+			return nil, fmt.Errorf("kvstore: flate block decoded to %d bytes, want %d", n, rawLen)
+		}
+		return buf.Bytes(), nil
+	case codecSnappy:
+		return lzDecompress(data, rawLen)
+	}
+	return nil, fmt.Errorf("kvstore: unknown block codec %d", c)
+}
+
+// Snappy-style LZ77 byte codec. The stream is a sequence of tagged runs:
+//
+//	tag&1 == 0: literal run of (tag>>1)+1 bytes (1..128) follows
+//	tag&1 == 1: copy of (tag>>1)+4 bytes (4..131) from a 2-byte LE
+//	            back-offset (1..65535) into the already-decoded output
+//
+// The encoder is a greedy single-pass matcher over a 4-byte hash table;
+// matches may self-overlap (offset < length), which is what compresses
+// runs of a repeated short pattern.
+const (
+	lzHashBits   = 12
+	lzMaxOffset  = 1 << 16
+	lzMaxCopyLen = 131
+	lzMaxLitRun  = 128
+	lzMinMatch   = 4
+)
+
+// lzHash maps the 4 bytes at p to a table slot.
+func lzHash(b []byte) uint32 {
+	v := binary.LittleEndian.Uint32(b)
+	return (v * 2654435761) >> (32 - lzHashBits)
+}
+
+// lzAppendLiterals emits src as literal runs.
+func lzAppendLiterals(dst, src []byte) []byte {
+	for len(src) > 0 {
+		n := len(src)
+		if n > lzMaxLitRun {
+			n = lzMaxLitRun
+		}
+		dst = append(dst, byte((n-1)<<1))
+		dst = append(dst, src[:n]...)
+		src = src[n:]
+	}
+	return dst
+}
+
+// lzCompress encodes src; output of incompressible input is src plus ~1
+// byte per 128 (the segment builder falls back to codecNone when the
+// encoded form is not smaller).
+func lzCompress(src []byte) []byte {
+	dst := make([]byte, 0, len(src)/2+16)
+	if len(src) < lzMinMatch+4 {
+		return lzAppendLiterals(dst, src)
+	}
+	var table [1 << lzHashBits]int32 // position+1, 0 = empty
+	litStart := 0
+	i := 0
+	for i+lzMinMatch <= len(src) {
+		h := lzHash(src[i:])
+		cand := int(table[h]) - 1
+		table[h] = int32(i + 1)
+		if cand >= 0 && i-cand < lzMaxOffset &&
+			binary.LittleEndian.Uint32(src[cand:]) == binary.LittleEndian.Uint32(src[i:]) {
+			length := lzMinMatch
+			for i+length < len(src) && length < lzMaxCopyLen && src[cand+length] == src[i+length] {
+				length++
+			}
+			dst = lzAppendLiterals(dst, src[litStart:i])
+			dst = append(dst, byte((length-lzMinMatch)<<1)|1,
+				byte(i-cand), byte((i-cand)>>8))
+			i += length
+			litStart = i
+			continue
+		}
+		i++
+	}
+	return lzAppendLiterals(dst, src[litStart:])
+}
+
+// lzDecompress inverts lzCompress. Every read and copy is bounds-checked so
+// arbitrary (fuzzed, corrupt) payloads return errors instead of panicking.
+func lzDecompress(data []byte, rawLen int) ([]byte, error) {
+	out := make([]byte, 0, rawLen)
+	for i := 0; i < len(data); {
+		tag := data[i]
+		i++
+		if tag&1 == 0 { // literal run
+			n := int(tag>>1) + 1
+			if i+n > len(data) {
+				return nil, fmt.Errorf("kvstore: lz literal run of %d bytes overruns input", n)
+			}
+			if len(out)+n > rawLen {
+				return nil, fmt.Errorf("kvstore: lz output exceeds declared %d bytes", rawLen)
+			}
+			out = append(out, data[i:i+n]...)
+			i += n
+			continue
+		}
+		length := int(tag>>1) + lzMinMatch
+		if i+2 > len(data) {
+			return nil, fmt.Errorf("kvstore: lz copy tag truncated")
+		}
+		offset := int(data[i]) | int(data[i+1])<<8
+		i += 2
+		if offset == 0 || offset > len(out) {
+			return nil, fmt.Errorf("kvstore: lz copy offset %d outside %d decoded bytes", offset, len(out))
+		}
+		if len(out)+length > rawLen {
+			return nil, fmt.Errorf("kvstore: lz output exceeds declared %d bytes", rawLen)
+		}
+		// Byte-at-a-time copy: self-overlapping matches (offset < length)
+		// replicate the repeated pattern, exactly as encoded.
+		pos := len(out) - offset
+		for j := 0; j < length; j++ {
+			out = append(out, out[pos+j])
+		}
+	}
+	if len(out) != rawLen {
+		return nil, fmt.Errorf("kvstore: lz decoded %d bytes, want %d", len(out), rawLen)
+	}
+	return out, nil
+}

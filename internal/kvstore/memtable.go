@@ -71,7 +71,7 @@ func (m *memtable) add(c Cell) {
 		update[i].next[i] = n
 	}
 	m.length++
-	m.bytes += len(c.Row) + len(c.Qualifier) + len(c.Value) + 16
+	m.bytes += len(c.Row) + len(c.Qualifier) + len(c.Value) + cellOverhead
 }
 
 // len returns the number of stored cells.

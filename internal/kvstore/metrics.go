@@ -54,7 +54,43 @@ var (
 		"Coprocessor attempts served by a read replica instead of the primary.")
 	mReadAttempts = obs.Default().Counter("kvstore_read_attempts_total",
 		"Per-region coprocessor read attempts (first tries, retries and hedges).")
+
+	mBlocksLoaded = obs.Default().Counter("kvstore_blocks_loaded_total",
+		"Segment blocks materialized by reads (block-cache hits plus decodes).")
+	mBlockDecodes = obs.Default().Counter("kvstore_block_decodes_total",
+		"Segment blocks decoded on a block-cache miss.")
+	mBlocksSkipped = obs.Default().Counter("kvstore_blocks_skipped_total",
+		"Segment blocks pruned without decoding (min/max spans, block Bloom filters, segment pruning).")
+	mBlockDecodeErrors = obs.Default().Counter("kvstore_block_decode_errors_total",
+		"Segment block decode failures (corrupt in-memory payloads; the reader treats the segment as exhausted).")
+	mBlockBloomHits = obs.Default().Counter("kvstore_block_bloom_hits_total",
+		"Point reads where a block Bloom filter admitted the row.")
+	mBlockBloomMisses = obs.Default().Counter("kvstore_block_bloom_misses_total",
+		"Point reads where a block Bloom filter excluded the row after the segment filter admitted it.")
+
+	mBlockCacheHits = obs.Default().Counter("kvstore_block_cache_hits_total",
+		"Block-cache lookups served from cache.")
+	mBlockCacheMisses = obs.Default().Counter("kvstore_block_cache_misses_total",
+		"Block-cache lookups that fell through to a decode.")
+	mBlockCacheEvictions = obs.Default().Counter("kvstore_block_cache_evictions_total",
+		"Decoded blocks evicted by the cache's byte-capacity LRU.")
+	mBlockCacheBytes = obs.Default().Gauge("kvstore_block_cache_resident_bytes",
+		"Decoded block bytes resident in block caches (all caches).")
+	mBlockCacheEntries = obs.Default().Gauge("kvstore_block_cache_entries",
+		"Decoded blocks resident in block caches (all caches).")
+
+	mSegLogicalBytes = obs.Default().Gauge("kvstore_segment_logical_bytes",
+		"Approximate logical cell bytes held by installed segments (all stores).")
+	mSegResidentBytes = obs.Default().Gauge("kvstore_segment_resident_bytes",
+		"Encoded (resident) segment block bytes held by installed segments (all stores).")
 )
+
+// BlockCounters reports the process-wide blocks-decoded and blocks-skipped
+// totals — the benchmark harness diffs them around a workload phase to gate
+// block-level pruning.
+func BlockCounters() (decoded, skipped int64) {
+	return mBlockDecodes.Value(), mBlocksSkipped.Value()
+}
 
 // approxRowBytes estimates the wire footprint of one delivered row: key,
 // qualifiers, values, plus a fixed per-cell overhead for the timestamp and
@@ -62,7 +98,7 @@ var (
 func approxRowBytes(res *RowResult) int64 {
 	n := int64(len(res.Row))
 	for i := range res.Cells {
-		n += int64(len(res.Cells[i].Qualifier)+len(res.Cells[i].Value)) + 16
+		n += int64(len(res.Cells[i].Qualifier)+len(res.Cells[i].Value)) + cellOverhead
 	}
 	return n
 }

@@ -53,7 +53,7 @@ func ValidateScanRanges(ranges []ScanRange) error {
 // overlapsRanges reports whether the segment's [minRow, maxRow] span
 // intersects any of the sorted, non-overlapping ranges.
 func (s *segment) overlapsRanges(ranges []ScanRange) bool {
-	if len(s.cells) == 0 {
+	if s.numCells == 0 {
 		return false
 	}
 	// First range that ends past the segment's smallest row; if its start
@@ -67,8 +67,10 @@ func (s *segment) overlapsRanges(ranges []ScanRange) bool {
 // multiScanIteratorsLocked builds the newest-first iterator stack for the
 // given ranges, skipping segments disjoint from all of them. It returns the
 // iterators and the number of segments pruned (observability for tests and
-// benchmarks). Caller holds s.mu.
-func (s *Store) multiScanIteratorsLocked(ranges []ScanRange, start *Cell) ([]cellIterator, int) {
+// benchmarks); a pruned segment's blocks count into bs.skipped — they were
+// excluded without decoding, same as a block pruned individually. Caller
+// holds s.mu.
+func (s *Store) multiScanIteratorsLocked(ranges []ScanRange, start *Cell, bs *blockScanStats) ([]cellIterator, int) {
 	its := make([]cellIterator, 0, len(s.segments)+len(s.imm)+1)
 	its = append(its, s.mem.iterator(start))
 	for i := len(s.imm) - 1; i >= 0; i-- {
@@ -78,9 +80,10 @@ func (s *Store) multiScanIteratorsLocked(ranges []ScanRange, start *Cell) ([]cel
 	for i := len(s.segments) - 1; i >= 0; i-- {
 		if !s.segments[i].overlapsRanges(ranges) {
 			pruned++
+			bs.skipped += int64(len(s.segments[i].blocks))
 			continue
 		}
-		its = append(its, s.segments[i].iterator(start))
+		its = append(its, s.segments[i].iterator(start, bs))
 	}
 	return its, pruned
 }
@@ -117,15 +120,29 @@ func (s *Store) MultiScanCtx(ctx context.Context, ranges []ScanRange, asOf int64
 	if ranges[0].Start != "" {
 		start = &Cell{Row: ranges[0].Start, Timestamp: int64(1) << 62, Tombstone: true}
 	}
-	its, pruned := s.multiScanIteratorsLocked(ranges, start)
+	var bs blockScanStats
+	its, pruned := s.multiScanIteratorsLocked(ranges, start, &bs)
 	merged := newMergeIterator(its)
 	var delivered, deliveredBytes int64
 	defer func() {
 		st.AddRows(delivered)
+		st.AddBlocksDecoded(bs.decoded)
+		st.AddBlocksSkipped(bs.skipped)
+		bs.flush()
 		mRowsScanned.Add(delivered)
 		mBytesScanned.Add(deliveredBytes)
 		mSegsPruned.Add(int64(pruned))
 		mMultiScanLatency.ObserveDuration(time.Since(scanStart))
+		if sp := obs.SpanFromContext(ctx); sp != nil {
+			// One child span per store-level multiscan keeps the per-scan
+			// block accounting out of the (append-only) parent attrs.
+			c := sp.Child("kvstore.multiscan")
+			c.SetAttrInt("blocks_decoded", bs.decoded)
+			c.SetAttrInt("blocks_cache_hits", bs.cacheHits)
+			c.SetAttrInt("blocks_skipped", bs.skipped)
+			c.SetAttrInt("segments_pruned", int64(pruned))
+			c.End()
+		}
 	}()
 	res := RowResult{}
 	probe := Cell{Timestamp: int64(1) << 62, Tombstone: true}

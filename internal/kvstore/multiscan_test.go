@@ -198,7 +198,7 @@ func TestMultiScanSegmentPruning(t *testing.T) {
 	}
 	s.mu.RLock()
 	for i, tc := range cases {
-		_, pruned := s.multiScanIteratorsLocked(tc.ranges, nil)
+		_, pruned := s.multiScanIteratorsLocked(tc.ranges, nil, &blockScanStats{})
 		if pruned != tc.pruned {
 			t.Errorf("case %d: pruned %d segments, want %d", i, pruned, tc.pruned)
 		}

@@ -533,7 +533,7 @@ func (t *Table) SplitRegion(splitKey string) error {
 func (s *Store) rawCells() []Cell {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	merged := newMergeIterator(s.iteratorsLocked(nil))
+	merged := newMergeIterator(s.iteratorsLocked(nil, nil))
 	var out []Cell
 	for merged.valid() {
 		out = append(out, *merged.cell())

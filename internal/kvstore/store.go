@@ -36,6 +36,17 @@ type StoreOptions struct {
 	// WALSyncPolicy selects the group-commit durability of a durable table's
 	// log (see OpenDurableTable); region stores themselves ignore it.
 	WALSyncPolicy SyncPolicy
+	// BlockSizeBytes is the target encoded size of one segment block;
+	// 0 means DefaultBlockSize. Blocks cut only at row boundaries, so one
+	// oversized row yields one oversized block.
+	BlockSizeBytes int
+	// BlockCompression selects the per-block codec of this store's
+	// segments; the zero value means BlockNone.
+	BlockCompression BlockCompression
+	// BlockCache serves decoded blocks to this store's reads; nil means
+	// the process-wide shared default cache. The cache may (and usually
+	// should) be shared across stores.
+	BlockCache *BlockCache
 }
 
 // DefaultStoreOptions returns sensible defaults for simulation workloads.
@@ -73,12 +84,19 @@ type Store struct {
 	// flushHook, when set (tests only), runs before each memtable flush and
 	// can inject a failure.
 	flushHook func(*memtable) error
-	debtBytes int64
-	puts      uint64
-	flushes   uint64
-	compacts  uint64
-	bgCompact uint64
-	stalls    uint64
+	// segCfg is the resolved block format handed to every segment this
+	// store builds; immutable after NewStore.
+	segCfg segmentConfig
+	// segLogical/segResident track this store's contribution to the global
+	// segment-bytes gauges (delta-updated like debtBytes).
+	segLogical  int64
+	segResident int64
+	debtBytes   int64
+	puts        uint64
+	flushes     uint64
+	compacts    uint64
+	bgCompact   uint64
+	stalls      uint64
 }
 
 // NewStore creates an empty store.
@@ -98,7 +116,23 @@ func NewStore(opts StoreOptions) (*Store, error) {
 	if opts.WAL == nil {
 		opts.WAL = NopWAL{}
 	}
+	if opts.BlockSizeBytes < 0 {
+		return nil, fmt.Errorf("kvstore: block size must be >= 0, got %d", opts.BlockSizeBytes)
+	}
+	codec, err := codecFor(opts.BlockCompression)
+	if err != nil {
+		return nil, err
+	}
+	blockSize := opts.BlockSizeBytes
+	if blockSize == 0 {
+		blockSize = DefaultBlockSize
+	}
+	cache := opts.BlockCache
+	if cache == nil {
+		cache = defaultBlockCache
+	}
 	s := &Store{opts: opts, mem: newMemtable(opts.Seed)}
+	s.segCfg = segmentConfig{blockSize: blockSize, codec: codec, cache: cache}
 	s.cond = sync.NewCond(&s.mu)
 	return s, nil
 }
@@ -182,7 +216,7 @@ func (s *Store) addCellLocked(c Cell) {
 	s.mem.add(c)
 	s.puts++
 	mPuts.Inc()
-	mBytesIngested.Add(int64(len(c.Row)+len(c.Qualifier)+len(c.Value)) + 16)
+	mBytesIngested.Add(int64(len(c.Row)+len(c.Qualifier)+len(c.Value)) + cellOverhead)
 	if s.mem.sizeBytes() >= s.opts.FlushThresholdBytes && len(s.imm) < s.opts.MaxImmutableMemtables {
 		s.rotateLocked()
 	}
@@ -219,7 +253,7 @@ func (s *Store) flushLoop() {
 		s.nextSeg++
 		hook := s.flushHook
 		s.mu.Unlock()
-		seg, err := buildSegmentFrom(id, m, hook)
+		seg, err := buildSegmentFrom(id, m, hook, s.segCfg)
 		s.mu.Lock()
 		if err != nil {
 			s.flushErr = err
@@ -238,13 +272,13 @@ func (s *Store) flushLoop() {
 
 // buildSegmentFrom turns one frozen memtable into a segment; the hook is the
 // tests' flush-failure injection point.
-func buildSegmentFrom(id uint64, m *memtable, hook func(*memtable) error) (*segment, error) {
+func buildSegmentFrom(id uint64, m *memtable, hook func(*memtable) error, cfg segmentConfig) (*segment, error) {
 	if hook != nil {
 		if err := hook(m); err != nil {
 			return nil, err
 		}
 	}
-	return newSegment(id, m.snapshot())
+	return newSegment(id, m.snapshot(), cfg)
 }
 
 // installSegmentLocked appends a flushed segment and updates the flush
@@ -255,7 +289,26 @@ func (s *Store) installSegmentLocked(seg *segment) {
 	mFlushes.Inc()
 	mBytesFlushed.Add(int64(seg.bytes))
 	s.updateDebtLocked()
+	s.updateSegmentBytesLocked()
 	updateWriteAmp()
+}
+
+// updateSegmentBytesLocked refreshes the store's contribution to the global
+// segment logical/resident byte gauges. Caller holds s.mu.
+func (s *Store) updateSegmentBytesLocked() {
+	var logical, resident int64
+	for _, seg := range s.segments {
+		logical += int64(seg.bytes)
+		resident += int64(seg.encodedBytes)
+	}
+	if logical != s.segLogical {
+		mSegLogicalBytes.Add(logical - s.segLogical)
+		s.segLogical = logical
+	}
+	if resident != s.segResident {
+		mSegResidentBytes.Add(resident - s.segResident)
+		s.segResident = resident
+	}
 }
 
 // Flush synchronously drains the memtable and any rotated backlog into
@@ -281,7 +334,7 @@ func (s *Store) flushLocked() error {
 	}
 	for len(s.imm) > 0 {
 		m := s.imm[0]
-		seg, err := buildSegmentFrom(s.nextSeg, m, s.flushHook)
+		seg, err := buildSegmentFrom(s.nextSeg, m, s.flushHook, s.segCfg)
 		if err != nil {
 			s.flushErr = err
 			s.cond.Broadcast()
@@ -325,7 +378,7 @@ func (s *Store) compactAllLocked() error {
 	for i := range s.segments {
 		newestFirst[i] = s.segments[len(s.segments)-1-i]
 	}
-	seg, err := compactSegments(s.nextSeg, newestFirst, true)
+	seg, err := compactSegments(s.nextSeg, newestFirst, true, s.segCfg)
 	if err != nil {
 		return err
 	}
@@ -335,6 +388,7 @@ func (s *Store) compactAllLocked() error {
 	mCompactions.Inc()
 	mBytesCompacted.Add(int64(seg.bytes))
 	s.updateDebtLocked()
+	s.updateSegmentBytesLocked()
 	updateWriteAmp()
 	return nil
 }
@@ -381,15 +435,16 @@ func (s *Store) WritePressure() float64 {
 
 // iteratorsLocked returns the newest-first iterator stack (memtable, then
 // rotated memtables newest to oldest, then segments newest to oldest),
-// positioned at start.
-func (s *Store) iteratorsLocked(start *Cell) []cellIterator {
+// positioned at start. Segment block activity is counted into bs (nil =
+// the global counters directly).
+func (s *Store) iteratorsLocked(start *Cell, bs *blockScanStats) []cellIterator {
 	its := make([]cellIterator, 0, len(s.segments)+len(s.imm)+1)
 	its = append(its, s.mem.iterator(start))
 	for i := len(s.imm) - 1; i >= 0; i-- {
 		its = append(its, s.imm[i].iterator(start))
 	}
 	for i := len(s.segments) - 1; i >= 0; i-- {
-		its = append(its, s.segments[i].iterator(start))
+		its = append(its, s.segments[i].iterator(start, bs))
 	}
 	return its
 }
@@ -445,8 +500,9 @@ func (s *Store) GetVersions(row, qualifier string, max int) ([]Cell, error) {
 }
 
 // pointIteratorsLocked is iteratorsLocked specialized for point reads: it
-// consults each segment's Bloom filter and skips segments that cannot
-// contain the row.
+// consults each segment's Bloom filter (first level) and then the target
+// block's Bloom filter (second level, inside pointIterator), skipping
+// segments and blocks that cannot contain the row.
 func (s *Store) pointIteratorsLocked(row string, start *Cell) []cellIterator {
 	its := make([]cellIterator, 0, len(s.segments)+len(s.imm)+1)
 	its = append(its, s.mem.iterator(start))
@@ -460,7 +516,9 @@ func (s *Store) pointIteratorsLocked(row string, start *Cell) []cellIterator {
 			continue
 		}
 		hits++
-		its = append(its, s.segments[i].iterator(start))
+		if it := s.segments[i].pointIterator(row, start, nil); it != nil {
+			its = append(its, it)
+		}
 	}
 	mBloomHits.Add(hits)
 	mBloomMisses.Add(misses)
@@ -544,11 +602,15 @@ func (s *Store) ScanCtx(ctx context.Context, opts ScanOptions, fn func(RowResult
 	if opts.StartRow != "" {
 		start = &Cell{Row: opts.StartRow, Timestamp: int64(1) << 62, Tombstone: true}
 	}
-	merged := newMergeIterator(s.iteratorsLocked(start))
+	var bs blockScanStats
+	merged := newMergeIterator(s.iteratorsLocked(start, &bs))
 	rows := 0
 	var delivered, deliveredBytes int64
 	defer func() {
 		st.AddRows(delivered)
+		st.AddBlocksDecoded(bs.decoded)
+		st.AddBlocksSkipped(bs.skipped)
+		bs.flush()
 		mRowsScanned.Add(delivered)
 		mBytesScanned.Add(deliveredBytes)
 		mScanLatency.ObserveDuration(time.Since(scanStart))
@@ -591,9 +653,16 @@ type Stats struct {
 	BackgroundCompactions      uint64
 	WriteStalls                uint64
 	Segments                   int
+	SegmentBlocks              int
 	MemtableCells              int
 	ImmutableMemtables         int
 	CompactionDebtBytes        int64
+	// SegmentLogicalBytes is the flat-slice cell footprint the installed
+	// segments represent; SegmentResidentBytes is what they actually hold
+	// (encoded, possibly compressed, blocks). Their ratio is the resident
+	// reduction the blocked format buys.
+	SegmentLogicalBytes  int64
+	SegmentResidentBytes int64
 }
 
 // Stats returns a snapshot of the store counters. MemtableCells includes
@@ -605,6 +674,13 @@ func (s *Store) Stats() Stats {
 	for _, m := range s.imm {
 		cells += m.len()
 	}
+	blocks := 0
+	var logical, resident int64
+	for _, seg := range s.segments {
+		blocks += len(seg.blocks)
+		logical += int64(seg.bytes)
+		resident += int64(seg.encodedBytes)
+	}
 	return Stats{
 		Puts:                  s.puts,
 		Flushes:               s.flushes,
@@ -612,8 +688,11 @@ func (s *Store) Stats() Stats {
 		BackgroundCompactions: s.bgCompact,
 		WriteStalls:           s.stalls,
 		Segments:              len(s.segments),
+		SegmentBlocks:         blocks,
 		MemtableCells:         cells,
 		ImmutableMemtables:    len(s.imm),
 		CompactionDebtBytes:   s.debtBytes,
+		SegmentLogicalBytes:   logical,
+		SegmentResidentBytes:  resident,
 	}
 }

@@ -25,6 +25,8 @@ type QueryStats struct {
 	replicaReads atomic.Int64
 	cancels      atomic.Int64
 	hedgeCancels atomic.Int64
+	blocksDec    atomic.Int64
+	blocksSkip   atomic.Int64
 }
 
 // QuerySnapshot is an immutable copy of QueryStats for reporting.
@@ -57,6 +59,12 @@ type QuerySnapshot struct {
 	// first-success-wins (attempts that completed before noticing the
 	// cancel are not counted anywhere).
 	HedgeCancels int64 `json:"hedge_cancels"`
+	// BlocksDecoded counts segment blocks the query's scans decoded on a
+	// block-cache miss; BlocksSkipped counts blocks pruned without
+	// decoding (min/max spans, Bloom filters, segment pruning). Their
+	// ratio shows how selective the query's ranges were.
+	BlocksDecoded int64 `json:"blocks_decoded"`
+	BlocksSkipped int64 `json:"blocks_skipped"`
 }
 
 // AddRows records n scanned rows.
@@ -131,22 +139,38 @@ func (s *QueryStats) AddHedgeCancel() {
 	}
 }
 
+// AddBlocksDecoded records n segment blocks decoded on a cache miss.
+func (s *QueryStats) AddBlocksDecoded(n int64) {
+	if s != nil {
+		s.blocksDec.Add(n)
+	}
+}
+
+// AddBlocksSkipped records n segment blocks pruned without decoding.
+func (s *QueryStats) AddBlocksSkipped(n int64) {
+	if s != nil {
+		s.blocksSkip.Add(n)
+	}
+}
+
 // Snapshot returns a copy of the counters. Safe on a nil receiver.
 func (s *QueryStats) Snapshot() QuerySnapshot {
 	if s == nil {
 		return QuerySnapshot{}
 	}
 	return QuerySnapshot{
-		Tasks:        s.tasks.Load(),
-		Goroutines:   s.goroutines.Load(),
-		RowsScanned:  s.rows.Load(),
-		BytesMerged:  s.bytes.Load(),
-		WallSeconds:  float64(s.wallNanos.Load()) / 1e9,
-		Retries:      s.retries.Load(),
-		Hedges:       s.hedges.Load(),
-		ReplicaReads: s.replicaReads.Load(),
-		Cancels:      s.cancels.Load(),
-		HedgeCancels: s.hedgeCancels.Load(),
+		Tasks:         s.tasks.Load(),
+		Goroutines:    s.goroutines.Load(),
+		RowsScanned:   s.rows.Load(),
+		BytesMerged:   s.bytes.Load(),
+		WallSeconds:   float64(s.wallNanos.Load()) / 1e9,
+		Retries:       s.retries.Load(),
+		Hedges:        s.hedges.Load(),
+		ReplicaReads:  s.replicaReads.Load(),
+		Cancels:       s.cancels.Load(),
+		HedgeCancels:  s.hedgeCancels.Load(),
+		BlocksDecoded: s.blocksDec.Load(),
+		BlocksSkipped: s.blocksSkip.Load(),
 	}
 }
 
