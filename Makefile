@@ -1,13 +1,13 @@
 GO ?= go
 
-.PHONY: check fmt vet lint-metrics lint-docs build test test-race bench bench-smoke fuzz-smoke
+.PHONY: check fmt vet lint-metrics lint-docs lint-api build test test-race bench bench-smoke fuzz-smoke
 
 ## check runs the tier-1 verification gate: formatting, vet, the metric-
-## cardinality lint, the exported-godoc lint, build, the full test suite
-## under the race detector, a short fuzz pass over the WAL replay contract,
-## and a smoke pass over the read-path microbenchmarks. CI and pre-merge
-## runs use this.
-check: fmt vet lint-metrics lint-docs build test-race fuzz-smoke bench-smoke
+## cardinality lint, the exported-godoc lint, the route-table/API.md
+## bijection lint, build, the full test suite under the race detector, a
+## short fuzz pass over the WAL replay contract, and a smoke pass over the
+## read-path microbenchmarks. CI and pre-merge runs use this.
+check: fmt vet lint-metrics lint-docs lint-api build test-race fuzz-smoke bench-smoke
 
 ## lint-metrics fails when any obs.L / obs.Label value is not a
 ## compile-time constant — the static half of the bounded-cardinality
@@ -16,9 +16,15 @@ lint-metrics:
 	$(GO) run ./cmd/obs-lint ./...
 
 ## lint-docs fails when an exported identifier in the core engine packages
-## (exec, query, obs, faultinject, admit, kvstore) lacks a doc comment.
+## (exec, query, obs, faultinject, admit, kvstore, pubsub) lacks a doc
+## comment.
 lint-docs:
-	$(GO) run ./cmd/doc-lint ./internal/exec ./internal/query ./internal/obs ./internal/faultinject ./internal/admit ./internal/kvstore
+	$(GO) run ./cmd/doc-lint ./internal/exec ./internal/query ./internal/obs ./internal/faultinject ./internal/admit ./internal/kvstore ./internal/pubsub
+
+## lint-api fails when the served route table (internal/core/router.go)
+## and the documented route table (API.md) disagree in either direction.
+lint-api:
+	$(GO) run ./cmd/api-lint
 
 fmt:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
@@ -56,9 +62,10 @@ bench:
 ## seeded fault-injection workload into BENCH_faults.json, and runs the
 ## overload-protection stall-storm workload into BENCH_overload.json, and
 ## the write-path ingest workload into BENCH_ingest.json, and the
-## block-format workload into BENCH_blocks.json so each run records the
-## fault-tolerance, shedding, group-commit, compression and block-cache
-## gates alongside the latency figures.
+## block-format workload into BENCH_blocks.json, and the standing-query
+## pub/sub workload into BENCH_pubsub.json so each run records the
+## fault-tolerance, shedding, group-commit, compression, block-cache and
+## continuous-query gates alongside the latency figures.
 bench-smoke:
 	$(GO) test ./internal/kvstore -run XXX -bench 'BenchmarkScanPath' -benchmem -benchtime=100x
 	$(GO) test ./internal/kvstore -run XXX -bench 'BenchmarkMergeIterator' -benchmem -benchtime=50x
@@ -68,3 +75,4 @@ bench-smoke:
 	$(GO) run ./cmd/modissense-bench -exp overload -quick
 	$(GO) run ./cmd/modissense-bench -exp ingest -quick
 	$(GO) run ./cmd/modissense-bench -exp blocks -quick
+	$(GO) run ./cmd/modissense-bench -exp pubsub -quick

@@ -154,6 +154,13 @@ func IsOverloaded(err error) bool {
 		(apiErr.Status == http.StatusTooManyRequests || apiErr.Status == http.StatusServiceUnavailable)
 }
 
+// IsNotFound reports whether err is the server saying the addressed
+// resource does not exist (or is not visible to the signed-in user).
+func IsNotFound(err error) bool {
+	var apiErr *APIError
+	return errors.As(err, &apiErr) && apiErr.Status == http.StatusNotFound
+}
+
 // Error implements the error interface.
 func (e *APIError) Error() string {
 	if e.RequestID != "" {

@@ -1,0 +1,211 @@
+package client
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+// subRegionAround builds a tight box around one catalog POI so the
+// subscription matches exactly the check-ins pushed at that POI.
+func subRegionAround(lat, lon float64) SubscriptionSpec {
+	const pad = 0.01
+	return SubscriptionSpec{
+		MinLat: lat - pad, MinLon: lon - pad,
+		MaxLat: lat + pad, MaxLon: lon + pad,
+	}
+}
+
+func TestClientSubscriptionLifecycle(t *testing.T) {
+	c, p := newServerAndClient(t)
+	if _, err := c.SignIn("facebook", "facebook:1"); err != nil {
+		t.Fatal(err)
+	}
+	poi := p.Catalog()[0]
+
+	spec := subRegionAround(poi.Lat, poi.Lon)
+	spec.Keywords = []string{"Coffee", "coffee", "LIVE music"}
+	spec.TTL = time.Hour
+	sub, err := c.CreateSubscription(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sub.ID == "" || sub.UserID == 0 {
+		t.Fatalf("create returned incomplete subscription: %+v", sub)
+	}
+	// Keywords come back tokenized, deduplicated and sorted.
+	want := []string{"coffee", "live", "music"}
+	if len(sub.Keywords) != len(want) {
+		t.Fatalf("keywords = %v, want %v", sub.Keywords, want)
+	}
+	for i, k := range want {
+		if sub.Keywords[i] != k {
+			t.Fatalf("keywords = %v, want %v", sub.Keywords, want)
+		}
+	}
+	if sub.ExpiresMillis <= sub.CreatedMillis {
+		t.Fatalf("expires %d not after created %d", sub.ExpiresMillis, sub.CreatedMillis)
+	}
+
+	got, err := c.GetSubscription(sub.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.ID != sub.ID {
+		t.Fatalf("get returned %q, want %q", got.ID, sub.ID)
+	}
+
+	// A second subscription, then paged listing with limit 1.
+	if _, err := c.CreateSubscription(subRegionAround(poi.Lat, poi.Lon)); err != nil {
+		t.Fatal(err)
+	}
+	var all []Subscription
+	cursor := ""
+	for pages := 0; ; pages++ {
+		if pages > 4 {
+			t.Fatal("pagination did not terminate")
+		}
+		items, next, err := c.Subscriptions(1, cursor)
+		if err != nil {
+			t.Fatal(err)
+		}
+		all = append(all, items...)
+		if next == "" {
+			break
+		}
+		cursor = next
+	}
+	if len(all) != 2 {
+		t.Fatalf("listed %d subscriptions, want 2", len(all))
+	}
+
+	if err := c.DeleteSubscription(sub.ID); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.GetSubscription(sub.ID); !IsNotFound(err) {
+		t.Fatalf("get after delete = %v, want not found", err)
+	}
+}
+
+func TestClientPollEvents(t *testing.T) {
+	c, p := newServerAndClient(t)
+	if _, err := c.SignIn("facebook", "facebook:1"); err != nil {
+		t.Fatal(err)
+	}
+	poi := p.Catalog()[0]
+	sub, err := c.CreateSubscription(subRegionAround(poi.Lat, poi.Lon))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Nothing buffered yet: an immediate poll returns an empty page.
+	events, next, err := c.PollEvents(context.Background(), sub.ID, 0, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 0 || next != 0 {
+		t.Fatalf("empty poll returned %d events cursor %d", len(events), next)
+	}
+
+	now := time.Now().UnixMilli()
+	if _, err := c.PushCheckins([]Checkin{
+		{POIID: poi.ID, Time: now, Grade: 4, Network: "facebook"},
+		{POIID: poi.ID, Time: now + 1, Network: "twitter"},
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	events, next, err = c.PollEvents(context.Background(), sub.ID, 0, 0, 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 2 {
+		t.Fatalf("polled %d events, want 2", len(events))
+	}
+	if events[0].POIID != poi.ID || events[0].Seq != 1 || events[1].Seq != 2 {
+		t.Fatalf("unexpected events: %+v", events)
+	}
+	if next != 2 {
+		t.Fatalf("next cursor = %d, want 2", next)
+	}
+
+	// Resuming from the cursor yields nothing new.
+	events, next, err = c.PollEvents(context.Background(), sub.ID, next, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 0 || next != 2 {
+		t.Fatalf("resume poll returned %d events cursor %d", len(events), next)
+	}
+}
+
+func TestClientStreamEvents(t *testing.T) {
+	c, p := newServerAndClient(t)
+	if _, err := c.SignIn("facebook", "facebook:1"); err != nil {
+		t.Fatal(err)
+	}
+	poi := p.Catalog()[0]
+	sub, err := c.CreateSubscription(subRegionAround(poi.Lat, poi.Lon))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	stream, err := c.StreamEvents(ctx, sub.ID, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stream.Close()
+
+	if _, err := c.PushCheckins([]Checkin{
+		{POIID: poi.ID, Time: time.Now().UnixMilli(), Network: "facebook"},
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	type step struct {
+		ok bool
+		ev SubscriptionEvent
+	}
+	steps := make(chan step, 1)
+	go func() {
+		ok := stream.Next()
+		steps <- step{ok: ok, ev: stream.Event()}
+	}()
+	select {
+	case s := <-steps:
+		if !s.ok {
+			t.Fatalf("stream ended early: %v", stream.Err())
+		}
+		if s.ev.POIID != poi.ID || s.ev.Seq != 1 {
+			t.Fatalf("unexpected streamed event: %+v", s.ev)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("no event streamed within 5s")
+	}
+
+	// Closing from this goroutine unblocks the reader with a clean end.
+	go func() {
+		ok := stream.Next()
+		steps <- step{ok: ok}
+	}()
+	time.Sleep(50 * time.Millisecond)
+	stream.Close()
+	select {
+	case s := <-steps:
+		if s.ok {
+			t.Fatal("Next returned an event after Close")
+		}
+		if err := stream.Err(); err != nil {
+			t.Fatalf("closed stream reported error: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Next did not unblock after Close")
+	}
+
+	// Opening a stream on an unknown subscription fails with not found.
+	if _, err := c.StreamEvents(context.Background(), "999999", 0); !IsNotFound(err) {
+		t.Fatalf("stream on unknown subscription = %v, want not found", err)
+	}
+}

@@ -29,7 +29,7 @@ import (
 var outDir string
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: fig2 | fig3 | fig4 | accuracy | ablation-schema | ablation-regions | dbscan | ext-cnb | ext-webservers | ext-topk | metrics | faults | overload | ingest | blocks | all")
+	exp := flag.String("exp", "all", "experiment: fig2 | fig3 | fig4 | accuracy | ablation-schema | ablation-regions | dbscan | ext-cnb | ext-webservers | ext-topk | metrics | faults | overload | ingest | blocks | pubsub | all")
 	quick := flag.Bool("quick", false, "run reduced sweeps (smaller dataset, fewer points)")
 	scatterWorkers := flag.Int("scatter-workers", 0, "scatter-gather worker-pool size for real region execution (0 = GOMAXPROCS)")
 	out := flag.String("out", ".", "directory for machine-readable BENCH_*.json result files")
@@ -56,8 +56,9 @@ func main() {
 		"overload":         runOverload,
 		"ingest":           runIngest,
 		"blocks":           runBlocks,
+		"pubsub":           runPubSub,
 	}
-	order := []string{"fig2", "fig3", "fig4", "accuracy", "ablation-schema", "ablation-regions", "dbscan", "ext-cnb", "ext-webservers", "ext-topk", "metrics", "faults", "overload", "ingest", "blocks"}
+	order := []string{"fig2", "fig3", "fig4", "accuracy", "ablation-schema", "ablation-regions", "dbscan", "ext-cnb", "ext-webservers", "ext-topk", "metrics", "faults", "overload", "ingest", "blocks", "pubsub"}
 
 	if *exp == "all" {
 		for _, name := range order {

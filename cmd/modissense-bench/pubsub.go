@@ -1,0 +1,75 @@
+package main
+
+import (
+	"fmt"
+	"strconv"
+
+	"modissense/internal/bench"
+)
+
+// runPubSub drives the continuous-query experiment: the incremental
+// matcher against thousands of standing spatio-textual subscriptions,
+// then end-to-end delivery over HTTP — long-poll consumers timing
+// push-to-notify under concurrent batched ingest while an abandoned
+// subscription's bounded queue overflows into counted drops.
+func runPubSub(quick bool) error {
+	cfg := bench.DefaultPubSub()
+	if quick {
+		cfg.Subscriptions = 1000
+		cfg.Publishes = 5000
+		cfg.POIs = 200
+		cfg.Population = 300
+		cfg.Writers = 3
+		cfg.BatchesPerWriter = 6
+		cfg.BatchSize = 20
+		cfg.Subscribers = 3
+		cfg.QueueCap = 32
+	}
+	fmt.Println("== PubSub: standing spatio-textual queries over the check-in stream ==")
+	fmt.Printf("matcher: %d subscriptions x %d publishes; delivery: %d writers x %d batches x %d check-ins, %d consumers, queue cap %d\n\n",
+		cfg.Subscriptions, cfg.Publishes, cfg.Writers, cfg.BatchesPerWriter, cfg.BatchSize, cfg.Subscribers, cfg.QueueCap)
+	res, err := bench.RunPubSub(cfg)
+	if err != nil {
+		return err
+	}
+
+	fmt.Println(bench.RenderTable(
+		[]string{"subscriptions", "publishes", "matches", "publish/s", "match-avg(us)"},
+		[][]string{{
+			strconv.Itoa(res.Subscriptions), strconv.Itoa(res.Publishes),
+			strconv.FormatInt(res.Matches, 10),
+			fmt.Sprintf("%.0f", res.PublishPerSec), fmt.Sprintf("%.1f", res.MatchAvgMicros),
+		}}))
+	fmt.Println(bench.RenderTable(
+		[]string{"pushed", "write-errs", "delivered", "poll-errs",
+			"notify-p50(ms)", "notify-p99(ms)", "slow-sub-drops", "obs-drops"},
+		[][]string{{
+			strconv.Itoa(res.CheckinsPushed), strconv.Itoa(res.WriteErrors),
+			strconv.Itoa(res.EventsDelivered), strconv.Itoa(res.PollErrors),
+			fmt.Sprintf("%.1f", res.NotifyP50Millis), fmt.Sprintf("%.1f", res.NotifyP99Millis),
+			strconv.FormatUint(res.SlowSubDropped, 10), strconv.FormatInt(res.ObsDropped, 10),
+		}}))
+	fmt.Printf("goroutines: before-load=%d after-load=%d\n\n", res.GoroutinesBefore, res.GoroutinesAfter)
+
+	gate := func(name string, ok bool) {
+		verdict := "PASS"
+		if !ok {
+			verdict = "FAIL"
+		}
+		fmt.Printf("gate %-52s %s\n", name+":", verdict)
+	}
+	gate(fmt.Sprintf("matcher: >= %.0f publishes/s against %d standing queries", cfg.MatchMinPerSec, cfg.Subscriptions),
+		res.PublishPerSec >= cfg.MatchMinPerSec)
+	gate("matcher: standing queries actually matched", res.Matches > 0)
+	gate("delivery: check-ins pushed and events delivered, no errors",
+		res.WriteErrors == 0 && res.PollErrors == 0 && res.CheckinsPushed > 0 && res.EventsDelivered > 0)
+	gate(fmt.Sprintf("delivery: notify p99 <= %s under concurrent ingest", cfg.NotifyP99Budget),
+		res.NotifyP99Millis > 0 && res.NotifyP99Millis <= cfg.NotifyP99Budget.Seconds()*1000)
+	gate("bounded queue: abandoned subscription overflowed into counted drops",
+		res.SlowSubDropped > 0 && res.ObsDropped >= int64(res.SlowSubDropped))
+	gate("lifecycle: goroutines returned to the pre-load baseline",
+		res.GoroutinesAfter <= res.GoroutinesBefore+2)
+	fmt.Println()
+
+	return writeSeriesJSON("BENCH_pubsub.json", res)
+}

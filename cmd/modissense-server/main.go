@@ -53,6 +53,9 @@ func main() {
 	blockSize := flag.Int("block-size", 0, "target encoded segment-block size in bytes (0 = engine default, 4096)")
 	blockCacheMB := flag.Int("block-cache-mb", 0, "decoded-block cache shared by all tables, in MiB (0 = process default, 64)")
 	blockCompression := flag.String("block-compression", "none", "segment block codec: none, flate or snappy")
+	maxSubscriptions := flag.Int("max-subscriptions", 0, "global cap on live pub/sub subscriptions (0 = registry default, 10000)")
+	subQueueCap := flag.Int("sub-queue-cap", 0, "per-subscription bounded event queue; overflow drops oldest (0 = registry default, 256)")
+	subTTL := flag.Duration("sub-ttl", 0, "default subscription time-to-live (0 = registry default, 15m; clamped to 24h)")
 	flag.Parse()
 
 	exec.SetDefaultWorkers(*scatterWorkers)
@@ -85,6 +88,9 @@ func main() {
 	cfg.BlockSizeBytes = *blockSize
 	cfg.BlockCacheMB = *blockCacheMB
 	cfg.BlockCompression = *blockCompression
+	cfg.MaxSubscriptions = *maxSubscriptions
+	cfg.SubQueueCap = *subQueueCap
+	cfg.SubTTL = *subTTL
 	if *normalized {
 		cfg.VisitSchema = repos.SchemaNormalized
 	}

@@ -1,0 +1,353 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"modissense/client"
+	"modissense/internal/core"
+	"modissense/internal/geo"
+	"modissense/internal/pubsub"
+)
+
+// PubSubConfig parameterizes the continuous-query experiment. Phase A
+// measures the incremental matcher in isolation: a registry loaded with
+// standing spatio-textual subscriptions absorbs a synthetic check-in
+// stream and we gate the publish throughput. Phase B runs the whole
+// delivery path over HTTP: concurrent batched check-in writers, long-poll
+// consumers measuring push-to-notify latency, and one deliberately
+// abandoned subscription whose bounded queue must overflow into counted
+// drops rather than memory.
+type PubSubConfig struct {
+	// Subscriptions standing queries are registered on a spatial grid,
+	// each with KeywordsPerSub keywords from a small vocabulary.
+	Subscriptions  int
+	KeywordsPerSub int
+	// Publishes check-ins are pushed straight through Registry.Publish.
+	Publishes int
+	// MatchMinPerSec gates phase A's publish throughput.
+	MatchMinPerSec float64
+
+	// POIs/Population size the platform behind the end-to-end phase.
+	POIs       int
+	Population int
+	// Writers concurrent clients each push BatchesPerWriter batches of
+	// BatchSize check-ins while Subscribers long-poll their standing
+	// queries.
+	Writers          int
+	BatchesPerWriter int
+	BatchSize        int
+	Subscribers      int
+	// QueueCap bounds each subscription's event buffer; the abandoned
+	// subscription must overflow it.
+	QueueCap int
+	// NotifyP99Budget gates the push-to-delivery latency tail.
+	NotifyP99Budget time.Duration
+	Seed            int64
+}
+
+// DefaultPubSub sizes the experiment so the matcher sees thousands of
+// standing queries and the delivery phase forces drop-oldest on the
+// abandoned subscription, while the whole run stays in seconds.
+func DefaultPubSub() PubSubConfig {
+	return PubSubConfig{
+		Subscriptions:    4000,
+		KeywordsPerSub:   2,
+		Publishes:        20000,
+		MatchMinPerSec:   2000,
+		POIs:             300,
+		Population:       500,
+		Writers:          4,
+		BatchesPerWriter: 12,
+		BatchSize:        25,
+		Subscribers:      4,
+		QueueCap:         64,
+		NotifyP99Budget:  2 * time.Second,
+		Seed:             113,
+	}
+}
+
+// PubSubResult is the full experiment outcome, JSON-tagged for
+// BENCH_pubsub.json.
+type PubSubResult struct {
+	// Phase A: matcher in isolation.
+	Subscriptions  int     `json:"subscriptions"`
+	Publishes      int     `json:"publishes"`
+	Matches        int64   `json:"matches"`
+	MatchSeconds   float64 `json:"match_seconds"`
+	PublishPerSec  float64 `json:"publish_per_sec"`
+	MatchAvgMicros float64 `json:"match_avg_us"`
+
+	// Phase B: end-to-end delivery under concurrent ingest.
+	CheckinsPushed  int     `json:"checkins_pushed"`
+	WriteErrors     int     `json:"write_errors"`
+	EventsDelivered int     `json:"events_delivered"`
+	PollErrors      int     `json:"poll_errors"`
+	NotifyP50Millis float64 `json:"notify_p50_ms"`
+	NotifyP99Millis float64 `json:"notify_p99_ms"`
+	// SlowSubDropped counts the abandoned subscription's overflow;
+	// ObsDropped is the same overflow as the obs counter saw it.
+	SlowSubDropped uint64 `json:"slow_sub_dropped"`
+	ObsDropped     int64  `json:"obs_dropped_total"`
+	// Goroutine accounting around the load: Before is sampled after the
+	// platform boots, After once every writer and consumer finished.
+	GoroutinesBefore int `json:"goroutines_before"`
+	GoroutinesAfter  int `json:"goroutines_after"`
+}
+
+// pubsubVocabulary is the keyword universe shared by subscriptions and
+// the synthetic check-in texts.
+var pubsubVocabulary = []string{
+	"coffee", "music", "pizza", "sushi", "jazz", "beach", "museum", "park",
+	"burger", "wine", "cinema", "theater", "market", "brunch", "bar", "gallery",
+}
+
+// RunPubSub executes both phases and returns the combined result.
+func RunPubSub(cfg PubSubConfig) (*PubSubResult, error) {
+	if cfg.Subscriptions < 1 || cfg.Publishes < 1 || cfg.Writers < 1 ||
+		cfg.Subscribers < 1 || cfg.BatchSize < 1 {
+		return nil, fmt.Errorf("bench: pubsub experiment needs positive load")
+	}
+	res := &PubSubResult{}
+	if err := runPubSubMatcher(cfg, res); err != nil {
+		return nil, err
+	}
+	if err := runPubSubDelivery(cfg, res); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// runPubSubMatcher loads a standalone registry with subscriptions on a
+// spatial grid and measures Publish throughput over a synthetic stream.
+func runPubSubMatcher(cfg PubSubConfig, res *PubSubResult) error {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	reg := pubsub.NewRegistry(pubsub.Options{
+		MaxSubscriptions: cfg.Subscriptions + 1,
+		MaxPerUser:       cfg.Subscriptions + 1,
+		QueueCap:         8,
+		DefaultTTL:       time.Hour,
+	})
+
+	// Subscriptions tile a 10x10-degree world: each covers a random ~0.5
+	// degree box, so one publish point lands inside a small fraction.
+	for i := 0; i < cfg.Subscriptions; i++ {
+		lat := rng.Float64() * 9.5
+		lon := rng.Float64() * 9.5
+		keywords := make([]string, cfg.KeywordsPerSub)
+		for k := range keywords {
+			keywords[k] = pubsubVocabulary[rng.Intn(len(pubsubVocabulary))]
+		}
+		region := geo.Rect{MinLat: lat, MinLon: lon, MaxLat: lat + 0.5, MaxLon: lon + 0.5}
+		if _, err := reg.Add(int64(i+1), region, keywords, time.Hour); err != nil {
+			return fmt.Errorf("bench: seed subscription %d: %w", i, err)
+		}
+	}
+
+	matchesBefore := pubsub.MatchesTotal()
+	secondsBefore := pubsub.MatchSecondsSum()
+	start := time.Now()
+	for i := 0; i < cfg.Publishes; i++ {
+		// Four vocabulary words per check-in text: a 2-keyword
+		// subscription matches when both land in the draw.
+		words := make([]string, 4)
+		for w := range words {
+			words[w] = pubsubVocabulary[rng.Intn(len(pubsubVocabulary))]
+		}
+		reg.Publish(pubsub.Checkin{
+			UserID:     int64(i%97 + 1),
+			POIID:      int64(i%512 + 1),
+			POIName:    "poi",
+			Point:      geo.Point{Lat: rng.Float64() * 10, Lon: rng.Float64() * 10},
+			TimeMillis: int64(i + 1),
+			Text:       strings.Join(words, " "),
+		})
+	}
+	elapsed := time.Since(start).Seconds()
+
+	res.Subscriptions = cfg.Subscriptions
+	res.Publishes = cfg.Publishes
+	res.Matches = pubsub.MatchesTotal() - matchesBefore
+	res.MatchSeconds = pubsub.MatchSecondsSum() - secondsBefore
+	res.PublishPerSec = float64(cfg.Publishes) / elapsed
+	if res.Publishes > 0 {
+		res.MatchAvgMicros = res.MatchSeconds / float64(res.Publishes) * 1e6
+	}
+	return nil
+}
+
+// runPubSubDelivery measures phase B: standing queries over the real
+// ingest path, long-poll consumers timing push-to-notify, and a bounded
+// queue forced to overflow on an abandoned subscription.
+func runPubSubDelivery(cfg PubSubConfig, res *PubSubResult) error {
+	pcfg := core.DefaultConfig()
+	pcfg.POIs = cfg.POIs
+	pcfg.NetworkPopulation = cfg.Population
+	pcfg.MeanFriends = 12
+	pcfg.ClassifierTrainDocs = 300
+	pcfg.Seed = cfg.Seed
+	pcfg.SubQueueCap = cfg.QueueCap
+	// Keep admission off the measured path: the load is the experiment.
+	pcfg.WriteQPS = 100_000
+	p, err := core.New(pcfg)
+	if err != nil {
+		return err
+	}
+	defer p.Close()
+	catalog := p.Catalog()
+
+	srv := httptest.NewServer(core.NewHandler(p))
+	defer srv.Close()
+
+	// The whole world: every check-in matches every standing query.
+	world := client.SubscriptionSpec{MinLat: -90, MinLon: -180, MaxLat: 90, MaxLon: 180, TTL: time.Hour}
+
+	// The abandoned subscription: registered, never polled. Its bounded
+	// queue must overflow into counted drops.
+	slowCl, err := client.New(srv.URL, srv.Client())
+	if err != nil {
+		return err
+	}
+	if _, err := slowCl.SignIn("facebook", fmt.Sprintf("facebook:%d", cfg.Writers+cfg.Subscribers+1)); err != nil {
+		return err
+	}
+	slowSub, err := slowCl.CreateSubscription(world)
+	if err != nil {
+		return err
+	}
+
+	obsDroppedBefore := pubsub.DroppedTotal()
+	res.GoroutinesBefore = runtime.NumGoroutine()
+
+	var (
+		mu          sync.Mutex
+		notifyWall  []float64
+		pushed      int64
+		wErrs       int64
+		delivered   int64
+		pollErrs    int64
+		writersLeft int64 = int64(cfg.Writers)
+		wg          sync.WaitGroup
+	)
+
+	// Consumers: each owns one standing query and long-polls it, timing
+	// push-to-notify as now minus the check-in's client-side timestamp.
+	for si := 0; si < cfg.Subscribers; si++ {
+		wg.Add(1)
+		go func(si int) {
+			defer wg.Done()
+			cl, err := client.New(srv.URL, srv.Client())
+			if err != nil {
+				atomic.AddInt64(&pollErrs, 1)
+				return
+			}
+			if _, err := cl.SignIn("facebook", fmt.Sprintf("facebook:%d", cfg.Writers+si+1)); err != nil {
+				atomic.AddInt64(&pollErrs, 1)
+				return
+			}
+			sub, err := cl.CreateSubscription(world)
+			if err != nil {
+				atomic.AddInt64(&pollErrs, 1)
+				return
+			}
+			var cursor uint64
+			for {
+				events, next, err := cl.PollEvents(context.Background(), sub.ID, cursor, 0, 200*time.Millisecond)
+				if err != nil {
+					atomic.AddInt64(&pollErrs, 1)
+					return
+				}
+				now := time.Now().UnixMilli()
+				cursor = next
+				atomic.AddInt64(&delivered, int64(len(events)))
+				mu.Lock()
+				for _, ev := range events {
+					notifyWall = append(notifyWall, float64(now-ev.TimeMillis)/1000)
+				}
+				mu.Unlock()
+				if len(events) == 0 && atomic.LoadInt64(&writersLeft) == 0 {
+					return
+				}
+			}
+		}(si)
+	}
+
+	// Writers: sustained batched check-in stream through the real API.
+	for wi := 0; wi < cfg.Writers; wi++ {
+		wg.Add(1)
+		go func(wi int) {
+			defer wg.Done()
+			defer atomic.AddInt64(&writersLeft, -1)
+			cl, err := client.New(srv.URL, srv.Client())
+			if err != nil {
+				atomic.AddInt64(&wErrs, int64(cfg.BatchesPerWriter))
+				return
+			}
+			cl.SetRetryPolicy(client.RetryPolicy{MaxRetries: 3, MaxWait: 50 * time.Millisecond, Budget: 64})
+			if _, err := cl.SignIn("facebook", fmt.Sprintf("facebook:%d", wi+1)); err != nil {
+				atomic.AddInt64(&wErrs, int64(cfg.BatchesPerWriter))
+				return
+			}
+			for bi := 0; bi < cfg.BatchesPerWriter; bi++ {
+				batch := make([]client.Checkin, cfg.BatchSize)
+				stamp := time.Now().UnixMilli()
+				for i := range batch {
+					poi := catalog[(wi*7919+bi*131+i)%len(catalog)]
+					batch[i] = client.Checkin{
+						POIID:   poi.ID,
+						Time:    stamp,
+						Grade:   float64((i % 5) + 1),
+						Network: "facebook",
+					}
+				}
+				r, err := cl.PushCheckins(batch)
+				if err != nil {
+					atomic.AddInt64(&wErrs, 1)
+					continue
+				}
+				atomic.AddInt64(&pushed, int64(r.Stored))
+			}
+		}(wi)
+	}
+	wg.Wait()
+
+	res.CheckinsPushed = int(pushed)
+	res.WriteErrors = int(wErrs)
+	res.EventsDelivered = int(delivered)
+	res.PollErrors = int(pollErrs)
+	sort.Float64s(notifyWall)
+	res.NotifyP50Millis = 1000 * percentile(notifyWall, 0.50)
+	res.NotifyP99Millis = 1000 * percentile(notifyWall, 0.99)
+	res.ObsDropped = pubsub.DroppedTotal() - obsDroppedBefore
+
+	// The abandoned subscription's overflow, read back through the owner.
+	if dropped, err := p.PubSub.Dropped(slowSub.UserID, slowSub.ID); err == nil {
+		res.SlowSubDropped = dropped
+	}
+
+	// Every writer and consumer is done; the registry spawns no goroutines
+	// of its own, so once the shared transport's idle keep-alive
+	// connections are torn down the count must settle back to the
+	// pre-load baseline.
+	if tr, ok := srv.Client().Transport.(*http.Transport); ok {
+		tr.CloseIdleConnections()
+	}
+	deadline := time.Now().Add(3 * time.Second)
+	for {
+		res.GoroutinesAfter = runtime.NumGoroutine()
+		if res.GoroutinesAfter <= res.GoroutinesBefore+2 || time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	return nil
+}

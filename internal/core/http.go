@@ -213,6 +213,15 @@ func (p *Platform) handleFriends(w http.ResponseWriter, r *http.Request) {
 		}
 		friends = filtered
 	}
+	pp, err := parsePageParams(r)
+	if err != nil {
+		writeErr(w, r, http.StatusBadRequest, err)
+		return
+	}
+	if pp.explicit {
+		writePage(w, friends, pp)
+		return
+	}
 	writeJSON(w, http.StatusOK, friends)
 }
 
@@ -623,6 +632,15 @@ func (p *Platform) handleBlogList(w http.ResponseWriter, r *http.Request) {
 	blogs, err := p.Blogs.ListUser(uid)
 	if err != nil {
 		writeErr(w, r, http.StatusInternalServerError, err)
+		return
+	}
+	pp, err := parsePageParams(r)
+	if err != nil {
+		writeErr(w, r, http.StatusBadRequest, err)
+		return
+	}
+	if pp.explicit {
+		writePage(w, blogs, pp)
 		return
 	}
 	writeJSON(w, http.StatusOK, blogs)

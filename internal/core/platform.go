@@ -12,6 +12,7 @@ import (
 	"math/rand"
 	"os"
 	"path/filepath"
+	"strings"
 	"time"
 
 	"modissense/internal/admit"
@@ -23,6 +24,7 @@ import (
 	"modissense/internal/kvstore"
 	"modissense/internal/model"
 	"modissense/internal/obs"
+	"modissense/internal/pubsub"
 	"modissense/internal/query"
 	"modissense/internal/relstore"
 	"modissense/internal/repos"
@@ -145,6 +147,16 @@ type Config struct {
 	// BlockCompression selects the per-block segment codec: "none"
 	// (default), "flate" or "snappy".
 	BlockCompression string
+	// MaxSubscriptions caps the pub/sub registry's live standing queries;
+	// beyond it new subscriptions are shed with 503 (0 keeps the pubsub
+	// default of 10000).
+	MaxSubscriptions int
+	// SubQueueCap sizes each subscriber's bounded event queue; a full queue
+	// drops its oldest event (0 keeps the pubsub default of 256).
+	SubQueueCap int
+	// SubTTL is the default subscription lifetime when a request names no
+	// TTL (0 keeps the pubsub default of 15m).
+	SubTTL time.Duration
 }
 
 // DefaultConfig returns a demo-scale platform: big enough to exercise
@@ -224,6 +236,9 @@ func (c Config) Validate() error {
 	if _, err := kvstore.ParseBlockCompression(c.BlockCompression); err != nil {
 		return err
 	}
+	if c.MaxSubscriptions < 0 || c.SubQueueCap < 0 || c.SubTTL < 0 {
+		return fmt.Errorf("core: negative subscription cap/queue/ttl")
+	}
 	return nil
 }
 
@@ -249,6 +264,10 @@ type Platform struct {
 	// Admission is the overload-admission controller consulted by the API
 	// middleware on exec-heavy routes; nil (the default) admits everything.
 	Admission *admit.Controller
+	// PubSub is the standing-query registry: every check-in stored through
+	// the Visits repository (API ingest and collector alike) is matched
+	// against it and delivered to subscriber queues.
+	PubSub *pubsub.Registry
 
 	catalog []model.POI
 }
@@ -369,6 +388,18 @@ func New(cfg Config) (*Platform, error) {
 	if p.Query, err = query.NewEngine(p.Visits, p.POIs, clus); err != nil {
 		return nil, err
 	}
+
+	// Continuous queries: the pub/sub registry plus its ingest hook. Every
+	// visit batch the Visits repository commits — whether it arrived through
+	// POST /checkins or a collector pass — is matched against the standing
+	// subscriptions. The registry spawns no goroutines; the hook runs
+	// synchronously on the writer and costs one R-tree probe per check-in.
+	p.PubSub = pubsub.NewRegistry(pubsub.Options{
+		MaxSubscriptions: cfg.MaxSubscriptions,
+		QueueCap:         cfg.SubQueueCap,
+		DefaultTTL:       cfg.SubTTL,
+	})
+	p.Visits.SetOnStore(p.publishVisits)
 
 	// Fault-tolerant read path (off by default; see OPERATIONS.md).
 	if cfg.ReadReplicas > 0 {
@@ -598,6 +629,29 @@ func (p *Platform) PushCheckins(token string, items []CheckinPush) (int, []Check
 		return 0, itemErrs, err
 	}
 	return len(visits), itemErrs, nil
+}
+
+// publishVisits is the Visits repository's post-commit hook: it feeds each
+// stored check-in to the pub/sub matcher. The matched text is the POI name
+// plus its catalog keywords, tokenized by the same textproc pipeline the
+// subscription keywords went through.
+func (p *Platform) publishVisits(visits []model.Visit) {
+	reg := p.PubSub
+	if reg == nil || reg.Len() == 0 {
+		return
+	}
+	for _, v := range visits {
+		reg.Publish(pubsub.Checkin{
+			UserID:     v.UserID,
+			POIID:      v.POI.ID,
+			POIName:    v.POI.Name,
+			Point:      geo.Point{Lat: v.POI.Lat, Lon: v.POI.Lon},
+			TimeMillis: v.Time,
+			Grade:      v.Grade,
+			Network:    v.Network,
+			Text:       v.POI.Name + " " + strings.Join(v.POI.Keywords, " "),
+		})
+	}
 }
 
 // PushGPS ingests GPS fixes for the authenticated user (overriding the

@@ -52,6 +52,9 @@ func TestConfigValidate(t *testing.T) {
 		func(c *Config) { c.RetryBudgetRatio = -0.5 },
 		func(c *Config) { c.BreakerFailures = -1 },
 		func(c *Config) { c.BreakerOpenFor = -time.Second },
+		func(c *Config) { c.MaxSubscriptions = -1 },
+		func(c *Config) { c.SubQueueCap = -1 },
+		func(c *Config) { c.SubTTL = -time.Second },
 	}
 	for i, mut := range muts {
 		cfg := testConfig()

@@ -1,0 +1,140 @@
+package core
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+// TestAPIRouteContract drives every row of routeTable and asserts the
+// cross-cutting API contract:
+//
+//   - the X-Request-ID a client supplies is echoed on every answer;
+//   - every non-2xx answer is the uniform error envelope with a code from
+//     the fixed enum and the request's id;
+//   - every non-v1Only route answers byte-identical bodies through its
+//     deprecated /api alias, which carries the Deprecation + successor
+//     Link headers (and the v1 path carries them exactly when the whole
+//     endpoint is superseded by a successor route).
+//
+// Requests are deliberately unauthenticated/malformed so each route
+// answers deterministically without platform state.
+func TestAPIRouteContract(t *testing.T) {
+	c, _ := newAPIClient(t)
+
+	// Per-route query fixtures forcing a cheap deterministic answer where
+	// the zero-value request would otherwise run real (timing-dependent)
+	// query work.
+	queryFor := map[string]string{
+		"trending":   "hours=abc",
+		"categories": "min_lat=abc",
+	}
+	validCodes := map[string]bool{
+		"bad_request": true, "unauthorized": true, "not_found": true,
+		"internal": true, "timeout": true, "canceled": true, "overloaded": true,
+	}
+	const fixedID = "route-contract-fixed-id"
+
+	do := func(t *testing.T, method, url string) (*http.Response, string) {
+		t.Helper()
+		req, err := http.NewRequest(method, url, strings.NewReader(""))
+		if err != nil {
+			t.Fatal(err)
+		}
+		req.Header.Set("X-Request-ID", fixedID)
+		if method == http.MethodPost {
+			req.Header.Set("Content-Type", "application/json")
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		raw, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp, string(raw)
+	}
+
+	for _, rt := range routeTable {
+		rt := rt
+		t.Run(rt.method+strings.ReplaceAll(rt.path, "/", "_"), func(t *testing.T) {
+			// Substitute path wildcards with concrete values.
+			path := strings.NewReplacer("{id}", "1", "{day}", "2015-05-01").Replace(rt.path)
+			query := "token=bogus"
+			if q, ok := queryFor[rt.label.Value]; ok {
+				query = q
+			}
+			v1URL := c.srv.URL + "/api/v1" + path + "?" + query
+
+			v1Resp, v1Body := do(t, rt.method, v1URL)
+
+			// Request-ID propagation on every route.
+			if got := v1Resp.Header.Get("X-Request-ID"); got != fixedID {
+				t.Errorf("X-Request-ID = %q, want %q", got, fixedID)
+			}
+			// Non-2xx answers wear the uniform envelope.
+			if v1Resp.StatusCode/100 != 2 {
+				var envelope apiError
+				if err := json.Unmarshal([]byte(v1Body), &envelope); err != nil {
+					t.Fatalf("status %d body is not the error envelope: %q", v1Resp.StatusCode, v1Body)
+				}
+				if !validCodes[envelope.Error.Code] {
+					t.Errorf("envelope code %q not in the enum", envelope.Error.Code)
+				}
+				if envelope.Error.Message == "" {
+					t.Error("envelope missing message")
+				}
+				if envelope.Error.RequestID != fixedID {
+					t.Errorf("envelope requestId = %q, want %q", envelope.Error.RequestID, fixedID)
+				}
+			}
+			// Deprecation headers on the v1 path: present exactly when the
+			// route is superseded by a successor resource.
+			if rt.successor != "" {
+				if v1Resp.Header.Get("Deprecation") != "true" {
+					t.Error("superseded v1 route missing Deprecation header")
+				}
+				if link := v1Resp.Header.Get("Link"); !strings.Contains(link, "</api/v1"+rt.successor+">") ||
+					!strings.Contains(link, `rel="successor-version"`) {
+					t.Errorf("superseded v1 Link = %q, want successor %q", link, rt.successor)
+				}
+			} else if v1Resp.Header.Get("Deprecation") != "" {
+				t.Error("current v1 route must not carry Deprecation")
+			}
+
+			if rt.v1Only {
+				// No legacy alias: the /api path must not serve this route.
+				aliasResp, _ := do(t, rt.method, c.srv.URL+"/api"+path+"?"+query)
+				if aliasResp.StatusCode != http.StatusNotFound &&
+					aliasResp.StatusCode != http.StatusMethodNotAllowed {
+					t.Errorf("v1-only route reachable via alias: %d", aliasResp.StatusCode)
+				}
+				return
+			}
+
+			// Legacy alias parity: identical body, deprecation headers.
+			aliasResp, aliasBody := do(t, rt.method, c.srv.URL+"/api"+path+"?"+query)
+			if aliasResp.StatusCode != v1Resp.StatusCode {
+				t.Errorf("alias status %d != v1 status %d", aliasResp.StatusCode, v1Resp.StatusCode)
+			}
+			if aliasBody != v1Body {
+				t.Errorf("alias body differs:\nv1:    %q\nalias: %q", v1Body, aliasBody)
+			}
+			if aliasResp.Header.Get("Deprecation") != "true" {
+				t.Error("alias missing Deprecation header")
+			}
+			wantSucc := rt.path
+			if rt.successor != "" {
+				wantSucc = rt.successor
+			}
+			if link := aliasResp.Header.Get("Link"); !strings.Contains(link, "</api/v1"+wantSucc+">") ||
+				!strings.Contains(link, `rel="successor-version"`) {
+				t.Errorf("alias Link = %q, want successor %q", link, wantSucc)
+			}
+		})
+	}
+}

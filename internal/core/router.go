@@ -37,6 +37,11 @@ type route struct {
 	// noTrace keeps the route out of the trace store (introspection
 	// endpoints would otherwise evict real query traces).
 	noTrace bool
+	// successor, when non-empty, marks the whole route deprecated in favor
+	// of the named v1 path: every answer (v1 and alias alike) carries the
+	// Deprecation header and a Link to /api/v1<successor>, and is counted in
+	// http_legacy_requests_total. Used by the pre-resource blog endpoints.
+	successor string
 	// admitted routes pass the overload-admission controller before their
 	// handler runs and tag their context with the class's exec priority;
 	// cheap CRUD/introspection routes bypass admission entirely.
@@ -60,8 +65,24 @@ var routeTable = []route{
 	{method: "POST", path: "/checkins", label: obs.L("route", "checkins"), v1Only: true, admitted: true, class: admit.Write,
 		handler: func(p *Platform) http.HandlerFunc { return p.handleCheckins }},
 	{method: "POST", path: "/blog/generate", label: obs.L("route", "blog_generate"), handler: func(p *Platform) http.HandlerFunc { return p.handleBlogGenerate }},
-	{method: "GET", path: "/blog", label: obs.L("route", "blog_get"), handler: func(p *Platform) http.HandlerFunc { return p.handleBlogGet }},
-	{method: "GET", path: "/blogs", label: obs.L("route", "blog_list"), handler: func(p *Platform) http.HandlerFunc { return p.handleBlogList }},
+	{method: "GET", path: "/blog", label: obs.L("route", "blog_get"), successor: "/users/{id}/blogs/{day}",
+		handler: func(p *Platform) http.HandlerFunc { return p.handleBlogGet }},
+	{method: "GET", path: "/blogs", label: obs.L("route", "blog_list"), successor: "/users/{id}/blogs",
+		handler: func(p *Platform) http.HandlerFunc { return p.handleBlogList }},
+	{method: "GET", path: "/users/{id}/blogs", label: obs.L("route", "user_blogs"), v1Only: true,
+		handler: func(p *Platform) http.HandlerFunc { return p.handleUserBlogList }},
+	{method: "GET", path: "/users/{id}/blogs/{day}", label: obs.L("route", "user_blog"), v1Only: true,
+		handler: func(p *Platform) http.HandlerFunc { return p.handleUserBlogGet }},
+	{method: "POST", path: "/subscriptions", label: obs.L("route", "sub_create"), v1Only: true, admitted: true, class: admit.Write,
+		handler: func(p *Platform) http.HandlerFunc { return p.handleSubscriptionCreate }},
+	{method: "GET", path: "/subscriptions", label: obs.L("route", "sub_list"), v1Only: true,
+		handler: func(p *Platform) http.HandlerFunc { return p.handleSubscriptionList }},
+	{method: "GET", path: "/subscriptions/{id}", label: obs.L("route", "sub_get"), v1Only: true,
+		handler: func(p *Platform) http.HandlerFunc { return p.handleSubscriptionGet }},
+	{method: "DELETE", path: "/subscriptions/{id}", label: obs.L("route", "sub_delete"), v1Only: true,
+		handler: func(p *Platform) http.HandlerFunc { return p.handleSubscriptionDelete }},
+	{method: "GET", path: "/subscriptions/{id}/events", label: obs.L("route", "sub_events"), v1Only: true, noTrace: true,
+		handler: func(p *Platform) http.HandlerFunc { return p.handleSubscriptionEvents }},
 	{method: "POST", path: "/admin/collect", label: obs.L("route", "collect"), handler: func(p *Platform) http.HandlerFunc { return p.handleCollect }},
 	{method: "POST", path: "/admin/hotin", label: obs.L("route", "hotin"), handler: func(p *Platform) http.HandlerFunc { return p.handleHotIn }},
 	{method: "POST", path: "/admin/events", label: obs.L("route", "events"), admitted: true, class: admit.Batch,
@@ -104,6 +125,14 @@ func (w *statusWriter) WriteHeader(status int) {
 	w.ResponseWriter.WriteHeader(status)
 }
 
+// Flush forwards to the wrapped writer so streaming handlers (SSE) can
+// push frames through the middleware stack.
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
 // instrument builds the middleware stack of one route: request-ID
 // propagation, tracing, per-route metrics and (for legacy aliases) the
 // deprecation headers. Metric handles resolve once per route at handler
@@ -128,10 +157,17 @@ func (p *Platform) instrument(rt route, h http.HandlerFunc) func(deprecated bool
 				reqID = newRequestID()
 			}
 			w.Header().Set(requestIDHeader, reqID)
-			if deprecated {
+			if deprecated || rt.successor != "" {
+				// The successor a deprecated answer points to: the same path
+				// under /api/v1 for un-versioned aliases, or the replacing
+				// resource route when the whole endpoint is superseded.
+				succ := rt.path
+				if rt.successor != "" {
+					succ = rt.successor
+				}
 				legacyHits.Inc()
 				w.Header().Set("Deprecation", "true")
-				w.Header().Set("Link", "</api/v1"+rt.path+`>; rel="successor-version"`)
+				w.Header().Set("Link", "</api/v1"+succ+`>; rel="successor-version"`)
 			}
 			ctx := context.WithValue(r.Context(), requestIDKey{}, reqID)
 			if rt.admitted {

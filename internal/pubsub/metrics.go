@@ -1,0 +1,73 @@
+package pubsub
+
+import (
+	"modissense/internal/obs"
+)
+
+// Rejection reasons for pubsub_subscriptions_rejected_total. Constants so
+// cmd/obs-lint can prove the label cardinality is bounded.
+const (
+	reasonCapacity  = "capacity"
+	reasonUserQuota = "user_quota"
+)
+
+// Metric handles, resolved once at package init per the obs hot-path
+// discipline. All registries share one process, so these live on
+// obs.Default() and surface in GET /metrics.
+var (
+	mActive = obs.Default().Gauge("pubsub_subscriptions_active",
+		"Live (unexpired) standing subscriptions in the registry.")
+	mCreated = obs.Default().Counter("pubsub_subscriptions_created_total",
+		"Subscriptions accepted by the registry.")
+	mRemoved = obs.Default().Counter("pubsub_subscriptions_removed_total",
+		"Subscriptions deleted by their owner.")
+	mExpired = obs.Default().Counter("pubsub_subscriptions_expired_total",
+		"Subscriptions reaped after their TTL elapsed.")
+	mRejectedCapacity = obs.Default().Counter("pubsub_subscriptions_rejected_total",
+		"Subscriptions refused at admission, by reason.",
+		obs.L("reason", reasonCapacity))
+	mRejectedQuota = obs.Default().Counter("pubsub_subscriptions_rejected_total",
+		"Subscriptions refused at admission, by reason.",
+		obs.L("reason", reasonUserQuota))
+	mMatches = obs.Default().Counter("pubsub_matches_total",
+		"Check-in/subscription matches produced by the incremental matcher.")
+	mMatchSeconds = obs.Default().Histogram("pubsub_match_seconds",
+		"Latency of matching one check-in against the registry.",
+		obs.LatencyBuckets())
+	mDelivered = obs.Default().Counter("pubsub_events_delivered_total",
+		"Matched events handed to a consumer (long-poll or SSE).")
+	mDropped = obs.Default().Counter("pubsub_events_dropped_total",
+		"Matched events evicted from full subscriber queues (drop-oldest).")
+	mQueueDepth = obs.Default().Gauge("pubsub_queue_depth",
+		"Matched events buffered across all subscriber queues.")
+	mDeliverySeconds = obs.Default().Histogram("pubsub_delivery_seconds",
+		"Publish-to-delivery latency of matched events.",
+		obs.LatencyBuckets())
+)
+
+// countRejected bumps the rejection counter for the given reason.
+func countRejected(reason string) {
+	switch reason {
+	case reasonCapacity:
+		mRejectedCapacity.Inc()
+	case reasonUserQuota:
+		mRejectedQuota.Inc()
+	}
+}
+
+// DeliveredTotal returns the process-wide delivered-event count; the
+// pubsub benchmark reads it to compute match throughput.
+func DeliveredTotal() int64 { return mDelivered.Value() }
+
+// DroppedTotal returns the process-wide dropped-event count.
+func DroppedTotal() int64 { return mDropped.Value() }
+
+// MatchesTotal returns the process-wide matcher hit count.
+func MatchesTotal() int64 { return mMatches.Value() }
+
+// MatchCount returns how many check-ins the matcher has timed; paired
+// with MatchesTotal it gives matches per publish.
+func MatchCount() int64 { return mMatchSeconds.Count() }
+
+// MatchSecondsSum returns the cumulative matcher time in seconds.
+func MatchSecondsSum() float64 { return mMatchSeconds.Sum() }

@@ -58,7 +58,19 @@ type VisitsRepo struct {
 	schema     VisitSchema
 	seq        atomic.Uint32
 	legacyJSON bool
+	// onStore, when set, observes every batch after it commits — the
+	// platform hooks the pub/sub matcher here so both API ingest and the
+	// collector publish to standing subscriptions. Set once at wiring time,
+	// before the repository serves concurrent writes.
+	onStore func([]model.Visit)
 }
+
+// SetOnStore installs a post-commit observer invoked with every stored
+// visit batch (single Stores arrive as one-element batches). The hook runs
+// synchronously on the writer's goroutine after the table write succeeds;
+// it must be fast and must not call back into the repository. Install it
+// during wiring, before concurrent writes start.
+func (r *VisitsRepo) SetOnStore(fn func([]model.Visit)) { r.onStore = fn }
 
 // NewVisitsRepo creates the repository over a table pre-split into
 // `regions` user ranges placed round-robin on `nodes` simulated nodes.
@@ -138,7 +150,13 @@ func (r *VisitsRepo) Store(v model.Visit) error {
 	if err != nil {
 		return err
 	}
-	return r.table.Put(c.Row, c.Qualifier, c.Timestamp, c.Value)
+	if err := r.table.Put(c.Row, c.Qualifier, c.Timestamp, c.Value); err != nil {
+		return err
+	}
+	if r.onStore != nil {
+		r.onStore([]model.Visit{v})
+	}
+	return nil
 }
 
 // StoreBatch persists a batch of visits through one table PutBatch: the
@@ -158,7 +176,13 @@ func (r *VisitsRepo) StoreBatch(visits []model.Visit) error {
 		}
 		cells[i] = c
 	}
-	return r.table.PutBatch(cells)
+	if err := r.table.PutBatch(cells); err != nil {
+		return err
+	}
+	if r.onStore != nil {
+		r.onStore(visits)
+	}
+	return nil
 }
 
 // DecodeVisit decodes a stored visit row, binary or legacy JSON — the tag
