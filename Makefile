@@ -15,11 +15,11 @@ check: fmt vet lint-metrics lint-docs lint-api build test-race fuzz-smoke bench-
 lint-metrics:
 	$(GO) run ./cmd/obs-lint ./...
 
-## lint-docs fails when an exported identifier in the core engine packages
-## (exec, query, obs, faultinject, admit, kvstore, pubsub) lacks a doc
-## comment.
+## lint-docs fails when an exported identifier in any internal package or
+## the Go client lacks a doc comment (the whole library surface, matview
+## and the once-uncovered packages included).
 lint-docs:
-	$(GO) run ./cmd/doc-lint ./internal/exec ./internal/query ./internal/obs ./internal/faultinject ./internal/admit ./internal/kvstore ./internal/pubsub
+	$(GO) run ./cmd/doc-lint ./internal/... ./client
 
 ## lint-api fails when the served route table (internal/core/router.go)
 ## and the documented route table (API.md) disagree in either direction.
@@ -63,9 +63,10 @@ bench:
 ## overload-protection stall-storm workload into BENCH_overload.json, and
 ## the write-path ingest workload into BENCH_ingest.json, and the
 ## block-format workload into BENCH_blocks.json, and the standing-query
-## pub/sub workload into BENCH_pubsub.json so each run records the
-## fault-tolerance, shedding, group-commit, compression, block-cache and
-## continuous-query gates alongside the latency figures.
+## pub/sub workload into BENCH_pubsub.json, and the materialized-trending
+## workload into BENCH_trending.json so each run records the
+## fault-tolerance, shedding, group-commit, compression, block-cache,
+## continuous-query and view/cache gates alongside the latency figures.
 bench-smoke:
 	$(GO) test ./internal/kvstore -run XXX -bench 'BenchmarkScanPath' -benchmem -benchtime=100x
 	$(GO) test ./internal/kvstore -run XXX -bench 'BenchmarkMergeIterator' -benchmem -benchtime=50x
@@ -76,3 +77,4 @@ bench-smoke:
 	$(GO) run ./cmd/modissense-bench -exp ingest -quick
 	$(GO) run ./cmd/modissense-bench -exp blocks -quick
 	$(GO) run ./cmd/modissense-bench -exp pubsub -quick
+	$(GO) run ./cmd/modissense-bench -exp trending -quick

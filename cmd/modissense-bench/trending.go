@@ -1,0 +1,82 @@
+package main
+
+import (
+	"fmt"
+	"strconv"
+
+	"modissense/internal/bench"
+)
+
+// runTrending drives the materialized-trending experiment: the
+// incrementally maintained HotIn view against the scan path while history
+// grows 1× → 8× → 64×, a repeat-heavy personalized workload against the
+// result cache, the /metrics exposition of the cache counters, and the
+// byte-equivalence of cached answers against the scan path.
+func runTrending(quick bool) error {
+	cfg := bench.DefaultTrending()
+	if quick {
+		cfg.HistoryDays = []int{1, 4, 16}
+		cfg.VisitsPerDay = 1200
+		cfg.QueriesPerScale = 15
+		cfg.DistinctQueries = 8
+		cfg.RepeatsPerQuery = 4
+	}
+	fmt.Println("== Trending: materialized view + per-user result cache ==")
+	fmt.Printf("history scales %v days at %d visits/day; repeat workload: %d distinct x %d repeats, %d friends each\n\n",
+		cfg.HistoryDays, cfg.VisitsPerDay, cfg.DistinctQueries, cfg.RepeatsPerQuery, cfg.FriendsPerQuery)
+	res, err := bench.RunTrending(cfg)
+	if err != nil {
+		return err
+	}
+
+	rows := make([][]string, 0, len(res.Scales))
+	for _, s := range res.Scales {
+		rows = append(rows, []string{
+			strconv.Itoa(s.HistoryDays), strconv.Itoa(s.Visits), strconv.Itoa(s.ViewBuckets),
+			fmt.Sprintf("%.3f", s.ViewP50Ms), fmt.Sprintf("%.3f", s.ViewP99Ms),
+			fmt.Sprintf("%.3f", s.RecomputeP50Ms), fmt.Sprintf("%.3f", s.RecomputeP99Ms),
+			strconv.FormatInt(s.RecomputeRows, 10),
+		})
+	}
+	fmt.Println(bench.RenderTable(
+		[]string{"days", "visits", "buckets", "view-p50(ms)", "view-p99(ms)", "recompute-p50(ms)", "recompute-p99(ms)", "recompute-rows"},
+		rows))
+	fmt.Println(bench.RenderTable(
+		[]string{"cold", "warm", "cold-mean(ms)", "warm-mean(ms)", "speedup", "hits", "misses", "hit-ratio"},
+		[][]string{{
+			strconv.Itoa(res.ColdQueries), strconv.Itoa(res.WarmQueries),
+			fmt.Sprintf("%.3f", res.ColdMeanMs), fmt.Sprintf("%.3f", res.WarmMeanMs),
+			fmt.Sprintf("%.1fx", res.RepeatSpeedup),
+			strconv.FormatInt(res.CacheHits, 10), strconv.FormatInt(res.CacheMisses, 10),
+			fmt.Sprintf("%.2f", res.CacheHitRatio),
+		}}))
+	fmt.Printf("equivalence: %d/%d cached answers byte-identical to the scan path; /metrics: %d matview families, cache hits %.0f\n\n",
+		res.EquivalenceEqual, res.EquivalenceChecks, res.MetricsFamilies, res.MetricsHits)
+
+	gate := func(name string, ok bool) {
+		verdict := "PASS"
+		if !ok {
+			verdict = "FAIL"
+		}
+		fmt.Printf("gate %-52s %s\n", name+":", verdict)
+	}
+	first, last := res.Scales[0], res.Scales[len(res.Scales)-1]
+	// The absolute floor keeps sub-millisecond noise from flipping the
+	// flatness verdict on fast machines.
+	budget := first.ViewP99Ms*cfg.FlatSlack + 2.0
+	gate(fmt.Sprintf("view: trending p99 flat across history (%.3f <= %.3f ms)", last.ViewP99Ms, budget),
+		last.ViewP99Ms <= budget)
+	gate("baseline: recompute work grows with history (sanity)",
+		last.RecomputeRows > first.RecomputeRows && last.RecomputeP50Ms > first.RecomputeP50Ms)
+	gate(fmt.Sprintf("cache: repeat-query speedup >= %.0fx (got %.1fx)", cfg.MinSpeedup, res.RepeatSpeedup),
+		res.RepeatSpeedup >= cfg.MinSpeedup)
+	gate("cache: every repeat hit, every cold query missed",
+		res.UnexpectedMiss == 0 && res.CacheHits > 0)
+	gate("metrics: cache hit counter exposed on /metrics",
+		res.MetricsHits > 0 && res.MetricsFamilies == 6)
+	gate(fmt.Sprintf("correctness: cached == scan path on all %d checks", res.EquivalenceChecks),
+		res.EquivalenceChecks > 0 && res.EquivalenceEqual == res.EquivalenceChecks)
+	fmt.Println()
+
+	return writeSeriesJSON("BENCH_trending.json", res)
+}

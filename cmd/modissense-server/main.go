@@ -56,6 +56,9 @@ func main() {
 	maxSubscriptions := flag.Int("max-subscriptions", 0, "global cap on live pub/sub subscriptions (0 = registry default, 10000)")
 	subQueueCap := flag.Int("sub-queue-cap", 0, "per-subscription bounded event queue; overflow drops oldest (0 = registry default, 256)")
 	subTTL := flag.Duration("sub-ttl", 0, "default subscription time-to-live (0 = registry default, 15m; clamped to 24h)")
+	hotinBucket := flag.Duration("hotin-bucket", time.Hour, "materialized trending view bucket width (0 disables the view; trending falls back to scans)")
+	hotinHorizon := flag.Duration("hotin-horizon", 336*time.Hour, "trending view retention horizon; trending windows are clamped to this span (0 = 14d default)")
+	resultCacheMB := flag.Int("result-cache-mb", 32, "personalized result cache budget in MiB (0 disables caching)")
 	flag.Parse()
 
 	exec.SetDefaultWorkers(*scatterWorkers)
@@ -91,6 +94,14 @@ func main() {
 	cfg.MaxSubscriptions = *maxSubscriptions
 	cfg.SubQueueCap = *subQueueCap
 	cfg.SubTTL = *subTTL
+	cfg.HotInBucket = *hotinBucket
+	cfg.HotInHorizon = *hotinHorizon
+	if *hotinBucket == 0 {
+		// -hotin-bucket 0 turns the whole view off; don't make the user
+		// zero the horizon too.
+		cfg.HotInHorizon = 0
+	}
+	cfg.ResultCacheMB = *resultCacheMB
 	if *normalized {
 		cfg.VisitSchema = repos.SchemaNormalized
 	}

@@ -1,0 +1,589 @@
+package bench
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"modissense/internal/cluster"
+	"modissense/internal/core"
+	"modissense/internal/kvstore"
+	"modissense/internal/matview"
+	"modissense/internal/model"
+	"modissense/internal/query"
+	"modissense/internal/relstore"
+	"modissense/internal/repos"
+	"modissense/internal/workload"
+)
+
+// TrendingConfig parameterizes the materialized-trending experiment.
+//
+// Phase A pits the incrementally maintained view against the scan path
+// while visit history grows 1× → 8× → 64×: the query window stays a
+// constant trailing day, so the view's work is bounded by the horizon
+// while the scan's grows with history. Phase B replays a repeat-heavy
+// personalized workload (the TextBenDS-style top-k pattern: few distinct
+// queries, many repetitions) against the result cache and gates the
+// speedup of a warm hit over a cold computation. Phase C boots the full
+// platform and checks the cache hit rate is readable off /metrics.
+// Phase D proves cached answers byte-identical to scan-path answers,
+// including across an invalidating friend check-in.
+type TrendingConfig struct {
+	// HistoryDays are the phase-A history sizes; each scale stores
+	// VisitsPerDay check-ins per day ending at a fixed instant.
+	HistoryDays []int
+	// VisitsPerDay is the fixed ingest rate, so history size is the only
+	// variable across scales.
+	VisitsPerDay int
+	// Users is the synthetic population (phase A and B share it).
+	Users int
+	// POIs sizes the catalog.
+	POIs int
+	// QueriesPerScale trending queries are timed per history size.
+	QueriesPerScale int
+	// BucketMillis/HorizonMillis shape the view under test.
+	BucketMillis, HorizonMillis int64
+	// FlatSlack bounds phase A: the largest scale's view p99 must stay
+	// within FlatSlack × the smallest scale's view p99 (plus a small
+	// absolute floor so microsecond-level noise cannot flip the gate).
+	FlatSlack float64
+	// DistinctQueries/RepeatsPerQuery shape the phase-B repeat workload.
+	DistinctQueries int
+	RepeatsPerQuery int
+	// FriendsPerQuery is the friend-set size of each personalized query.
+	FriendsPerQuery int
+	// MinSpeedup gates phase B: mean cold latency / mean warm latency.
+	MinSpeedup float64
+	// CacheMB is the result-cache budget for phases B-D.
+	CacheMB int
+	Seed    int64
+}
+
+// DefaultTrending sizes the experiment so the 64× history is large enough
+// for the scan path to visibly grow while the whole run stays in seconds.
+func DefaultTrending() TrendingConfig {
+	return TrendingConfig{
+		HistoryDays:     []int{2, 16, 128},
+		VisitsPerDay:    3000,
+		Users:           200,
+		POIs:            400,
+		QueriesPerScale: 40,
+		BucketMillis:    int64(time.Hour / time.Millisecond),
+		HorizonMillis:   int64(48 * time.Hour / time.Millisecond),
+		FlatSlack:       3,
+		DistinctQueries: 16,
+		RepeatsPerQuery: 6,
+		FriendsPerQuery: 24,
+		MinSpeedup:      10,
+		CacheMB:         16,
+		Seed:            229,
+	}
+}
+
+// TrendingScaleRow is one phase-A history size.
+type TrendingScaleRow struct {
+	HistoryDays int     `json:"history_days"`
+	Visits      int     `json:"visits"`
+	ViewBuckets int     `json:"view_buckets"`
+	ViewP50Ms   float64 `json:"view_p50_ms"`
+	ViewP99Ms   float64 `json:"view_p99_ms"`
+	// Recompute* time the non-materialized baseline: re-aggregating the
+	// window with one pass over stored history (what the HotIn batch job
+	// does), whose row count grows with history while the view's work
+	// stays horizon-bounded.
+	RecomputeP50Ms float64 `json:"recompute_p50_ms"`
+	RecomputeP99Ms float64 `json:"recompute_p99_ms"`
+	RecomputeRows  int64   `json:"recompute_rows"`
+}
+
+// TrendingResult is the full experiment outcome, JSON-tagged for
+// BENCH_trending.json.
+type TrendingResult struct {
+	Scales []TrendingScaleRow `json:"scales"`
+
+	// Phase B: repeat-query cache workload.
+	ColdQueries    int     `json:"cold_queries"`
+	WarmQueries    int     `json:"warm_queries"`
+	ColdMeanMs     float64 `json:"cold_mean_ms"`
+	WarmMeanMs     float64 `json:"warm_mean_ms"`
+	RepeatSpeedup  float64 `json:"repeat_speedup"`
+	CacheHits      int64   `json:"cache_hits"`
+	CacheMisses    int64   `json:"cache_misses"`
+	CacheHitRatio  float64 `json:"cache_hit_ratio"`
+	UnexpectedMiss int     `json:"unexpected_misses"`
+
+	// Phase C: exposition through the platform's /metrics.
+	MetricsHits     float64 `json:"metrics_cache_hits_total"`
+	MetricsFamilies int     `json:"metrics_matview_families"`
+
+	// Phase D: cached-vs-scan equivalence.
+	EquivalenceChecks int `json:"equivalence_checks"`
+	EquivalenceEqual  int `json:"equivalence_equal"`
+}
+
+// trendingFixture is one history scale: repos + an engine with the view
+// (and optionally the cache) attached.
+type trendingFixture struct {
+	visits     *repos.VisitsRepo
+	pois       *repos.POIRepo
+	viewEng    *query.Engine
+	view       *matview.HotInView
+	cache      *matview.ResultCache
+	endMillis  int64
+	totalRows  int
+	catalogLen int
+}
+
+// buildTrendingFixture stores `days` of fixed-rate history ending at a
+// fixed instant. The view is wired to the store hook, so population runs
+// through the same incremental-apply path production ingest uses.
+func buildTrendingFixture(cfg TrendingConfig, days int, withCache bool) (*trendingFixture, error) {
+	rng := rand.New(rand.NewSource(cfg.Seed + int64(days)))
+	catalog := workload.GenPOIs(rng, cfg.POIs)
+	db := relstore.NewDB()
+	poiRepo, err := repos.NewPOIRepo(db)
+	if err != nil {
+		return nil, err
+	}
+	for _, p := range catalog {
+		if _, err := poiRepo.Insert(p); err != nil {
+			return nil, err
+		}
+	}
+	kvOpts := kvstore.DefaultStoreOptions()
+	kvOpts.Seed = cfg.Seed
+	visits, err := repos.NewVisitsRepo(repos.SchemaReplicated, int64(cfg.Users), 16, 4, kvOpts)
+	if err != nil {
+		return nil, err
+	}
+	view, err := matview.NewHotInView(matview.ViewOptions{BucketMillis: cfg.BucketMillis, HorizonMillis: cfg.HorizonMillis})
+	if err != nil {
+		return nil, err
+	}
+	f := &trendingFixture{visits: visits, pois: poiRepo, view: view, catalogLen: len(catalog)}
+	if withCache {
+		f.cache = matview.NewResultCache(int64(cfg.CacheMB) << 20)
+	}
+	visits.SetOnStore(func(vs []model.Visit) {
+		view.Apply(vs)
+		if f.cache != nil {
+			users := make([]int64, 0, len(vs))
+			for i := range vs {
+				users = append(users, vs[i].UserID)
+			}
+			f.cache.Invalidate(users)
+		}
+	})
+
+	end := time.Date(2015, 6, 1, 0, 0, 0, 0, time.UTC)
+	f.endMillis = model.Millis(end)
+	start := end.AddDate(0, 0, -days)
+	startMillis := model.Millis(start)
+	span := f.endMillis - startMillis
+	total := days * cfg.VisitsPerDay
+	batch := make([]model.Visit, 0, 1000)
+	for i := 0; i < total; i++ {
+		batch = append(batch, model.Visit{
+			UserID:  int64(rng.Intn(cfg.Users) + 1),
+			Time:    startMillis + rng.Int63n(span),
+			Grade:   float64(rng.Intn(5) + 1),
+			Network: "facebook",
+			POI:     catalog[rng.Intn(len(catalog))],
+		})
+		if len(batch) == cap(batch) {
+			if err := visits.StoreBatch(batch); err != nil {
+				return nil, err
+			}
+			batch = batch[:0]
+		}
+	}
+	if len(batch) > 0 {
+		if err := visits.StoreBatch(batch); err != nil {
+			return nil, err
+		}
+	}
+	f.totalRows = total
+
+	clus, err := cluster.New(cluster.DefaultConfig(4))
+	if err != nil {
+		return nil, err
+	}
+	if f.viewEng, err = query.NewEngine(visits, poiRepo, clus); err != nil {
+		return nil, err
+	}
+	f.viewEng.SetHotInView(view)
+	if f.cache != nil {
+		f.viewEng.SetResultCache(f.cache)
+	}
+	return f, nil
+}
+
+// RunTrending executes all four phases.
+func RunTrending(cfg TrendingConfig) (*TrendingResult, error) {
+	if len(cfg.HistoryDays) < 2 || cfg.VisitsPerDay < 1 || cfg.QueriesPerScale < 1 {
+		return nil, fmt.Errorf("bench: trending experiment needs >= 2 history scales and positive load")
+	}
+	res := &TrendingResult{}
+	if err := runTrendingScales(cfg, res); err != nil {
+		return nil, err
+	}
+	if err := runTrendingRepeats(cfg, res); err != nil {
+		return nil, err
+	}
+	if err := runTrendingMetrics(cfg, res); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// runTrendingScales is phase A: wall-clock of the view path vs the scan
+// path over a constant trailing-day window as history grows.
+func runTrendingScales(cfg TrendingConfig, res *TrendingResult) error {
+	box := workload.GreeceBounds()
+	for _, days := range cfg.HistoryDays {
+		f, err := buildTrendingFixture(cfg, days, false)
+		if err != nil {
+			return err
+		}
+		spec := query.Spec{
+			BBox:       &box,
+			FromMillis: f.endMillis - 24*int64(time.Hour/time.Millisecond),
+			ToMillis:   f.endMillis,
+			Limit:      10,
+		}
+		viewOne := func() (float64, error) {
+			t0 := time.Now()
+			r, err := f.viewEng.Trending(context.Background(), spec)
+			if err != nil {
+				return 0, err
+			}
+			if len(r.POIs) == 0 {
+				return 0, fmt.Errorf("bench: trending over %d days returned nothing", days)
+			}
+			return time.Since(t0).Seconds() * 1000, nil
+		}
+		// The non-materialized baseline: re-aggregate the window with one
+		// pass over stored history, the way the HotIn batch job does. Its
+		// row count is the full history, whatever the window.
+		var recomputeRows int64
+		recomputeOne := func() (float64, error) {
+			t0 := time.Now()
+			counts := make(map[int64]int)
+			var rows int64
+			err := f.visits.ScanAll(func(v model.Visit) bool {
+				rows++
+				if v.Time >= spec.FromMillis && v.Time < spec.ToMillis {
+					counts[v.POI.ID]++
+				}
+				return true
+			})
+			if err != nil {
+				return 0, err
+			}
+			if len(counts) == 0 {
+				return 0, fmt.Errorf("bench: recompute over %d days aggregated nothing", days)
+			}
+			recomputeRows = rows
+			return time.Since(t0).Seconds() * 1000, nil
+		}
+		// Time each path in its own uninterrupted block, with the
+		// fixture-build garbage collected first: interleaving the
+		// sub-millisecond view reads with the multi-hundred-millisecond
+		// recompute scans lets the baseline's allocation debt land GC
+		// pauses inside the view timings, inflating the view p99 with
+		// history for reasons that have nothing to do with the view.
+		runtime.GC()
+		var viewMs, recomputeMs []float64
+		for i := 0; i < cfg.QueriesPerScale; i++ {
+			ms, err := viewOne()
+			if err != nil {
+				return err
+			}
+			viewMs = append(viewMs, ms)
+		}
+		for i := 0; i < cfg.QueriesPerScale; i++ {
+			ms, err := recomputeOne()
+			if err != nil {
+				return err
+			}
+			recomputeMs = append(recomputeMs, ms)
+		}
+		sort.Float64s(viewMs)
+		sort.Float64s(recomputeMs)
+		res.Scales = append(res.Scales, TrendingScaleRow{
+			HistoryDays:    days,
+			Visits:         f.totalRows,
+			ViewBuckets:    f.view.Buckets(),
+			ViewP50Ms:      percentile(viewMs, 0.50),
+			ViewP99Ms:      percentile(viewMs, 0.99),
+			RecomputeP50Ms: percentile(recomputeMs, 0.50),
+			RecomputeP99Ms: percentile(recomputeMs, 0.99),
+			RecomputeRows:  recomputeRows,
+		})
+	}
+	return nil
+}
+
+// runTrendingRepeats is phase B (repeat-query cache speedup) and phase D
+// (cached-vs-scan byte equivalence) over one cached fixture at the middle
+// history scale.
+func runTrendingRepeats(cfg TrendingConfig, res *TrendingResult) error {
+	days := cfg.HistoryDays[len(cfg.HistoryDays)/2]
+	f, err := buildTrendingFixture(cfg, days, true)
+	if err != nil {
+		return err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed + 7))
+	box := workload.GreeceBounds()
+	from := f.endMillis - 36*int64(time.Hour/time.Millisecond)
+
+	// The distinct-query pool: a repeat-heavy top-k workload replays these
+	// over and over, which is exactly what the cache is for.
+	specs := make([]query.Spec, cfg.DistinctQueries)
+	for i := range specs {
+		specs[i] = query.Spec{
+			FriendIDs:  workload.GenFriendList(rng, 0, cfg.Users, cfg.FriendsPerQuery),
+			BBox:       &box,
+			FromMillis: from,
+			ToMillis:   f.endMillis,
+			Limit:      10,
+		}
+	}
+
+	hits0 := matview.CacheHitsTotal()
+	misses0 := matview.CacheMissesTotal()
+	ctx := context.Background()
+	coldJSON := make([][]byte, len(specs))
+	var coldSum, warmSum float64
+	for i, spec := range specs {
+		t0 := time.Now()
+		r, err := f.viewEng.Run(ctx, spec)
+		if err != nil {
+			return err
+		}
+		coldSum += time.Since(t0).Seconds() * 1000
+		if r.Cached {
+			res.UnexpectedMiss++ // a cold query must not be a hit
+		}
+		if coldJSON[i], err = json.Marshal(r.POIs); err != nil {
+			return err
+		}
+	}
+	for rep := 0; rep < cfg.RepeatsPerQuery; rep++ {
+		for i, spec := range specs {
+			t0 := time.Now()
+			r, err := f.viewEng.Run(ctx, spec)
+			if err != nil {
+				return err
+			}
+			warmSum += time.Since(t0).Seconds() * 1000
+			if !r.Cached {
+				res.UnexpectedMiss++
+			}
+			warm, err := json.Marshal(r.POIs)
+			if err != nil {
+				return err
+			}
+			res.EquivalenceChecks++
+			if bytes.Equal(warm, coldJSON[i]) {
+				res.EquivalenceEqual++
+			}
+		}
+	}
+	res.ColdQueries = len(specs)
+	res.WarmQueries = len(specs) * cfg.RepeatsPerQuery
+	res.ColdMeanMs = coldSum / float64(res.ColdQueries)
+	res.WarmMeanMs = warmSum / float64(res.WarmQueries)
+	if res.WarmMeanMs > 0 {
+		res.RepeatSpeedup = res.ColdMeanMs / res.WarmMeanMs
+	}
+	res.CacheHits = matview.CacheHitsTotal() - hits0
+	res.CacheMisses = matview.CacheMissesTotal() - misses0
+	if total := res.CacheHits + res.CacheMisses; total > 0 {
+		res.CacheHitRatio = float64(res.CacheHits) / float64(total)
+	}
+
+	// Phase D continued: an invalidating check-in by a cached friend, then
+	// the recomputed answer must byte-match an uncached scan.
+	for i, spec := range specs {
+		friend := spec.FriendIDs[rng.Intn(len(spec.FriendIDs))]
+		err := f.visits.Store(model.Visit{
+			UserID: friend, Time: f.endMillis - 1000 - int64(i), Grade: 5, Network: "facebook",
+			POI: poiSample(f, rng),
+		})
+		if err != nil {
+			return err
+		}
+		recomputed, err := f.viewEng.Run(ctx, spec)
+		if err != nil {
+			return err
+		}
+		if recomputed.Cached {
+			res.UnexpectedMiss++ // invalidation failed
+		}
+		uncachedSpec := spec
+		uncachedSpec.NoCache = true
+		uncached, err := f.viewEng.Run(ctx, uncachedSpec)
+		if err != nil {
+			return err
+		}
+		a, err := json.Marshal(recomputed.POIs)
+		if err != nil {
+			return err
+		}
+		b, err := json.Marshal(uncached.POIs)
+		if err != nil {
+			return err
+		}
+		res.EquivalenceChecks++
+		if bytes.Equal(a, b) {
+			res.EquivalenceEqual++
+		}
+	}
+	return nil
+}
+
+// poiSample draws one catalog POI through the repo (the fixture does not
+// retain the generated slice).
+func poiSample(f *trendingFixture, rng *rand.Rand) model.POI {
+	id := int64(rng.Intn(f.catalogLen) + 1)
+	if p, ok := f.pois.Get(id); ok {
+		return p
+	}
+	return model.POI{ID: id, Name: "poi"}
+}
+
+// runTrendingMetrics is phase C: the full platform over HTTP, checking the
+// cache hit counter and the matview families are scrapeable off /metrics.
+func runTrendingMetrics(cfg TrendingConfig, res *TrendingResult) error {
+	pcfg := core.DefaultConfig()
+	pcfg.POIs = 200
+	pcfg.NetworkPopulation = 300
+	pcfg.MeanFriends = 12
+	pcfg.ClassifierTrainDocs = 300
+	pcfg.Seed = cfg.Seed
+	pcfg.HotInBucket = time.Duration(cfg.BucketMillis) * time.Millisecond
+	pcfg.HotInHorizon = time.Duration(cfg.HorizonMillis) * time.Millisecond
+	pcfg.ResultCacheMB = cfg.CacheMB
+	p, err := core.New(pcfg)
+	if err != nil {
+		return err
+	}
+	defer p.Close()
+	srv := httptest.NewServer(core.NewHandler(p))
+	defer srv.Close()
+
+	post := func(path string, body, out any) error {
+		b, err := json.Marshal(body)
+		if err != nil {
+			return err
+		}
+		resp, err := http.Post(srv.URL+path, "application/json", bytes.NewReader(b))
+		if err != nil {
+			return err
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			raw, _ := io.ReadAll(resp.Body)
+			return fmt.Errorf("bench: %s: status %d: %s", path, resp.StatusCode, raw)
+		}
+		if out != nil {
+			return json.NewDecoder(resp.Body).Decode(out)
+		}
+		return nil
+	}
+	var signin struct {
+		UserID int64  `json:"user_id"`
+		Token  string `json:"token"`
+	}
+	if err := post("/api/v1/signin", map[string]string{"network": "facebook", "credentials": "facebook:3"}, &signin); err != nil {
+		return err
+	}
+	// A handful of check-ins, then the same personalized search twice: the
+	// second must land in the cache.
+	poi := p.Catalog()[0]
+	base := time.Date(2015, 6, 1, 12, 0, 0, 0, time.UTC)
+	checkins := map[string]any{
+		"token": signin.Token,
+		"checkins": []map[string]any{
+			{"poi_id": poi.ID, "time": model.Millis(base), "grade": 4, "network": "facebook"},
+			{"poi_id": poi.ID, "time": model.Millis(base.Add(time.Minute)), "grade": 5, "network": "facebook"},
+		},
+	}
+	if err := post("/api/v1/checkins", checkins, nil); err != nil {
+		return err
+	}
+	search := map[string]any{
+		"token":   signin.Token,
+		"friends": []int64{signin.UserID},
+		"from":    base.Add(-time.Hour).Format(time.RFC3339),
+		"to":      base.Add(time.Hour).Format(time.RFC3339),
+		"limit":   5,
+	}
+	for i := 0; i < 2; i++ {
+		if err := post("/api/v1/search", search, nil); err != nil {
+			return err
+		}
+	}
+	// One trending read off the view.
+	trendURL := srv.URL + "/api/v1/trending?hours=24&limit=5&until=" + base.Add(time.Hour).Format(time.RFC3339)
+	if resp, err := http.Get(trendURL); err != nil {
+		return err
+	} else {
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return fmt.Errorf("bench: trending status %d", resp.StatusCode)
+		}
+	}
+
+	resp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	text := string(raw)
+	for _, family := range []string{
+		"matview_applies_total", "matview_buckets", "matview_reads_total",
+		"matview_cache_hits_total", "matview_cache_misses_total", "matview_cache_bytes",
+	} {
+		if strings.Contains(text, family) {
+			res.MetricsFamilies++
+		}
+	}
+	res.MetricsHits = scrapeCounter(text, "matview_cache_hits_total")
+	return nil
+}
+
+// scrapeCounter pulls one un-labeled counter's value out of a Prometheus
+// text exposition.
+func scrapeCounter(text, name string) float64 {
+	for _, line := range strings.Split(text, "\n") {
+		if strings.HasPrefix(line, "#") || !strings.HasPrefix(line, name) {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 2 || fields[0] != name {
+			continue
+		}
+		v, err := strconv.ParseFloat(fields[1], 64)
+		if err == nil {
+			return v
+		}
+	}
+	return 0
+}

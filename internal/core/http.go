@@ -341,9 +341,21 @@ func (p *Platform) handleTrending(w http.ResponseWriter, r *http.Request) {
 		}
 		until = t
 	}
+	// An explicit from overrides the hours-derived window start. A from at
+	// or past until reaches the engine's empty-window guard and comes back
+	// as the uniform 400 envelope.
+	from := until.Add(-time.Duration(hours) * time.Hour)
+	if f := q.Get("from"); f != "" {
+		t, err := time.Parse(time.RFC3339, f)
+		if err != nil {
+			writeErr(w, r, http.StatusBadRequest, err)
+			return
+		}
+		from = t
+	}
 	ctx, cancel := p.requestContext(r)
 	defer cancel()
-	res, err := p.Trending(ctx, bbox, friends, until.Add(-time.Duration(hours)*time.Hour), until, limit)
+	res, err := p.Trending(ctx, bbox, friends, from, until, limit)
 	if err != nil {
 		writeQueryErr(w, r, err)
 		return

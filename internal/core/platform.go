@@ -22,6 +22,7 @@ import (
 	"modissense/internal/geo"
 	"modissense/internal/hotin"
 	"modissense/internal/kvstore"
+	"modissense/internal/matview"
 	"modissense/internal/model"
 	"modissense/internal/obs"
 	"modissense/internal/pubsub"
@@ -157,6 +158,21 @@ type Config struct {
 	// SubTTL is the default subscription lifetime when a request names no
 	// TTL (0 keeps the pubsub default of 15m).
 	SubTTL time.Duration
+	// HotInBucket, when > 0, enables the incrementally maintained trending
+	// view: per-POI visit aggregates in buckets of this width, updated on
+	// every stored check-in, serving friendless trending queries without a
+	// history scan. 0 (the default) keeps the scan path.
+	HotInBucket time.Duration
+	// HotInHorizon bounds the trending view's retention: buckets older than
+	// this behind the newest applied check-in are dropped, and every
+	// trending window is clamped to at most this span (0 with HotInBucket
+	// set keeps the 14-day default).
+	HotInHorizon time.Duration
+	// ResultCacheMB, when > 0, enables the per-user personalized result
+	// cache at this MiB budget: completed top-k rankings are memoized by
+	// normalized query spec and invalidated when any queried friend checks
+	// in. 0 (the default) disables it.
+	ResultCacheMB int
 }
 
 // DefaultConfig returns a demo-scale platform: big enough to exercise
@@ -239,6 +255,18 @@ func (c Config) Validate() error {
 	if c.MaxSubscriptions < 0 || c.SubQueueCap < 0 || c.SubTTL < 0 {
 		return fmt.Errorf("core: negative subscription cap/queue/ttl")
 	}
+	if c.HotInBucket < 0 || c.HotInHorizon < 0 {
+		return fmt.Errorf("core: negative trending view bucket/horizon")
+	}
+	if c.HotInHorizon > 0 && c.HotInBucket == 0 {
+		return fmt.Errorf("core: trending view horizon set without a bucket width")
+	}
+	if c.HotInBucket > 0 && c.HotInHorizon > 0 && c.HotInHorizon < c.HotInBucket {
+		return fmt.Errorf("core: trending view horizon shorter than its bucket")
+	}
+	if c.ResultCacheMB < 0 {
+		return fmt.Errorf("core: negative result cache size")
+	}
 	return nil
 }
 
@@ -268,6 +296,14 @@ type Platform struct {
 	// the Visits repository (API ingest and collector alike) is matched
 	// against it and delivered to subscriber queues.
 	PubSub *pubsub.Registry
+	// MatView is the incrementally maintained trending view (nil unless
+	// HotInBucket is set); the Visits store hook applies every committed
+	// batch as counter deltas.
+	MatView *matview.HotInView
+	// ResultCache memoizes completed personalized top-k rankings (nil
+	// unless ResultCacheMB is set); the Visits store hook invalidates by
+	// writing user.
+	ResultCache *matview.ResultCache
 
 	catalog []model.POI
 }
@@ -399,7 +435,55 @@ func New(cfg Config) (*Platform, error) {
 		QueueCap:         cfg.SubQueueCap,
 		DefaultTTL:       cfg.SubTTL,
 	})
-	p.Visits.SetOnStore(p.publishVisits)
+
+	// Materialized trending view + personalized result cache (both off by
+	// default; see DESIGN.md "Materialized trending & result caching"). The
+	// view and the cache ride the same post-commit hook as pub/sub: one
+	// committed batch → counter deltas into the view, epoch bumps for the
+	// writing users in the cache, then subscription matching.
+	if cfg.HotInBucket > 0 {
+		horizon := cfg.HotInHorizon
+		if horizon == 0 {
+			horizon = time.Duration(matview.DefaultHorizonMillis) * time.Millisecond
+		}
+		p.MatView, err = matview.NewHotInView(matview.ViewOptions{
+			BucketMillis:  cfg.HotInBucket.Milliseconds(),
+			HorizonMillis: horizon.Milliseconds(),
+		})
+		if err != nil {
+			return nil, fmt.Errorf("core: trending view: %w", err)
+		}
+		p.Query.SetHotInView(p.MatView)
+	}
+	if cfg.ResultCacheMB > 0 {
+		p.ResultCache = matview.NewResultCache(int64(cfg.ResultCacheMB) << 20)
+		p.Query.SetResultCache(p.ResultCache)
+	}
+	p.Visits.SetOnStore(p.onVisitsStored)
+
+	// A durable boot replays WAL history before the hook above exists, so
+	// the view's aggregates must be rebuilt from one scan; the normalized
+	// schema stores POI ids only, so the catalog is joined back in.
+	if p.MatView != nil && cfg.WALDir != "" {
+		batch := make([]model.Visit, 0, 1024)
+		scanErr := p.Visits.ScanAll(func(v model.Visit) bool {
+			if cfg.VisitSchema != repos.SchemaReplicated {
+				if poi, ok := p.POIs.Get(v.POI.ID); ok {
+					v.POI = poi
+				}
+			}
+			batch = append(batch, v)
+			if len(batch) == cap(batch) {
+				p.MatView.Apply(batch)
+				batch = batch[:0]
+			}
+			return true
+		})
+		if scanErr != nil {
+			return nil, fmt.Errorf("core: warm trending view: %w", scanErr)
+		}
+		p.MatView.Apply(batch)
+	}
 
 	// Fault-tolerant read path (off by default; see OPERATIONS.md).
 	if cfg.ReadReplicas > 0 {
@@ -631,10 +715,29 @@ func (p *Platform) PushCheckins(token string, items []CheckinPush) (int, []Check
 	return len(visits), itemErrs, nil
 }
 
-// publishVisits is the Visits repository's post-commit hook: it feeds each
-// stored check-in to the pub/sub matcher. The matched text is the POI name
-// plus its catalog keywords, tokenized by the same textproc pipeline the
-// subscription keywords went through.
+// onVisitsStored is the Visits repository's post-commit hook, fanning one
+// committed batch out to every consumer of the ingest stream: the
+// materialized trending view (counter deltas), the personalized result
+// cache (invalidate every entry whose friend set contains a writing user),
+// and the pub/sub matcher. It runs synchronously on the writer, so each
+// stage is O(batch) with no I/O.
+func (p *Platform) onVisitsStored(visits []model.Visit) {
+	if v := p.MatView; v != nil {
+		v.Apply(visits)
+	}
+	if c := p.ResultCache; c != nil {
+		users := make([]int64, 0, len(visits))
+		for i := range visits {
+			users = append(users, visits[i].UserID)
+		}
+		c.Invalidate(users)
+	}
+	p.publishVisits(visits)
+}
+
+// publishVisits feeds each stored check-in to the pub/sub matcher. The
+// matched text is the POI name plus its catalog keywords, tokenized by the
+// same textproc pipeline the subscription keywords went through.
 func (p *Platform) publishVisits(visits []model.Visit) {
 	reg := p.PubSub
 	if reg == nil || reg.Len() == 0 {

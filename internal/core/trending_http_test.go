@@ -1,0 +1,174 @@
+package core
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strings"
+	"testing"
+	"time"
+
+	"modissense/internal/matview"
+)
+
+// newTrendingClient boots a platform with the materialized trending view and
+// the personalized result cache on, at test scale.
+func newTrendingClient(t *testing.T, mutate func(*Config)) (*apiClient, *Platform) {
+	t.Helper()
+	return newIngestClient(t, func(c *Config) {
+		c.HotInBucket = time.Hour
+		c.HotInHorizon = 14 * 24 * time.Hour
+		c.ResultCacheMB = 8
+		if mutate != nil {
+			mutate(c)
+		}
+	})
+}
+
+// TestAPITrendingFromView pushes check-ins through the API and reads them
+// back through /trending: the ingest hook must have applied them to the view,
+// and the matview metric families must show up on /metrics.
+func TestAPITrendingFromView(t *testing.T) {
+	c, p := newTrendingClient(t, nil)
+	in := c.signIn("facebook", "facebook:5")
+	poi := p.Catalog()[3]
+	base := time.Date(2015, 6, 1, 12, 0, 0, 0, time.UTC)
+	var pushes []CheckinPush
+	for i := 0; i < 6; i++ {
+		pushes = append(pushes, CheckinPush{
+			POIID: poi.ID, Time: base.Add(time.Duration(i) * time.Minute).UnixMilli(),
+			Grade: 4, Network: "facebook",
+		})
+	}
+	var res checkinsResponse
+	if code := c.post("/api/v1/checkins", checkinsRequest{Token: in.Token, Checkins: pushes}, &res); code != http.StatusOK || res.Stored != len(pushes) {
+		t.Fatalf("checkins: status %d, stored %d", code, res.Stored)
+	}
+	if p.MatView == nil || p.MatView.Buckets() == 0 {
+		t.Fatal("ingest hook did not populate the view")
+	}
+	path := fmt.Sprintf("/api/v1/trending?hours=24&limit=5&until=%s",
+		url.QueryEscape(base.Add(time.Hour).Format(time.RFC3339)))
+	var trending struct {
+		POIs []struct {
+			POI struct {
+				ID int64 `json:"id"`
+			} `json:"poi"`
+			Visits int `json:"visits"`
+		} `json:"pois"`
+	}
+	if code := c.get(path, &trending); code != http.StatusOK {
+		t.Fatalf("trending status %d", code)
+	}
+	if len(trending.POIs) == 0 || trending.POIs[0].POI.ID != poi.ID || trending.POIs[0].Visits != len(pushes) {
+		t.Fatalf("trending = %+v, want poi %d with %d visits first", trending.POIs, poi.ID, len(pushes))
+	}
+
+	// The matview families are on /metrics.
+	resp, err := http.Get(c.srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(body)
+	for _, family := range []string{"matview_applies_total", "matview_buckets", "matview_reads_total", "matview_cache_bytes"} {
+		if !strings.Contains(text, family) {
+			t.Errorf("/metrics missing %s", family)
+		}
+	}
+}
+
+// TestAPITrendingEmptyWindow covers the HTTP reachability of the
+// empty-window guard: an explicit from at/after until answers the uniform
+// 400 envelope instead of silently scanning full history.
+func TestAPITrendingEmptyWindow(t *testing.T) {
+	c, _ := newTrendingClient(t, nil)
+	until := time.Date(2015, 6, 1, 0, 0, 0, 0, time.UTC)
+	path := fmt.Sprintf("/api/v1/trending?from=%s&until=%s",
+		url.QueryEscape(until.Add(time.Hour).Format(time.RFC3339)),
+		url.QueryEscape(until.Format(time.RFC3339)))
+	var env apiError
+	if code := c.get(path, &env); code != http.StatusBadRequest {
+		t.Fatalf("inverted window status = %d, want 400", code)
+	}
+	if env.Error.Code != "bad_request" || env.Error.Message == "" {
+		t.Fatalf("envelope = %+v", env)
+	}
+	if code := c.get("/api/v1/trending?from=not-a-time", nil); code != http.StatusBadRequest {
+		t.Error("malformed from must 400")
+	}
+	// A valid explicit from is accepted.
+	okPath := fmt.Sprintf("/api/v1/trending?from=%s&until=%s",
+		url.QueryEscape(until.Add(-time.Hour).Format(time.RFC3339)),
+		url.QueryEscape(until.Format(time.RFC3339)))
+	if code := c.get(okPath, nil); code != http.StatusOK {
+		t.Error("valid explicit from must 200")
+	}
+}
+
+// TestDurableBootWarmsView reboots a durable platform and checks that the
+// replayed history is folded back into the view (replay predates the ingest
+// hook, so New must warm it from a scan).
+func TestDurableBootWarmsView(t *testing.T) {
+	dir := t.TempDir()
+	mutate := func(c *Config) {
+		c.HotInBucket = time.Hour
+		c.HotInHorizon = 14 * 24 * time.Hour
+		c.WALDir = dir
+	}
+	cfg := testConfig()
+	mutate(&cfg)
+	p1, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, token, err := p1.Users.SignIn("facebook", "facebook:2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := time.Date(2015, 6, 1, 12, 0, 0, 0, time.UTC)
+	poi := p1.Catalog()[0]
+	if _, _, err := p1.PushCheckins(token, []CheckinPush{
+		{POIID: poi.ID, Time: base.UnixMilli(), Grade: 5, Network: "facebook"},
+		{POIID: poi.ID, Time: base.Add(time.Minute).UnixMilli(), Grade: 3, Network: "facebook"},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := p1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	p2, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p2.Close()
+	if p2.MatView == nil {
+		t.Fatal("rebooted platform has no view")
+	}
+	aggs, _ := p2.MatView.TopK(matview.TopKSpec{
+		FromMillis: base.Add(-time.Hour).UnixMilli(),
+		ToMillis:   base.Add(time.Hour).UnixMilli(),
+		Limit:      10,
+	})
+	found := false
+	for _, a := range aggs {
+		if a.POI.ID == poi.ID {
+			found = true
+			if a.Visits != 2 {
+				t.Errorf("warmed visits = %d, want 2", a.Visits)
+			}
+			if a.POI.Name == "" {
+				t.Error("warmed view lost POI metadata")
+			}
+		}
+	}
+	if !found {
+		t.Fatal("replayed check-ins missing from the warmed view")
+	}
+}

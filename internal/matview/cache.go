@@ -1,0 +1,267 @@
+package matview
+
+import (
+	"container/list"
+	"sync"
+)
+
+// cacheShards splits the LRU into independently locked shards so hits on
+// the hot read path never contend on the invalidation index.
+const cacheShards = 16
+
+// entryOverheadBytes approximates the per-entry bookkeeping cost (list
+// element, map slots, friend-index registrations) charged against the
+// byte budget on top of the caller-reported value size.
+const entryOverheadBytes = 96
+
+// entry is one cached result plus the bookkeeping to unregister it.
+type entry struct {
+	key     string
+	value   any
+	size    int64
+	friends []int64
+	elem    *list.Element
+}
+
+// cacheShard is one LRU partition: a key map plus a recency list with the
+// most recent entry at the front.
+type cacheShard struct {
+	mu    sync.Mutex
+	items map[string]*entry
+	lru   *list.List
+	bytes int64
+}
+
+// ResultCache memoizes personalized query results keyed by the normalized
+// query spec. It is a sharded LRU bounded by bytes, with two pieces of
+// invalidation state shared across shards:
+//
+//   - an index from friend (user) id to the cache keys whose friend set
+//     contains it, so a check-in write removes exactly the results it
+//     stales;
+//   - a monotone epoch per friend, bumped on every invalidating write.
+//
+// The epochs close the race between a query's scan and its store: callers
+// Snapshot the epochs of the query's friends before scanning and pass the
+// snapshot to StoreIfFresh, which rejects the store if any epoch advanced
+// — a result computed from pre-write state never overwrites the
+// invalidation that should have killed it.
+type ResultCache struct {
+	shardBytes int64
+	shards     [cacheShards]cacheShard
+
+	// indexMu guards byFriend and epochs. Lock order: indexMu before any
+	// shard mu; Get takes only the shard mu.
+	indexMu  sync.Mutex
+	byFriend map[int64]map[string]struct{}
+	epochs   map[int64]uint64
+}
+
+// NewResultCache builds a cache bounded at maxBytes across all shards.
+func NewResultCache(maxBytes int64) *ResultCache {
+	if maxBytes < cacheShards {
+		maxBytes = cacheShards
+	}
+	c := &ResultCache{
+		shardBytes: maxBytes / cacheShards,
+		byFriend:   map[int64]map[string]struct{}{},
+		epochs:     map[int64]uint64{},
+	}
+	for i := range c.shards {
+		c.shards[i] = cacheShard{items: map[string]*entry{}, lru: list.New()}
+	}
+	return c
+}
+
+// fnv1a hashes a key to pick its shard.
+func fnv1a(s string) uint32 {
+	h := uint32(2166136261)
+	for i := 0; i < len(s); i++ {
+		h ^= uint32(s[i])
+		h *= 16777619
+	}
+	return h
+}
+
+func (c *ResultCache) shard(key string) *cacheShard {
+	return &c.shards[fnv1a(key)%cacheShards]
+}
+
+// Get returns the cached value for key, refreshing its recency.
+func (c *ResultCache) Get(key string) (any, bool) {
+	s := c.shard(key)
+	s.mu.Lock()
+	e, ok := s.items[key]
+	if ok {
+		s.lru.MoveToFront(e.elem)
+	}
+	s.mu.Unlock()
+	if ok {
+		mCacheHits.Inc()
+		return e.value, true
+	}
+	mCacheMisses.Inc()
+	return nil, false
+}
+
+// Snapshot captures the current epoch of every given friend. Take it
+// before running the query's scan and hand it back to StoreIfFresh.
+func (c *ResultCache) Snapshot(friends []int64) []uint64 {
+	snap := make([]uint64, len(friends))
+	c.indexMu.Lock()
+	for i, f := range friends {
+		snap[i] = c.epochs[f]
+	}
+	c.indexMu.Unlock()
+	return snap
+}
+
+// StoreIfFresh inserts a value computed for the given friend set, unless
+// any friend's epoch advanced since snap was taken (the value would embed
+// pre-invalidation state) or the value alone exceeds a shard's budget.
+// valueBytes is the caller's estimate of the value's retained size; key
+// and index overhead are charged on top. Reports whether the value was
+// stored.
+func (c *ResultCache) StoreIfFresh(key string, friends []int64, snap []uint64, value any, valueBytes int64) bool {
+	size := valueBytes + int64(len(key)) + int64(len(friends))*8 + entryOverheadBytes
+	if size > c.shardBytes {
+		return false
+	}
+	c.indexMu.Lock()
+	defer c.indexMu.Unlock()
+	for i, f := range friends {
+		if c.epochs[f] != snap[i] {
+			mCacheStaleStores.Inc()
+			return false
+		}
+	}
+	e := &entry{key: key, value: value, size: size, friends: friends}
+	for _, f := range friends {
+		keys := c.byFriend[f]
+		if keys == nil {
+			keys = map[string]struct{}{}
+			c.byFriend[f] = keys
+		}
+		keys[key] = struct{}{}
+	}
+	s := c.shard(key)
+	s.mu.Lock()
+	if old, ok := s.items[key]; ok {
+		s.removeLocked(old)
+		c.unregisterLocked(old)
+	}
+	e.elem = s.lru.PushFront(e)
+	s.items[key] = e
+	s.bytes += size
+	var evicted []*entry
+	for s.bytes > c.shardBytes {
+		back := s.lru.Back()
+		if back == nil {
+			break
+		}
+		victim := back.Value.(*entry)
+		s.removeLocked(victim)
+		evicted = append(evicted, victim)
+	}
+	s.mu.Unlock()
+	for _, victim := range evicted {
+		c.unregisterLocked(victim)
+		mCacheEvictions.Inc()
+	}
+	c.updateGauges()
+	return true
+}
+
+// removeLocked detaches e from the shard's map, list and byte account.
+// Called with the shard's mu held.
+func (s *cacheShard) removeLocked(e *entry) {
+	delete(s.items, e.key)
+	s.lru.Remove(e.elem)
+	s.bytes -= e.size
+}
+
+// unregisterLocked removes e's key from every friend's index set. Called
+// with indexMu held.
+func (c *ResultCache) unregisterLocked(e *entry) {
+	for _, f := range e.friends {
+		keys := c.byFriend[f]
+		if keys == nil {
+			continue
+		}
+		delete(keys, e.key)
+		if len(keys) == 0 {
+			delete(c.byFriend, f)
+		}
+	}
+}
+
+// Invalidate bumps the epoch of every given user and removes the cached
+// results whose friend set contains one of them. The Visits store hook
+// calls it with each committed batch's user ids, so a friend's check-in
+// immediately stales every memoized result it contributed to.
+func (c *ResultCache) Invalidate(userIDs []int64) {
+	if len(userIDs) == 0 {
+		return
+	}
+	c.indexMu.Lock()
+	var removed int64
+	for _, uid := range userIDs {
+		c.epochs[uid]++
+		for key := range c.byFriend[uid] {
+			s := c.shard(key)
+			s.mu.Lock()
+			e, ok := s.items[key]
+			if ok {
+				s.removeLocked(e)
+			}
+			s.mu.Unlock()
+			if ok {
+				c.unregisterLocked(e)
+				removed++
+			}
+		}
+	}
+	c.indexMu.Unlock()
+	if removed > 0 {
+		mCacheInvalidations.Add(removed)
+	}
+	c.updateGauges()
+}
+
+// updateGauges publishes the cache's size to the registry.
+func (c *ResultCache) updateGauges() {
+	var bytes, entries int64
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		bytes += s.bytes
+		entries += int64(len(s.items))
+		s.mu.Unlock()
+	}
+	mCacheBytes.Set(bytes)
+	mCacheEntries.Set(entries)
+}
+
+// Len returns the live entry count.
+func (c *ResultCache) Len() int {
+	n := 0
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		n += len(s.items)
+		s.mu.Unlock()
+	}
+	return n
+}
+
+// Bytes returns the charged byte total.
+func (c *ResultCache) Bytes() int64 {
+	var n int64
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		n += s.bytes
+		s.mu.Unlock()
+	}
+	return n
+}

@@ -1,0 +1,242 @@
+package matview
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"modissense/internal/geo"
+	"modissense/internal/model"
+)
+
+const hourMs = int64(60 * 60 * 1000)
+
+func mkVisit(user, poi int64, t int64, grade float64) model.Visit {
+	return model.Visit{
+		UserID: user, Time: t, Grade: grade,
+		POI: model.POI{ID: poi, Name: fmt.Sprintf("poi-%d", poi), Lat: float64(poi % 10), Lon: float64(poi % 10), Keywords: []string{"food"}},
+	}
+}
+
+func TestViewMatchesBruteForce(t *testing.T) {
+	v, err := NewHotInView(ViewOptions{BucketMillis: hourMs, HorizonMillis: 100 * hourMs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(7))
+	type key struct{ poi int64 }
+	visits := make([]model.Visit, 0, 3000)
+	for i := 0; i < 3000; i++ {
+		visits = append(visits, mkVisit(int64(rng.Intn(50)+1), int64(rng.Intn(20)+1),
+			int64(rng.Intn(90))*hourMs+int64(rng.Intn(int(hourMs))), float64(rng.Intn(5)+1)))
+	}
+	for i := 0; i < len(visits); i += 17 {
+		end := i + 17
+		if end > len(visits) {
+			end = len(visits)
+		}
+		v.Apply(visits[i:end])
+	}
+	from, to := 10*hourMs, 60*hourMs
+	wantVisits := map[key]int{}
+	wantGrades := map[key]float64{}
+	for _, vis := range visits {
+		// The view quantizes: any visit in a bucket touching the window
+		// counts, i.e. timestamps in [floor(from), to).
+		if vis.Time >= from && vis.Time < to {
+			wantVisits[key{vis.POI.ID}]++
+			wantGrades[key{vis.POI.ID}] += vis.Grade
+		}
+	}
+	aggs, candidates := v.TopK(TopKSpec{FromMillis: from, ToMillis: to})
+	if candidates != len(wantVisits) {
+		t.Fatalf("candidates = %d, want %d", candidates, len(wantVisits))
+	}
+	for _, a := range aggs {
+		if a.Visits != wantVisits[key{a.POI.ID}] {
+			t.Errorf("poi %d visits = %d, want %d", a.POI.ID, a.Visits, wantVisits[key{a.POI.ID}])
+		}
+		if a.GradeSum != wantGrades[key{a.POI.ID}] {
+			t.Errorf("poi %d gradeSum = %g, want %g", a.POI.ID, a.GradeSum, wantGrades[key{a.POI.ID}])
+		}
+	}
+	for i := 1; i < len(aggs); i++ {
+		prev, cur := aggs[i-1], aggs[i]
+		if prev.Visits < cur.Visits || (prev.Visits == cur.Visits && prev.POI.ID > cur.POI.ID) {
+			t.Fatalf("ranking out of order at %d: %+v before %+v", i, prev, cur)
+		}
+	}
+}
+
+func TestViewPredicatesAndLimit(t *testing.T) {
+	v, err := NewHotInView(ViewOptions{BucketMillis: hourMs, HorizonMillis: 100 * hourMs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	near := model.POI{ID: 1, Name: "near", Lat: 1, Lon: 1, Keywords: []string{"coffee"}}
+	far := model.POI{ID: 2, Name: "far", Lat: 50, Lon: 50, Keywords: []string{"coffee"}}
+	other := model.POI{ID: 3, Name: "other", Lat: 1.2, Lon: 1.2, Keywords: []string{"pizza"}}
+	for i := 0; i < 5; i++ {
+		v.Apply([]model.Visit{
+			{UserID: 1, Time: hourMs + int64(i), POI: near},
+			{UserID: 1, Time: hourMs + int64(i), POI: far},
+			{UserID: 1, Time: hourMs + int64(i), POI: other},
+		})
+	}
+	box := geo.NewRect(geo.Point{Lat: 0, Lon: 0}, geo.Point{Lat: 2, Lon: 2})
+	aggs, candidates := v.TopK(TopKSpec{BBox: &box, FromMillis: 0, ToMillis: 10 * hourMs})
+	if candidates != 2 || len(aggs) != 2 {
+		t.Fatalf("bbox filter kept %d candidates, want 2", candidates)
+	}
+	aggs, _ = v.TopK(TopKSpec{BBox: &box, Keyword: "coffee", FromMillis: 0, ToMillis: 10 * hourMs})
+	if len(aggs) != 1 || aggs[0].POI.ID != near.ID {
+		t.Fatalf("keyword filter = %+v, want only poi 1", aggs)
+	}
+	aggs, candidates = v.TopK(TopKSpec{FromMillis: 0, ToMillis: 10 * hourMs, Limit: 1})
+	if len(aggs) != 1 || candidates != 3 {
+		t.Fatalf("limit: got %d aggs / %d candidates, want 1 / 3", len(aggs), candidates)
+	}
+}
+
+func TestViewExpiryAndCoverage(t *testing.T) {
+	v, err := NewHotInView(ViewOptions{BucketMillis: hourMs, HorizonMillis: 10 * hourMs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// An empty view covers everything: it has seen the whole (empty) stream.
+	if !v.Covers(0) {
+		t.Fatal("fresh view must cover every window")
+	}
+	v.Apply([]model.Visit{mkVisit(1, 1, hourMs, 5)})
+	if !v.Covers(0) {
+		t.Fatal("nothing expired yet; coverage must reach the epoch")
+	}
+	// Advance far enough that the first bucket falls behind the horizon.
+	v.Apply([]model.Visit{mkVisit(1, 2, 20*hourMs, 5)})
+	if v.Buckets() != 1 {
+		t.Fatalf("buckets = %d, want 1 after expiry", v.Buckets())
+	}
+	if v.Covers(hourMs) {
+		t.Fatal("expired range must not be covered")
+	}
+	if !v.Covers(20*hourMs - 10*hourMs) {
+		t.Fatal("window inside the horizon must be covered")
+	}
+	// The expired POI's metadata is released once unreferenced.
+	if _, candidates := v.TopK(TopKSpec{FromMillis: 0, ToMillis: 30 * hourMs}); candidates != 1 {
+		t.Fatalf("candidates = %d, want only the live POI", candidates)
+	}
+	// A visit older than the horizon is skipped, not resurrected.
+	v.Apply([]model.Visit{mkVisit(1, 3, hourMs, 5)})
+	if v.Covers(hourMs) {
+		t.Fatal("stale apply must not extend coverage backwards")
+	}
+}
+
+func TestCacheStoreGetAndLRU(t *testing.T) {
+	c := NewResultCache(16 * (256 + 1024)) // 16 shards, tight per-shard budget
+	friends := []int64{1, 2}
+	snap := c.Snapshot(friends)
+	if !c.StoreIfFresh("k1", friends, snap, "v1", 100) {
+		t.Fatal("fresh store must succeed")
+	}
+	got, ok := c.Get("k1")
+	if !ok || got.(string) != "v1" {
+		t.Fatalf("Get = %v/%v", got, ok)
+	}
+	if _, ok := c.Get("absent"); ok {
+		t.Fatal("absent key must miss")
+	}
+	// Oversized value is refused outright.
+	if c.StoreIfFresh("huge", friends, snap, "v", 1<<20) {
+		t.Fatal("oversized value must not be cached")
+	}
+	// Same-key replacement keeps one entry.
+	if !c.StoreIfFresh("k1", friends, snap, "v2", 100) {
+		t.Fatal("replacement must succeed")
+	}
+	if c.Len() != 1 {
+		t.Fatalf("Len = %d, want 1 after replacement", c.Len())
+	}
+	got, _ = c.Get("k1")
+	if got.(string) != "v2" {
+		t.Fatalf("replacement not visible: %v", got)
+	}
+}
+
+func TestCacheEvictionRespectsBudget(t *testing.T) {
+	budget := int64(16 * 600)
+	c := NewResultCache(budget)
+	snap := c.Snapshot(nil)
+	for i := 0; i < 200; i++ {
+		c.StoreIfFresh(fmt.Sprintf("key-%03d", i), nil, snap, i, 128)
+	}
+	if c.Bytes() > budget {
+		t.Fatalf("cache holds %d bytes over the %d budget", c.Bytes(), budget)
+	}
+	if c.Len() == 0 {
+		t.Fatal("eviction must leave recent entries behind")
+	}
+}
+
+func TestCacheInvalidateByFriend(t *testing.T) {
+	c := NewResultCache(1 << 20)
+	snap12 := c.Snapshot([]int64{1, 2})
+	snap34 := c.Snapshot([]int64{3, 4})
+	c.StoreIfFresh("a", []int64{1, 2}, snap12, "a", 64)
+	c.StoreIfFresh("b", []int64{3, 4}, snap34, "b", 64)
+	c.Invalidate([]int64{2})
+	if _, ok := c.Get("a"); ok {
+		t.Fatal("entry with invalidated friend must be gone")
+	}
+	if _, ok := c.Get("b"); !ok {
+		t.Fatal("unrelated entry must survive")
+	}
+	// Invalidating an unknown user is a no-op.
+	c.Invalidate([]int64{999})
+	if _, ok := c.Get("b"); !ok {
+		t.Fatal("no-op invalidation must not evict")
+	}
+}
+
+func TestCacheStaleSnapshotRejected(t *testing.T) {
+	c := NewResultCache(1 << 20)
+	friends := []int64{7}
+	snap := c.Snapshot(friends)
+	// A write lands between the snapshot and the store: the store must
+	// lose, or the cache would serve pre-write results.
+	c.Invalidate([]int64{7})
+	if c.StoreIfFresh("k", friends, snap, "stale", 64) {
+		t.Fatal("store with a stale epoch snapshot must be rejected")
+	}
+	if _, ok := c.Get("k"); ok {
+		t.Fatal("rejected store must not be visible")
+	}
+	// A fresh snapshot taken after the write stores fine.
+	if !c.StoreIfFresh("k", friends, c.Snapshot(friends), "fresh", 64) {
+		t.Fatal("post-write snapshot must store")
+	}
+}
+
+func TestCacheConcurrentAccess(t *testing.T) {
+	c := NewResultCache(16 * 4096)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			friends := []int64{int64(g % 4)}
+			for i := 0; i < 500; i++ {
+				key := fmt.Sprintf("k-%d-%d", g, i%20)
+				if _, ok := c.Get(key); !ok {
+					c.StoreIfFresh(key, friends, c.Snapshot(friends), i, 64)
+				}
+				if i%17 == 0 {
+					c.Invalidate(friends)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}

@@ -1,0 +1,308 @@
+package query
+
+import (
+	"context"
+	"encoding/json"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"modissense/internal/geo"
+	"modissense/internal/matview"
+	"modissense/internal/model"
+	"modissense/internal/repos"
+	"modissense/internal/workload"
+)
+
+// cachedFixture wires a fixture's visit stream to a result cache and a
+// materialized view through the store hook, the way core.Platform does.
+func cachedFixture(t testing.TB) (*fixture, *matview.ResultCache, *matview.HotInView) {
+	t.Helper()
+	f := newFixture(t, repos.SchemaReplicated, 4, 40)
+	cache := matview.NewResultCache(8 << 20)
+	view, err := matview.NewHotInView(matview.ViewOptions{
+		BucketMillis:  int64(time.Hour / time.Millisecond),
+		HorizonMillis: int64(365 * 24 * time.Hour / time.Millisecond),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The fixture loaded its history before the view existed; warm the view
+	// from a scan, the way the platform does after a WAL replay.
+	var history []model.Visit
+	if err := f.visits.ScanAll(func(v model.Visit) bool {
+		history = append(history, v)
+		return true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	view.Apply(history)
+	f.visits.SetOnStore(func(vs []model.Visit) {
+		view.Apply(vs)
+		users := make([]int64, 0, len(vs))
+		for i := range vs {
+			users = append(users, vs[i].UserID)
+		}
+		cache.Invalidate(users)
+	})
+	f.engine.SetResultCache(cache)
+	f.engine.SetHotInView(view)
+	return f, cache, view
+}
+
+// poisJSON renders a ranking for byte-level comparison.
+func poisJSON(t testing.TB, pois []ScoredPOI) []byte {
+	t.Helper()
+	b, err := json.Marshal(pois)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// TestResultCacheEquivalence is the cache-invalidation correctness
+// property: for random specs, a cached answer is byte-identical to the
+// fresh scan of the same spec, and after an invalidating friend check-in
+// the next answer is recomputed and again byte-identical to an uncached
+// scan that sees the new visit. Run under -race via the normal suite.
+func TestResultCacheEquivalence(t *testing.T) {
+	f, _, _ := cachedFixture(t)
+	ctx := context.Background()
+	rng := rand.New(rand.NewSource(42))
+	from, to := window()
+	box := workload.GreeceBounds()
+	for iter := 0; iter < 12; iter++ {
+		spec := Spec{
+			FriendIDs:  workload.GenFriendList(rng, 0, 40, 5+rng.Intn(10)),
+			FromMillis: from,
+			ToMillis:   to,
+			Limit:      1 + rng.Intn(8),
+		}
+		if rng.Intn(2) == 0 {
+			spec.BBox = &box
+		}
+		if rng.Intn(2) == 0 {
+			spec.OrderBy = ByHotness
+		}
+		cold, err := f.engine.Run(ctx, spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cold.Cached {
+			t.Fatal("first run of a spec must not be cached")
+		}
+		warm, err := f.engine.Run(ctx, spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !warm.Cached {
+			t.Fatal("second run of the same spec must hit the cache")
+		}
+		if warm.LatencySeconds <= 0 {
+			t.Fatal("cached results must still carry a simulated latency")
+		}
+		if string(poisJSON(t, cold.POIs)) != string(poisJSON(t, warm.POIs)) {
+			t.Fatalf("iter %d: cached ranking differs from computed one", iter)
+		}
+
+		// An invalidating write: one friend in the cached set checks in.
+		friend := spec.FriendIDs[rng.Intn(len(spec.FriendIDs))]
+		poi := f.pois[rng.Intn(len(f.pois))]
+		if err := f.visits.Store(model.Visit{
+			UserID: friend, Time: from + rng.Int63n(to-from), Grade: 5, Network: "facebook", POI: poi,
+		}); err != nil {
+			t.Fatal(err)
+		}
+		after, err := f.engine.Run(ctx, spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if after.Cached {
+			t.Fatalf("iter %d: result served from cache after an invalidating check-in", iter)
+		}
+		uncachedSpec := spec
+		uncachedSpec.NoCache = true
+		uncached, err := f.engine.Run(ctx, uncachedSpec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if uncached.Cached {
+			t.Fatal("NoCache run must not be served from cache")
+		}
+		if string(poisJSON(t, after.POIs)) != string(poisJSON(t, uncached.POIs)) {
+			t.Fatalf("iter %d: post-invalidation ranking differs from the uncached scan", iter)
+		}
+	}
+}
+
+// TestResultCacheUnrelatedWriteKeepsEntry checks invalidation precision: a
+// check-in by a user outside the cached friend set must not evict.
+func TestResultCacheUnrelatedWriteKeepsEntry(t *testing.T) {
+	f, _, _ := cachedFixture(t)
+	ctx := context.Background()
+	from, to := window()
+	spec := Spec{FriendIDs: friendRange(1, 5), FromMillis: from, ToMillis: to, Limit: 5}
+	if _, err := f.engine.Run(ctx, spec); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.visits.Store(model.Visit{
+		UserID: 30, Time: from + 1000, Grade: 4, Network: "facebook", POI: f.pois[0],
+	}); err != nil {
+		t.Fatal(err)
+	}
+	res, err := f.engine.Run(ctx, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Cached {
+		t.Fatal("write by a non-friend must not invalidate the cached entry")
+	}
+}
+
+// TestTrendingViewMatchesScan compares the materialized-view trending path
+// against a brute-force aggregation over the same window.
+func TestTrendingViewMatchesScan(t *testing.T) {
+	f, _, view := cachedFixture(t)
+	ctx := context.Background()
+	from, to := window()
+	spec := Spec{FromMillis: from + (to-from)/2, ToMillis: to, Limit: 10}
+	res, err := f.engine.Trending(ctx, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if matview.ViewReadsTotal() == 0 {
+		t.Fatal("trending read must be served by the view")
+	}
+	// Brute force over the repository, quantized the way the view is.
+	bucket := view.BucketMillis()
+	alignedFrom := (spec.FromMillis / bucket) * bucket
+	counts := map[int64]int{}
+	if err := f.visits.ScanAll(func(v model.Visit) bool {
+		if v.Time >= alignedFrom && v.Time < spec.ToMillis {
+			counts[v.POI.ID]++
+		}
+		return true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(res.POIs) == 0 {
+		t.Fatal("view trending returned nothing")
+	}
+	for i, p := range res.POIs {
+		if counts[p.POI.ID] != p.Visits {
+			t.Errorf("poi %d: view visits %d, scan %d", p.POI.ID, p.Visits, counts[p.POI.ID])
+		}
+		if i > 0 && res.POIs[i-1].Visits < p.Visits {
+			t.Error("view trending must rank by visit volume")
+		}
+	}
+	if res.LatencySeconds <= 0 {
+		t.Error("view trending must carry a simulated latency")
+	}
+}
+
+// TestTrendingWindowClamp checks the horizon clamp: an over-long window is
+// answered as its trailing horizon-sized suffix.
+func TestTrendingWindowClamp(t *testing.T) {
+	f := newFixture(t, repos.SchemaReplicated, 2, 10)
+	view, err := matview.NewHotInView(matview.ViewOptions{
+		BucketMillis:  int64(time.Hour / time.Millisecond),
+		HorizonMillis: int64(24 * time.Hour / time.Millisecond),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.engine.SetHotInView(view)
+	from, to := window()
+	horizon := view.HorizonMillis()
+	// Feed the view two visits: one inside the trailing horizon, one far
+	// before it. The clamped window must only see the former.
+	inside := model.Visit{UserID: 1, Time: to - horizon/2, Grade: 5, Network: "facebook", POI: f.pois[0]}
+	outside := model.Visit{UserID: 1, Time: from, Grade: 5, Network: "facebook", POI: f.pois[1]}
+	view.Apply([]model.Visit{outside, inside})
+	res, err := f.engine.Trending(context.Background(), Spec{FromMillis: from, ToMillis: to, Limit: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range res.POIs {
+		if p.POI.ID == f.pois[1].ID {
+			t.Fatal("window was not clamped: pre-horizon visit surfaced")
+		}
+	}
+	if len(res.POIs) != 1 || res.POIs[0].POI.ID != f.pois[0].ID {
+		t.Fatalf("clamped trending = %+v, want only poi %d", res.POIs, f.pois[0].ID)
+	}
+}
+
+// TestResultCacheConcurrentWrites drives queries and invalidating writes
+// concurrently (meaningful under -race), then verifies quiescent state:
+// the final cached answer equals the final uncached scan.
+func TestResultCacheConcurrentWrites(t *testing.T) {
+	f, _, _ := cachedFixture(t)
+	ctx := context.Background()
+	from, to := window()
+	spec := Spec{FriendIDs: friendRange(1, 10), FromMillis: from, ToMillis: to, Limit: 5}
+	var wg sync.WaitGroup
+	var stop atomic.Bool
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		rng := rand.New(rand.NewSource(9))
+		for !stop.Load() {
+			_ = f.visits.Store(model.Visit{
+				UserID: int64(rng.Intn(10) + 1), Time: from + rng.Int63n(to-from),
+				Grade: float64(rng.Intn(5) + 1), Network: "facebook", POI: f.pois[rng.Intn(len(f.pois))],
+			})
+		}
+	}()
+	for i := 0; i < 20; i++ {
+		if _, err := f.engine.Run(ctx, spec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	stop.Store(true)
+	wg.Wait()
+	// Quiescent: one run to (re)fill, then cached vs uncached must agree.
+	warmup, err := f.engine.Run(ctx, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	final, err := f.engine.Run(ctx, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nspec := spec
+	nspec.NoCache = true
+	uncached, err := f.engine.Run(ctx, nspec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = warmup
+	if string(poisJSON(t, final.POIs)) != string(poisJSON(t, uncached.POIs)) {
+		t.Fatal("quiescent cached answer differs from the uncached scan")
+	}
+}
+
+// TestTrendingEmptyWindowRejected covers the former silent-full-scan bug.
+func TestTrendingEmptyWindowRejected(t *testing.T) {
+	f := newFixture(t, repos.SchemaReplicated, 2, 10)
+	for _, spec := range []Spec{
+		{},                                     // zero window
+		{FromMillis: 100, ToMillis: 100},       // empty
+		{FromMillis: 200, ToMillis: 100},       // inverted
+		{FriendIDs: []int64{1}, ToMillis: -50}, // personalized, inverted vs zero from
+	} {
+		if _, err := f.engine.Trending(context.Background(), spec); err == nil {
+			t.Errorf("spec %+v: empty window must be rejected", spec)
+		}
+	}
+	// Unused bbox var guard: a valid window still works.
+	from, to := window()
+	box := workload.GreeceBounds()
+	_ = geo.Rect{}
+	if _, err := f.engine.Trending(context.Background(), Spec{BBox: &box, FromMillis: from, ToMillis: to, Limit: 3}); err != nil {
+		t.Fatalf("valid window must pass: %v", err)
+	}
+}

@@ -26,6 +26,7 @@ import (
 	"modissense/internal/faultinject"
 	"modissense/internal/geo"
 	"modissense/internal/kvstore"
+	"modissense/internal/matview"
 	"modissense/internal/model"
 	"modissense/internal/obs"
 	"modissense/internal/repos"
@@ -54,6 +55,11 @@ type Spec struct {
 	ToMillis   int64
 	OrderBy    OrderBy
 	Limit      int
+	// NoCache bypasses the result cache for this query in both directions:
+	// no lookup, no store. It is excluded from the cache key; the
+	// equivalence tests use it to compare a cached answer against a fresh
+	// scan of the same spec.
+	NoCache bool
 	// RegionTopK, when positive, makes each region's coprocessor return
 	// only its K best partial aggregates instead of all of them. This cuts
 	// shipped data and merge cost but can miss POIs whose visits are
@@ -116,6 +122,9 @@ type Result struct {
 	// Degraded reports a partial answer: at least one region exhausted its
 	// read attempts and was dropped under ReadPolicy.AllowDegraded.
 	Degraded bool `json:"degraded"`
+	// Cached reports the ranking was served from the result cache: no
+	// region work ran, and Exec is zero.
+	Cached bool `json:"cached,omitempty"`
 	// MissingRegions lists the ids of the regions dropped from a degraded
 	// answer (empty on a complete one).
 	MissingRegions []int `json:"missing_regions,omitempty"`
@@ -141,6 +150,12 @@ type Engine struct {
 	// hedgeTracker feeds the observed attempt-latency distribution into the
 	// adaptive hedge threshold, shared across queries.
 	hedgeTracker *exec.LatencyTracker
+	// view, when set, answers friendless trending queries from the
+	// incrementally maintained bucket aggregates (nil = scan path only).
+	view atomic.Pointer[matview.HotInView]
+	// cache, when set, memoizes personalized results keyed by the
+	// normalized spec, invalidated by friend check-ins (nil = no caching).
+	cache atomic.Pointer[matview.ResultCache]
 }
 
 // NewEngine builds the query engine.
@@ -440,6 +455,22 @@ func (e *Engine) RunConcurrent(ctx context.Context, specs []Spec) ([]*Result, er
 			return nil, err
 		}
 		friends := sortedDistinctFriends(spec.FriendIDs)
+		// Result cache: a hit skips the scatter entirely; a miss snapshots
+		// the friends' invalidation epochs so the store after the merge can
+		// prove no invalidating check-in landed mid-query.
+		cache := e.cache.Load()
+		useCache := cache != nil && !spec.NoCache
+		var ckey string
+		var epochs []uint64
+		if useCache {
+			ckey = e.cacheKey(&spec, friends)
+			if v, ok := cache.Get(ckey); ok {
+				mQueriesPersonalized.Inc()
+				results[qi] = &Result{POIs: v.(*cachedPOIs).pois, Cached: true}
+				continue // plans[qi] stays nil; phase 2 schedules parse+merge only
+			}
+			epochs = cache.Snapshot(friends)
+		}
 		cp := &visitsCoprocessor{spec: &spec, schema: e.visits.Schema(), friends: friends}
 		stats := &obs.QueryStats{}
 		qctx := obs.WithQueryStats(ctx, stats)
@@ -502,6 +533,13 @@ func (e *Engine) RunConcurrent(ctx context.Context, specs []Spec) ([]*Result, er
 			POIs: merged, Work: totalWork, Regions: len(plan.regions), Exec: stats.Snapshot(),
 			Degraded: len(missing) > 0, MissingRegions: missing,
 		}
+		// Memoize complete answers only — a degraded ranking must never be
+		// replayed to later callers — and only if no friend's epoch moved
+		// since the pre-scan snapshot (StoreIfFresh rejects stale results).
+		if useCache && len(missing) == 0 {
+			cr := &cachedPOIs{pois: merged}
+			cache.StoreIfFresh(ckey, friends, epochs, cr, cr.retainedBytes())
+		}
 	}
 
 	// Phase 2: schedule all queries as simultaneous arrivals at the current
@@ -516,6 +554,23 @@ func (e *Engine) RunConcurrent(ctx context.Context, specs []Spec) ([]*Result, er
 	for qi, plan := range plans {
 		qi, plan := qi, plan
 		web := e.clus.PickWebServer()
+		if plan == nil {
+			// Cache hit: the web server parses the request, reads the
+			// memoized ranking and responds — no region RPCs to charge.
+			n := len(results[qi].POIs)
+			_, err := web.Submit(base, cost.WebParse, func(parseDone float64) {
+				_, err := web.Submit(parseDone, cost.MergeServiceTime(n, n), func(done float64) {
+					results[qi].LatencySeconds = done - base
+				})
+				if err != nil {
+					fail(fmt.Errorf("query %d: schedule cached response: %w", qi, err))
+				}
+			})
+			if err != nil {
+				return nil, err
+			}
+			continue
+		}
 		totalCandidates := 0
 		for _, out := range plan.outputs {
 			totalCandidates += len(out.aggs)
@@ -707,12 +762,27 @@ func (e *Engine) NonPersonalized(ctx context.Context, spec repos.SearchSpec) ([]
 // Trending answers a trending-events query: the hottest places within the
 // window. With friends it runs the personalized coprocessor path ordered
 // by hotness ("the three hottest places visited by my x specific friends
-// the last y hours"); without friends it serves the precomputed hotness
-// ranking from the POI repository.
+// the last y hours"); without friends it is served from the materialized
+// view's bucket aggregates when one is installed and covers the window,
+// falling back to the precomputed hotness ranking from the POI repository.
+//
+// The window is validated up front: an empty or inverted window returns
+// ErrEmptyWindow instead of silently scanning full history, and a window
+// longer than the view's retention horizon is clamped to its trailing
+// horizon-sized suffix.
 func (e *Engine) Trending(ctx context.Context, spec Spec) (*Result, error) {
 	spec.OrderBy = ByHotness
+	if err := e.clampTrendingWindow(&spec); err != nil {
+		return nil, err
+	}
 	if len(spec.FriendIDs) > 0 {
 		return e.Run(ctx, spec)
+	}
+	if v := e.view.Load(); v != nil {
+		if v.Covers(spec.FromMillis) {
+			return e.trendingFromView(ctx, v, spec)
+		}
+		matview.RecordFallbackRead()
 	}
 	pois, latency, err := e.NonPersonalized(ctx, repos.SearchSpec{
 		BBox: spec.BBox, Keyword: spec.Keyword, OrderBy: "hotness", Limit: spec.Limit,

@@ -2,6 +2,7 @@ package query
 
 import (
 	"context"
+	"errors"
 	"math/rand"
 	"testing"
 	"time"
@@ -384,8 +385,13 @@ func TestNonPersonalizedAndTrending(t *testing.T) {
 	if latency <= 0 {
 		t.Error("non-personalized latency must be positive")
 	}
-	// Trending without friends = relational path.
-	res, err := f.engine.Trending(context.Background(), Spec{BBox: &box, Limit: 3})
+	// An empty window is rejected, not silently scanned as full history.
+	if _, err := f.engine.Trending(context.Background(), Spec{BBox: &box, Limit: 3}); !errors.Is(err, ErrEmptyWindow) {
+		t.Fatalf("empty trending window must fail with ErrEmptyWindow, got %v", err)
+	}
+	from0, to0 := window()
+	// Trending without friends and without a view = relational path.
+	res, err := f.engine.Trending(context.Background(), Spec{BBox: &box, FromMillis: from0, ToMillis: to0, Limit: 3})
 	if err != nil {
 		t.Fatal(err)
 	}
