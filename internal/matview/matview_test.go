@@ -137,8 +137,7 @@ func TestViewExpiryAndCoverage(t *testing.T) {
 func TestCacheStoreGetAndLRU(t *testing.T) {
 	c := NewResultCache(16 * (256 + 1024)) // 16 shards, tight per-shard budget
 	friends := []int64{1, 2}
-	snap := c.Snapshot(friends)
-	if !c.StoreIfFresh("k1", friends, snap, "v1", 100) {
+	if !c.StoreIfFresh("k1", c.Snapshot(friends), "v1", 100) {
 		t.Fatal("fresh store must succeed")
 	}
 	got, ok := c.Get("k1")
@@ -149,11 +148,11 @@ func TestCacheStoreGetAndLRU(t *testing.T) {
 		t.Fatal("absent key must miss")
 	}
 	// Oversized value is refused outright.
-	if c.StoreIfFresh("huge", friends, snap, "v", 1<<20) {
+	if c.StoreIfFresh("huge", c.Snapshot(friends), "v", 1<<20) {
 		t.Fatal("oversized value must not be cached")
 	}
 	// Same-key replacement keeps one entry.
-	if !c.StoreIfFresh("k1", friends, snap, "v2", 100) {
+	if !c.StoreIfFresh("k1", c.Snapshot(friends), "v2", 100) {
 		t.Fatal("replacement must succeed")
 	}
 	if c.Len() != 1 {
@@ -168,9 +167,8 @@ func TestCacheStoreGetAndLRU(t *testing.T) {
 func TestCacheEvictionRespectsBudget(t *testing.T) {
 	budget := int64(16 * 600)
 	c := NewResultCache(budget)
-	snap := c.Snapshot(nil)
 	for i := 0; i < 200; i++ {
-		c.StoreIfFresh(fmt.Sprintf("key-%03d", i), nil, snap, i, 128)
+		c.StoreIfFresh(fmt.Sprintf("key-%03d", i), c.Snapshot(nil), i, 128)
 	}
 	if c.Bytes() > budget {
 		t.Fatalf("cache holds %d bytes over the %d budget", c.Bytes(), budget)
@@ -182,10 +180,8 @@ func TestCacheEvictionRespectsBudget(t *testing.T) {
 
 func TestCacheInvalidateByFriend(t *testing.T) {
 	c := NewResultCache(1 << 20)
-	snap12 := c.Snapshot([]int64{1, 2})
-	snap34 := c.Snapshot([]int64{3, 4})
-	c.StoreIfFresh("a", []int64{1, 2}, snap12, "a", 64)
-	c.StoreIfFresh("b", []int64{3, 4}, snap34, "b", 64)
+	c.StoreIfFresh("a", c.Snapshot([]int64{1, 2}), "a", 64)
+	c.StoreIfFresh("b", c.Snapshot([]int64{3, 4}), "b", 64)
 	c.Invalidate([]int64{2})
 	if _, ok := c.Get("a"); ok {
 		t.Fatal("entry with invalidated friend must be gone")
@@ -207,15 +203,65 @@ func TestCacheStaleSnapshotRejected(t *testing.T) {
 	// A write lands between the snapshot and the store: the store must
 	// lose, or the cache would serve pre-write results.
 	c.Invalidate([]int64{7})
-	if c.StoreIfFresh("k", friends, snap, "stale", 64) {
+	if c.StoreIfFresh("k", snap, "stale", 64) {
 		t.Fatal("store with a stale epoch snapshot must be rejected")
 	}
 	if _, ok := c.Get("k"); ok {
 		t.Fatal("rejected store must not be visible")
 	}
 	// A fresh snapshot taken after the write stores fine.
-	if !c.StoreIfFresh("k", friends, c.Snapshot(friends), "fresh", 64) {
+	if !c.StoreIfFresh("k", c.Snapshot(friends), "fresh", 64) {
 		t.Fatal("post-write snapshot must store")
+	}
+}
+
+// TestCacheReplacementStaysInvalidatable pins the replacement ordering
+// bug: storing the same key twice (two identical queries racing the same
+// miss) must leave the surviving entry registered in the friend index, so
+// a later friend check-in still removes it.
+func TestCacheReplacementStaysInvalidatable(t *testing.T) {
+	c := NewResultCache(1 << 20)
+	friends := []int64{11, 12}
+	if !c.StoreIfFresh("k", c.Snapshot(friends), "first", 64) {
+		t.Fatal("first store must succeed")
+	}
+	if !c.StoreIfFresh("k", c.Snapshot(friends), "second", 64) {
+		t.Fatal("replacement store must succeed")
+	}
+	c.Invalidate([]int64{11})
+	if _, ok := c.Get("k"); ok {
+		t.Fatal("replaced entry survived an invalidating check-in")
+	}
+}
+
+// TestCacheEpochsBounded checks the epoch map does not grow with the
+// distinct-writer population: epochs exist only while a snapshot holds
+// them, and settling the snapshot (store, reject or release) prunes them.
+func TestCacheEpochsBounded(t *testing.T) {
+	c := NewResultCache(1 << 20)
+	// Writes by users nobody queried leave no state behind.
+	for uid := int64(0); uid < 1000; uid++ {
+		c.Invalidate([]int64{uid})
+	}
+	// A stored entry keeps its friends indexed but pins no epochs once the
+	// snapshot is settled; an abandoned snapshot releases explicitly.
+	if !c.StoreIfFresh("k", c.Snapshot([]int64{1, 2}), "v", 64) {
+		t.Fatal("store must succeed")
+	}
+	abandoned := c.Snapshot([]int64{3})
+	c.Invalidate([]int64{3}) // bumps: a snapshot holds user 3
+	abandoned.Release()
+	abandoned.Release() // idempotent
+	c.indexMu.Lock()
+	epochs, pending := len(c.epochs), len(c.pending)
+	c.indexMu.Unlock()
+	if epochs != 0 || pending != 0 {
+		t.Fatalf("epochs/pending = %d/%d after settling all snapshots, want 0/0", epochs, pending)
+	}
+	// The invalidation index still removes the cached entry.
+	c.Invalidate([]int64{2})
+	if _, ok := c.Get("k"); ok {
+		t.Fatal("entry must still be invalidatable without epoch state")
 	}
 }
 
@@ -230,7 +276,7 @@ func TestCacheConcurrentAccess(t *testing.T) {
 			for i := 0; i < 500; i++ {
 				key := fmt.Sprintf("k-%d-%d", g, i%20)
 				if _, ok := c.Get(key); !ok {
-					c.StoreIfFresh(key, friends, c.Snapshot(friends), i, 64)
+					c.StoreIfFresh(key, c.Snapshot(friends), i, 64)
 				}
 				if i%17 == 0 {
 					c.Invalidate(friends)

@@ -19,9 +19,10 @@ var ErrEmptyWindow = errors.New("query: empty trending time window")
 // SetHotInView installs (or, with nil, removes) the materialized trending
 // view. With a view installed, friendless trending queries whose window the
 // view covers are answered from its bucket aggregates instead of the scan
-// path, and every trending window is clamped to the view's retention
-// horizon. Install it at wiring time, attached to the same visit stream the
-// engine queries.
+// path, with windows wider than the view's retention horizon clamped to
+// their trailing horizon-sized suffix (personalized queries keep their full
+// window on the scan path). Install it at wiring time, attached to the same
+// visit stream the engine queries.
 func (e *Engine) SetHotInView(v *matview.HotInView) {
 	if v == nil {
 		e.view.Store(nil)
@@ -99,20 +100,26 @@ func (e *Engine) cacheKey(spec *Spec, friends []int64) string {
 	return b.String()
 }
 
-// clampTrendingWindow validates a trending window and bounds it to the
-// view's retention horizon: an empty or inverted window is rejected with
-// ErrEmptyWindow (it used to silently scan full history), and a window
-// longer than the horizon is clamped to its trailing horizon-sized suffix.
-func (e *Engine) clampTrendingWindow(spec *Spec) error {
+// validateTrendingWindow rejects an empty or inverted trending window
+// with ErrEmptyWindow (it used to silently scan full history).
+func validateTrendingWindow(spec *Spec) error {
 	if spec.ToMillis <= spec.FromMillis {
 		return fmt.Errorf("%w: from %d, to %d", ErrEmptyWindow, spec.FromMillis, spec.ToMillis)
 	}
-	if v := e.view.Load(); v != nil {
-		if h := v.HorizonMillis(); h > 0 && spec.ToMillis-spec.FromMillis > h {
-			spec.FromMillis = spec.ToMillis - h
-		}
-	}
 	return nil
+}
+
+// clampToHorizon narrows a window longer than the view's retention
+// horizon to its trailing horizon-sized suffix, reporting whether it did.
+// Only windows the view will actually answer are clamped — the scan path
+// can serve the full window, so callers apply this on the friendless view
+// route alone and surface the narrowing in the Result.
+func clampToHorizon(spec *Spec, v *matview.HotInView) bool {
+	if h := v.HorizonMillis(); h > 0 && spec.ToMillis-spec.FromMillis > h {
+		spec.FromMillis = spec.ToMillis - h
+		return true
+	}
+	return false
 }
 
 // trendingFromView answers a friendless trending query from the

@@ -203,8 +203,10 @@ func TestTrendingViewMatchesScan(t *testing.T) {
 	}
 }
 
-// TestTrendingWindowClamp checks the horizon clamp: an over-long window is
-// answered as its trailing horizon-sized suffix.
+// TestTrendingWindowClamp checks the horizon clamp: an over-long
+// friendless window is answered as its trailing horizon-sized suffix and
+// the narrowing is surfaced on the Result, while a personalized query
+// keeps its full window on the scan path.
 func TestTrendingWindowClamp(t *testing.T) {
 	f := newFixture(t, repos.SchemaReplicated, 2, 10)
 	view, err := matview.NewHotInView(matview.ViewOptions{
@@ -233,6 +235,37 @@ func TestTrendingWindowClamp(t *testing.T) {
 	}
 	if len(res.POIs) != 1 || res.POIs[0].POI.ID != f.pois[0].ID {
 		t.Fatalf("clamped trending = %+v, want only poi %d", res.POIs, f.pois[0].ID)
+	}
+	if !res.WindowClamped || res.EffectiveFromMillis != to-horizon {
+		t.Fatalf("clamp not surfaced: clamped=%v effective_from=%d, want true/%d",
+			res.WindowClamped, res.EffectiveFromMillis, to-horizon)
+	}
+
+	// A personalized query over the same over-long window runs the scan
+	// path unclamped: a friend's visit far before the trailing horizon
+	// must still surface, with no clamp marker.
+	if err := f.visits.Store(model.Visit{
+		UserID: 1, Time: from, Grade: 5, Network: "facebook", POI: f.pois[2],
+	}); err != nil {
+		t.Fatal(err)
+	}
+	pres, err := f.engine.Trending(context.Background(), Spec{
+		FriendIDs: []int64{1}, FromMillis: from, ToMillis: to, Limit: 10,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pres.WindowClamped {
+		t.Fatal("personalized trending must not be clamped to the view horizon")
+	}
+	found := false
+	for _, p := range pres.POIs {
+		if p.POI.ID == f.pois[2].ID {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("personalized trending lost the pre-horizon visit: %+v", pres.POIs)
 	}
 }
 

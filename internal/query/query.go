@@ -128,6 +128,13 @@ type Result struct {
 	// MissingRegions lists the ids of the regions dropped from a degraded
 	// answer (empty on a complete one).
 	MissingRegions []int `json:"missing_regions,omitempty"`
+	// WindowClamped reports a trending window wider than the materialized
+	// view's retention horizon was narrowed to its trailing horizon-sized
+	// suffix before the view answered it.
+	WindowClamped bool `json:"window_clamped,omitempty"`
+	// EffectiveFromMillis is the window start actually served when
+	// WindowClamped is set (zero otherwise).
+	EffectiveFromMillis int64 `json:"effective_from_millis,omitempty"`
 }
 
 // Engine wires the stores and the simulated cluster.
@@ -445,6 +452,13 @@ func (e *Engine) RunConcurrent(ctx context.Context, specs []Spec) ([]*Result, er
 	results := make([]*Result, len(specs))
 	plans := make([]*queryPlan, len(specs))
 
+	// liveSnap is the current iteration's unsettled epoch snapshot; the
+	// deferred release settles it on the error returns below so an
+	// abandoned query never pins its friends' epoch entries. Release is
+	// nil-safe and idempotent, so the happy paths just clear it.
+	var liveSnap *matview.EpochSnapshot
+	defer func() { liveSnap.Release() }()
+
 	// Phase 1: real execution of every query's coprocessors.
 	for qi := range specs {
 		if err := ctx.Err(); err != nil {
@@ -461,7 +475,6 @@ func (e *Engine) RunConcurrent(ctx context.Context, specs []Spec) ([]*Result, er
 		cache := e.cache.Load()
 		useCache := cache != nil && !spec.NoCache
 		var ckey string
-		var epochs []uint64
 		if useCache {
 			ckey = e.cacheKey(&spec, friends)
 			if v, ok := cache.Get(ckey); ok {
@@ -469,7 +482,7 @@ func (e *Engine) RunConcurrent(ctx context.Context, specs []Spec) ([]*Result, er
 				results[qi] = &Result{POIs: v.(*cachedPOIs).pois, Cached: true}
 				continue // plans[qi] stays nil; phase 2 schedules parse+merge only
 			}
-			epochs = cache.Snapshot(friends)
+			liveSnap = cache.Snapshot(friends)
 		}
 		cp := &visitsCoprocessor{spec: &spec, schema: e.visits.Schema(), friends: friends}
 		stats := &obs.QueryStats{}
@@ -535,10 +548,16 @@ func (e *Engine) RunConcurrent(ctx context.Context, specs []Spec) ([]*Result, er
 		}
 		// Memoize complete answers only — a degraded ranking must never be
 		// replayed to later callers — and only if no friend's epoch moved
-		// since the pre-scan snapshot (StoreIfFresh rejects stale results).
-		if useCache && len(missing) == 0 {
-			cr := &cachedPOIs{pois: merged}
-			cache.StoreIfFresh(ckey, friends, epochs, cr, cr.retainedBytes())
+		// since the pre-scan snapshot (StoreIfFresh rejects stale results
+		// and consumes the snapshot; a degraded answer releases it).
+		if useCache {
+			if len(missing) == 0 {
+				cr := &cachedPOIs{pois: merged}
+				cache.StoreIfFresh(ckey, liveSnap, cr, cr.retainedBytes())
+			} else {
+				liveSnap.Release()
+			}
+			liveSnap = nil
 		}
 	}
 
@@ -767,20 +786,28 @@ func (e *Engine) NonPersonalized(ctx context.Context, spec repos.SearchSpec) ([]
 // falling back to the precomputed hotness ranking from the POI repository.
 //
 // The window is validated up front: an empty or inverted window returns
-// ErrEmptyWindow instead of silently scanning full history, and a window
-// longer than the view's retention horizon is clamped to its trailing
-// horizon-sized suffix.
+// ErrEmptyWindow instead of silently scanning full history. A friendless
+// window longer than the view's retention horizon is clamped to its
+// trailing horizon-sized suffix before the view answers it, and the
+// narrowing is surfaced on the Result (WindowClamped/EffectiveFromMillis);
+// personalized queries run the scan path with their full window.
 func (e *Engine) Trending(ctx context.Context, spec Spec) (*Result, error) {
 	spec.OrderBy = ByHotness
-	if err := e.clampTrendingWindow(&spec); err != nil {
+	if err := validateTrendingWindow(&spec); err != nil {
 		return nil, err
 	}
 	if len(spec.FriendIDs) > 0 {
 		return e.Run(ctx, spec)
 	}
 	if v := e.view.Load(); v != nil {
+		clamped := clampToHorizon(&spec, v)
 		if v.Covers(spec.FromMillis) {
-			return e.trendingFromView(ctx, v, spec)
+			res, err := e.trendingFromView(ctx, v, spec)
+			if err == nil && clamped {
+				res.WindowClamped = true
+				res.EffectiveFromMillis = spec.FromMillis
+			}
+			return res, err
 		}
 		matview.RecordFallbackRead()
 	}
