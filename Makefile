@@ -59,20 +59,23 @@ bench:
 ## microbenchmarks a fixed small number of iterations — it verifies the
 ## benchmarks still build and run, not their timings — then scrapes
 ## GET /metrics after live API traffic into BENCH_metrics.json, runs the
-## seeded fault-injection workload into BENCH_faults.json, and runs the
+## seeded fault-injection workload into BENCH_faults.json, the
+## primary-kill failover workload into BENCH_failover.json, and runs the
 ## overload-protection stall-storm workload into BENCH_overload.json, and
 ## the write-path ingest workload into BENCH_ingest.json, and the
 ## block-format workload into BENCH_blocks.json, and the standing-query
 ## pub/sub workload into BENCH_pubsub.json, and the materialized-trending
 ## workload into BENCH_trending.json so each run records the
-## fault-tolerance, shedding, group-commit, compression, block-cache,
-## continuous-query and view/cache gates alongside the latency figures.
+## fault-tolerance, failover, shedding, group-commit, compression,
+## block-cache, continuous-query and view/cache gates alongside the
+## latency figures.
 bench-smoke:
 	$(GO) test ./internal/kvstore -run XXX -bench 'BenchmarkScanPath' -benchmem -benchtime=100x
 	$(GO) test ./internal/kvstore -run XXX -bench 'BenchmarkMergeIterator' -benchmem -benchtime=50x
 	$(GO) test ./internal/query -run XXX -bench 'BenchmarkCoprocessor200' -benchmem -benchtime=100x
 	$(GO) run ./cmd/modissense-bench -exp metrics -quick
 	$(GO) run ./cmd/modissense-bench -exp faults -quick
+	$(GO) run ./cmd/modissense-bench -exp failover -quick
 	$(GO) run ./cmd/modissense-bench -exp overload -quick
 	$(GO) run ./cmd/modissense-bench -exp ingest -quick
 	$(GO) run ./cmd/modissense-bench -exp blocks -quick

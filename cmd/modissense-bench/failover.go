@@ -1,0 +1,61 @@
+package main
+
+import (
+	"fmt"
+	"strconv"
+
+	"modissense/internal/bench"
+)
+
+// runFailover measures the write-path fault-tolerance mechanism: concurrent
+// batched check-in writers and scatter readers while the node owning the
+// most region primaries is crashed, with the failure detector, replica
+// promotion, epoch fencing and rejoin all on the line.
+func runFailover(quick bool) error {
+	cfg := bench.DefaultFailover()
+	if quick {
+		cfg.Dataset.Users = 1200
+		cfg.AcksPerWriter = 1200
+		cfg.KillAfterAcks = 800
+		cfg.Friends = 200
+	}
+	fmt.Println("== Write-path failover: primary kill under live ingest, zero acked-write loss ==")
+	fmt.Printf("%d nodes, %d replicas, %d writers x %d acks, kill after %d acks, window budget %s\n\n",
+		cfg.Nodes, cfg.Replicas, cfg.Writers, cfg.AcksPerWriter, cfg.KillAfterAcks, cfg.WindowBudget)
+	res, err := bench.RunFailover(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Println(bench.RenderTable(
+		[]string{"acked", "retries", "sentinels", "missing", "outage(ms)", "victim", "moved", "epoch", "queries-ok", "degraded", "query-errors"},
+		[][]string{{
+			strconv.Itoa(res.AckedWrites), strconv.Itoa(res.WriteRetries),
+			strconv.Itoa(res.Sentinels), strconv.Itoa(res.SentinelsMissing),
+			fmt.Sprintf("%.1f", res.UnavailabilityMillis),
+			strconv.Itoa(res.VictimNode),
+			fmt.Sprintf("%d/%d", res.PrimariesMoved, res.VictimPrimaries),
+			fmt.Sprintf("%d->%d", res.EpochBefore, res.EpochAfter),
+			strconv.Itoa(res.QueriesOK), strconv.Itoa(res.QueriesDegraded), strconv.Itoa(res.QueryErrors),
+		}}))
+
+	// Acceptance gates: every acknowledged write must survive the cutover,
+	// the outage must stay inside budget, the zombie must be fenced, the
+	// readers must ride through, and the topology must fully converge.
+	gate := func(name string, ok bool) {
+		verdict := "PASS"
+		if !ok {
+			verdict = "FAIL"
+		}
+		fmt.Printf("gate %-34s %s\n", name+":", verdict)
+	}
+	gate("zero acked-write loss", res.Sentinels > 0 && res.SentinelsMissing == 0)
+	gate("write outage within budget", res.UnavailabilityMillis <= res.WindowBudgetMillis)
+	gate("zombie write fenced and invisible", res.ZombieFenced && !res.ZombieVisible)
+	gate("queries >= 99% non-5xx", res.QuerySuccessRate >= 0.99)
+	gate("primaries moved off victim", res.PrimariesMoved == res.VictimPrimaries && res.VictimPrimaries > 0)
+	gate("replica factor converged", res.ReplicasConverged)
+	gate("rejoin as replica only", res.RejoinOK)
+	gate("goroutines converged", res.GoroutinesAfter <= res.GoroutinesBefore+10)
+	fmt.Println()
+	return writeSeriesJSON("BENCH_failover.json", res)
+}

@@ -29,7 +29,7 @@ import (
 var outDir string
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: fig2 | fig3 | fig4 | accuracy | ablation-schema | ablation-regions | dbscan | ext-cnb | ext-webservers | ext-topk | metrics | faults | overload | ingest | blocks | pubsub | trending | all")
+	exp := flag.String("exp", "all", "experiment: fig2 | fig3 | fig4 | accuracy | ablation-schema | ablation-regions | dbscan | ext-cnb | ext-webservers | ext-topk | metrics | faults | failover | overload | ingest | blocks | pubsub | trending | all")
 	quick := flag.Bool("quick", false, "run reduced sweeps (smaller dataset, fewer points)")
 	scatterWorkers := flag.Int("scatter-workers", 0, "scatter-gather worker-pool size for real region execution (0 = GOMAXPROCS)")
 	out := flag.String("out", ".", "directory for machine-readable BENCH_*.json result files")
@@ -53,13 +53,14 @@ func main() {
 		"ext-topk":         runTopK,
 		"metrics":          runMetrics,
 		"faults":           runFaults,
+		"failover":         runFailover,
 		"overload":         runOverload,
 		"ingest":           runIngest,
 		"blocks":           runBlocks,
 		"pubsub":           runPubSub,
 		"trending":         runTrending,
 	}
-	order := []string{"fig2", "fig3", "fig4", "accuracy", "ablation-schema", "ablation-regions", "dbscan", "ext-cnb", "ext-webservers", "ext-topk", "metrics", "faults", "overload", "ingest", "blocks", "pubsub", "trending"}
+	order := []string{"fig2", "fig3", "fig4", "accuracy", "ablation-schema", "ablation-regions", "dbscan", "ext-cnb", "ext-webservers", "ext-topk", "metrics", "faults", "failover", "overload", "ingest", "blocks", "pubsub", "trending"}
 
 	if *exp == "all" {
 		for _, name := range order {

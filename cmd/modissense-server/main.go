@@ -44,6 +44,9 @@ func main() {
 	breakerFailures := flag.Int("breaker-failures", 0, "consecutive node failures that trip a circuit breaker (0 = breakers off)")
 	breakerOpenFor := flag.Duration("breaker-open-for", 0, "base breaker open interval before the first half-open probe (0 = 500ms default)")
 	breakerSlowAfter := flag.Duration("breaker-slow-after", 0, "charge read attempts still running after this duration as failures (0 = off)")
+	failover := flag.Bool("failover", false, "enable write-path failover: failure detection, replica promotion with epoch fencing, rejoin (requires -read-replicas >= 1)")
+	suspectAfter := flag.Int("suspect-after", 0, "consecutive node failures before the failure detector marks it suspect (0 = default, 3)")
+	downAfter := flag.Int("down-after", 0, "consecutive node failures before the detector downs the node and promotes (0 = default, 6)")
 	walDir := flag.String("wal-dir", "", "directory for the durable visits WAL (empty = in-memory, no recovery)")
 	walSync := flag.String("wal-sync", "os", "WAL durability policy: os (buffered) or group (one fsync per commit group)")
 	compactRate := flag.Float64("compact-rate-mb", 0, "background-compaction I/O cap in MB/s (0 = unlimited)")
@@ -82,6 +85,9 @@ func main() {
 	cfg.BreakerFailures = *breakerFailures
 	cfg.BreakerOpenFor = *breakerOpenFor
 	cfg.BreakerSlowAfter = *breakerSlowAfter
+	cfg.FailoverEnabled = *failover
+	cfg.SuspectAfter = *suspectAfter
+	cfg.DownAfter = *downAfter
 	cfg.WALDir = *walDir
 	cfg.WALSync = *walSync
 	cfg.CompactRateMBps = *compactRate

@@ -67,6 +67,9 @@ type Breaker struct {
 	trips    uint64
 	openedAt time.Time
 	probing  bool
+	// onTrip, when non-nil, is invoked (outside mu) after every trip to
+	// open — the failover layer's escalation signal. See BreakerSet.SetOnTrip.
+	onTrip func()
 }
 
 // NewBreaker builds a breaker, applying config defaults.
@@ -149,16 +152,35 @@ func (b *Breaker) RecordFailure() {
 		return
 	}
 	b.mu.Lock()
-	defer b.mu.Unlock()
+	tripped := false
 	switch b.state {
 	case StateClosed:
 		b.fails++
 		if b.fails >= b.cfg.Failures {
 			b.trip()
+			tripped = true
 		}
 	case StateHalfOpen:
 		b.trip()
+		tripped = true
 	}
+	onTrip := b.onTrip
+	b.mu.Unlock()
+	// The trip callback runs outside the breaker lock so it may freely
+	// call back into breaker or failover state.
+	if tripped && onTrip != nil {
+		onTrip()
+	}
+}
+
+// setOnTrip installs the post-trip callback.
+func (b *Breaker) setOnTrip(fn func()) {
+	if b == nil {
+		return
+	}
+	b.mu.Lock()
+	b.onTrip = fn
+	b.mu.Unlock()
 }
 
 // trip moves the breaker to open; callers hold b.mu.
@@ -226,6 +248,7 @@ type BreakerSet struct {
 	cfg    BreakerConfig
 	mu     sync.Mutex
 	byNode map[int]*Breaker
+	onTrip func(node int)
 }
 
 // NewBreakerSet builds an empty set sharing one config.
@@ -246,8 +269,33 @@ func (s *BreakerSet) For(node int) *Breaker {
 	cfg := s.cfg
 	cfg.Seed = int64(splitmix64(uint64(s.cfg.Seed) ^ uint64(node)*0xbf58476d1ce4e5b9))
 	b := NewBreaker(cfg)
+	if s.onTrip != nil {
+		fn, node := s.onTrip, node
+		b.onTrip = func() { fn(node) }
+	}
 	s.byNode[node] = b
 	return b
+}
+
+// SetOnTrip registers fn to run — outside any breaker lock — every time a
+// breaker in the set trips open, carrying the tripping node's id. The
+// failover layer uses it to escalate the node to suspect; pass nil to
+// clear. Applies to existing breakers and those created later.
+func (s *BreakerSet) SetOnTrip(fn func(node int)) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.onTrip = fn
+	for node, b := range s.byNode {
+		if fn == nil {
+			b.setOnTrip(nil)
+			continue
+		}
+		fn, node := fn, node
+		b.setOnTrip(func() { fn(node) })
+	}
 }
 
 // OpenCount reports how many breakers are currently not closed.

@@ -1,0 +1,480 @@
+package bench
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"modissense/internal/faultinject"
+	"modissense/internal/kvstore"
+	"modissense/internal/model"
+	"modissense/internal/query"
+	"modissense/internal/repos"
+)
+
+// FailoverConfig parameterizes the write-path fault-tolerance experiment:
+// concurrent batched check-in writers and scatter-query readers run against
+// a replicated, failover-enabled dataset while the node owning the most
+// region primaries is crashed (reads, writes and WAL shipments all fail).
+// The failure detector must down the node, promote the most-caught-up
+// replicas, and the run is gated on zero acked-write loss, a bounded write
+// outage, epoch-fenced zombie writes and full topology convergence.
+type FailoverConfig struct {
+	Dataset DatasetConfig
+	Nodes   int
+	// Replicas is the read-replica count per region (>= 1: promotion
+	// needs a survivor).
+	Replicas int
+	// Writers concurrent check-in writers each land AcksPerWriter
+	// acknowledged visits, retrying through the outage. At least two
+	// writers are pinned to users homed on the victim's regions so the
+	// kill demonstrably interrupts acknowledged traffic.
+	Writers       int
+	AcksPerWriter int
+	// SentinelEvery records every Nth acknowledged visit per writer as a
+	// sentinel; after the cutover every sentinel must be readable (the
+	// zero-acked-write-loss gate).
+	SentinelEvery int
+	// KillAfterAcks delays the crash until this many total acknowledged
+	// writes landed, so the kill hits a warm, mid-flight ingest stream.
+	KillAfterAcks int
+	// Readers concurrent query clients run personalized scatters with
+	// Friends-sized friend lists until the writers finish.
+	Readers int
+	Friends int
+	// WindowBudget bounds the longest per-writer write-unavailability
+	// window (first failed ack to the next success).
+	WindowBudget time.Duration
+	Seed         int64
+}
+
+// DefaultFailover sizes the experiment so the kill lands mid-ingest and the
+// whole run stays under a minute on a laptop.
+func DefaultFailover() FailoverConfig {
+	ds := DefaultDataset()
+	ds.Users = 3000
+	ds.Regions = 16
+	return FailoverConfig{
+		Dataset:       ds,
+		Nodes:         4,
+		Replicas:      2,
+		Writers:       4,
+		AcksPerWriter: 2500,
+		SentinelEvery: 200,
+		KillAfterAcks: 2000,
+		Readers:       2,
+		Friends:       400,
+		WindowBudget:  2 * time.Second,
+		Seed:          61,
+	}
+}
+
+// FailoverResult is the experiment outcome, JSON-tagged for
+// BENCH_failover.json.
+type FailoverResult struct {
+	// AckedWrites counts acknowledged visits across all writers;
+	// WriteRetries counts the failed attempts retried through the outage.
+	AckedWrites  int `json:"acked_writes"`
+	WriteRetries int `json:"write_retries"`
+	// Sentinels is the number of acked check-ins probed after the
+	// cutover; SentinelsMissing is how many were unreadable (must be 0).
+	Sentinels        int `json:"sentinels"`
+	SentinelsMissing int `json:"sentinels_missing"`
+	// UnavailabilityMillis is the longest single writer's write outage.
+	UnavailabilityMillis float64 `json:"write_unavailability_ms"`
+	WindowBudgetMillis   float64 `json:"window_budget_ms"`
+	VictimNode           int     `json:"victim_node"`
+	// PrimariesMoved counts the victim's regions whose primary was
+	// promoted away; VictimPrimaries is how many it owned at the kill.
+	VictimPrimaries int `json:"victim_primaries"`
+	PrimariesMoved  int `json:"primaries_moved"`
+	// EpochBefore/EpochAfter bracket the monotonic fencing epoch.
+	EpochBefore uint64 `json:"epoch_before"`
+	EpochAfter  uint64 `json:"epoch_after"`
+	// ZombieFenced reports the old primary's stale-epoch write was
+	// rejected with ErrEpochFenced; ZombieVisible reports whether its row
+	// leaked into the store (must not).
+	ZombieFenced  bool `json:"zombie_fenced"`
+	ZombieVisible bool `json:"zombie_visible"`
+	// Query tallies over the concurrent readers; degraded answers are
+	// non-5xx and count toward QueriesOK.
+	QueriesOK        int     `json:"queries_ok"`
+	QueriesDegraded  int     `json:"queries_degraded"`
+	QueryErrors      int     `json:"query_errors"`
+	QuerySuccessRate float64 `json:"query_success_rate"`
+	// ReplicasConverged reports every region ended with the configured
+	// replica factor and no copy on the downed node.
+	ReplicasConverged bool `json:"replicas_converged"`
+	// RejoinOK reports the victim re-entered as a catching-up replica
+	// (never a primary) once the injected faults were lifted.
+	RejoinOK bool `json:"rejoin_ok"`
+	// GoroutinesBefore/GoroutinesAfter bracket the run for leak gating.
+	GoroutinesBefore int `json:"goroutines_before"`
+	GoroutinesAfter  int `json:"goroutines_after"`
+}
+
+// failoverSentinel is one acked check-in the loss gate probes afterwards.
+type failoverSentinel struct {
+	user int64
+	time int64
+}
+
+// RunFailover executes the experiment: build, kill, converge, verify.
+func RunFailover(cfg FailoverConfig) (*FailoverResult, error) {
+	if cfg.Replicas < 1 {
+		return nil, fmt.Errorf("bench: failover experiment needs replicas")
+	}
+	if cfg.Nodes < 3 {
+		return nil, fmt.Errorf("bench: failover experiment needs >= 3 nodes")
+	}
+	if cfg.Writers < 1 || cfg.AcksPerWriter < 1 || cfg.SentinelEvery < 1 {
+		return nil, fmt.Errorf("bench: failover experiment needs positive write load")
+	}
+	if cfg.WindowBudget <= 0 {
+		return nil, fmt.Errorf("bench: failover experiment needs a window budget")
+	}
+	ds, err := BuildDataset(cfg.Dataset, cfg.Nodes)
+	if err != nil {
+		return nil, err
+	}
+	tbl := ds.Visits.Table()
+	if err := tbl.EnableReplication(cfg.Replicas, 0); err != nil {
+		return nil, err
+	}
+	if err := tbl.CatchUpReplication(); err != nil {
+		return nil, err
+	}
+	if err := tbl.EnableFailover(kvstore.FailoverConfig{}); err != nil {
+		return nil, err
+	}
+	pol := query.DefaultReadPolicy()
+	pol.JitterSeed = cfg.Seed
+	ds.Engine.SetReadPolicy(&pol)
+
+	res := &FailoverResult{WindowBudgetMillis: float64(cfg.WindowBudget.Milliseconds())}
+	res.GoroutinesBefore = runtime.NumGoroutine()
+
+	// The victim is the node owning the most region primaries: killing it
+	// interrupts the largest slice of the write traffic.
+	res.VictimNode = busiestPrimary(tbl)
+	victimRegions := map[int]bool{}
+	var zombieRow string
+	var zombieEpoch uint64
+	for _, r := range tbl.Regions() {
+		if r.PrimaryNode() != res.VictimNode {
+			continue
+		}
+		victimRegions[r.ID] = true
+		if zombieRow == "" {
+			// A row inside the region: the stale-epoch write the fencing
+			// gate replays after the promotion.
+			zombieRow = r.StartKey + "\x00zombie"
+			zombieEpoch = r.Epoch()
+		}
+		if e := r.Epoch(); e > res.EpochBefore {
+			res.EpochBefore = e
+		}
+	}
+	res.VictimPrimaries = len(victimRegions)
+	if res.VictimPrimaries == 0 {
+		return nil, fmt.Errorf("bench: victim node %d owns no primaries", res.VictimNode)
+	}
+
+	// Pin the first two writers to users homed on the victim's regions so
+	// the kill demonstrably interrupts acked traffic; the rest write to
+	// users homed elsewhere and must ride through undisturbed.
+	uids, err := writerUsers(ds, cfg, victimRegions)
+	if err != nil {
+		return nil, err
+	}
+
+	var (
+		acked   atomic.Int64
+		retries atomic.Int64
+		// maxOutageNanos is the longest writer-observed window from the
+		// first failed ack to the next success.
+		maxOutageNanos atomic.Int64
+		sentinelMu     sync.Mutex
+		sentinels      []failoverSentinel
+	)
+	_, winTo := ds.Window()
+	baseMillis := winTo + 1
+
+	var writers sync.WaitGroup
+	var writeErr atomic.Value
+	for wi := 0; wi < cfg.Writers; wi++ {
+		writers.Add(1)
+		go func(wi int) {
+			defer writers.Done()
+			uid := uids[wi]
+			var outageStart time.Time
+			for i := 0; i < cfg.AcksPerWriter; i++ {
+				v := model.Visit{
+					UserID:  uid,
+					Time:    baseMillis + int64(wi)*int64(cfg.AcksPerWriter+1) + int64(i),
+					Grade:   float64(i%5 + 1),
+					Network: "facebook",
+					POI:     model.POI{ID: int64(i%cfg.Dataset.POIs + 1)},
+				}
+				for {
+					err := ds.Visits.Store(v)
+					if err == nil {
+						break
+					}
+					if errors.Is(err, kvstore.ErrEpochFenced) {
+						// A fenced ack-path write means the fencing check
+						// misfired: surface it, the gate must fail.
+						writeErr.CompareAndSwap(nil, err)
+						return
+					}
+					retries.Add(1)
+					if outageStart.IsZero() {
+						outageStart = time.Now()
+					}
+					time.Sleep(500 * time.Microsecond)
+				}
+				if !outageStart.IsZero() {
+					w := time.Since(outageStart).Nanoseconds()
+					if w > maxOutageNanos.Load() {
+						maxOutageNanos.Store(w)
+					}
+					outageStart = time.Time{}
+				}
+				acked.Add(1)
+				if (i+1)%cfg.SentinelEvery == 0 {
+					sentinelMu.Lock()
+					sentinels = append(sentinels, failoverSentinel{user: uid, time: v.Time})
+					sentinelMu.Unlock()
+				}
+			}
+		}(wi)
+	}
+
+	// Readers: personalized scatters until the writers finish. Degraded
+	// answers are non-5xx; only errors count against the success gate.
+	stopReaders := make(chan struct{})
+	var readers sync.WaitGroup
+	var qOK, qDeg, qErr atomic.Int64
+	from, to := ds.Window()
+	for ri := 0; ri < cfg.Readers; ri++ {
+		readers.Add(1)
+		go func(ri int) {
+			defer readers.Done()
+			rng := rand.New(rand.NewSource(cfg.Seed + int64(ri)*7919))
+			for {
+				select {
+				case <-stopReaders:
+					return
+				default:
+				}
+				spec := query.Spec{
+					FriendIDs:  ds.FriendSample(rng, cfg.Friends),
+					FromMillis: from,
+					ToMillis:   to,
+					OrderBy:    query.ByInterest,
+					Limit:      10,
+				}
+				ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+				r, err := ds.Engine.Run(ctx, spec)
+				cancel()
+				switch {
+				case err == nil:
+					qOK.Add(1)
+					if r.Degraded {
+						qDeg.Add(1)
+					}
+				default:
+					qErr.Add(1)
+				}
+			}
+		}(ri)
+	}
+
+	// The kill: once the ingest is warm, every read attempt, write
+	// admission and WAL shipment touching the victim crashes. Writer
+	// retries feed the failure detector until it downs the node and the
+	// promotion cuts the affected regions over.
+	for acked.Load() < int64(cfg.KillAfterAcks) {
+		time.Sleep(time.Millisecond)
+	}
+	crash := func(kind faultinject.OpKind) faultinject.Rule {
+		return faultinject.Rule{
+			Fault: faultinject.Crash, Op: kind, Node: res.VictimNode,
+			Region: faultinject.Any, Replica: faultinject.Any, Prob: 1,
+		}
+	}
+	inj := faultinject.New(faultinject.Schedule{
+		Seed:  cfg.Seed,
+		Rules: []faultinject.Rule{crash(faultinject.OpRead), crash(faultinject.OpPut), crash(faultinject.OpShip)},
+	})
+	tbl.SetFaultInjector(inj)
+	ds.Engine.SetFaultInjector(inj)
+
+	writers.Wait()
+	close(stopReaders)
+	readers.Wait()
+	if err, _ := writeErr.Load().(error); err != nil {
+		return nil, fmt.Errorf("bench: acked-write path fenced: %w", err)
+	}
+
+	wctx, wcancel := context.WithTimeout(context.Background(), 15*time.Second)
+	err = tbl.WaitFailover(wctx)
+	wcancel()
+	if err != nil {
+		return nil, fmt.Errorf("bench: failover did not converge: %w", err)
+	}
+
+	res.AckedWrites = int(acked.Load())
+	res.WriteRetries = int(retries.Load())
+	res.UnavailabilityMillis = float64(maxOutageNanos.Load()) / 1e6
+	res.QueriesOK = int(qOK.Load())
+	res.QueriesDegraded = int(qDeg.Load())
+	res.QueryErrors = int(qErr.Load())
+	if total := res.QueriesOK + res.QueryErrors; total > 0 {
+		res.QuerySuccessRate = float64(res.QueriesOK) / float64(total)
+	}
+
+	// Topology convergence: every victim primary promoted away, every
+	// region back at full replica factor with no copy on the dead node.
+	res.ReplicasConverged = true
+	for _, r := range tbl.Regions() {
+		if victimRegions[r.ID] && r.PrimaryNode() != res.VictimNode {
+			res.PrimariesMoved++
+		}
+		if r.PrimaryNode() == res.VictimNode || r.Replicas() != cfg.Replicas {
+			res.ReplicasConverged = false
+		}
+		for i := 1; i <= r.Replicas(); i++ {
+			if r.ReadView(i).NodeID == res.VictimNode {
+				res.ReplicasConverged = false
+			}
+		}
+		if e := r.Epoch(); e > res.EpochAfter {
+			res.EpochAfter = e
+		}
+	}
+
+	// Zombie fencing: the deposed primary retries a write it had in
+	// flight, carrying its pre-promotion epoch. It must be rejected before
+	// the WAL and must not become readable.
+	zerr := tbl.PutFenced(zombieRow, "z", baseMillis, []byte("zombie"), zombieEpoch)
+	res.ZombieFenced = errors.Is(zerr, kvstore.ErrEpochFenced)
+	if row, err := tbl.Get(zombieRow); err == nil {
+		_, res.ZombieVisible = row.Get("z")
+	}
+
+	// Zero acked-write loss: every sentinel acked before, during or after
+	// the outage must be readable from the promoted primaries.
+	res.Sentinels = len(sentinels)
+	for _, s := range sentinels {
+		found := false
+		err := ds.Visits.ScanUser(s.user, s.time, s.time, func(v model.Visit) bool {
+			if v.Time == s.time {
+				found = true
+				return false
+			}
+			return true
+		})
+		if err != nil {
+			return nil, err
+		}
+		if !found {
+			res.SentinelsMissing++
+		}
+	}
+
+	// Rejoin: lift the faults (the node was "fixed"), re-enter it as a
+	// catching-up replica and verify it never comes back as a primary.
+	tbl.SetFaultInjector(nil)
+	ds.Engine.SetFaultInjector(nil)
+	if err := tbl.RejoinNode(res.VictimNode); err != nil {
+		return nil, err
+	}
+	if err := tbl.CatchUpReplication(); err != nil {
+		return nil, err
+	}
+	res.RejoinOK = tbl.NodeHealth(res.VictimNode) == kvstore.NodeHealthy
+	for _, r := range tbl.Regions() {
+		if r.PrimaryNode() == res.VictimNode {
+			res.RejoinOK = false
+		}
+	}
+
+	ds.Engine.SetReadPolicy(nil)
+	// Let promotion goroutines and cancelled read attempts drain before
+	// the leak measurement.
+	time.Sleep(100 * time.Millisecond)
+	res.GoroutinesAfter = runtime.NumGoroutine()
+	return res, nil
+}
+
+// busiestPrimary returns the node owning the most region primaries.
+func busiestPrimary(t *kvstore.Table) int {
+	counts := map[int]int{}
+	for _, r := range t.Regions() {
+		counts[r.PrimaryNode()]++
+	}
+	best, bestN := 0, -1
+	for node, n := range counts {
+		if n > bestN || (n == bestN && node < best) {
+			best, bestN = node, n
+		}
+	}
+	return best
+}
+
+// writerUsers assigns one user per writer: the first two (when possible)
+// homed on the victim's regions, the rest elsewhere, so the kill interrupts
+// some writers while others ride through.
+func writerUsers(ds *Dataset, cfg FailoverConfig, victimRegions map[int]bool) ([]int64, error) {
+	var onVictim, offVictim []int64
+	regions := ds.Visits.Table().Regions()
+	_, to := ds.Window()
+	for uid := int64(1); uid <= int64(cfg.Dataset.Users); uid++ {
+		start, _ := repos.VisitScanBounds(uid, to, to)
+		for _, r := range regions {
+			if !r.Contains(start) {
+				continue
+			}
+			if victimRegions[r.ID] {
+				onVictim = append(onVictim, uid)
+			} else {
+				offVictim = append(offVictim, uid)
+			}
+			break
+		}
+		if len(onVictim) >= cfg.Writers && len(offVictim) >= cfg.Writers {
+			break
+		}
+	}
+	uids := make([]int64, cfg.Writers)
+	vi, oi := 0, 0
+	for wi := range uids {
+		// Writers 0 and 1 take victim-homed users when available.
+		if wi < 2 && vi < len(onVictim) {
+			uids[wi] = onVictim[vi]
+			vi++
+			continue
+		}
+		if oi < len(offVictim) {
+			uids[wi] = offVictim[oi]
+			oi++
+			continue
+		}
+		if vi < len(onVictim) {
+			uids[wi] = onVictim[vi]
+			vi++
+			continue
+		}
+		return nil, fmt.Errorf("bench: not enough users to assign %d writers", cfg.Writers)
+	}
+	if vi == 0 {
+		return nil, fmt.Errorf("bench: no user homed on victim regions")
+	}
+	return uids, nil
+}

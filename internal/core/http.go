@@ -12,6 +12,7 @@ import (
 	"modissense/internal/admit"
 	"modissense/internal/exec"
 	"modissense/internal/geo"
+	"modissense/internal/kvstore"
 	"modissense/internal/model"
 	"modissense/internal/query"
 )
@@ -426,6 +427,13 @@ func (p *Platform) handleCheckins(w http.ResponseWriter, r *http.Request) {
 	}
 	stored, itemErrs, err := p.PushCheckins(req.Token, req.Checkins)
 	if err != nil {
+		// A down primary is transient: a replica promotion is cutting the
+		// region over, so the client should retry after the hint instead
+		// of treating the batch as lost.
+		if errors.Is(err, kvstore.ErrPrimaryDown) {
+			writeOverloaded(w, r, http.StatusServiceUnavailable, defaultRetryAfter, err.Error())
+			return
+		}
 		// The batch validated but could not be persisted (store failure).
 		writeErr(w, r, http.StatusInternalServerError, err)
 		return

@@ -119,6 +119,18 @@ type Config struct {
 	// hedge threshold or stalled attempts are canceled before they are
 	// charged.
 	BreakerSlowAfter time.Duration
+	// FailoverEnabled arms write-path fault tolerance on the Visits table:
+	// a per-node failure detector fed by real operation outcomes, replica
+	// promotion with epoch fencing when a primary's node goes down, and
+	// rejoin-as-replica for recovered nodes. Requires ReadReplicas >= 1
+	// (promotion needs a survivor to promote).
+	FailoverEnabled bool
+	// SuspectAfter is the consecutive-failure count that marks a node
+	// suspect (0 keeps the default of 3).
+	SuspectAfter int
+	// DownAfter is the consecutive-failure count that marks a node down
+	// and triggers promotion (0 keeps the default of 6).
+	DownAfter int
 	// WALDir, when non-empty, makes the Visits table durable: every write is
 	// group-committed to WALDir/visits.wal before it applies, and booting
 	// over an existing log replays it. Empty keeps the seed's in-memory
@@ -236,6 +248,12 @@ func (c Config) Validate() error {
 	}
 	if c.BreakerFailures < 0 || c.BreakerOpenFor < 0 || c.BreakerSlowAfter < 0 {
 		return fmt.Errorf("core: negative breaker parameters")
+	}
+	if c.SuspectAfter < 0 || c.DownAfter < 0 {
+		return fmt.Errorf("core: negative failover thresholds")
+	}
+	if c.FailoverEnabled && c.ReadReplicas < 1 {
+		return fmt.Errorf("core: failover requires read replicas (promotion needs a survivor)")
 	}
 	if _, err := kvstore.ParseSyncPolicy(c.WALSync); err != nil {
 		return err
@@ -491,6 +509,17 @@ func New(cfg Config) (*Platform, error) {
 			return nil, err
 		}
 	}
+	// Write-path fault tolerance (off by default; see OPERATIONS.md
+	// "Write-path failover"). Must follow EnableReplication: promotion
+	// needs replicas to promote.
+	if cfg.FailoverEnabled {
+		if err := p.Visits.Table().EnableFailover(kvstore.FailoverConfig{
+			SuspectAfter: cfg.SuspectAfter,
+			DownAfter:    cfg.DownAfter,
+		}); err != nil {
+			return nil, err
+		}
+	}
 	if cfg.ReadMaxAttempts > 0 {
 		pol := query.DefaultReadPolicy()
 		pol.MaxAttempts = cfg.ReadMaxAttempts
@@ -551,12 +580,19 @@ func New(cfg Config) (*Platform, error) {
 		p.Query.SetRetryBudget(exec.NewRetryBudget(cfg.RetryBudgetRatio, 10))
 	}
 	if cfg.BreakerFailures > 0 {
-		p.Query.SetBreakers(admit.NewBreakerSet(admit.BreakerConfig{
+		bs := admit.NewBreakerSet(admit.BreakerConfig{
 			Failures:  cfg.BreakerFailures,
 			OpenFor:   cfg.BreakerOpenFor,
 			SlowAfter: cfg.BreakerSlowAfter,
 			Seed:      cfg.Seed,
-		}))
+		})
+		if cfg.FailoverEnabled {
+			// A tripped read breaker escalates the node to suspect in the
+			// failure detector, so sustained read trouble shortens the
+			// distance to a write-side down verdict.
+			bs.SetOnTrip(p.Visits.Table().MarkNodeSuspect)
+		}
+		p.Query.SetBreakers(bs)
 	}
 	return p, nil
 }

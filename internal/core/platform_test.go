@@ -55,6 +55,9 @@ func TestConfigValidate(t *testing.T) {
 		func(c *Config) { c.MaxSubscriptions = -1 },
 		func(c *Config) { c.SubQueueCap = -1 },
 		func(c *Config) { c.SubTTL = -time.Second },
+		func(c *Config) { c.SuspectAfter = -1 },
+		func(c *Config) { c.DownAfter = -1 },
+		func(c *Config) { c.FailoverEnabled = true }, // without replicas
 	}
 	for i, mut := range muts {
 		cfg := testConfig()
@@ -286,6 +289,23 @@ func TestPlatformVisitsMatchTextRepo(t *testing.T) {
 	}
 	if len(friends) == 0 {
 		t.Error("social info repo empty after collection")
+	}
+}
+
+// TestFailoverBootWiring boots with replication, breakers and write-path
+// failover armed and verifies the table-level mechanism is live.
+func TestFailoverBootWiring(t *testing.T) {
+	cfg := testConfig()
+	cfg.ReadReplicas = 1
+	cfg.FailoverEnabled = true
+	cfg.BreakerFailures = 3
+	p, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	if !p.Visits.Table().FailoverEnabled() {
+		t.Fatal("failover not armed on the visits table")
 	}
 }
 

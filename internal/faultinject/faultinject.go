@@ -3,13 +3,14 @@
 // attempts crash, stall, slow down or error out, so fault-tolerance tests
 // and benchmarks replay the exact same failure schedule on every run.
 //
-// The injector sits behind the coprocessor interception point of
-// internal/kvstore: every per-replica read attempt asks Decide whether (and
-// how) it should misbehave. Decisions are pure functions of the schedule
-// seed, the target (node, region, replica) and that target's own operation
-// counter — goroutine interleavings across targets cannot change any
-// target's fault sequence, which is what keeps the fault-matrix tests and
-// the `-faults` bench runs reproducible.
+// The injector sits behind the interception points of internal/kvstore:
+// every per-replica read attempt, primary-write admission and per-replica
+// WAL shipment asks Decide whether (and how) it should misbehave (rules
+// select the class with the op= option, default read). Decisions are pure
+// functions of the schedule seed, the target (kind, node, region, replica)
+// and that target's own operation counter — goroutine interleavings across
+// targets cannot change any target's fault sequence, which is what keeps
+// the fault-matrix tests and the `-faults` bench runs reproducible.
 package faultinject
 
 import (
@@ -60,6 +61,38 @@ func (k Kind) String() string {
 	}
 }
 
+// OpKind classifies which operation class an injection targets. The zero
+// value is OpRead, so every pre-existing rule, schedule string and recorded
+// benchmark run keeps its exact meaning (read-only interception).
+type OpKind int
+
+// The operation classes the harness can intercept.
+const (
+	// OpRead targets per-replica coprocessor read attempts (the original
+	// interception point in the kvstore read path).
+	OpRead OpKind = iota
+	// OpPut targets primary-write admission: Table.Put / PutBatch / Delete
+	// ask Decide once per region run before applying.
+	OpPut
+	// OpShip targets WAL shipment to one replica: a faulted ship leaves
+	// that replica lagging instead of failing the write.
+	OpShip
+)
+
+// String names the op kind as used by the schedule DSL's op= option.
+func (k OpKind) String() string {
+	switch k {
+	case OpRead:
+		return "read"
+	case OpPut:
+		return "put"
+	case OpShip:
+		return "ship"
+	default:
+		return fmt.Sprintf("op(%d)", int(k))
+	}
+}
+
 // Injected-fault sentinels; errors.Is distinguishes injected failures from
 // organic ones in tests and retry accounting.
 var (
@@ -77,6 +110,10 @@ const Any = -1
 type Rule struct {
 	// Fault is the behaviour to inject.
 	Fault Kind
+	// Op selects the operation class the rule intercepts. The zero value
+	// is OpRead, keeping every pre-selector schedule byte-compatible; a
+	// rule never matches an op of a different class.
+	Op OpKind
 	// Node selects the simulated node hosting the attempt (Any = all).
 	Node int
 	// Region selects the region id (Any = all).
@@ -102,6 +139,9 @@ type Rule struct {
 
 // matches reports whether the rule selects the target.
 func (r *Rule) matches(op Op, seq uint64) bool {
+	if r.Op != op.Kind {
+		return false
+	}
 	if r.Node != Any && r.Node != op.Node {
 		return false
 	}
@@ -131,9 +171,13 @@ type Schedule struct {
 	Rules []Rule
 }
 
-// Op identifies one read attempt for Decide: which simulated node executes
-// it, which region it reads and which replica index serves it.
+// Op identifies one intercepted operation for Decide: its class (read
+// attempt, primary write, or WAL shipment), which simulated node executes
+// it, which region it touches and which replica index is involved. Each
+// distinct Op keeps its own deterministic operation counter.
 type Op struct {
+	// Kind is the operation class (zero = OpRead).
+	Kind OpKind
 	// Node is the simulated node executing the attempt.
 	Node int
 	// Region is the region id being read.
@@ -274,10 +318,12 @@ func Sleep(ctx context.Context, d time.Duration) error {
 // ParseSchedule parses the `-faults` DSL into a schedule. Rules are
 // semicolon-separated; each rule is `kind:key=value,key=value...` with kind
 // one of crash|stall|slow|scanerr and keys node, region, replica (target
-// selectors, default any), prob (default 1), dur (stall duration, Go
-// syntax), factor (slow multiplier), from/to (target-local op window).
+// selectors, default any), op (operation class: read|put|ship, default
+// read — so every pre-selector schedule keeps its meaning), prob (default
+// 1), dur (stall duration, Go syntax), factor (slow multiplier), from/to
+// (target-local op window).
 //
-// Example: "stall:node=1,dur=400ms;slow:region=3,factor=5,prob=0.5".
+// Example: "stall:node=1,dur=400ms;crash:op=put,node=2;slow:region=3,factor=5,prob=0.5".
 func ParseSchedule(spec string, seed int64) (Schedule, error) {
 	sched := Schedule{Seed: seed}
 	for _, part := range strings.Split(spec, ";") {
@@ -336,6 +382,17 @@ func (r *Rule) setOption(key, val string) error {
 			r.Region = n
 		default:
 			r.Replica = n
+		}
+	case "op":
+		switch val {
+		case "read":
+			r.Op = OpRead
+		case "put":
+			r.Op = OpPut
+		case "ship":
+			r.Op = OpShip
+		default:
+			return fmt.Errorf("invalid op %q (want read|put|ship)", val)
 		}
 	case "prob":
 		p, err := strconv.ParseFloat(val, 64)

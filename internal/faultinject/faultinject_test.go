@@ -165,9 +165,61 @@ func TestParseSchedule(t *testing.T) {
 		"crash:node=x",           // non-numeric selector
 		"stall:dur=400ms,oops=1", // unknown key
 		"stall:dur",              // malformed option
+		"crash:op=write",         // unknown op class
+		"crash:op=",              // empty op class
+		"crash:op=READ",          // op classes are lowercase
 	} {
 		if _, err := ParseSchedule(bad, 1); err == nil {
 			t.Fatalf("ParseSchedule(%q) accepted invalid input", bad)
+		}
+	}
+}
+
+func TestParseScheduleOpSelector(t *testing.T) {
+	sched, err := ParseSchedule("crash:op=put,node=2;stall:op=ship,dur=5ms;scanerr:op=read", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := []OpKind{sched.Rules[0].Op, sched.Rules[1].Op, sched.Rules[2].Op}; got[0] != OpPut || got[1] != OpShip || got[2] != OpRead {
+		t.Fatalf("parsed op kinds = %v", got)
+	}
+	// Omitting op= must keep the pre-selector default (read).
+	sched, err = ParseSchedule("crash:node=1", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sched.Rules[0].Op != OpRead {
+		t.Fatalf("default op = %v, want OpRead", sched.Rules[0].Op)
+	}
+}
+
+func TestDecideOpKindIsolation(t *testing.T) {
+	inj := New(Schedule{Seed: 5, Rules: []Rule{
+		{Fault: Crash, Op: OpPut, Node: Any, Region: Any, Replica: Any},
+	}})
+	if d := inj.Decide(Op{Kind: OpRead, Node: 1}); d.Err != nil {
+		t.Fatalf("put-only rule hit a read op: %v", d.Err)
+	}
+	if d := inj.Decide(Op{Kind: OpShip, Node: 1}); d.Err != nil {
+		t.Fatalf("put-only rule hit a ship op: %v", d.Err)
+	}
+	if d := inj.Decide(Op{Kind: OpPut, Node: 1}); !errors.Is(d.Err, ErrInjectedCrash) {
+		t.Fatalf("put rule missed a put op: %v", d.Err)
+	}
+	// A default (read) rule must not intercept writes — byte-compatibility
+	// of every pre-selector schedule.
+	legacy := New(Schedule{Seed: 5, Rules: []Rule{
+		{Fault: Crash, Node: Any, Region: Any, Replica: Any},
+	}})
+	if d := legacy.Decide(Op{Kind: OpPut, Node: 1}); d.Err != nil {
+		t.Fatalf("legacy read rule hit a put op: %v", d.Err)
+	}
+}
+
+func TestOpKindString(t *testing.T) {
+	for k, want := range map[OpKind]string{OpRead: "read", OpPut: "put", OpShip: "ship"} {
+		if k.String() != want {
+			t.Fatalf("OpKind(%d).String() = %q, want %q", int(k), k.String(), want)
 		}
 	}
 }

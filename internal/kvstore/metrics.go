@@ -47,13 +47,33 @@ var (
 		"Approximate bytes of cells rewritten by compactions (background and major).")
 
 	mReplicationLag = obs.Default().Gauge("kvstore_replication_lag_entries",
-		"Primary mutations not yet WAL-shipped to region read replicas (all tables).")
+		"Primary mutations the slowest region read replica has not yet observed (all tables).")
 	mReplicationShipped = obs.Default().Counter("kvstore_replication_shipped_total",
 		"Mutations WAL-shipped to region read replicas.")
 	mReplicaReads = obs.Default().Counter("kvstore_replica_reads_total",
 		"Coprocessor attempts served by a read replica instead of the primary.")
 	mReadAttempts = obs.Default().Counter("kvstore_read_attempts_total",
 		"Per-region coprocessor read attempts (first tries, retries and hedges).")
+
+	mFailoverPromotes = obs.Default().Counter("kvstore_failover_total",
+		"Failover state-machine events, by kind.", obs.L("event", "promote"))
+	mFailoverReseeds = obs.Default().Counter("kvstore_failover_total",
+		"Failover state-machine events, by kind.", obs.L("event", "reseed"))
+	mFailoverRejoins = obs.Default().Counter("kvstore_failover_total",
+		"Failover state-machine events, by kind.", obs.L("event", "rejoin"))
+	mFailoverFailures = obs.Default().Counter("kvstore_failover_total",
+		"Failover state-machine events, by kind.", obs.L("event", "failed"))
+	mFailoverFenced = obs.Default().Counter("kvstore_failover_total",
+		"Failover state-machine events, by kind.", obs.L("event", "fence_reject"))
+
+	mNodesHealthy = obs.Default().Gauge("kvstore_node_health",
+		"Nodes per failure-detector state (failover-enabled tables).", obs.L("state", "healthy"))
+	mNodesSuspect = obs.Default().Gauge("kvstore_node_health",
+		"Nodes per failure-detector state (failover-enabled tables).", obs.L("state", "suspect"))
+	mNodesDown = obs.Default().Gauge("kvstore_node_health",
+		"Nodes per failure-detector state (failover-enabled tables).", obs.L("state", "down"))
+	mRegionEpoch = obs.Default().Gauge("kvstore_region_epoch",
+		"Highest region fencing epoch observed (monotonic; bumps on every failover promotion).")
 
 	mBlocksLoaded = obs.Default().Counter("kvstore_blocks_loaded_total",
 		"Segment blocks materialized by reads (block-cache hits plus decodes).")

@@ -128,6 +128,7 @@ func (t *Table) runReadAttempt(ctx context.Context, cp Coprocessor, cpCtx Coproc
 	if errors.Is(d.Err, faultinject.ErrInjectedCrash) {
 		span.SetAttr("outcome", "injected-crash")
 		br.RecordFailure()
+		t.noteReadFailure(view.NodeID)
 		return nil, d.Err
 	}
 	if d.Stall > 0 {
@@ -170,6 +171,7 @@ func (t *Table) runReadAttempt(ctx context.Context, cp Coprocessor, cpCtx Coproc
 	default:
 		span.SetAttr("outcome", "error")
 		br.RecordFailure()
+		t.noteReadFailure(view.NodeID)
 	}
 	return v, err
 }

@@ -5,19 +5,27 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"modissense/internal/exec"
+	"modissense/internal/faultinject"
 )
 
 // Region is one contiguous key range of a table, backed by its own LSM
 // store — the unit of distribution and of coprocessor execution, exactly as
 // in HBase. StartKey is inclusive, the end key exclusive; empty means
-// unbounded. ID, StartKey and NodeID are fixed at creation; the end key and
-// backing store change only when the region splits, guarded by mu.
+// unbounded. ID and StartKey are fixed at creation; the end key and backing
+// store change when the region splits, and the primary node, store and
+// epoch change when a failover promotes a replica — all guarded by mu (and
+// mutated only under the table write lock, so the write path may read them
+// under the table read lock alone).
 type Region struct {
 	ID       int
 	StartKey string
-	// NodeID is the simulated cluster node hosting this region.
+	// NodeID is the simulated cluster node the region was created on (its
+	// home node). The current write primary may differ after a failover —
+	// see PrimaryNode; frozen views and ReadView(0) carry the current
+	// primary in their NodeID.
 	NodeID int
 
 	mu     sync.RWMutex
@@ -26,6 +34,12 @@ type Region struct {
 	// repl holds the region's read replicas and WAL-shipping state when
 	// Table.EnableReplication is on (nil otherwise). See replication.go.
 	repl *replicaSet
+	// primary is the node currently serving writes (initially NodeID; a
+	// promotion moves it). epoch is the monotonic fencing token, bumped on
+	// every promotion: writes carrying a stale epoch are rejected, which
+	// is what keeps a zombie primary's late writes out. See failover.go.
+	primary int
+	epoch   uint64
 }
 
 // EndKey returns the region's exclusive upper bound ("" = unbounded). A
@@ -67,14 +81,33 @@ func (r *Region) frozen() *Region {
 	return &Region{
 		ID:       r.ID,
 		StartKey: r.StartKey,
-		NodeID:   r.NodeID,
+		NodeID:   r.primary,
 		endKey:   r.endKey,
 		store:    r.store,
-		// The replica stores are never rewritten by a split (splits build
-		// fresh replica sets), so a frozen view's replicas stay consistent
-		// with its frozen primary store.
-		repl: r.repl,
+		// The replica stores are never rewritten by a split or a promotion
+		// (both build fresh replica sets), so a frozen view's replicas stay
+		// consistent with its frozen primary store.
+		repl:    r.repl,
+		primary: r.primary,
+		epoch:   r.epoch,
 	}
+}
+
+// PrimaryNode returns the node currently serving the region's writes: the
+// home node until a failover promotes a replica hosted elsewhere.
+func (r *Region) PrimaryNode() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.primary
+}
+
+// Epoch returns the region's fencing epoch. Epochs start at 1 and bump on
+// every failover promotion; Table.PutFenced rejects writes carrying any
+// other value, fencing off a zombie primary's late writes.
+func (r *Region) Epoch() uint64 {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.epoch
 }
 
 // Coprocessor is server-side code executed against a single region. The
@@ -121,6 +154,13 @@ type Table struct {
 	// means replication is off (see EnableReplication).
 	replicas  int
 	shipBatch int
+	// det is the per-node failure detector (nil until EnableFailover) and
+	// writeInjector the write-side fault harness; both are atomics so the
+	// write and ship paths read them lock-free. failoversActive counts
+	// in-flight automatic promotions. See failover.go.
+	det             atomic.Pointer[failureDetector]
+	writeInjector   atomic.Pointer[faultinject.Injector]
+	failoversActive atomic.Int64
 }
 
 // NewTable creates a table pre-split at the given keys (may be empty for a
@@ -162,6 +202,8 @@ func NewTable(name string, splitKeys []string, nodes int, opts StoreOptions) (*T
 			NodeID:   t.nextID % nodes,
 			endKey:   end,
 			store:    st,
+			primary:  t.nextID % nodes,
+			epoch:    1,
 		})
 		t.nextID++
 	}
@@ -230,21 +272,51 @@ func (t *Table) RegionFor(row string) *Region {
 // durable tables. The table read lock is held across the store write so the
 // write cannot land in a store a concurrent split just retired.
 func (t *Table) Put(row, qualifier string, timestamp int64, value []byte) error {
-	if row == "" {
+	return t.putCell(Cell{Row: row, Qualifier: qualifier, Timestamp: timestamp, Value: value}, 0)
+}
+
+// PutFenced is Put gated on the owning region's failover epoch: the write
+// is rejected with ErrEpochFenced unless epoch equals the region's current
+// epoch (see Region.Epoch; 0 means unfenced, i.e. plain Put). A zombie
+// primary — a node declared down whose writes arrive after its region was
+// promoted away — carries the pre-promotion epoch and is rejected here,
+// which is what guarantees its late writes can never land.
+func (t *Table) PutFenced(row, qualifier string, timestamp int64, value []byte, epoch uint64) error {
+	return t.putCell(Cell{Row: row, Qualifier: qualifier, Timestamp: timestamp, Value: value}, epoch)
+}
+
+// putCell is the shared single-cell write path: admission (fencing, primary
+// health, write-side fault injection), WAL, store apply, replica ship,
+// detector success feedback.
+func (t *Table) putCell(c Cell, epoch uint64) error {
+	if c.Row == "" {
 		return fmt.Errorf("kvstore: empty row key")
 	}
 	t.mu.RLock()
 	defer t.mu.RUnlock()
+	r := t.regionFor(c.Row)
+	if err := t.admitWrite(r, epoch); err != nil {
+		return err
+	}
 	if t.wal != nil {
-		if err := t.wal.Append(Cell{Row: row, Qualifier: qualifier, Timestamp: timestamp, Value: value}); err != nil {
+		if err := t.wal.Append(c); err != nil {
 			return fmt.Errorf("kvstore: table wal: %w", err)
 		}
 	}
-	r := t.regionFor(row)
-	if err := r.store.Put(row, qualifier, timestamp, value); err != nil {
+	var err error
+	if c.Tombstone {
+		err = r.store.Delete(c.Row, c.Qualifier, c.Timestamp)
+	} else {
+		err = r.store.Put(c.Row, c.Qualifier, c.Timestamp, c.Value)
+	}
+	if err != nil {
 		return err
 	}
-	return r.shipMutation(Cell{Row: row, Qualifier: qualifier, Timestamp: timestamp, Value: value})
+	if err := r.shipMutation(c); err != nil {
+		return err
+	}
+	t.noteWriteOK(r)
+	return nil
 }
 
 // PutBatch routes a batch of versioned writes in one pass: one WAL batch
@@ -276,12 +348,18 @@ func (t *Table) PutBatch(cells []Cell) error {
 			hi++
 		}
 		run := cells[lo:hi]
+		// One admission decision per region run — batched writes are one
+		// operation against that region's primary.
+		if err := t.admitWrite(r, 0); err != nil {
+			return err
+		}
 		if err := r.store.ApplyBatch(run); err != nil {
 			return err
 		}
 		if err := r.shipMutations(run); err != nil {
 			return err
 		}
+		t.noteWriteOK(r)
 		lo = hi
 	}
 	return nil
@@ -313,21 +391,7 @@ func (t *Table) WaitMaintenance() error {
 // Delete routes a tombstone to the owning region, logging it first on
 // durable tables.
 func (t *Table) Delete(row, qualifier string, timestamp int64) error {
-	if row == "" {
-		return fmt.Errorf("kvstore: empty row key")
-	}
-	t.mu.RLock()
-	defer t.mu.RUnlock()
-	if t.wal != nil {
-		if err := t.wal.Append(Cell{Row: row, Qualifier: qualifier, Timestamp: timestamp, Tombstone: true}); err != nil {
-			return fmt.Errorf("kvstore: table wal: %w", err)
-		}
-	}
-	r := t.regionFor(row)
-	if err := r.store.Delete(row, qualifier, timestamp); err != nil {
-		return err
-	}
-	return r.shipMutation(Cell{Row: row, Qualifier: qualifier, Timestamp: timestamp, Tombstone: true})
+	return t.putCell(Cell{Row: row, Qualifier: qualifier, Timestamp: timestamp, Tombstone: true}, 0)
 }
 
 // Get reads the newest live view of a row.
@@ -493,6 +557,8 @@ func (t *Table) SplitRegion(splitKey string) error {
 		NodeID:   t.nextID % t.nodes,
 		endKey:   r.endKey,
 		store:    upper,
+		primary:  t.nextID % t.nodes,
+		epoch:    1,
 	}
 	t.nextID++
 	// A replicated table rebuilds both halves' replica sets from the fresh
@@ -502,10 +568,10 @@ func (t *Table) SplitRegion(splitKey string) error {
 	// keep a consistent pre-split snapshot.
 	var lowerRepl, upperRepl *replicaSet
 	if t.replicas > 0 {
-		if lowerRepl, err = t.newReplicaSet(r.ID, r.NodeID, lower); err != nil {
+		if lowerRepl, err = t.newReplicaSet(r.ID, r.primary, lower); err != nil {
 			return err
 		}
-		if upperRepl, err = t.newReplicaSet(newRegion.ID, newRegion.NodeID, upper); err != nil {
+		if upperRepl, err = t.newReplicaSet(newRegion.ID, newRegion.primary, upper); err != nil {
 			return err
 		}
 		newRegion.repl = upperRepl

@@ -1,8 +1,11 @@
 package kvstore
 
 import (
+	"context"
 	"fmt"
 	"sync"
+
+	"modissense/internal/faultinject"
 )
 
 // replicaState is one read-only replica of a region: a full copy of the
@@ -10,26 +13,93 @@ import (
 type replicaState struct {
 	store  *Store
 	nodeID int
+	// applied counts the primary mutations this replica has observed:
+	// mutations [0, applied) of the owning set's sequence are in its
+	// store. Guarded by the owning replicaSet's mu.
+	applied uint64
 }
 
 // replicaSet tracks a region's read replicas plus the WAL-shipping state
 // that keeps them consistent with the primary. Every primary mutation is
-// appended to pending (the in-memory WAL tail awaiting shipment) and
-// shipped to every replica once the batch fills — mirroring HBase's async
-// WAL replication, where replicas trail the primary by the unshipped edits.
+// appended to the retained log (the in-memory WAL tail) and shipped to each
+// replica once the batch fills — mirroring HBase's async WAL replication,
+// where replicas trail the primary by the unshipped edits.
 //
-// seq counts mutations appended on the primary, shipped counts mutations
-// applied to every replica; seq - shipped is the replication-lag watermark.
-// The replicas slice is immutable after construction; pending/seq/shipped
-// are guarded by mu.
+// Each replica carries its own applied watermark, so a replica whose
+// shipment was intercepted (a write-side fault, or a down node) simply
+// lags: the log retains every mutation at least one live replica has not
+// observed, which is exactly the tail a failover promotion force-ships.
+// seq counts mutations appended on the primary; the lag watermark is seq
+// minus the slowest replica's applied count.
+//
+// The replicas slice is immutable after the set is installed on a region:
+// promotion, replica eviction and rejoin build a new set and swap the
+// region's pointer under the table write lock (copy-on-write), so readers
+// holding only region.mu stay safe. Per-replica applied watermarks and the
+// log are guarded by mu.
+//
+// Gauge discipline: every state change recomputes the set's lag under mu
+// and applies the delta to the global gauge in one step (adjustGaugeLocked),
+// so concurrent ship / catch-up / retire paths can never double-count —
+// the gauge is exactly the sum of installed sets' lags.
 type replicaSet struct {
 	replicas []*replicaState
 
-	mu      sync.Mutex
-	pending []Cell
-	seq     uint64
-	shipped uint64
-	batch   int
+	mu sync.Mutex
+	// log holds primary mutations [base, seq); entries below every
+	// replica's applied watermark are truncated after each ship.
+	log  []Cell
+	base uint64
+	seq  uint64
+	// lastShip is the seq at the last shipment attempt; appends trigger a
+	// ship every batch mutations regardless of how far a faulted replica
+	// lags.
+	lastShip uint64
+	batch    int
+	// intercept, when non-nil, is consulted before shipping to one
+	// replica; an error skips that replica for this round (it lags and
+	// catches up on a later ship, an admin catch-up, or a promotion
+	// force-ship).
+	intercept func(rep *replicaState, replicaIdx int) error
+	// retired flips when the set is replaced on its region; its lag has
+	// been removed from the gauge and must not be re-added.
+	retired bool
+}
+
+// lagLocked returns seq minus the slowest replica's applied watermark.
+// Caller holds rs.mu.
+func (rs *replicaSet) lagLocked() uint64 {
+	if len(rs.replicas) == 0 {
+		return 0
+	}
+	min := rs.replicas[0].applied
+	for _, rep := range rs.replicas[1:] {
+		if rep.applied < min {
+			min = rep.applied
+		}
+	}
+	return rs.seq - min
+}
+
+// adjustGaugeLocked applies this set's lag change to the global gauge:
+// callers snapshot lagLocked before mutating and pass it in. Retired sets
+// contribute nothing. Caller holds rs.mu.
+func (rs *replicaSet) adjustGaugeLocked(oldLag uint64) {
+	if rs.retired {
+		return
+	}
+	mReplicationLag.Add(int64(rs.lagLocked()) - int64(oldLag))
+}
+
+// retireLocked removes the set's lag contribution from the gauge when the
+// set is replaced on its region (split, promotion, eviction, rejoin).
+// Idempotent. Caller holds rs.mu.
+func (rs *replicaSet) retireLocked() {
+	if rs.retired {
+		return
+	}
+	mReplicationLag.Add(-int64(rs.lagLocked()))
+	rs.retired = true
 }
 
 // append records one primary mutation into the shipping log, shipping the
@@ -37,13 +107,15 @@ type replicaSet struct {
 func (rs *replicaSet) append(c Cell) error {
 	rs.mu.Lock()
 	defer rs.mu.Unlock()
-	rs.pending = append(rs.pending, c)
+	old := rs.lagLocked()
+	rs.log = append(rs.log, c)
 	rs.seq++
-	mReplicationLag.Add(1)
-	if len(rs.pending) < rs.batch {
-		return nil
+	var err error
+	if rs.seq-rs.lastShip >= uint64(rs.batch) {
+		err = rs.shipLocked(false)
 	}
-	return rs.shipLocked()
+	rs.adjustGaugeLocked(old)
+	return err
 }
 
 // appendBatch records a batch of primary mutations into the shipping log
@@ -51,41 +123,75 @@ func (rs *replicaSet) append(c Cell) error {
 func (rs *replicaSet) appendBatch(cells []Cell) error {
 	rs.mu.Lock()
 	defer rs.mu.Unlock()
-	rs.pending = append(rs.pending, cells...)
+	old := rs.lagLocked()
+	rs.log = append(rs.log, cells...)
 	rs.seq += uint64(len(cells))
-	mReplicationLag.Add(int64(len(cells)))
-	if len(rs.pending) < rs.batch {
-		return nil
+	var err error
+	if rs.seq-rs.lastShip >= uint64(rs.batch) {
+		err = rs.shipLocked(false)
 	}
-	return rs.shipLocked()
+	rs.adjustGaugeLocked(old)
+	return err
 }
 
-// shipLocked applies every pending mutation to every replica and advances
-// the shipped watermark. Caller holds rs.mu.
-func (rs *replicaSet) shipLocked() error {
-	n := len(rs.pending)
-	if n == 0 {
-		return nil
-	}
-	for _, rep := range rs.replicas {
-		for i := range rs.pending {
-			if err := rep.store.Apply(rs.pending[i]); err != nil {
-				return fmt.Errorf("kvstore: ship to replica: %w", err)
+// shipLocked applies each replica's unobserved log suffix to it, advancing
+// that replica's applied watermark, then truncates the log below the
+// slowest watermark. When force is false each replica's shipment first
+// passes the interception hook; an intercepted replica is skipped (it
+// lags), which never fails the caller's write. Store apply errors do fail
+// the ship. Caller holds rs.mu and is responsible for the gauge delta.
+func (rs *replicaSet) shipLocked(force bool) error {
+	rs.lastShip = rs.seq
+	oldMin := rs.seq - rs.lagLocked()
+	var firstErr error
+	for idx, rep := range rs.replicas {
+		if rep.applied >= rs.seq {
+			continue
+		}
+		if !force && rs.intercept != nil {
+			if err := rs.intercept(rep, idx+1); err != nil {
+				continue
 			}
 		}
+		for i := rep.applied - rs.base; i < uint64(len(rs.log)); i++ {
+			if err := rep.store.Apply(rs.log[i]); err != nil {
+				if firstErr == nil {
+					firstErr = fmt.Errorf("kvstore: ship to replica: %w", err)
+				}
+				break
+			}
+			rep.applied++
+		}
 	}
-	rs.shipped += uint64(n)
-	rs.pending = rs.pending[:0]
-	mReplicationLag.Add(-int64(n))
-	mReplicationShipped.Add(int64(n))
-	return nil
+	if newMin := rs.seq - rs.lagLocked(); newMin > oldMin {
+		mReplicationShipped.Add(int64(newMin - oldMin))
+	}
+	rs.truncateLocked()
+	return firstErr
 }
 
-// lag returns the unshipped-mutation count (the replication-lag watermark).
+// truncateLocked drops log entries every replica has observed. Caller
+// holds rs.mu.
+func (rs *replicaSet) truncateLocked() {
+	min := rs.seq - rs.lagLocked()
+	if min <= rs.base {
+		return
+	}
+	drop := min - rs.base
+	if drop >= uint64(len(rs.log)) {
+		rs.log = rs.log[:0]
+	} else {
+		rs.log = append([]Cell(nil), rs.log[drop:]...)
+	}
+	rs.base = min
+}
+
+// lag returns the unshipped-mutation count (the replication-lag watermark):
+// mutations the slowest replica has not observed.
 func (rs *replicaSet) lag() uint64 {
 	rs.mu.Lock()
 	defer rs.mu.Unlock()
-	return rs.seq - rs.shipped
+	return rs.lagLocked()
 }
 
 // dropPending abandons unshipped mutations (used when a split rebuilds the
@@ -94,10 +200,14 @@ func (rs *replicaSet) lag() uint64 {
 func (rs *replicaSet) dropPending() {
 	rs.mu.Lock()
 	defer rs.mu.Unlock()
-	if n := len(rs.pending); n > 0 {
-		mReplicationLag.Add(-int64(n))
-		rs.pending = nil
+	old := rs.lagLocked()
+	rs.log = nil
+	rs.base = rs.seq
+	rs.lastShip = rs.seq
+	for _, rep := range rs.replicas {
+		rep.applied = rs.seq
 	}
+	rs.adjustGaugeLocked(old)
 }
 
 // replicaSet returns the region's replica set, or nil when replication is
@@ -117,7 +227,7 @@ func (r *Region) Replicas() int {
 }
 
 // ReplicationLag returns the region's unshipped-mutation count: how many
-// primary writes its replicas have not yet observed.
+// primary writes its slowest replica has not yet observed.
 func (r *Region) ReplicationLag() uint64 {
 	if rs := r.replicaSet(); rs != nil {
 		return rs.lag()
@@ -126,10 +236,10 @@ func (r *Region) ReplicationLag() uint64 {
 }
 
 // ReadView returns a frozen view of the region served by the given replica
-// index: 0 is the primary, 1..Replicas() are the read replicas (the view's
-// NodeID is the node hosting that copy). Out-of-range indexes fall back to
-// the primary. Replica views may lag the primary by up to the unshipped WAL
-// tail — see ReplicationLag.
+// index: 0 is the current primary, 1..Replicas() are the read replicas (the
+// view's NodeID is the node hosting that copy). Out-of-range indexes fall
+// back to the primary. Replica views may lag the primary by up to the
+// unshipped WAL tail — see ReplicationLag.
 func (r *Region) ReadView(replica int) *Region {
 	r.mu.RLock()
 	defer r.mu.RUnlock()
@@ -141,14 +251,18 @@ func (r *Region) ReadView(replica int) *Region {
 			NodeID:   rep.nodeID,
 			endKey:   r.endKey,
 			store:    rep.store,
+			primary:  rep.nodeID,
+			epoch:    r.epoch,
 		}
 	}
 	return &Region{
 		ID:       r.ID,
 		StartKey: r.StartKey,
-		NodeID:   r.NodeID,
+		NodeID:   r.primary,
 		endKey:   r.endKey,
 		store:    r.store,
+		primary:  r.primary,
+		epoch:    r.epoch,
 	}
 }
 
@@ -173,7 +287,7 @@ func (t *Table) EnableReplication(n, shipBatch int) error {
 	}
 	t.replicas, t.shipBatch = n, shipBatch
 	for _, r := range t.regions {
-		rs, err := t.newReplicaSet(r.ID, r.NodeID, r.store)
+		rs, err := t.newReplicaSet(r.ID, r.primary, r.store)
 		if err != nil {
 			return err
 		}
@@ -190,18 +304,11 @@ func (t *Table) EnableReplication(n, shipBatch int) error {
 // and replicas rebuild from it (here: from the primary's cells) on boot.
 func (t *Table) newReplicaSet(regionID, primaryNode int, primary *Store) (*replicaSet, error) {
 	cells := primary.rawCells()
-	rs := &replicaSet{batch: t.shipBatch}
+	rs := &replicaSet{batch: t.shipBatch, intercept: t.shipInterceptFor(regionID)}
 	for i := 0; i < t.replicas; i++ {
-		opts := storeOptsForRegion(t.opts, regionID)
-		opts.WAL = NopWAL{}
-		st, err := NewStore(opts)
+		st, err := t.seedReplicaStore(regionID, cells)
 		if err != nil {
 			return nil, err
-		}
-		for ci := range cells {
-			if err := st.Apply(cells[ci]); err != nil {
-				return nil, fmt.Errorf("kvstore: seed replica: %w", err)
-			}
 		}
 		rs.replicas = append(rs.replicas, &replicaState{
 			store:  st,
@@ -211,9 +318,56 @@ func (t *Table) newReplicaSet(regionID, primaryNode int, primary *Store) (*repli
 	return rs, nil
 }
 
+// seedReplicaStore builds one replica store pre-loaded with the given cell
+// snapshot.
+func (t *Table) seedReplicaStore(regionID int, cells []Cell) (*Store, error) {
+	opts := storeOptsForRegion(t.opts, regionID)
+	opts.WAL = NopWAL{}
+	st, err := NewStore(opts)
+	if err != nil {
+		return nil, err
+	}
+	for ci := range cells {
+		if err := st.Apply(cells[ci]); err != nil {
+			return nil, fmt.Errorf("kvstore: seed replica: %w", err)
+		}
+	}
+	return st, nil
+}
+
+// shipInterceptFor builds the per-replica shipment hook for a region: it
+// skips replicas on nodes the failure detector holds down, passes the
+// write-side fault injector's op=ship interception point, and feeds ship
+// failures back into the detector as evidence against the replica's node.
+func (t *Table) shipInterceptFor(regionID int) func(rep *replicaState, replicaIdx int) error {
+	return func(rep *replicaState, replicaIdx int) error {
+		det := t.det.Load()
+		if det != nil && det.health(rep.nodeID) == NodeDown {
+			return fmt.Errorf("kvstore: replica node %d is down", rep.nodeID)
+		}
+		inj := t.writeInjector.Load()
+		if inj == nil {
+			return nil
+		}
+		d := inj.Decide(faultinject.Op{Kind: faultinject.OpShip, Node: rep.nodeID, Region: regionID, Replica: replicaIdx})
+		if d.Stall > 0 {
+			_ = faultinject.Sleep(context.Background(), d.Stall)
+		}
+		if d.Err != nil {
+			if det != nil {
+				det.recordFailure(rep.nodeID)
+			}
+			return d.Err
+		}
+		return nil
+	}
+}
+
 // CatchUpReplication force-ships every region's pending WAL tail so all
-// replicas observe every write issued so far (lag returns to zero). Tests
-// and benchmarks call it after bulk loads to start from a converged state.
+// replicas observe every write issued so far (lag returns to zero). The
+// force-ship is administrative: it bypasses fault injection and down-node
+// skips, reading the retained log directly. Tests and benchmarks call it
+// after bulk loads (or after a rejoin) to start from a converged state.
 func (t *Table) CatchUpReplication() error {
 	for _, r := range t.Regions() {
 		rs := r.replicaSet()
@@ -221,7 +375,9 @@ func (t *Table) CatchUpReplication() error {
 			continue
 		}
 		rs.mu.Lock()
-		err := rs.shipLocked()
+		old := rs.lagLocked()
+		err := rs.shipLocked(true)
+		rs.adjustGaugeLocked(old)
 		rs.mu.Unlock()
 		if err != nil {
 			return err

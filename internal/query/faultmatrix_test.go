@@ -3,11 +3,13 @@ package query
 import (
 	"context"
 	"errors"
+	"sync"
 	"testing"
 	"time"
 
 	"modissense/internal/admit"
 	"modissense/internal/faultinject"
+	"modissense/internal/kvstore"
 	"modissense/internal/repos"
 )
 
@@ -188,6 +190,106 @@ func TestFaultMatrix(t *testing.T) {
 				}
 			}
 		})
+	}
+}
+
+// TestFaultMatrixFailoverMidRun is the matrix's write-failover row: a
+// stream of queries runs while the node hosting a region's primary is
+// crashed and failed over. Every query — before, during and after the
+// promotion — must reproduce the fault-free answer exactly (the HTTP
+// layer's 200, never a 5xx): attempts to the dead node crash, the retry
+// rotation reaches the surviving replicas, and after the cutover the
+// promoted primary answers directly. The converged table must show the
+// moved primary, the down victim, and a clear failover_in_progress
+// envelope.
+func TestFaultMatrixFailoverMidRun(t *testing.T) {
+	f := newFixture(t, repos.SchemaReplicated, 3, 10)
+	from, to := window()
+	spec := Spec{FriendIDs: friendRange(1, 10), FromMillis: from, ToMillis: to, Limit: 5}
+
+	baseline, err := f.engine.Run(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl := f.visits.Table()
+	if err := tbl.EnableReplication(2, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := tbl.CatchUpReplication(); err != nil {
+		t.Fatal(err)
+	}
+	if err := tbl.EnableFailover(kvstore.FailoverConfig{}); err != nil {
+		t.Fatal(err)
+	}
+
+	pol := DefaultReadPolicy()
+	pol.MaxAttempts = 4
+	pol.HedgeEnabled = false
+	pol.BaseBackoff = time.Millisecond
+	f.engine.SetReadPolicy(&pol)
+
+	victim := tbl.Regions()[0].PrimaryNode()
+	// Every read attempt served by the victim crashes, so queries must
+	// route around it both while it still owns the primary and after the
+	// promotion reassigns its replicas.
+	f.engine.SetFaultInjector(faultinject.New(faultinject.Schedule{
+		Seed: 42,
+		Rules: []faultinject.Rule{{
+			Fault: faultinject.Crash, Node: victim,
+			Region: faultinject.Any, Replica: faultinject.Any, Prob: 1,
+		}},
+	}))
+
+	checkExact := func(res *Result) {
+		t.Helper()
+		if res.Degraded || len(res.MissingRegions) != 0 {
+			t.Fatalf("failover query degraded: missing %v", res.MissingRegions)
+		}
+		if len(res.POIs) != len(baseline.POIs) {
+			t.Fatalf("got %d POIs, baseline %d", len(res.POIs), len(baseline.POIs))
+		}
+		for i := range res.POIs {
+			if res.POIs[i].POI.ID != baseline.POIs[i].POI.ID || res.POIs[i].Visits != baseline.POIs[i].Visits {
+				t.Fatalf("POI %d = %+v, baseline %+v", i, res.POIs[i], baseline.POIs[i])
+			}
+		}
+	}
+
+	// Query stream concurrent with the promotion below: each iteration
+	// must succeed exactly no matter which side of the cutover it lands
+	// on.
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 20; i++ {
+			res, err := f.engine.Run(context.Background(), spec)
+			if err != nil {
+				t.Errorf("mid-failover query %d failed: %v", i, err)
+				return
+			}
+			checkExact(res)
+		}
+	}()
+	time.Sleep(2 * time.Millisecond)
+	if err := tbl.FailoverNode(victim); err != nil {
+		t.Fatalf("FailoverNode(%d): %v", victim, err)
+	}
+	wg.Wait()
+
+	if got := tbl.Regions()[0].PrimaryNode(); got == victim {
+		t.Fatalf("region primary still on downed node %d", victim)
+	}
+	if h := tbl.NodeHealth(victim); h != kvstore.NodeDown {
+		t.Fatalf("victim health = %v, want down", h)
+	}
+	res, err := f.engine.Run(context.Background(), spec)
+	if err != nil {
+		t.Fatalf("post-failover query failed: %v", err)
+	}
+	checkExact(res)
+	if res.FailoverInProgress {
+		t.Error("converged table still advertises failover_in_progress")
 	}
 }
 

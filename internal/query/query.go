@@ -132,6 +132,11 @@ type Result struct {
 	// view's retention horizon was narrowed to its trailing horizon-sized
 	// suffix before the view answered it.
 	WindowClamped bool `json:"window_clamped,omitempty"`
+	// FailoverInProgress reports a write-path primary cutover was pending
+	// on the backing table when this answer was produced: reads still
+	// serve, but writes to the affected regions may fail fast until the
+	// promotion completes.
+	FailoverInProgress bool `json:"failover_in_progress,omitempty"`
 	// EffectiveFromMillis is the window start actually served when
 	// WindowClamped is set (zero otherwise).
 	EffectiveFromMillis int64 `json:"effective_from_millis,omitempty"`
@@ -653,6 +658,14 @@ func (e *Engine) RunConcurrent(ctx context.Context, specs []Spec) ([]*Result, er
 	for qi, r := range results {
 		if r.LatencySeconds <= 0 {
 			return nil, fmt.Errorf("query: query %d never completed in simulation", qi)
+		}
+	}
+	// Stamp the write-availability advisory once per batch: clients polling
+	// with queries learn a primary cutover is pending without issuing a
+	// write probe.
+	if e.visits.Table().FailoverInProgress() {
+		for _, r := range results {
+			r.FailoverInProgress = true
 		}
 	}
 	return results, nil
